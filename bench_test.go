@@ -1,0 +1,167 @@
+package coherencesim
+
+import (
+	"testing"
+)
+
+// benchOptions is a miniature experiment scale so each benchmark
+// iteration regenerates a whole figure in tens of milliseconds while
+// preserving the contention structure (32-processor traffic points).
+func benchOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Procs:             []int{4, 32},
+		TrafficProcs:      32,
+		LockIterations:    640,
+		BarrierEpisodes:   60,
+		ReductionEpisodes: 60,
+	}
+}
+
+// BenchmarkFigure8 regenerates the lock latency sweep (paper figure 8).
+func BenchmarkFigure8(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure8(o)
+	}
+}
+
+// BenchmarkFigure9 regenerates the lock miss-traffic breakdown (figure 9).
+func BenchmarkFigure9(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure9(o)
+	}
+}
+
+// BenchmarkFigure10 regenerates the lock update-traffic breakdown
+// (figure 10).
+func BenchmarkFigure10(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure10(o)
+	}
+}
+
+// BenchmarkFigure11 regenerates the barrier latency sweep (figure 11).
+func BenchmarkFigure11(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure11(o)
+	}
+}
+
+// BenchmarkFigure12 regenerates the barrier miss-traffic breakdown
+// (figure 12).
+func BenchmarkFigure12(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure12(o)
+	}
+}
+
+// BenchmarkFigure13 regenerates the barrier update-traffic breakdown
+// (figure 13).
+func BenchmarkFigure13(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure13(o)
+	}
+}
+
+// BenchmarkFigure14 regenerates the reduction latency sweep (figure 14).
+func BenchmarkFigure14(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure14(o)
+	}
+}
+
+// BenchmarkFigure15 regenerates the reduction miss-traffic breakdown
+// (figure 15).
+func BenchmarkFigure15(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure15(o)
+	}
+}
+
+// BenchmarkFigure16 regenerates the reduction update-traffic breakdown
+// (figure 16).
+func BenchmarkFigure16(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure16(o)
+	}
+}
+
+// BenchmarkLockVariants regenerates the Section 4.1 variant experiments.
+func BenchmarkLockVariants(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LockVariantRandomPause(o)
+		LockVariantWorkRatio(o)
+	}
+}
+
+// BenchmarkReductionVariant regenerates the Section 4.3 load-imbalance
+// experiment.
+func BenchmarkReductionVariant(b *testing.B) {
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ReductionVariantImbalanced(o)
+	}
+}
+
+// BenchmarkAblations regenerates the DESIGN.md ablation studies.
+func BenchmarkAblations(b *testing.B) {
+	o := benchOptions()
+	o.TrafficProcs = 8
+	o.LockIterations = 320
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AblateCUThreshold(o, []uint8{1, 4, 16})
+		AblatePURetention(o)
+		AblateSpinModel(o, PU)
+	}
+}
+
+// BenchmarkMachineEventThroughput measures raw simulator speed: events
+// processed per wall-clock second on a contended fetch-and-add workload.
+func BenchmarkMachineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(DefaultConfig(CU, 32))
+		ctr := m.Alloc("ctr", 4, 0)
+		res := m.Run(func(p *Proc) {
+			for k := 0; k < 50; k++ {
+				p.FetchAdd(ctr, 1)
+			}
+		})
+		if res.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkSingleLockRun measures one MCS/CU lock workload at the
+// paper's traffic size — the configuration the paper highlights as the
+// best large-machine combination.
+func BenchmarkSingleLockRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := DefaultLockParams(CU, 32)
+		p.Iterations = 1600
+		LockLoop(p, MCS)
+	}
+}

@@ -1,0 +1,267 @@
+// Command coherencesim regenerates the experiments of Bianchini, Carrera
+// & Kontothanassis, "The Interaction of Parallel Programming Constructs
+// and Coherence Protocols" (PPoPP 1997) on the built-in machine
+// simulator.
+//
+// Usage:
+//
+//	coherencesim -experiment fig8            # one figure at paper scale
+//	coherencesim -experiment all -quick      # everything, reduced scale
+//	coherencesim -experiment lockvariants
+//	coherencesim -experiment ablations
+//	coherencesim -run lock -lock MCS -protocol CU -procs 32
+//
+// The -run mode executes a single (construct, protocol, size)
+// combination and prints its full metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coherencesim/internal/experiments"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/stats"
+	"coherencesim/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "figure to regenerate: fig8..fig16, lockvariants, redvariants, extlocks, contention, apps, ablations, all")
+		quick      = flag.Bool("quick", false, "reduced iteration counts (~20x faster, same shapes)")
+		format     = flag.String("format", "table", "output format for fig8/fig11/fig14 and traffic figures: table or csv")
+		run        = flag.String("run", "", "single run: lock, barrier, or reduction")
+		lockKind   = flag.String("lock", "tk", "lock for -run lock: tk, mcs, ucmcs")
+		barKind    = flag.String("barrier", "db", "barrier for -run barrier: cb, db, tb")
+		redKind    = flag.String("reduction", "sr", "reduction for -run reduction: sr, pr")
+		protoName  = flag.String("protocol", "WI", "protocol: WI, PU, CU")
+		procs      = flag.Int("procs", 32, "processor count (1-64)")
+		iters      = flag.Int("iterations", 0, "override iteration count (0 = paper default)")
+	)
+	flag.Parse()
+
+	switch {
+	case *run != "":
+		if err := singleRun(*run, *lockKind, *barKind, *redKind, *protoName, *procs, *iters); err != nil {
+			fmt.Fprintln(os.Stderr, "coherencesim:", err)
+			os.Exit(1)
+		}
+	case *experiment != "":
+		o := experiments.Defaults()
+		if *quick {
+			o = experiments.Quick()
+		}
+		if *format == "csv" {
+			if err := runExperimentsCSV(*experiment, o); err != nil {
+				fmt.Fprintln(os.Stderr, "coherencesim:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := runExperiments(*experiment, o); err != nil {
+			fmt.Fprintln(os.Stderr, "coherencesim:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseProtocol(s string) (proto.Protocol, error) {
+	switch strings.ToUpper(s) {
+	case "WI", "I":
+		return proto.WI, nil
+	case "PU", "U":
+		return proto.PU, nil
+	case "CU", "C":
+		return proto.CU, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (want WI, PU, or CU)", s)
+}
+
+func runExperiments(name string, o experiments.Options) error {
+	type driver struct {
+		id  string
+		fn  func(experiments.Options)
+		txt string
+	}
+	show := func(s fmt.Stringer) { fmt.Println(s) }
+	drivers := []driver{
+		{"fig8", func(o experiments.Options) { show(experiments.Figure8(o).Table()) },
+			"lock latency sweep"},
+		{"fig9", func(o experiments.Options) { show(experiments.Figure9(o).Table()) },
+			"lock miss traffic"},
+		{"fig10", func(o experiments.Options) { show(experiments.Figure10(o).Table()) },
+			"lock update traffic"},
+		{"fig11", func(o experiments.Options) { show(experiments.Figure11(o).Table()) },
+			"barrier latency sweep"},
+		{"fig12", func(o experiments.Options) { show(experiments.Figure12(o).Table()) },
+			"barrier miss traffic"},
+		{"fig13", func(o experiments.Options) { show(experiments.Figure13(o).Table()) },
+			"barrier update traffic"},
+		{"fig14", func(o experiments.Options) { show(experiments.Figure14(o).Table()) },
+			"reduction latency sweep"},
+		{"fig15", func(o experiments.Options) { show(experiments.Figure15(o).Table()) },
+			"reduction miss traffic"},
+		{"fig16", func(o experiments.Options) { show(experiments.Figure16(o).Table()) },
+			"reduction update traffic"},
+		{"lockvariants", func(o experiments.Options) {
+			show(experiments.LockVariantRandomPause(o).Table())
+			show(experiments.LockVariantWorkRatio(o).Table())
+		}, "Section 4.1 lock variants"},
+		{"redvariants", func(o experiments.Options) {
+			show(experiments.ReductionVariantImbalanced(o).Table())
+		}, "Section 4.3 reduction variant"},
+		{"extlocks", func(o experiments.Options) {
+			show(experiments.ExtendedLockSweep(o).Table())
+		}, "extended lock sweep incl. TAS/TTAS"},
+		{"contention", func(o experiments.Options) {
+			show(experiments.AnalyzeLockContention(o, proto.PU).Table())
+			show(experiments.AnalyzeLockContention(o, proto.WI).Table())
+		}, "per-node traffic concentration of the centralized lock"},
+		{"apps", func(o experiments.Options) {
+			show(experiments.CompareWorkQueue(o).Table())
+			show(experiments.CompareJacobi(o).Table())
+			show(experiments.CompareNBody(o).Table())
+		}, "application kernels: best construct per protocol"},
+		{"ablations", func(o experiments.Options) {
+			show(experiments.AblateCUThreshold(o, []uint8{1, 2, 4, 8, 16}).Table())
+			show(experiments.AblatePURetention(o).Table())
+			show(experiments.AblateSpinModel(o, proto.PU).Table())
+			show(experiments.AblateSpinModel(o, proto.WI).Table())
+		}, "DESIGN.md ablation studies"},
+	}
+	if name == "all" {
+		for _, d := range drivers {
+			fmt.Printf("== %s (%s) ==\n", d.id, d.txt)
+			d.fn(o)
+		}
+		return nil
+	}
+	for _, d := range drivers {
+		if d.id == name {
+			d.fn(o)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", name)
+}
+
+func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters int) error {
+	pr, err := parseProtocol(protoName)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "lock":
+		var lk workload.LockKind
+		switch strings.ToLower(lockKind) {
+		case "tk", "ticket":
+			lk = workload.Ticket
+		case "mcs":
+			lk = workload.MCS
+		case "uc", "ucmcs":
+			lk = workload.UpdateConsciousMCS
+		default:
+			return fmt.Errorf("unknown lock %q", lockKind)
+		}
+		p := workload.DefaultLockParams(pr, procs)
+		if iters > 0 {
+			p.Iterations = iters
+		}
+		res := workload.LockLoop(p, lk)
+		fmt.Printf("%v lock, %v, P=%d: %d acquires\n", lk, pr, procs, res.Acquires)
+		fmt.Printf("  avg acquire-release latency: %.1f cycles\n", res.AvgLatency)
+		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Result.Net.Messages)
+		fmt.Print(missBar(res))
+	case "barrier":
+		var bk workload.BarrierKind
+		switch strings.ToLower(barKind) {
+		case "cb", "central":
+			bk = workload.Central
+		case "db", "dissemination":
+			bk = workload.Dissemination
+		case "tb", "tree":
+			bk = workload.Tree
+		default:
+			return fmt.Errorf("unknown barrier %q", barKind)
+		}
+		p := workload.DefaultBarrierParams(pr, procs)
+		if iters > 0 {
+			p.Iterations = iters
+		}
+		res := workload.BarrierLoop(p, bk)
+		fmt.Printf("%v barrier, %v, P=%d: %d episodes\n", bk, pr, procs, res.Episodes)
+		fmt.Printf("  avg episode latency: %.1f cycles\n", res.AvgLatency)
+		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Net.Messages)
+	case "reduction":
+		var rk workload.ReductionKind
+		switch strings.ToLower(redKind) {
+		case "sr", "sequential":
+			rk = workload.Sequential
+		case "pr", "parallel":
+			rk = workload.Parallel
+		default:
+			return fmt.Errorf("unknown reduction %q", redKind)
+		}
+		p := workload.DefaultReductionParams(pr, procs)
+		if iters > 0 {
+			p.Iterations = iters
+		}
+		res := workload.ReductionLoop(p, rk)
+		fmt.Printf("%v reduction, %v, P=%d: %d reductions\n", rk, pr, procs, res.Reductions)
+		fmt.Printf("  avg reduction latency: %.1f cycles\n", res.AvgLatency)
+		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Net.Messages)
+	default:
+		return fmt.Errorf("unknown run kind %q (want lock, barrier, or reduction)", kind)
+	}
+	return nil
+}
+
+func printTraffic(misses, updates, messages uint64) {
+	fmt.Printf("  miss/upgrade transactions: %s   update messages: %s   network messages: %s\n",
+		stats.FormatCount(misses), stats.FormatCount(updates), stats.FormatCount(messages))
+}
+
+func missBar(res workload.LockResult) string {
+	m := res.Misses
+	labels := []string{"cold", "true", "false", "evict", "drop", "excl"}
+	vals := make([]float64, len(labels))
+	for i := 0; i < len(labels); i++ {
+		vals[i] = float64(m[i])
+	}
+	return stats.Bars("  miss categories:", labels, vals, 40)
+}
+
+// runExperimentsCSV prints plotting-friendly CSV for the figure
+// experiments that have a CSV form.
+func runExperimentsCSV(name string, o experiments.Options) error {
+	switch name {
+	case "fig8":
+		fmt.Print(experiments.Figure8(o).CSV())
+	case "fig9":
+		fmt.Print(experiments.Figure9(o).CSV())
+	case "fig10":
+		fmt.Print(experiments.Figure10(o).CSV())
+	case "fig11":
+		fmt.Print(experiments.Figure11(o).CSV())
+	case "fig12":
+		fmt.Print(experiments.Figure12(o).CSV())
+	case "fig13":
+		fmt.Print(experiments.Figure13(o).CSV())
+	case "fig14":
+		fmt.Print(experiments.Figure14(o).CSV())
+	case "fig15":
+		fmt.Print(experiments.Figure15(o).CSV())
+	case "fig16":
+		fmt.Print(experiments.Figure16(o).CSV())
+	case "extlocks":
+		fmt.Print(experiments.ExtendedLockSweep(o).CSV())
+	default:
+		return fmt.Errorf("experiment %q has no CSV form", name)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+
+	"coherencesim/internal/experiments"
+	"coherencesim/internal/proto"
+)
+
+func TestParseProtocol(t *testing.T) {
+	cases := map[string]proto.Protocol{
+		"WI": proto.WI, "wi": proto.WI, "i": proto.WI,
+		"PU": proto.PU, "u": proto.PU,
+		"CU": proto.CU, "c": proto.CU,
+	}
+	for s, want := range cases {
+		got, err := parseProtocol(s)
+		if err != nil || got != want {
+			t.Errorf("parseProtocol(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseProtocol("bogus"); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+}
+
+// microOptions keeps CLI driver tests fast.
+func microOptions() experiments.Options {
+	return experiments.Options{
+		Procs:             []int{2},
+		TrafficProcs:      4,
+		LockIterations:    80,
+		BarrierEpisodes:   10,
+		ReductionEpisodes: 10,
+	}
+}
+
+func TestRunExperimentsDispatch(t *testing.T) {
+	o := microOptions()
+	for _, id := range []string{"fig8", "fig11", "fig14", "redvariants"} {
+		if err := runExperiments(id, o); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	if err := runExperiments("nope", o); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestSingleRunDispatch(t *testing.T) {
+	cases := []struct {
+		kind, lock, bar, red, protocol string
+	}{
+		{"lock", "tk", "", "", "WI"},
+		{"lock", "mcs", "", "", "CU"},
+		{"lock", "ucmcs", "", "", "PU"},
+		{"barrier", "", "cb", "", "PU"},
+		{"barrier", "", "db", "", "WI"},
+		{"barrier", "", "tb", "", "CU"},
+		{"reduction", "", "", "sr", "PU"},
+		{"reduction", "", "", "pr", "WI"},
+	}
+	for _, c := range cases {
+		if err := singleRun(c.kind, c.lock, c.bar, c.red, c.protocol, 4, 40); err != nil {
+			t.Errorf("%+v: %v", c, err)
+		}
+	}
+	for _, c := range []struct {
+		kind, lock, bar, red, protocol string
+	}{
+		{"lock", "bogus", "", "", "WI"},
+		{"barrier", "", "bogus", "", "WI"},
+		{"reduction", "", "", "bogus", "WI"},
+		{"bogus", "", "", "", "WI"},
+		{"lock", "tk", "", "", "bogus"},
+	} {
+		if err := singleRun(c.kind, c.lock, c.bar, c.red, c.protocol, 4, 40); err == nil {
+			t.Errorf("%+v: error expected", c)
+		}
+	}
+}

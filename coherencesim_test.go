@@ -1,0 +1,112 @@
+package coherencesim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as the README and
+// examples present it.
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := DefaultConfig(PU, 8)
+	m := NewMachine(cfg)
+	counter := m.Alloc("counter", 4, 0)
+	lock := NewTicketLock(m, "L")
+	res := m.Run(func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			lock.Acquire(p)
+			v := p.Read(counter)
+			p.Write(counter, v+1)
+			lock.Release(p)
+		}
+	})
+	if got := m.Peek(counter); got != 160 {
+		t.Fatalf("counter = %d, want 160", got)
+	}
+	if res.Cycles == 0 || res.Updates.Total() == 0 {
+		t.Fatalf("result not populated: %+v", res)
+	}
+}
+
+func TestAllConstructConstructors(t *testing.T) {
+	m := NewMachine(DefaultConfig(WI, 8))
+	var locks []Lock = []Lock{
+		NewTicketLock(m, "t"),
+		NewMCSLock(m, "m", false),
+		NewMCSLock(m, "u", true),
+		m.NewMagicLock(),
+	}
+	var barriers []Barrier = []Barrier{
+		NewCentralBarrier(m, "cb"),
+		NewDisseminationBarrier(m, "db"),
+		NewTreeBarrier(m, "tb"),
+		m.NewMagicBarrier(),
+	}
+	var reducers []Reducer = []Reducer{
+		NewParallelReducer(m, "pr", locks[3], barriers[3]),
+		NewSequentialReducer(m, "sr", barriers[3]),
+	}
+	m.Run(func(p *Proc) {
+		for _, l := range locks {
+			l.Acquire(p)
+			p.Compute(5)
+			l.Release(p)
+		}
+		for _, b := range barriers {
+			b.Wait(p)
+		}
+		for i, r := range reducers {
+			r.Reduce(p, uint32(10*i+p.ID()))
+			if p.ID() == 0 && p.Read(r.ResultAddr()) != uint32(10*i+7) {
+				t.Errorf("reducer %d wrong result", i)
+			}
+		}
+	})
+}
+
+func TestWorkloadReExports(t *testing.T) {
+	p := DefaultLockParams(CU, 4)
+	p.Iterations = 80
+	if res := LockLoop(p, Ticket); res.Acquires != 80 {
+		t.Fatalf("acquires %d", res.Acquires)
+	}
+	bp := DefaultBarrierParams(WI, 4)
+	bp.Iterations = 20
+	if res := BarrierLoop(bp, Tree); res.Episodes != 20 {
+		t.Fatalf("episodes %d", res.Episodes)
+	}
+	rp := DefaultReductionParams(PU, 4)
+	rp.Iterations = 20
+	if res := ReductionLoop(rp, Parallel); res.Reductions != 20 {
+		t.Fatalf("reductions %d", res.Reductions)
+	}
+}
+
+func TestExperimentReExports(t *testing.T) {
+	o := ExperimentOptions{
+		Procs:             []int{4},
+		TrafficProcs:      4,
+		LockIterations:    160,
+		BarrierEpisodes:   20,
+		ReductionEpisodes: 20,
+	}
+	if tbl := Figure8(o).Table().String(); !strings.Contains(tbl, "MCS-c") {
+		t.Errorf("figure 8 table missing combos:\n%s", tbl)
+	}
+	if tbl := Figure13(o).Table().String(); !strings.Contains(tbl, "useful") {
+		t.Errorf("figure 13 table missing categories:\n%s", tbl)
+	}
+	if QuickScale().LockIterations >= PaperScale().LockIterations {
+		t.Error("quick scale not smaller than paper scale")
+	}
+}
+
+func TestProtocolConstants(t *testing.T) {
+	if WI.String() != "WI" || PU.String() != "PU" || CU.String() != "CU" {
+		t.Error("protocol constants wrong")
+	}
+	if MissCold.String() != "cold" || UpdDrop.String() != "drop" {
+		t.Error("classification constants wrong")
+	}
+}

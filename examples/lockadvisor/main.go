@@ -1,0 +1,62 @@
+// Lock advisor: the paper's headline recommendation is that the best
+// lock implementation depends on the coherence protocol and machine
+// size. This example measures every lock/protocol combination for a
+// user-described critical-section workload and prints a recommendation
+// matrix — exactly what a programmer of a protocol-configurable machine
+// (FLASH/Typhoon-style) would want to consult.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"coherencesim"
+)
+
+func main() {
+	hold := flag.Int("hold", 50, "critical-section length in cycles")
+	acquires := flag.Int("acquires", 6400, "total lock acquisitions per measurement")
+	flag.Parse()
+
+	protocols := []coherencesim.Protocol{coherencesim.WI, coherencesim.PU, coherencesim.CU}
+	locks := []coherencesim.LockKind{coherencesim.Ticket, coherencesim.MCS, coherencesim.UpdateConsciousMCS}
+	sizes := []int{2, 4, 8, 16, 32}
+
+	fmt.Printf("avg acquire-release latency (cycles), CS=%d cycles, %d acquires\n\n", *hold, *acquires)
+	fmt.Printf("%-8s", "combo")
+	for _, p := range sizes {
+		fmt.Printf("%10s", fmt.Sprintf("P=%d", p))
+	}
+	fmt.Println()
+
+	type key struct {
+		lock coherencesim.LockKind
+		pr   coherencesim.Protocol
+	}
+	best := make(map[int]key)
+	bestV := make(map[int]float64)
+	for _, lk := range locks {
+		for _, pr := range protocols {
+			fmt.Printf("%-8s", fmt.Sprintf("%v-%v", lk, pr))
+			for _, procs := range sizes {
+				params := coherencesim.DefaultLockParams(pr, procs)
+				params.Iterations = *acquires
+				params.HoldCycles = uint64(*hold)
+				res := coherencesim.LockLoop(params, lk)
+				fmt.Printf("%10.1f", res.AvgLatency)
+				if v, ok := bestV[procs]; !ok || res.AvgLatency < v {
+					bestV[procs] = res.AvgLatency
+					best[procs] = key{lk, pr}
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\nrecommendation per machine size:")
+	for _, procs := range sizes {
+		b := best[procs]
+		fmt.Printf("  P=%-3d use the %v lock under %v (%.1f cycles)\n",
+			procs, b.lock, b.pr, bestV[procs])
+	}
+}

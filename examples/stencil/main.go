@@ -1,0 +1,85 @@
+// Stencil: a bulk-synchronous iterative computation — the workload class
+// whose barrier cost the paper's Section 4.2 isolates. Each processor
+// owns a strip of a 1-D grid, updates it from its neighbours' halo
+// cells, and crosses a barrier every sweep. The example runs the same
+// computation with all three barrier algorithms under the chosen
+// protocol and reports how much of the run each barrier consumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"coherencesim"
+)
+
+const (
+	stripWords = 16 // one cache block per processor strip
+	sweeps     = 200
+)
+
+func run(protocol coherencesim.Protocol, procs int, mkBarrier func(m *coherencesim.Machine) coherencesim.Barrier) (total uint64, updatesUseful, updatesAll uint64) {
+	m := coherencesim.NewMachine(coherencesim.DefaultConfig(protocol, procs))
+	// One strip per processor, homed at its owner; neighbours read the
+	// strip's first word (the halo exchange).
+	strips := make([]coherencesim.Addr, procs)
+	for i := range strips {
+		strips[i] = m.Alloc(fmt.Sprintf("strip%d", i), stripWords*4, i)
+	}
+	b := mkBarrier(m)
+	res := m.Run(func(p *coherencesim.Proc) {
+		id := p.ID()
+		left := strips[(id+procs-1)%procs]
+		right := strips[(id+1)%procs]
+		for s := 0; s < sweeps; s++ {
+			// Halo reads from both neighbours, then local update work.
+			hl := p.Read(left)
+			hr := p.Read(right)
+			p.Compute(uint64(stripWords)) // one cycle per point
+			p.Write(strips[id], hl+hr+uint32(s))
+			b.Wait(p)
+		}
+	})
+	return res.Cycles, res.Updates.Useful(), res.Updates.Total()
+}
+
+func main() {
+	protoName := flag.String("protocol", "PU", "coherence protocol: WI, PU, CU")
+	procs := flag.Int("procs", 32, "processors")
+	flag.Parse()
+
+	var protocol coherencesim.Protocol
+	switch strings.ToUpper(*protoName) {
+	case "WI":
+		protocol = coherencesim.WI
+	case "PU":
+		protocol = coherencesim.PU
+	case "CU":
+		protocol = coherencesim.CU
+	default:
+		fmt.Println("unknown protocol", *protoName)
+		return
+	}
+
+	barriers := map[string]func(m *coherencesim.Machine) coherencesim.Barrier{
+		"centralized": func(m *coherencesim.Machine) coherencesim.Barrier { return coherencesim.NewCentralBarrier(m, "B") },
+		"dissemination": func(m *coherencesim.Machine) coherencesim.Barrier {
+			return coherencesim.NewDisseminationBarrier(m, "B")
+		},
+		"tree": func(m *coherencesim.Machine) coherencesim.Barrier { return coherencesim.NewTreeBarrier(m, "B") },
+	}
+
+	fmt.Printf("1-D stencil, %d sweeps, %d processors, %v protocol\n\n", sweeps, *procs, protocol)
+	for _, name := range []string{"centralized", "dissemination", "tree"} {
+		cycles, useful, all := run(protocol, *procs, barriers[name])
+		perSweep := float64(cycles) / sweeps
+		fmt.Printf("%-14s %8d cycles total  %7.1f cycles/sweep", name, cycles, perSweep)
+		if all > 0 {
+			fmt.Printf("  updates %d (%.0f%% useful)", all, 100*float64(useful)/float64(all))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe paper's conclusion: pick the dissemination barrier under an")
+	fmt.Println("update-based protocol; it is the best combination at every size.")
+}

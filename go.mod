@@ -1,0 +1,3 @@
+module coherencesim
+
+go 1.22

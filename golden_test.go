@@ -1,0 +1,98 @@
+package coherencesim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Golden regression tests: exact simulated cycle counts for small
+// deterministic runs. These pin the modeled machine's behaviour — an
+// intentional timing-model change must update the constants, and any
+// unintentional drift (protocol, network, or engine) fails loudly.
+//
+// To regenerate after an intentional change:
+//
+//	go test -run TestGolden -v   (failures print got-vs-want)
+
+func goldenRun(pr Protocol, procs int, body func(m *Machine) func(p *Proc)) Result {
+	m := NewMachine(DefaultConfig(pr, procs))
+	return m.Run(body(m))
+}
+
+func TestGoldenLockLoop(t *testing.T) {
+	want := map[Protocol]uint64{
+		WI: 109287,
+		PU: 50616,
+		CU: 50616,
+	}
+	for pr, cycles := range want {
+		p := DefaultLockParams(pr, 4)
+		p.Iterations = 400
+		res := LockLoop(p, Ticket)
+		if res.Cycles != cycles {
+			t.Errorf("ticket/%v: %d cycles, want %d", pr, res.Cycles, cycles)
+		}
+	}
+}
+
+func TestGoldenBarrierLoop(t *testing.T) {
+	want := map[Protocol]uint64{
+		WI: 38945,
+		PU: 17096,
+		CU: 17096,
+	}
+	for pr, cycles := range want {
+		p := DefaultBarrierParams(pr, 8)
+		p.Iterations = 100
+		res := BarrierLoop(p, Dissemination)
+		if res.Cycles != cycles {
+			t.Errorf("dissemination/%v: %d cycles, want %d", pr, res.Cycles, cycles)
+		}
+	}
+}
+
+func TestGoldenFetchAddChain(t *testing.T) {
+	want := map[Protocol]uint64{
+		WI: 4706,
+		PU: 9542,
+		CU: 8330,
+	}
+	for pr, cycles := range want {
+		res := goldenRun(pr, 8, func(m *Machine) func(p *Proc) {
+			ctr := m.Alloc("ctr", 4, 0)
+			return func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					p.FetchAdd(ctr, 1)
+				}
+			}
+		})
+		if res.Cycles != cycles {
+			t.Errorf("fetchadd/%v: %d cycles, want %d", pr, res.Cycles, cycles)
+		}
+	}
+}
+
+// TestGoldenPrint regenerates the golden constants (always passes; run
+// with -v to read the values).
+func TestGoldenPrint(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("run with -v to print golden values")
+	}
+	for _, pr := range []Protocol{WI, PU, CU} {
+		p := DefaultLockParams(pr, 4)
+		p.Iterations = 400
+		fmt.Printf("lock/%v: %d\n", pr, LockLoop(p, Ticket).Cycles)
+		b := DefaultBarrierParams(pr, 8)
+		b.Iterations = 100
+		fmt.Printf("barrier/%v: %d\n", pr, BarrierLoop(b, Dissemination).Cycles)
+		res := goldenRun(pr, 8, func(m *Machine) func(p *Proc) {
+			ctr := m.Alloc("ctr", 4, 0)
+			return func(p *Proc) {
+				for i := 0; i < 20; i++ {
+					p.FetchAdd(ctr, 1)
+				}
+			}
+		})
+		fmt.Printf("fetchadd/%v: %d\n", pr, res.Cycles)
+	}
+}

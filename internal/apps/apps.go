@@ -1,0 +1,259 @@
+// Package apps provides small application kernels built on the machine
+// and construct libraries — the workload classes whose synchronization
+// behaviour the paper's synthetic programs distill:
+//
+//   - WorkQueue: a lock-protected shared task queue (lock-bound, the
+//     figure-8 regime);
+//   - Jacobi: a bulk-synchronous grid relaxation with halo exchange
+//     (barrier-bound, the figure-11 regime);
+//   - NBodyMax: a Barnes-Hut-style step loop whose global force bound is
+//     a max-reduction (reduction-bound, the figure-14 regime; the paper's
+//     Section 2.3 cites exactly this Splash2 Barnes-Hut idiom).
+//
+// Each kernel takes the construct implementation to use, runs to
+// completion on a fresh machine, functionally verifies its own output,
+// and reports both application-level and machine-level metrics, so the
+// experiments layer can answer the paper's practical question: which
+// construct should this application use under this protocol?
+package apps
+
+import (
+	"fmt"
+
+	"coherencesim/internal/constructs"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/workload"
+)
+
+// Result couples an application's verdict with the machine metrics.
+type Result struct {
+	machine.Result
+	App     string
+	Correct bool
+	// Work is an app-specific unit count (tasks, sweeps, steps) for
+	// normalizing latency.
+	Work        int
+	CyclesPerOp float64
+}
+
+func finish(app string, res machine.Result, correct bool, work int) Result {
+	return Result{
+		Result:      res,
+		App:         app,
+		Correct:     correct,
+		Work:        work,
+		CyclesPerOp: float64(res.Cycles) / float64(work),
+	}
+}
+
+// currentValue reads a word's authoritative post-run value: the memory
+// copy, unless a processor holds the block dirty (WI ownership or PU
+// retention).
+func currentValue(m *machine.Machine, a machine.Addr) uint32 {
+	v := m.Peek(a)
+	block := uint32(a / 64)
+	word := int(a%64) / 4
+	for q := 0; q < m.Procs(); q++ {
+		if ln := m.System().Cache(q).Lookup(block); ln != nil && ln.Dirty {
+			v = ln.Data[word]
+		}
+	}
+	return v
+}
+
+// buildLock constructs the chosen lock kind on m.
+func buildLock(m *machine.Machine, k workload.LockKind, name string) constructs.Lock {
+	switch k {
+	case workload.Ticket:
+		return constructs.NewTicketLock(m, name)
+	case workload.MCS:
+		return constructs.NewMCSLock(m, name, false)
+	case workload.UpdateConsciousMCS:
+		return constructs.NewMCSLock(m, name, true)
+	}
+	panic("apps: unknown lock kind")
+}
+
+// buildBarrier constructs the chosen barrier kind on m.
+func buildBarrier(m *machine.Machine, k workload.BarrierKind, name string) constructs.Barrier {
+	switch k {
+	case workload.Central:
+		return constructs.NewCentralBarrier(m, name)
+	case workload.Dissemination:
+		return constructs.NewDisseminationBarrier(m, name)
+	case workload.Tree:
+		return constructs.NewTreeBarrier(m, name)
+	}
+	panic("apps: unknown barrier kind")
+}
+
+// WorkQueueParams configures the shared-queue kernel.
+type WorkQueueParams struct {
+	Protocol proto.Protocol
+	Procs    int
+	Lock     workload.LockKind
+	Tasks    int      // total tasks
+	TaskWork sim.Time // compute cycles per task
+}
+
+// WorkQueue runs a self-scheduling task loop: processors repeatedly take
+// the next index from a shared cursor under the lock and execute the
+// task. Correctness: every task executed exactly once.
+func WorkQueue(p WorkQueueParams) Result {
+	m := machine.New(machine.DefaultConfig(p.Protocol, p.Procs))
+	l := buildLock(m, p.Lock, "qlock")
+	cursor := m.Alloc("cursor", 4, 0)
+	// done[t] counts executions of task t (one block per counter group
+	// of 16 tasks; contention on these is part of the workload).
+	doneWords := (p.Tasks + 15) / 16 * 16
+	done := m.Alloc("done", doneWords*4, -1)
+
+	res := m.Run(func(proc *machine.Proc) {
+		for {
+			l.Acquire(proc)
+			t := proc.Read(cursor)
+			if int(t) >= p.Tasks {
+				l.Release(proc)
+				return
+			}
+			proc.Write(cursor, t+1)
+			l.Release(proc)
+			proc.Compute(p.TaskWork)
+			proc.FetchAdd(done+machine.Addr(4*t), 1)
+		}
+	})
+
+	correct := true
+	for t := 0; t < p.Tasks; t++ {
+		if currentValue(m, done+machine.Addr(4*t)) != 1 {
+			correct = false
+			break
+		}
+	}
+	return finish("workqueue", res, correct, p.Tasks)
+}
+
+// JacobiParams configures the grid-relaxation kernel.
+type JacobiParams struct {
+	Protocol proto.Protocol
+	Procs    int
+	Barrier  workload.BarrierKind
+	Sweeps   int
+	// CellsPerProc is each processor's strip width in words (one cache
+	// block holds 16).
+	CellsPerProc int
+}
+
+// Jacobi runs a 1-D relaxation: every sweep each processor averages its
+// strip using its neighbours' edge cells, then crosses the barrier.
+// Correctness: the computation matches a sequential replay.
+func Jacobi(p JacobiParams) Result {
+	m := machine.New(machine.DefaultConfig(p.Protocol, p.Procs))
+	b := buildBarrier(m, p.Barrier, "jb")
+	strips := make([]machine.Addr, p.Procs)
+	for i := range strips {
+		strips[i] = m.Alloc(fmt.Sprintf("strip%d", i), p.CellsPerProc*4, i)
+		for c := 0; c < p.CellsPerProc; c++ {
+			m.Poke(strips[i]+machine.Addr(4*c), uint32(i*p.CellsPerProc+c))
+		}
+	}
+	edge := func(i, c int) machine.Addr { return strips[i] + machine.Addr(4*c) }
+
+	res := m.Run(func(proc *machine.Proc) {
+		id := proc.ID()
+		left := (id + p.Procs - 1) % p.Procs
+		right := (id + 1) % p.Procs
+		for s := 0; s < p.Sweeps; s++ {
+			lv := proc.Read(edge(left, p.CellsPerProc-1))
+			rv := proc.Read(edge(right, 0))
+			proc.Compute(sim.Time(p.CellsPerProc)) // relaxation arithmetic
+			// Update both edges of the own strip from the halos.
+			v0 := proc.Read(edge(id, 0))
+			proc.Write(edge(id, 0), (lv+v0)/2)
+			vn := proc.Read(edge(id, p.CellsPerProc-1))
+			proc.Write(edge(id, p.CellsPerProc-1), (vn+rv)/2)
+			b.Wait(proc)
+		}
+	})
+
+	// Sequential replay for verification.
+	ref := make([][]uint32, p.Procs)
+	for i := range ref {
+		ref[i] = make([]uint32, p.CellsPerProc)
+		for c := range ref[i] {
+			ref[i][c] = uint32(i*p.CellsPerProc + c)
+		}
+	}
+	last := p.CellsPerProc - 1
+	for s := 0; s < p.Sweeps; s++ {
+		lvs := make([]uint32, p.Procs)
+		rvs := make([]uint32, p.Procs)
+		for i := 0; i < p.Procs; i++ {
+			lvs[i] = ref[(i+p.Procs-1)%p.Procs][last]
+			rvs[i] = ref[(i+1)%p.Procs][0]
+		}
+		for i := 0; i < p.Procs; i++ {
+			ref[i][0] = (lvs[i] + ref[i][0]) / 2
+			ref[i][last] = (ref[i][last] + rvs[i]) / 2
+		}
+	}
+	correct := true
+	for i := 0; i < p.Procs && correct; i++ {
+		if currentValue(m, edge(i, 0)) != ref[i][0] ||
+			currentValue(m, edge(i, last)) != ref[i][last] {
+			correct = false
+		}
+	}
+	return finish("jacobi", res, correct, p.Sweeps)
+}
+
+// NBodyParams configures the reduction-bound step-loop kernel.
+type NBodyParams struct {
+	Protocol  proto.Protocol
+	Procs     int
+	Reduction workload.ReductionKind
+	Steps     int
+	BodyWork  sim.Time // force computation per step
+}
+
+// NBodyMax runs a Barnes-Hut-style step loop: each step every processor
+// computes its local force bound, the machine-wide maximum is reduced
+// (figure 6/7 style), and every processor uses it to pick the shared
+// time step. Correctness: all processors observe the true maximum each
+// step.
+func NBodyMax(p NBodyParams) Result {
+	m := machine.New(machine.DefaultConfig(p.Protocol, p.Procs))
+	var red constructs.Reducer
+	switch p.Reduction {
+	case workload.Parallel:
+		red = constructs.NewParallelReducer(m, "red", m.NewMagicLock(), m.NewMagicBarrier())
+	case workload.Sequential:
+		red = constructs.NewSequentialReducer(m, "red", m.NewMagicBarrier())
+	default:
+		panic("apps: unknown reduction kind")
+	}
+	gate := m.NewMagicBarrier()
+
+	correct := true
+	res := m.Run(func(proc *machine.Proc) {
+		id := proc.ID()
+		for s := 0; s < p.Steps; s++ {
+			proc.Compute(p.BodyWork)
+			local := uint32(s)*uint32(2*p.Procs) + uint32((id*5+s)%p.Procs)
+			want := uint32(0)
+			for q := 0; q < p.Procs; q++ {
+				if v := uint32(s)*uint32(2*p.Procs) + uint32((q*5+s)%p.Procs); v > want {
+					want = v
+				}
+			}
+			red.Reduce(proc, local)
+			if got := proc.Read(red.ResultAddr()); got != want {
+				correct = false
+			}
+			gate.Wait(proc) // keep steps separated
+		}
+	})
+	return finish("nbodymax", res, correct, p.Steps)
+}

@@ -1,0 +1,249 @@
+// Package cache models each node's data cache and write buffer.
+//
+// Parameters follow the paper: a 64-KB direct-mapped data cache with
+// 64-byte blocks (16 four-byte words) and a 4-entry write buffer. Cache
+// lines carry the data values themselves, so a processor spinning on a
+// stale copy observes exactly the staleness the coherence protocol
+// permits. Lines also carry the competitive-update counter.
+//
+// The package additionally provides a one-shot watcher mechanism used for
+// spin-wait compression: a simulated processor spinning on a location
+// parks and is woken when a coherence event (update, invalidation, drop)
+// touches the watched block — the only moments at which the spun-on value
+// can change.
+package cache
+
+import "fmt"
+
+// Fixed geometry of the simulated memory system.
+const (
+	WordBytes     = 4  // 32-bit words
+	BlockBytes    = 64 // cache block size
+	WordsPerBlock = BlockBytes / WordBytes
+)
+
+// Addr is a byte address in the simulated shared segment.
+type Addr uint32
+
+// BlockOf returns the cache-block number containing a.
+func BlockOf(a Addr) uint32 { return uint32(a) / BlockBytes }
+
+// WordOf returns the word index of a within its block.
+func WordOf(a Addr) int { return int(uint32(a)%BlockBytes) / WordBytes }
+
+// BlockBase returns the address of the first byte of block b.
+func BlockBase(b uint32) Addr { return Addr(b * BlockBytes) }
+
+// State is a cache line's coherence state. The same three states serve
+// all protocols: under WI, Exclusive means dirty/owned; under PU,
+// Exclusive is the "retained/private" optimization state; under CU,
+// lines are only ever Shared.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Line is one direct-mapped cache frame.
+type Line struct {
+	Block   uint32 // block number held (valid only if State != Invalid)
+	State   State
+	Data    [WordsPerBlock]uint32
+	Dirty   bool  // holds locally modified words (Exclusive only)
+	Counter uint8 // competitive-update per-copy counter
+}
+
+// Stats counts cache-array activity (protocol-level categorization lives
+// in internal/classify; these are raw mechanics).
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Invalidates uint64
+	UpdatesIn   uint64
+}
+
+// Cache is one node's direct-mapped data cache.
+type Cache struct {
+	node     int
+	lines    []Line
+	watchers map[uint32][]func()
+	versions map[uint32]uint64
+	stats    Stats
+}
+
+// New builds a cache of the given total size in bytes. Size must be a
+// multiple of the block size.
+func New(node, sizeBytes int) *Cache {
+	if sizeBytes <= 0 || sizeBytes%BlockBytes != 0 {
+		panic(fmt.Sprintf("cache: invalid size %d", sizeBytes))
+	}
+	return &Cache{
+		node:     node,
+		lines:    make([]Line, sizeBytes/BlockBytes),
+		watchers: make(map[uint32][]func()),
+		versions: make(map[uint32]uint64),
+	}
+}
+
+// NumLines returns the number of frames.
+func (c *Cache) NumLines() int { return len(c.lines) }
+
+// Stats returns a copy of the raw counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// frame returns the direct-mapped frame for a block.
+func (c *Cache) frame(block uint32) *Line {
+	return &c.lines[int(block)%len(c.lines)]
+}
+
+// Lookup returns the line holding block, or nil on miss. It does not
+// count hit/miss statistics; callers decide what constitutes an access.
+func (c *Cache) Lookup(block uint32) *Line {
+	ln := c.frame(block)
+	if ln.State != Invalid && ln.Block == block {
+		return ln
+	}
+	return nil
+}
+
+// Present reports whether the block is cached in any valid state.
+func (c *Cache) Present(block uint32) bool { return c.Lookup(block) != nil }
+
+// CountHit / CountMiss record raw access outcomes.
+func (c *Cache) CountHit()  { c.stats.Hits++ }
+func (c *Cache) CountMiss() { c.stats.Misses++ }
+
+// Victim returns a copy of the line that Install(block) would evict, and
+// whether there is such a conflicting valid line.
+func (c *Cache) Victim(block uint32) (Line, bool) {
+	ln := c.frame(block)
+	if ln.State != Invalid && ln.Block != block {
+		return *ln, true
+	}
+	return Line{}, false
+}
+
+// Install places a block into its frame with the given data and state,
+// returning a copy of the evicted line (if a different valid block
+// occupied the frame). The evicted block's watchers fire: from the
+// spinner's perspective a replacement is a visibility event.
+func (c *Cache) Install(block uint32, data []uint32, state State) (victim Line, evicted bool) {
+	ln := c.frame(block)
+	if ln.State != Invalid && ln.Block != block {
+		victim, evicted = *ln, true
+		c.stats.Evictions++
+		c.fire(ln.Block)
+	}
+	ln.Block = block
+	ln.State = state
+	ln.Dirty = false
+	ln.Counter = 0
+	copy(ln.Data[:], data)
+	return victim, evicted
+}
+
+// Invalidate removes block from the cache (coherence invalidation or
+// CU self-invalidation) and wakes watchers. It reports whether a valid
+// copy was present and returns a copy of the line for write-back needs.
+func (c *Cache) Invalidate(block uint32) (old Line, was bool) {
+	ln := c.Lookup(block)
+	if ln == nil {
+		return Line{}, false
+	}
+	old = *ln
+	ln.State = Invalid
+	ln.Dirty = false
+	c.stats.Invalidates++
+	c.fire(block)
+	return old, true
+}
+
+// ApplyUpdate writes an externally produced value for one word into the
+// cached copy (update-protocol delivery) and wakes watchers. It reports
+// whether the block was present.
+func (c *Cache) ApplyUpdate(block uint32, word int, v uint32) bool {
+	ln := c.Lookup(block)
+	if ln == nil {
+		return false
+	}
+	ln.Data[word] = v
+	c.stats.UpdatesIn++
+	c.fire(block)
+	return true
+}
+
+// Watch registers a one-shot callback invoked the next time block is
+// invalidated, updated, or evicted. Used for spin-wait compression.
+func (c *Cache) Watch(block uint32, fn func()) {
+	c.watchers[block] = append(c.watchers[block], fn)
+}
+
+// Watched reports whether a spinner is parked on the block. A watched
+// block is being continuously referenced by the (compressed) spin loop,
+// which protocol code must treat as reference activity — e.g. the
+// competitive-update counter of a watched block does not accumulate.
+func (c *Cache) Watched(block uint32) bool { return len(c.watchers[block]) > 0 }
+
+// Version returns the block's visibility-event counter: it advances on
+// every invalidation, update delivery, eviction, or explicit
+// notification. Spin loops that read several words of a block use it to
+// detect that the block changed mid-sequence (and must re-read) before
+// parking on a watcher.
+func (c *Cache) Version(block uint32) uint64 { return c.versions[block] }
+
+// fire advances the block's version and invokes (then clears) its
+// watchers.
+func (c *Cache) fire(block uint32) {
+	c.versions[block]++
+	ws := c.watchers[block]
+	if len(ws) == 0 {
+		return
+	}
+	delete(c.watchers, block)
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// FireWatchers exposes watcher notification for protocol code that
+// changes visibility in ways not covered by the methods above (e.g. an
+// atomic operation's reply refreshing a word).
+func (c *Cache) FireWatchers(block uint32) { c.fire(block) }
+
+// Flush drops the block from the cache *without* firing watchers (the
+// flushing processor is acting on its own line; there is nothing new to
+// observe) and returns the old line for write-back decisions.
+func (c *Cache) Flush(block uint32) (old Line, was bool) {
+	ln := c.Lookup(block)
+	if ln == nil {
+		return Line{}, false
+	}
+	old = *ln
+	ln.State = Invalid
+	ln.Dirty = false
+	return old, true
+}
+
+// ForEachValid calls fn for every valid line (used by whole-cache flush).
+func (c *Cache) ForEachValid(fn func(ln *Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
+		}
+	}
+}

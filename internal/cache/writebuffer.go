@@ -1,0 +1,85 @@
+package cache
+
+// WBEntry is one pending write in the write buffer.
+type WBEntry struct {
+	Addr Addr
+	Val  uint32
+}
+
+// WriteBuffer is the per-processor FIFO write buffer (paper: 4 entries).
+// Writes enter the buffer in 1 cycle; the memory stage drains entries in
+// order, one outstanding write transaction at a time. Reads bypass queued
+// writes, forwarding the newest buffered value for a matching address.
+type WriteBuffer struct {
+	capacity int
+	entries  []WBEntry
+	// draining marks that the head entry's transaction is in flight.
+	draining bool
+}
+
+// NewWriteBuffer returns an empty buffer with the given capacity.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	if capacity <= 0 {
+		panic("cache: write buffer capacity must be positive")
+	}
+	return &WriteBuffer{capacity: capacity}
+}
+
+// Cap returns the capacity.
+func (wb *WriteBuffer) Cap() int { return wb.capacity }
+
+// Len returns the number of queued entries.
+func (wb *WriteBuffer) Len() int { return len(wb.entries) }
+
+// Full reports whether a new write would stall the processor.
+func (wb *WriteBuffer) Full() bool { return len(wb.entries) >= wb.capacity }
+
+// Empty reports whether no writes are queued.
+func (wb *WriteBuffer) Empty() bool { return len(wb.entries) == 0 }
+
+// Push appends a write. Pushing into a full buffer panics; the caller
+// must stall the processor instead.
+func (wb *WriteBuffer) Push(a Addr, v uint32) {
+	if wb.Full() {
+		panic("cache: push into full write buffer")
+	}
+	wb.entries = append(wb.entries, WBEntry{a, v})
+}
+
+// Head returns the oldest entry. Calling Head on an empty buffer panics.
+func (wb *WriteBuffer) Head() WBEntry {
+	if wb.Empty() {
+		panic("cache: head of empty write buffer")
+	}
+	return wb.entries[0]
+}
+
+// PopHead removes the oldest entry and clears the draining mark.
+func (wb *WriteBuffer) PopHead() WBEntry {
+	h := wb.Head()
+	wb.entries = wb.entries[1:]
+	wb.draining = false
+	return h
+}
+
+// Draining reports whether the head entry's transaction is in flight.
+func (wb *WriteBuffer) Draining() bool { return wb.draining }
+
+// MarkDraining flags the head entry as in flight.
+func (wb *WriteBuffer) MarkDraining() {
+	if wb.Empty() {
+		panic("cache: draining empty write buffer")
+	}
+	wb.draining = true
+}
+
+// Forward returns the newest buffered value for address a, letting reads
+// bypass writes without losing program-order semantics.
+func (wb *WriteBuffer) Forward(a Addr) (uint32, bool) {
+	for i := len(wb.entries) - 1; i >= 0; i-- {
+		if wb.entries[i].Addr == a {
+			return wb.entries[i].Val, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,401 @@
+// Package classify implements the communication-categorization algorithms
+// the paper uses as its central metric (Section 3.2):
+//
+//   - cache misses are classified as cold-start, true-sharing,
+//     false-sharing, eviction, or drop misses, following Dubois et al.
+//     (ISCA'93) as extended by Bianchini & Kontothanassis (Ann. Simulation
+//     Symp.'95); exclusive-request (upgrade) transactions are tracked as a
+//     sixth communication-causing category;
+//
+//   - update messages are classified at the end of their lifetime as
+//     true-sharing, false-sharing, proliferation, replacement,
+//     termination, or drop updates.
+//
+// The classifier is driven by hooks from the protocol engine: global write
+// visibility, per-processor references, copy acquisition/loss, and update
+// delivery. It maintains per-(processor, block) shadow state keyed by
+// block number, sized by the working set rather than the address space.
+package classify
+
+import "fmt"
+
+// MissKind is a cache-miss category.
+type MissKind int
+
+const (
+	MissCold MissKind = iota
+	MissTrue
+	MissFalse
+	MissEviction
+	MissDrop
+	// MissUpgrade counts exclusive-request transactions: not strictly
+	// misses, but communication-causing events reported alongside them.
+	MissUpgrade
+	NumMissKinds
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case MissCold:
+		return "cold"
+	case MissTrue:
+		return "true"
+	case MissFalse:
+		return "false"
+	case MissEviction:
+		return "eviction"
+	case MissDrop:
+		return "drop"
+	case MissUpgrade:
+		return "excl-req"
+	}
+	return fmt.Sprintf("MissKind(%d)", int(k))
+}
+
+// UpdateKind is an update-message category.
+type UpdateKind int
+
+const (
+	UpdTrue UpdateKind = iota
+	UpdFalse
+	UpdProliferation
+	UpdReplacement
+	UpdTermination
+	UpdDrop
+	NumUpdateKinds
+)
+
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdTrue:
+		return "useful"
+	case UpdFalse:
+		return "false"
+	case UpdProliferation:
+		return "prolif"
+	case UpdReplacement:
+		return "repl"
+	case UpdTermination:
+		return "end"
+	case UpdDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("UpdateKind(%d)", int(k))
+}
+
+// LossReason says why a processor's cached copy went away; it determines
+// how the next miss on that block is classified.
+type LossReason int
+
+const (
+	// LossInvalidation: a coherence invalidation (WI write by another proc).
+	LossInvalidation LossReason = iota
+	// LossEviction: direct-mapped conflict replacement.
+	LossEviction
+	// LossDrop: CU self-invalidation on reaching the update threshold.
+	LossDrop
+	// LossFlush: an explicit user-level block flush (the update-conscious
+	// MCS lock issues these). The paper's taxonomy has no flush class;
+	// a post-flush miss classifies as true/false sharing if another
+	// processor wrote in the interim, else as an eviction-like miss.
+	LossFlush
+)
+
+// MissCounts and UpdateCounts index counters by kind.
+type MissCounts [NumMissKinds]uint64
+
+// UpdateCounts indexes update-message counters by kind.
+type UpdateCounts [NumUpdateKinds]uint64
+
+// Total sums all categories.
+func (m MissCounts) Total() uint64 {
+	var s uint64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// TotalMisses sums only true misses (excludes upgrade transactions).
+func (m MissCounts) TotalMisses() uint64 { return m.Total() - m[MissUpgrade] }
+
+// Useful returns cold + true-sharing misses (the paper's useful classes).
+func (m MissCounts) Useful() uint64 { return m[MissCold] + m[MissTrue] }
+
+// Total sums all update categories.
+func (u UpdateCounts) Total() uint64 {
+	var s uint64
+	for _, v := range u {
+		s += v
+	}
+	return s
+}
+
+// Useful returns true-sharing updates (the only useful class).
+func (u UpdateCounts) Useful() uint64 { return u[UpdTrue] }
+
+// pendingUpdate tracks one delivered-but-unclassified update message.
+type pendingUpdate struct {
+	refdOther bool // receiver referenced another word in the block
+}
+
+// wordVersion tracks global write history of one word.
+type wordVersion struct {
+	ver    uint64
+	writer int
+}
+
+// blockHistory is the global (cross-processor) write history of a block.
+type blockHistory struct {
+	words [16]wordVersion
+}
+
+// procBlock is per-(processor, block) shadow state.
+type procBlock struct {
+	everCached bool
+	cached     bool
+	lossReason LossReason
+	// lostVer snapshots the global word versions at the moment the copy
+	// was lost; a later miss compares against current versions.
+	lostVer [16]uint64
+	// pending maps word -> unclassified delivered update.
+	pending map[int]*pendingUpdate
+}
+
+// Classifier accumulates categorized communication for one simulation run.
+type Classifier struct {
+	procs   int
+	history map[uint32]*blockHistory
+	state   []map[uint32]*procBlock // per processor
+
+	misses  MissCounts
+	updates UpdateCounts
+	// refs counts shared-data references; the paper computes the miss
+	// rate solely with respect to shared references (Section 3.2).
+	refs uint64
+	// PerProcMisses supports debugging and per-construct analysis.
+	perProcMisses []MissCounts
+}
+
+// New creates a classifier for the given processor count.
+func New(procs int) *Classifier {
+	if procs <= 0 {
+		panic("classify: procs must be positive")
+	}
+	st := make([]map[uint32]*procBlock, procs)
+	for i := range st {
+		st[i] = make(map[uint32]*procBlock)
+	}
+	return &Classifier{
+		procs:         procs,
+		history:       make(map[uint32]*blockHistory),
+		state:         st,
+		perProcMisses: make([]MissCounts, procs),
+	}
+}
+
+func (c *Classifier) hist(block uint32) *blockHistory {
+	h, ok := c.history[block]
+	if !ok {
+		h = &blockHistory{}
+		c.history[block] = h
+	}
+	return h
+}
+
+func (c *Classifier) pb(p int, block uint32) *procBlock {
+	s, ok := c.state[p][block]
+	if !ok {
+		s = &procBlock{pending: make(map[int]*pendingUpdate)}
+		c.state[p][block] = s
+	}
+	return s
+}
+
+// GlobalWrite records that processor p's store to (block, word) became
+// globally visible (WI: the write to the owned line; PU/CU: the home
+// applying the write-through).
+//
+// Ordering contract: when a write causes invalidations (WI), the protocol
+// must report LostCopy for each invalidated sharer *before* GlobalWrite,
+// so that the causing write counts as "written since the copy was lost"
+// and the sharers' re-miss classifies as true/false sharing.
+func (c *Classifier) GlobalWrite(p int, block uint32, word int) {
+	w := &c.hist(block).words[word]
+	w.ver++
+	w.writer = p
+}
+
+// Reference records that processor p touched (block, word) — load or
+// store. It resolves pending updates: a pending update on the same word
+// becomes a true-sharing (useful) update; pending updates on other words
+// of the block learn that active false sharing is occurring.
+func (c *Classifier) Reference(p int, block uint32, word int) {
+	c.refs++
+	s := c.pb(p, block)
+	for w, pu := range s.pending {
+		if w == word {
+			c.updates[UpdTrue]++
+			delete(s.pending, w)
+		} else {
+			pu.refdOther = true
+		}
+	}
+}
+
+// Installed records that p acquired a cached copy of block.
+func (c *Classifier) Installed(p int, block uint32) {
+	s := c.pb(p, block)
+	s.everCached = true
+	s.cached = true
+}
+
+// LostCopy records that p's copy of block went away for the given reason.
+// Pending updates are resolved here for replacement (and, for LossDrop,
+// by DropDelivered below — LostCopy with LossDrop flushes any remaining
+// other-word pendings as proliferation).
+func (c *Classifier) LostCopy(p int, block uint32, reason LossReason) {
+	s := c.pb(p, block)
+	s.cached = false
+	s.lossReason = reason
+	h := c.hist(block)
+	for w := range s.lostVer {
+		s.lostVer[w] = h.words[w].ver
+	}
+	for w := range s.pending {
+		switch reason {
+		case LossEviction:
+			c.updates[UpdReplacement]++
+		default:
+			// Invalidation under WI cannot coexist with pending updates;
+			// drop/flush strand pendings, which are useless by definition.
+			c.resolveUseless(s.pending[w])
+		}
+		delete(s.pending, w)
+	}
+}
+
+// resolveUseless classifies a lifetime-ended useless update as false
+// sharing if the receiver was actively referencing other words in the
+// block, else as proliferation (the paper's convention).
+func (c *Classifier) resolveUseless(pu *pendingUpdate) {
+	if pu.refdOther {
+		c.updates[UpdFalse]++
+	} else {
+		c.updates[UpdProliferation]++
+	}
+}
+
+// Miss classifies and counts a miss by p on (block, word). Call when the
+// access has been determined to miss in the cache.
+func (c *Classifier) Miss(p int, block uint32, word int) MissKind {
+	s := c.pb(p, block)
+	var kind MissKind
+	switch {
+	case !s.everCached:
+		kind = MissCold
+	case s.lossReason == LossEviction:
+		kind = MissEviction
+	case s.lossReason == LossDrop:
+		kind = MissDrop
+	default: // invalidation or flush: sharing-based classification
+		h := c.hist(block)
+		wv := h.words[word]
+		wroteSince := wv.ver > s.lostVer[word]
+		byOther := wv.writer != p
+		if wroteSince && byOther {
+			kind = MissTrue
+		} else if s.lossReason == LossFlush && !c.anyOtherWrite(s, h, p) {
+			// Nothing changed since our own flush: self-induced, count as
+			// eviction-like rather than inventing sharing that isn't there.
+			kind = MissEviction
+		} else {
+			kind = MissFalse
+		}
+	}
+	c.misses[kind]++
+	c.perProcMisses[p][kind]++
+	return kind
+}
+
+// anyOtherWrite reports whether any word of the block was written by a
+// processor other than p since s lost its copy.
+func (c *Classifier) anyOtherWrite(s *procBlock, h *blockHistory, p int) bool {
+	for w := range h.words {
+		if h.words[w].ver > s.lostVer[w] && h.words[w].writer != p {
+			return true
+		}
+	}
+	return false
+}
+
+// Upgrade counts an exclusive-request (ownership upgrade) transaction.
+func (c *Classifier) Upgrade(p int) {
+	c.misses[MissUpgrade]++
+	c.perProcMisses[p][MissUpgrade]++
+}
+
+// UpdateDelivered records that an update message for (block, word) written
+// by writer arrived at p's cached copy. A previous pending update to the
+// same word has now been overwritten and is classified useless.
+func (c *Classifier) UpdateDelivered(p int, block uint32, word, writer int) {
+	s := c.pb(p, block)
+	if old, ok := s.pending[word]; ok {
+		c.resolveUseless(old)
+		delete(s.pending, word)
+	}
+	s.pending[word] = &pendingUpdate{}
+}
+
+// DropDelivered records an update that, on arrival at p, pushed the CU
+// counter past its threshold and invalidated the copy: the triggering
+// update is a drop update; the caller must follow with
+// LostCopy(p, block, LossDrop).
+func (c *Classifier) DropDelivered(p int, block uint32, word int) {
+	s := c.pb(p, block)
+	if old, ok := s.pending[word]; ok {
+		c.resolveUseless(old)
+		delete(s.pending, word)
+	}
+	c.updates[UpdDrop]++
+}
+
+// StrayUpdate counts an update message that arrived at a node which no
+// longer caches the block (its drop notice or replacement hint was still
+// in flight). Such messages are useless by definition and are counted as
+// proliferation updates.
+func (c *Classifier) StrayUpdate() { c.updates[UpdProliferation]++ }
+
+// Finish classifies all still-pending updates as termination updates.
+// Call exactly once, at end of simulation.
+func (c *Classifier) Finish() {
+	for p := range c.state {
+		for _, s := range c.state[p] {
+			for w := range s.pending {
+				c.updates[UpdTermination]++
+				delete(s.pending, w)
+			}
+		}
+	}
+}
+
+// Misses returns the accumulated miss counts.
+func (c *Classifier) Misses() MissCounts { return c.misses }
+
+// References returns the total shared-data references recorded.
+func (c *Classifier) References() uint64 { return c.refs }
+
+// MissRate returns misses per shared reference (the paper's metric).
+// Zero references yields zero.
+func (c *Classifier) MissRate() float64 {
+	if c.refs == 0 {
+		return 0
+	}
+	return float64(c.misses.TotalMisses()) / float64(c.refs)
+}
+
+// Updates returns the accumulated update-message counts.
+func (c *Classifier) Updates() UpdateCounts { return c.updates }
+
+// ProcMisses returns the per-processor miss counts.
+func (c *Classifier) ProcMisses(p int) MissCounts { return c.perProcMisses[p] }

@@ -1,0 +1,366 @@
+package constructs
+
+import (
+	"fmt"
+	"testing"
+
+	"coherencesim/internal/machine"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+)
+
+func allProtocols() []proto.Protocol {
+	return []proto.Protocol{proto.WI, proto.PU, proto.CU}
+}
+
+// lockFactories enumerates the lock implementations under test.
+func lockFactories() map[string]func(m *machine.Machine) Lock {
+	return map[string]func(m *machine.Machine) Lock{
+		"ticket": func(m *machine.Machine) Lock { return NewTicketLock(m, "L") },
+		"mcs":    func(m *machine.Machine) Lock { return NewMCSLock(m, "L", false) },
+		"ucmcs":  func(m *machine.Machine) Lock { return NewMCSLock(m, "L", true) },
+	}
+}
+
+// barrierFactories enumerates the barrier implementations under test.
+func barrierFactories() map[string]func(m *machine.Machine) Barrier {
+	return map[string]func(m *machine.Machine) Barrier{
+		"central":       func(m *machine.Machine) Barrier { return NewCentralBarrier(m, "B") },
+		"dissemination": func(m *machine.Machine) Barrier { return NewDisseminationBarrier(m, "B") },
+		"tree":          func(m *machine.Machine) Barrier { return NewTreeBarrier(m, "B") },
+	}
+}
+
+func TestLocksMutualExclusionAllProtocols(t *testing.T) {
+	for name, mk := range lockFactories() {
+		for _, pr := range allProtocols() {
+			for _, procs := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/%v/p%d", name, pr, procs), func(t *testing.T) {
+					m := machine.New(machine.DefaultConfig(pr, procs))
+					l := mk(m)
+					inCS := 0
+					perProc := make([]int, procs)
+					const iters = 6
+					m.Run(func(p *machine.Proc) {
+						for i := 0; i < iters; i++ {
+							l.Acquire(p)
+							inCS++
+							if inCS != 1 {
+								t.Errorf("mutual exclusion violated (%d in CS)", inCS)
+							}
+							p.Compute(50)
+							inCS--
+							l.Release(p)
+							perProc[p.ID()]++
+						}
+					})
+					for i, c := range perProc {
+						if c != iters {
+							t.Fatalf("proc %d completed %d/%d acquires", i, c, iters)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestLocksProtectSharedCounter(t *testing.T) {
+	for name, mk := range lockFactories() {
+		for _, pr := range allProtocols() {
+			t.Run(fmt.Sprintf("%s/%v", name, pr), func(t *testing.T) {
+				m := machine.New(machine.DefaultConfig(pr, 4))
+				l := mk(m)
+				shared := m.Alloc("shared", 4, 0)
+				const iters = 8
+				m.Run(func(p *machine.Proc) {
+					for i := 0; i < iters; i++ {
+						l.Acquire(p)
+						v := p.Read(shared)
+						p.Compute(2)
+						p.Write(shared, v+1)
+						l.Release(p) // fences before releasing
+					}
+				})
+				// Read the final value coherently: memory plus any
+				// dirty cached copy.
+				final := m.Peek(shared)
+				for q := 0; q < 4; q++ {
+					if ln := m.System().Cache(q).Lookup(uint32(shared / 64)); ln != nil && ln.Dirty {
+						final = ln.Data[0]
+					}
+				}
+				if final != 4*iters {
+					t.Fatalf("shared counter = %d, want %d", final, 4*iters)
+				}
+			})
+		}
+	}
+}
+
+func TestTicketLockIsFIFO(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(proto.WI, 8))
+	l := NewTicketLock(m, "L")
+	var order []int
+	m.Run(func(p *machine.Proc) {
+		// Stagger arrivals so ticket order is the processor order.
+		p.Compute(sim.Time(1 + 500*p.ID()))
+		l.Acquire(p)
+		order = append(order, p.ID())
+		p.Compute(50)
+		l.Release(p)
+	})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("service order %v not FIFO", order)
+		}
+	}
+}
+
+func TestMCSQueueHandoffOrder(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(proto.WI, 8))
+	l := NewMCSLock(m, "L", false)
+	var order []int
+	m.Run(func(p *machine.Proc) {
+		p.Compute(sim.Time(1 + 800*p.ID()))
+		l.Acquire(p)
+		order = append(order, p.ID())
+		p.Compute(50)
+		l.Release(p)
+	})
+	if len(order) != 8 {
+		t.Fatalf("only %d acquisitions", len(order))
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("handoff order %v not queue order", order)
+		}
+	}
+}
+
+func TestUpdateConsciousMCSFlushes(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(proto.PU, 4))
+	l := NewMCSLock(m, "L", true)
+	res := m.Run(func(p *machine.Proc) {
+		for i := 0; i < 5; i++ {
+			l.Acquire(p)
+			p.Compute(50)
+			l.Release(p)
+		}
+	})
+	if res.Counters.Flushes == 0 {
+		t.Fatal("update-conscious MCS issued no flushes")
+	}
+	// Plain MCS must issue none.
+	m2 := machine.New(machine.DefaultConfig(proto.PU, 4))
+	l2 := NewMCSLock(m2, "L", false)
+	res2 := m2.Run(func(p *machine.Proc) {
+		for i := 0; i < 5; i++ {
+			l2.Acquire(p)
+			p.Compute(50)
+			l2.Release(p)
+		}
+	})
+	if res2.Counters.Flushes != 0 {
+		t.Fatal("plain MCS issued flushes")
+	}
+}
+
+func TestUpdateConsciousMCSCutsUpdateTraffic(t *testing.T) {
+	run := func(uc bool) uint64 {
+		m := machine.New(machine.DefaultConfig(proto.PU, 8))
+		l := NewMCSLock(m, "L", uc)
+		res := m.Run(func(p *machine.Proc) {
+			for i := 0; i < 20; i++ {
+				l.Acquire(p)
+				p.Compute(50)
+				l.Release(p)
+			}
+		})
+		return res.Updates.Total()
+	}
+	plain, conscious := run(false), run(true)
+	if conscious >= plain {
+		t.Fatalf("update-conscious MCS sent %d updates, plain %d; expected a reduction", conscious, plain)
+	}
+}
+
+func TestBarriersJoinAllProtocolsAndSizes(t *testing.T) {
+	for name, mk := range barrierFactories() {
+		for _, pr := range allProtocols() {
+			for _, procs := range []int{1, 2, 3, 4, 8, 16} {
+				t.Run(fmt.Sprintf("%s/%v/p%d", name, pr, procs), func(t *testing.T) {
+					m := machine.New(machine.DefaultConfig(pr, procs))
+					b := mk(m)
+					const episodes = 5
+					arrived := make([]int, episodes)
+					m.Run(func(p *machine.Proc) {
+						for ep := 0; ep < episodes; ep++ {
+							p.Compute(sim.Time(p.Rand().Intn(40) + 1))
+							arrived[ep]++
+							b.Wait(p)
+							if arrived[ep] != procs {
+								t.Errorf("episode %d: left with %d/%d arrived", ep, arrived[ep], procs)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestBarrierPublishesData(t *testing.T) {
+	// Data written before a barrier must be readable by all after it.
+	for name, mk := range barrierFactories() {
+		for _, pr := range allProtocols() {
+			t.Run(fmt.Sprintf("%s/%v", name, pr), func(t *testing.T) {
+				procs := 8
+				m := machine.New(machine.DefaultConfig(pr, procs))
+				b := mk(m)
+				data := m.Alloc("data", 64*procs, -1)
+				slot := func(i int) machine.Addr { return data + machine.Addr(64*i) }
+				m.Run(func(p *machine.Proc) {
+					for ep := 0; ep < 3; ep++ {
+						p.Write(slot(p.ID()), uint32(100*ep+p.ID()))
+						b.Wait(p)
+						peer := (p.ID() + 1) % procs
+						if got := p.Read(slot(peer)); got != uint32(100*ep+peer) {
+							t.Errorf("ep %d: proc %d read peer %d = %d", ep, p.ID(), peer, got)
+						}
+						b.Wait(p)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 32: 5, 33: 6, 64: 6}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReducersComputeMax(t *testing.T) {
+	for _, pr := range allProtocols() {
+		for _, procs := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%v/p%d", pr, procs), func(t *testing.T) {
+				// Parallel reducer with magic sync.
+				m := machine.New(machine.DefaultConfig(pr, procs))
+				pl := m.NewMagicLock()
+				pb := m.NewMagicBarrier()
+				r := NewParallelReducer(m, "R", pl, pb)
+				wrong := false
+				m.Run(func(p *machine.Proc) {
+					for ep := 0; ep < 4; ep++ {
+						local := uint32(1000*ep + 10*p.ID() + 5)
+						want := uint32(1000*ep + 10*(procs-1) + 5)
+						r.Reduce(p, local)
+						if got := p.Read(r.ResultAddr()); got != want {
+							wrong = true
+						}
+						pb.Wait(p) // keep episodes separated
+					}
+				})
+				if wrong {
+					t.Error("parallel reduction produced wrong max")
+				}
+
+				// Sequential reducer with magic sync.
+				m2 := machine.New(machine.DefaultConfig(pr, procs))
+				sb := m2.NewMagicBarrier()
+				r2 := NewSequentialReducer(m2, "R", sb)
+				wrong2 := false
+				m2.Run(func(p *machine.Proc) {
+					for ep := 0; ep < 4; ep++ {
+						local := uint32(1000*ep + 10*p.ID() + 5)
+						want := uint32(1000*ep + 10*(procs-1) + 5)
+						r2.Reduce(p, local)
+						if got := p.Read(r2.ResultAddr()); got != want {
+							wrong2 = true
+						}
+						sb.Wait(p)
+					}
+				})
+				if wrong2 {
+					t.Error("sequential reduction produced wrong max")
+				}
+			})
+		}
+	}
+}
+
+func TestReducersWithRealSync(t *testing.T) {
+	// Reductions also work with the real constructs as sync providers.
+	m := machine.New(machine.DefaultConfig(proto.WI, 4))
+	l := NewTicketLock(m, "L")
+	b := NewDisseminationBarrier(m, "B")
+	r := NewParallelReducer(m, "R", l, b)
+	bad := false
+	m.Run(func(p *machine.Proc) {
+		r.Reduce(p, uint32(7+p.ID()))
+		if p.Read(r.ResultAddr()) != 10 {
+			bad = true
+		}
+	})
+	if bad {
+		t.Fatal("reduction with real lock/barrier wrong")
+	}
+}
+
+func TestSequentialReducerSlotPlacement(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(proto.PU, 4))
+	b := m.NewMagicBarrier()
+	r := NewSequentialReducer(m, "R", b)
+	for i := 0; i < 4; i++ {
+		a := r.SlotAddr(i)
+		if home := m.System().HomeOf(uint32(a / 64)); home != i {
+			t.Errorf("slot %d homed at %d", i, home)
+		}
+		for j := i + 1; j < 4; j++ {
+			if uint32(a/64) == uint32(r.SlotAddr(j)/64) {
+				t.Errorf("slots %d and %d share a block", i, j)
+			}
+		}
+	}
+}
+
+func TestMCSQnodeOwnerMapping(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(proto.WI, 4))
+	l := NewMCSLock(m, "L", false)
+	for i := 0; i < 4; i++ {
+		if got := l.ownerOf(l.node(i)); got != i {
+			t.Errorf("ownerOf(node(%d)) = %d", i, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown qnode did not panic")
+		}
+	}()
+	l.ownerOf(12345)
+}
+
+func TestConstructsDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := machine.New(machine.DefaultConfig(proto.CU, 8))
+		l := NewMCSLock(m, "L", false)
+		b := NewTreeBarrier(m, "B")
+		res := m.Run(func(p *machine.Proc) {
+			for i := 0; i < 10; i++ {
+				l.Acquire(p)
+				p.Compute(50)
+				l.Release(p)
+				b.Wait(p)
+			}
+		})
+		return res.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

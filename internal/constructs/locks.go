@@ -1,0 +1,167 @@
+// Package constructs implements the parallel programming constructs the
+// paper studies, written against the simulated-processor API:
+//
+//   - spin locks: the centralized ticket lock, the MCS list-based queue
+//     lock, and the paper's proposed update-conscious MCS variant that
+//     flushes predecessor/successor queue nodes;
+//   - barriers: the sense-reversing centralized barrier, the
+//     dissemination barrier, and the 4-ary arrival-tree barrier;
+//   - reductions: parallel (lock-protected global) and sequential (one
+//     processor combines per-processor slots).
+//
+// All shared state is allocated with the placement the paper prescribes —
+// "shared data are mapped to the processors that use them most
+// frequently": global words at node 0, per-processor queue nodes and
+// flag blocks at their owning node, each on a private cache block.
+package constructs
+
+import (
+	"fmt"
+
+	"coherencesim/internal/machine"
+	"coherencesim/internal/sim"
+)
+
+// Lock is a mutual-exclusion lock usable from simulated processors.
+// machine.MagicLock implements it too.
+type Lock interface {
+	Acquire(p *machine.Proc)
+	Release(p *machine.Proc)
+}
+
+// Barrier is a global barrier usable from simulated processors.
+// machine.MagicBarrier implements it too.
+type Barrier interface {
+	Wait(p *machine.Proc)
+}
+
+// TicketLock is the centralized ticket lock of the paper's figure 1: a
+// fetch_and_add ticket dispenser and a now-serving counter, with the
+// proportional backoff of Mellor-Crummey & Scott's ticket lock (whose
+// experiments the paper replicates): a waiter with k tickets ahead of it
+// pauses k backoff quanta between probes of the now-serving counter
+// instead of spinning tightly. The two counters live on separate cache
+// blocks at node 0, so dispenser traffic does not false-share with the
+// probes of now-serving.
+type TicketLock struct {
+	ticket  machine.Addr
+	now     machine.Addr
+	backoff uint32 // pause per waiting ticket, in cycles
+	myTick  [64]uint32
+}
+
+// NewTicketLock allocates a ticket lock. name must be unique per machine.
+func NewTicketLock(m *machine.Machine, name string) *TicketLock {
+	return &TicketLock{
+		ticket:  m.Alloc(name+".ticket", 4, 0),
+		now:     m.Alloc(name+".now", 4, 0),
+		backoff: 50, // roughly one critical section per ticket ahead
+	}
+}
+
+// Acquire takes a ticket and probes (with proportional backoff) until it
+// is served.
+func (l *TicketLock) Acquire(p *machine.Proc) {
+	my := p.FetchAdd(l.ticket, 1)
+	l.myTick[p.ID()] = my
+	for {
+		now := p.Read(l.now)
+		if now == my {
+			return
+		}
+		p.Compute(sim.Time(l.backoff * (my - now)))
+	}
+}
+
+// Release serves the next ticket. The store is a release: it first waits
+// for the holder's outstanding writes.
+func (l *TicketLock) Release(p *machine.Proc) {
+	p.Fence()
+	p.Write(l.now, l.myTick[p.ID()]+1)
+}
+
+// MCSLock is the list-based queue lock of figure 2 (Mellor-Crummey &
+// Scott). Each processor spins on a flag in its own queue node, allocated
+// on its own cache block at its own node; the global tail pointer lives
+// at node 0. With UpdateConscious set, the lock is the paper's proposed
+// variant: after writing its predecessor's next pointer a processor
+// flushes the predecessor's node, and after releasing it flushes the
+// successor's node, cutting the update traffic that qnode sharing causes
+// under update-based protocols.
+type MCSLock struct {
+	tail            machine.Addr
+	nodes           [64]machine.Addr // per-processor queue node blocks
+	updateConscious bool
+	procs           int
+}
+
+// Queue-node word offsets: next pointer, then the spun-on flag.
+const (
+	qnodeNext   = 0
+	qnodeLocked = 4
+)
+
+// NewMCSLock allocates an MCS lock; updateConscious selects the paper's
+// flush-augmented variant.
+func NewMCSLock(m *machine.Machine, name string, updateConscious bool) *MCSLock {
+	l := &MCSLock{updateConscious: updateConscious, procs: m.Procs()}
+	l.tail = m.Alloc(name+".tail", 4, 0)
+	for i := 0; i < m.Procs(); i++ {
+		l.nodes[i] = m.Alloc(fmt.Sprintf("%s.qnode%d", name, i), 8, i)
+	}
+	return l
+}
+
+// node returns processor id's queue-node base address. Queue-node
+// addresses stored in simulated memory are the block base addresses;
+// zero is never a valid node (allocations start at block 0 only for the
+// first allocation, so the tail allocation claims it first).
+func (l *MCSLock) node(id int) machine.Addr { return l.nodes[id] }
+
+// owner maps a queue-node address back to its processor.
+func (l *MCSLock) ownerOf(node machine.Addr) int {
+	for i := 0; i < l.procs; i++ {
+		if l.nodes[i] == node {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("constructs: unknown MCS qnode address %d", node))
+}
+
+// Acquire appends p's node to the queue and spins on its own flag.
+func (l *MCSLock) Acquire(p *machine.Proc) {
+	i := l.node(p.ID())
+	p.Write(i+qnodeNext, 0)
+	pred := machine.Addr(p.FetchStore(l.tail, uint32(i)))
+	if pred == 0 {
+		return // queue was empty: lock acquired
+	}
+	p.Write(i+qnodeLocked, 1)
+	// The locked flag must be set before the predecessor can see the
+	// link; the fence orders the two stores under release consistency.
+	p.Fence()
+	p.Write(pred+qnodeNext, uint32(i))
+	if l.updateConscious {
+		p.Flush(pred) // paper: "Flush *pred in update-conscious MCS"
+	}
+	p.SpinUntil(i+qnodeLocked, func(v uint32) bool { return v == 0 })
+}
+
+// Release hands the lock to the successor, or empties the queue.
+func (l *MCSLock) Release(p *machine.Proc) {
+	i := l.node(p.ID())
+	p.Fence() // release: the critical section's writes
+	next := machine.Addr(p.Read(i + qnodeNext))
+	if next == 0 {
+		// No known successor: try to swing the tail back to nil.
+		if p.CompareSwap(l.tail, uint32(i), 0) {
+			return
+		}
+		// A successor is mid-enqueue: wait for the link.
+		next = machine.Addr(p.SpinUntil(i+qnodeNext, func(v uint32) bool { return v != 0 }))
+	}
+	p.Write(next+qnodeLocked, 0)
+	if l.updateConscious {
+		p.Flush(next) // paper: "Flush *(I->next) in update-conscious MCS"
+	}
+}

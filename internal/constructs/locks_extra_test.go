@@ -1,0 +1,124 @@
+package constructs
+
+import (
+	"fmt"
+	"testing"
+
+	"coherencesim/internal/machine"
+	"coherencesim/internal/proto"
+)
+
+func extraLockFactories() map[string]func(m *machine.Machine) Lock {
+	return map[string]func(m *machine.Machine) Lock{
+		"tas":  func(m *machine.Machine) Lock { return NewTASLock(m, "L") },
+		"ttas": func(m *machine.Machine) Lock { return NewTTASLock(m, "L") },
+	}
+}
+
+func TestExtraLocksMutualExclusion(t *testing.T) {
+	for name, mk := range extraLockFactories() {
+		for _, pr := range allProtocols() {
+			for _, procs := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("%s/%v/p%d", name, pr, procs), func(t *testing.T) {
+					m := machine.New(machine.DefaultConfig(pr, procs))
+					l := mk(m)
+					inCS := 0
+					done := make([]int, procs)
+					m.Run(func(p *machine.Proc) {
+						for i := 0; i < 5; i++ {
+							l.Acquire(p)
+							inCS++
+							if inCS != 1 {
+								t.Errorf("mutual exclusion violated")
+							}
+							p.Compute(50)
+							inCS--
+							l.Release(p)
+							done[p.ID()]++
+						}
+					})
+					for i, c := range done {
+						if c != 5 {
+							t.Fatalf("proc %d finished %d/5", i, c)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestExtraLocksProtectCounter(t *testing.T) {
+	for name, mk := range extraLockFactories() {
+		for _, pr := range allProtocols() {
+			t.Run(fmt.Sprintf("%s/%v", name, pr), func(t *testing.T) {
+				m := machine.New(machine.DefaultConfig(pr, 4))
+				l := mk(m)
+				shared := m.Alloc("shared", 4, 0)
+				m.Run(func(p *machine.Proc) {
+					for i := 0; i < 6; i++ {
+						l.Acquire(p)
+						v := p.Read(shared)
+						p.Compute(2)
+						p.Write(shared, v+1)
+						l.Release(p)
+					}
+				})
+				final := m.Peek(shared)
+				for q := 0; q < 4; q++ {
+					if ln := m.System().Cache(q).Lookup(uint32(shared / 64)); ln != nil && ln.Dirty {
+						final = ln.Data[0]
+					}
+				}
+				if final != 24 {
+					t.Fatalf("counter = %d, want 24", final)
+				}
+			})
+		}
+	}
+}
+
+func TestTASFamilyContentionBehaviour(t *testing.T) {
+	// Two classic results, reproduced under WI at 16 processors:
+	// exponential backoff cuts the naive TAS lock's message traffic, and
+	// TTAS — whose waiters spin in their caches instead of hammering the
+	// lock word with ownership-stealing swaps — completes the contended
+	// run much faster than naive TAS even though its post-release
+	// thundering herd sends a similar number of messages.
+	run := func(mk func(m *machine.Machine) Lock) (msgs, cycles uint64) {
+		m := machine.New(machine.DefaultConfig(proto.WI, 16))
+		l := mk(m)
+		res := m.Run(func(p *machine.Proc) {
+			for i := 0; i < 20; i++ {
+				l.Acquire(p)
+				p.Compute(50)
+				l.Release(p)
+			}
+		})
+		return res.Net.Messages, res.Cycles
+	}
+	naiveMsgs, naiveCycles := run(func(m *machine.Machine) Lock {
+		l := NewTASLock(m, "L")
+		l.SetBackoff(1, 2)
+		return l
+	})
+	backoffMsgs, _ := run(func(m *machine.Machine) Lock { return NewTASLock(m, "L") })
+	_, ttasCycles := run(func(m *machine.Machine) Lock { return NewTTASLock(m, "L") })
+	if backoffMsgs >= naiveMsgs {
+		t.Fatalf("exponential backoff (%d msgs) did not quiet TAS (naive %d)", backoffMsgs, naiveMsgs)
+	}
+	if ttasCycles*3 >= naiveCycles*2 {
+		t.Fatalf("TTAS (%d cycles) not clearly faster than naive TAS (%d)", ttasCycles, naiveCycles)
+	}
+}
+
+func TestTASBackoffValidation(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(proto.WI, 2))
+	l := NewTASLock(m, "L")
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid backoff window did not panic")
+		}
+	}()
+	l.SetBackoff(10, 5)
+}

@@ -1,0 +1,95 @@
+package constructs
+
+import (
+	"fmt"
+
+	"coherencesim/internal/machine"
+)
+
+// Reducer computes a machine-wide maximum from per-processor arguments,
+// one episode per call (the paper's figures 6 and 7 compute max; the
+// communication behaviour is operator-independent).
+type Reducer interface {
+	// Reduce contributes p's local value; when it returns, the global
+	// result of this episode is available at ResultAddr on every
+	// processor that reads it.
+	Reduce(p *machine.Proc, local uint32)
+	// ResultAddr is the shared global cell holding the reduction result.
+	ResultAddr() machine.Addr
+}
+
+// ParallelReducer is figure 6: every processor updates the global cell
+// itself inside a critical section, then crosses a barrier. The lock and
+// barrier are injected so the reduction experiments can use the
+// zero-traffic magic primitives, isolating the reduction's own
+// communication (Section 4.3).
+type ParallelReducer struct {
+	max     machine.Addr
+	lock    Lock
+	barrier Barrier
+}
+
+// NewParallelReducer allocates the global cell at node 0.
+func NewParallelReducer(m *machine.Machine, name string, lock Lock, barrier Barrier) *ParallelReducer {
+	return &ParallelReducer{
+		max:     m.Alloc(name+".max", 4, 0),
+		lock:    lock,
+		barrier: barrier,
+	}
+}
+
+// ResultAddr returns the global cell.
+func (r *ParallelReducer) ResultAddr() machine.Addr { return r.max }
+
+// Reduce performs one parallel reduction episode.
+func (r *ParallelReducer) Reduce(p *machine.Proc, local uint32) {
+	r.lock.Acquire(p)
+	if p.Read(r.max) < local {
+		p.Write(r.max, local)
+	}
+	r.lock.Release(p)
+	r.barrier.Wait(p)
+}
+
+// SequentialReducer is figure 7: each processor publishes its value in
+// its own slot, and after a barrier processor 0 walks the slots and
+// combines them into the global cell. Following the paper's data
+// placement, each slot lives on its own cache block homed at its owning
+// processor, so the combining pass's communication is per-element.
+type SequentialReducer struct {
+	max     machine.Addr
+	slots   [64]machine.Addr
+	barrier Barrier
+	procs   int
+}
+
+// NewSequentialReducer allocates the global cell and per-processor slots.
+func NewSequentialReducer(m *machine.Machine, name string, barrier Barrier) *SequentialReducer {
+	r := &SequentialReducer{barrier: barrier, procs: m.Procs()}
+	r.max = m.Alloc(name+".max", 4, 0)
+	for i := 0; i < m.Procs(); i++ {
+		r.slots[i] = m.Alloc(fmt.Sprintf("%s.local%d", name, i), 4, i)
+	}
+	return r
+}
+
+// ResultAddr returns the global cell.
+func (r *SequentialReducer) ResultAddr() machine.Addr { return r.max }
+
+// SlotAddr returns processor id's published-value slot.
+func (r *SequentialReducer) SlotAddr(id int) machine.Addr { return r.slots[id] }
+
+// Reduce performs one sequential reduction episode.
+func (r *SequentialReducer) Reduce(p *machine.Proc, local uint32) {
+	p.Write(r.slots[p.ID()], local)
+	r.barrier.Wait(p) // barrier entry fences, publishing the slot
+	if p.ID() == 0 {
+		for i := 0; i < r.procs; i++ {
+			v := p.Read(r.slots[i])
+			if p.Read(r.max) < v {
+				p.Write(r.max, v)
+			}
+		}
+	}
+	r.barrier.Wait(p)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coherencesim/internal/apps"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/stats"
+	"coherencesim/internal/workload"
+)
+
+// AppComparison answers the paper's practical question at application
+// level: for each kernel (lock-bound work queue, barrier-bound Jacobi,
+// reduction-bound n-body step loop), which construct implementation is
+// fastest under each protocol? Cells are cycles per application
+// operation (task / sweep / step); the last column names the winner.
+type AppComparison struct {
+	App    string
+	Procs  int
+	Combos []string
+	Cycles map[string]float64
+	Winner map[proto.Protocol]string
+}
+
+// Table renders one application's comparison.
+func (a *AppComparison) Table() *stats.Table {
+	cols := []string{"cycles/op"}
+	t := stats.NewTable(fmt.Sprintf("Application %s at P=%d (winner per protocol: WI=%s PU=%s CU=%s)",
+		a.App, a.Procs, a.Winner[proto.WI], a.Winner[proto.PU], a.Winner[proto.CU]),
+		cols, a.Combos)
+	for i, c := range a.Combos {
+		t.Set(i, 0, "%.1f", a.Cycles[c])
+	}
+	return t
+}
+
+// record stores one measurement and updates the per-protocol winner.
+func (a *AppComparison) record(name string, pr proto.Protocol, alg string, cyclesPerOp float64) {
+	a.Combos = append(a.Combos, name)
+	a.Cycles[name] = cyclesPerOp
+	if w, ok := a.Winner[pr]; !ok || cyclesPerOp < a.Cycles[w+"-"+pr.Short()] {
+		a.Winner[pr] = alg
+	}
+}
+
+func newAppComparison(app string, procs int) *AppComparison {
+	return &AppComparison{
+		App:    app,
+		Procs:  procs,
+		Cycles: make(map[string]float64),
+		Winner: make(map[proto.Protocol]string),
+	}
+}
+
+// CompareWorkQueue sweeps the lock choices for the work-queue kernel.
+func CompareWorkQueue(o Options) *AppComparison {
+	a := newAppComparison("workqueue", o.TrafficProcs)
+	tasks := o.LockIterations / 10
+	if tasks < 32 {
+		tasks = 32
+	}
+	for _, lk := range []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS} {
+		for _, pr := range protocols {
+			r := apps.WorkQueue(apps.WorkQueueParams{
+				Protocol: pr, Procs: o.TrafficProcs, Lock: lk,
+				Tasks: tasks, TaskWork: 50,
+			})
+			if !r.Correct {
+				panic(fmt.Sprintf("experiments: workqueue %v/%v incorrect", lk, pr))
+			}
+			a.record(fmt.Sprintf("%v-%s", lk, pr.Short()), pr, lk.String(), r.CyclesPerOp)
+		}
+	}
+	return a
+}
+
+// CompareJacobi sweeps the barrier choices for the Jacobi kernel.
+func CompareJacobi(o Options) *AppComparison {
+	a := newAppComparison("jacobi", o.TrafficProcs)
+	sweeps := o.BarrierEpisodes / 10
+	if sweeps < 20 {
+		sweeps = 20
+	}
+	for _, bk := range []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree} {
+		for _, pr := range protocols {
+			r := apps.Jacobi(apps.JacobiParams{
+				Protocol: pr, Procs: o.TrafficProcs, Barrier: bk,
+				Sweeps: sweeps, CellsPerProc: 16,
+			})
+			if !r.Correct {
+				panic(fmt.Sprintf("experiments: jacobi %v/%v incorrect", bk, pr))
+			}
+			a.record(fmt.Sprintf("%v-%s", bk, pr.Short()), pr, bk.String(), r.CyclesPerOp)
+		}
+	}
+	return a
+}
+
+// CompareNBody sweeps the reduction strategies for the n-body kernel.
+func CompareNBody(o Options) *AppComparison {
+	a := newAppComparison("nbodymax", o.TrafficProcs)
+	steps := o.ReductionEpisodes / 10
+	if steps < 20 {
+		steps = 20
+	}
+	for _, rk := range []workload.ReductionKind{workload.Sequential, workload.Parallel} {
+		for _, pr := range protocols {
+			r := apps.NBodyMax(apps.NBodyParams{
+				Protocol: pr, Procs: o.TrafficProcs, Reduction: rk,
+				Steps: steps, BodyWork: 100,
+			})
+			if !r.Correct {
+				panic(fmt.Sprintf("experiments: nbody %v/%v incorrect", rk, pr))
+			}
+			a.record(fmt.Sprintf("%v-%s", rk, pr.Short()), pr, rk.String(), r.CyclesPerOp)
+		}
+	}
+	return a
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coherencesim/internal/classify"
+)
+
+// CSV renders the latency sweep as comma-separated values (combos as
+// rows, machine sizes as columns), for external plotting.
+func (s *LatencySweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("combo")
+	for _, p := range s.Procs {
+		fmt.Fprintf(&b, ",P=%d", p)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Combos {
+		b.WriteString(c)
+		for _, p := range s.Procs {
+			fmt.Fprintf(&b, ",%.2f", s.Latency[c][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the miss breakdown as comma-separated values.
+func (b *MissBreakdown) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("combo,cold,true,false,eviction,drop,exclreq,total\n")
+	for _, c := range b.Combos {
+		m := b.Counts[c]
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d,%d\n", c,
+			m[classify.MissCold], m[classify.MissTrue], m[classify.MissFalse],
+			m[classify.MissEviction], m[classify.MissDrop], m[classify.MissUpgrade],
+			m.Total())
+	}
+	return sb.String()
+}
+
+// CSV renders the update breakdown as comma-separated values.
+func (b *UpdateBreakdown) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("combo,useful,false,proliferation,replacement,termination,drop,total\n")
+	for _, c := range b.Combos {
+		u := b.Counts[c]
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d,%d\n", c,
+			u[classify.UpdTrue], u[classify.UpdFalse], u[classify.UpdProliferation],
+			u[classify.UpdReplacement], u[classify.UpdTermination], u[classify.UpdDrop],
+			u.Total())
+	}
+	return sb.String()
+}

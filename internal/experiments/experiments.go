@@ -1,0 +1,364 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 4): the latency sweeps of figures 8 (locks), 11 (barriers),
+// and 14 (reductions); the 32-processor miss-traffic breakdowns of
+// figures 9, 12, and 15; the update-traffic breakdowns of figures 10,
+// 13, and 16; and the textually described variant experiments
+// (low-contention locks, work-ratio locks, imbalanced reductions), plus
+// the ablation studies called out in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+
+	"coherencesim/internal/classify"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/stats"
+	"coherencesim/internal/workload"
+)
+
+// Options sets the experiment scale. Defaults reproduce the paper's
+// parameters; Quick shrinks iteration counts for smoke runs and tests.
+type Options struct {
+	Procs             []int // machine sizes for latency sweeps
+	TrafficProcs      int   // machine size for traffic breakdowns
+	LockIterations    int   // total acquires (paper: 32000)
+	BarrierEpisodes   int   // barrier episodes (paper: 5000)
+	ReductionEpisodes int   // reductions (paper: 5000)
+}
+
+// Defaults returns the paper's experiment parameters.
+func Defaults() Options {
+	return Options{
+		Procs:             []int{1, 2, 4, 8, 16, 32},
+		TrafficProcs:      32,
+		LockIterations:    32000,
+		BarrierEpisodes:   5000,
+		ReductionEpisodes: 5000,
+	}
+}
+
+// Quick returns a reduced-scale configuration (same shapes, ~1/20 the
+// events) for smoke tests and benchmarks.
+func Quick() Options {
+	return Options{
+		Procs:             []int{1, 4, 32},
+		TrafficProcs:      32,
+		LockIterations:    1600,
+		BarrierEpisodes:   250,
+		ReductionEpisodes: 250,
+	}
+}
+
+var protocols = []proto.Protocol{proto.WI, proto.PU, proto.CU}
+
+func comboName(alg fmt.Stringer, pr proto.Protocol) string {
+	return fmt.Sprintf("%v-%s", alg, pr.Short())
+}
+
+// LatencySweep is a latency-versus-machine-size figure.
+type LatencySweep struct {
+	Figure  string
+	Metric  string
+	Procs   []int
+	Combos  []string
+	Latency map[string]map[int]float64
+}
+
+// Table renders the sweep with combos as rows and sizes as columns.
+func (s *LatencySweep) Table() *stats.Table {
+	cols := make([]string, len(s.Procs))
+	for i, p := range s.Procs {
+		cols[i] = fmt.Sprintf("P=%d", p)
+	}
+	t := stats.NewTable(fmt.Sprintf("%s: %s", s.Figure, s.Metric), cols, s.Combos)
+	for i, c := range s.Combos {
+		for j, p := range s.Procs {
+			t.Set(i, j, "%.1f", s.Latency[c][p])
+		}
+	}
+	return t
+}
+
+// Best returns the combo with the lowest latency at machine size p.
+func (s *LatencySweep) Best(p int) string {
+	best, bestV := "", 0.0
+	for _, c := range s.Combos {
+		v, ok := s.Latency[c][p]
+		if !ok {
+			continue
+		}
+		if best == "" || v < bestV {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// MissBreakdown is a categorized miss-traffic figure at one machine size.
+type MissBreakdown struct {
+	Figure string
+	Procs  int
+	Combos []string
+	Counts map[string]classify.MissCounts
+}
+
+// Table renders the breakdown with combos as rows and categories as
+// columns.
+func (b *MissBreakdown) Table() *stats.Table {
+	cols := []string{"cold", "true", "false", "evict", "drop", "excl-req", "total"}
+	t := stats.NewTable(fmt.Sprintf("%s: cache misses at P=%d", b.Figure, b.Procs), cols, b.Combos)
+	for i, c := range b.Combos {
+		m := b.Counts[c]
+		t.Set(i, 0, "%d", m[classify.MissCold])
+		t.Set(i, 1, "%d", m[classify.MissTrue])
+		t.Set(i, 2, "%d", m[classify.MissFalse])
+		t.Set(i, 3, "%d", m[classify.MissEviction])
+		t.Set(i, 4, "%d", m[classify.MissDrop])
+		t.Set(i, 5, "%d", m[classify.MissUpgrade])
+		t.Set(i, 6, "%d", m.Total())
+	}
+	return t
+}
+
+// UpdateBreakdown is a categorized update-traffic figure at one machine
+// size (update-based protocols only).
+type UpdateBreakdown struct {
+	Figure string
+	Procs  int
+	Combos []string
+	Counts map[string]classify.UpdateCounts
+}
+
+// Table renders the breakdown with combos as rows and categories as
+// columns (the paper omits the never-observed replacement class from its
+// bars; we keep the column for completeness).
+func (b *UpdateBreakdown) Table() *stats.Table {
+	cols := []string{"useful", "false", "prolif", "repl", "end", "drop", "total"}
+	t := stats.NewTable(fmt.Sprintf("%s: update messages at P=%d", b.Figure, b.Procs), cols, b.Combos)
+	for i, c := range b.Combos {
+		u := b.Counts[c]
+		t.Set(i, 0, "%d", u[classify.UpdTrue])
+		t.Set(i, 1, "%d", u[classify.UpdFalse])
+		t.Set(i, 2, "%d", u[classify.UpdProliferation])
+		t.Set(i, 3, "%d", u[classify.UpdReplacement])
+		t.Set(i, 4, "%d", u[classify.UpdTermination])
+		t.Set(i, 5, "%d", u[classify.UpdDrop])
+		t.Set(i, 6, "%d", u.Total())
+	}
+	return t
+}
+
+// lockRun dispatches the lock workload variant.
+type lockRun func(p workload.Params, k workload.LockKind) workload.LockResult
+
+// lockSweep runs a lock latency sweep for every combo.
+func lockSweep(o Options, figure, metric string, run lockRun) *LatencySweep {
+	s := &LatencySweep{
+		Figure:  figure,
+		Metric:  metric,
+		Procs:   o.Procs,
+		Latency: make(map[string]map[int]float64),
+	}
+	for _, kind := range []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS} {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			s.Combos = append(s.Combos, name)
+			s.Latency[name] = make(map[int]float64)
+			for _, procs := range o.Procs {
+				p := workload.DefaultLockParams(pr, procs)
+				p.Iterations = o.LockIterations
+				s.Latency[name][procs] = run(p, kind).AvgLatency
+			}
+		}
+	}
+	return s
+}
+
+// Figure8 reproduces the lock latency sweep: average acquire-release
+// latency (cycles) for each lock/protocol combination and machine size.
+func Figure8(o Options) *LatencySweep {
+	return lockSweep(o, "Figure 8", "avg acquire-release latency (cycles)", workload.LockLoop)
+}
+
+// lockTraffic runs the traffic-size lock workload for every combo,
+// returning per-combo miss and update counts.
+func lockTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
+	misses := make(map[string]classify.MissCounts)
+	updates := make(map[string]classify.UpdateCounts)
+	var allCombos, updCombos []string
+	for _, kind := range []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS} {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			p := workload.DefaultLockParams(pr, o.TrafficProcs)
+			p.Iterations = o.LockIterations
+			res := workload.LockLoop(p, kind)
+			misses[name] = res.Misses
+			updates[name] = res.Updates
+			allCombos = append(allCombos, name)
+			if pr != proto.WI {
+				updCombos = append(updCombos, name)
+			}
+		}
+	}
+	return misses, updates, allCombos, updCombos
+}
+
+// Figure9 reproduces the lock miss-traffic breakdown at 32 processors.
+func Figure9(o Options) *MissBreakdown {
+	m, _, combos, _ := lockTraffic(o)
+	return &MissBreakdown{Figure: "Figure 9", Procs: o.TrafficProcs, Combos: combos, Counts: m}
+}
+
+// Figure10 reproduces the lock update-traffic breakdown at 32 processors.
+func Figure10(o Options) *UpdateBreakdown {
+	_, u, _, combos := lockTraffic(o)
+	return &UpdateBreakdown{Figure: "Figure 10", Procs: o.TrafficProcs, Combos: combos, Counts: u}
+}
+
+// Figure11 reproduces the barrier latency sweep: average episode latency
+// (cycles) for each barrier/protocol combination and machine size.
+func Figure11(o Options) *LatencySweep {
+	s := &LatencySweep{
+		Figure:  "Figure 11",
+		Metric:  "avg barrier episode latency (cycles)",
+		Procs:   o.Procs,
+		Latency: make(map[string]map[int]float64),
+	}
+	for _, kind := range []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree} {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			s.Combos = append(s.Combos, name)
+			s.Latency[name] = make(map[int]float64)
+			for _, procs := range o.Procs {
+				p := workload.DefaultBarrierParams(pr, procs)
+				p.Iterations = o.BarrierEpisodes
+				s.Latency[name][procs] = workload.BarrierLoop(p, kind).AvgLatency
+			}
+		}
+	}
+	return s
+}
+
+// barrierTraffic mirrors lockTraffic for barriers.
+func barrierTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
+	misses := make(map[string]classify.MissCounts)
+	updates := make(map[string]classify.UpdateCounts)
+	var allCombos, updCombos []string
+	for _, kind := range []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree} {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			p := workload.DefaultBarrierParams(pr, o.TrafficProcs)
+			p.Iterations = o.BarrierEpisodes
+			res := workload.BarrierLoop(p, kind)
+			misses[name] = res.Misses
+			updates[name] = res.Updates
+			allCombos = append(allCombos, name)
+			if pr != proto.WI {
+				updCombos = append(updCombos, name)
+			}
+		}
+	}
+	return misses, updates, allCombos, updCombos
+}
+
+// Figure12 reproduces the barrier miss-traffic breakdown at 32 processors.
+func Figure12(o Options) *MissBreakdown {
+	m, _, combos, _ := barrierTraffic(o)
+	return &MissBreakdown{Figure: "Figure 12", Procs: o.TrafficProcs, Combos: combos, Counts: m}
+}
+
+// Figure13 reproduces the barrier update-traffic breakdown at 32
+// processors.
+func Figure13(o Options) *UpdateBreakdown {
+	_, u, _, combos := barrierTraffic(o)
+	return &UpdateBreakdown{Figure: "Figure 13", Procs: o.TrafficProcs, Combos: combos, Counts: u}
+}
+
+// reductionRun dispatches the reduction workload variant.
+type reductionRun func(p workload.Params, k workload.ReductionKind) workload.ReductionResult
+
+func reductionSweep(o Options, figure, metric string, run reductionRun) *LatencySweep {
+	s := &LatencySweep{
+		Figure:  figure,
+		Metric:  metric,
+		Procs:   o.Procs,
+		Latency: make(map[string]map[int]float64),
+	}
+	for _, kind := range []workload.ReductionKind{workload.Sequential, workload.Parallel} {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			s.Combos = append(s.Combos, name)
+			s.Latency[name] = make(map[int]float64)
+			for _, procs := range o.Procs {
+				p := workload.DefaultReductionParams(pr, procs)
+				p.Iterations = o.ReductionEpisodes
+				s.Latency[name][procs] = run(p, kind).AvgLatency
+			}
+		}
+	}
+	return s
+}
+
+// Figure14 reproduces the reduction latency sweep: average reduction
+// latency (cycles) for each strategy/protocol combination and machine
+// size, with zero-traffic synchronization.
+func Figure14(o Options) *LatencySweep {
+	return reductionSweep(o, "Figure 14", "avg reduction latency (cycles)", workload.ReductionLoop)
+}
+
+// reductionTraffic mirrors lockTraffic for reductions.
+func reductionTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
+	misses := make(map[string]classify.MissCounts)
+	updates := make(map[string]classify.UpdateCounts)
+	var allCombos, updCombos []string
+	for _, kind := range []workload.ReductionKind{workload.Sequential, workload.Parallel} {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			p := workload.DefaultReductionParams(pr, o.TrafficProcs)
+			p.Iterations = o.ReductionEpisodes
+			res := workload.ReductionLoop(p, kind)
+			misses[name] = res.Misses
+			updates[name] = res.Updates
+			allCombos = append(allCombos, name)
+			if pr != proto.WI {
+				updCombos = append(updCombos, name)
+			}
+		}
+	}
+	return misses, updates, allCombos, updCombos
+}
+
+// Figure15 reproduces the reduction miss-traffic breakdown at 32
+// processors.
+func Figure15(o Options) *MissBreakdown {
+	m, _, combos, _ := reductionTraffic(o)
+	return &MissBreakdown{Figure: "Figure 15", Procs: o.TrafficProcs, Combos: combos, Counts: m}
+}
+
+// Figure16 reproduces the reduction update-traffic breakdown at 32
+// processors.
+func Figure16(o Options) *UpdateBreakdown {
+	_, u, _, combos := reductionTraffic(o)
+	return &UpdateBreakdown{Figure: "Figure 16", Procs: o.TrafficProcs, Combos: combos, Counts: u}
+}
+
+// LockVariantRandomPause reproduces the Section 4.1 low-contention
+// variant (bounded pseudo-random pause after each release).
+func LockVariantRandomPause(o Options) *LatencySweep {
+	return lockSweep(o, "Locks, random-pause variant",
+		"avg acquire-release latency (cycles)", workload.LockLoopRandomPause)
+}
+
+// LockVariantWorkRatio reproduces the Section 4.1 controlled-contention
+// variant (outside/inside work ratio = P ± 10%).
+func LockVariantWorkRatio(o Options) *LatencySweep {
+	return lockSweep(o, "Locks, work-ratio variant",
+		"avg acquire-release latency (cycles)", workload.LockLoopWorkRatio)
+}
+
+// ReductionVariantImbalanced reproduces the Section 4.3 load-imbalance
+// variant.
+func ReductionVariantImbalanced(o Options) *LatencySweep {
+	return reductionSweep(o, "Reductions, load-imbalance variant",
+		"avg reduction latency (cycles)", workload.ReductionLoopImbalanced)
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coherencesim/internal/constructs"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/workload"
+)
+
+// ExtendedLockSweep extends figure 8 with the two other classic spin
+// locks from the Mellor-Crummey & Scott suite (test-and-set with
+// exponential backoff, and test-and-test-and-set), measuring all five
+// algorithms under all three protocols — the comparison the paper's
+// Section 2.1 references when justifying its ticket/MCS selection.
+func ExtendedLockSweep(o Options) *LatencySweep {
+	s := &LatencySweep{
+		Figure:  "Extended lock sweep",
+		Metric:  "avg acquire-release latency (cycles)",
+		Procs:   o.Procs,
+		Latency: make(map[string]map[int]float64),
+	}
+
+	type mkLock func(m *machine.Machine) constructs.Lock
+	algos := []struct {
+		name string
+		mk   mkLock
+	}{
+		{"tas", func(m *machine.Machine) constructs.Lock { return constructs.NewTASLock(m, "lock") }},
+		{"ttas", func(m *machine.Machine) constructs.Lock { return constructs.NewTTASLock(m, "lock") }},
+		{"tk", func(m *machine.Machine) constructs.Lock { return constructs.NewTicketLock(m, "lock") }},
+		{"MCS", func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", false) }},
+		{"uc", func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", true) }},
+	}
+
+	for _, alg := range algos {
+		for _, pr := range protocols {
+			name := fmt.Sprintf("%s-%s", alg.name, pr.Short())
+			s.Combos = append(s.Combos, name)
+			s.Latency[name] = make(map[int]float64)
+			for _, procs := range o.Procs {
+				s.Latency[name][procs] = runCustomLock(pr, procs, o.LockIterations, alg.mk)
+			}
+		}
+	}
+	return s
+}
+
+// runCustomLock measures the paper's lock synthetic program over an
+// arbitrary lock implementation.
+func runCustomLock(pr proto.Protocol, procs, iterations int, mk func(m *machine.Machine) constructs.Lock) float64 {
+	const hold = sim.Time(50)
+	m := machine.New(machine.DefaultConfig(pr, procs))
+	l := mk(m)
+	iters := iterations / procs
+	res := m.Run(func(p *machine.Proc) {
+		for i := 0; i < iters; i++ {
+			l.Acquire(p)
+			p.Compute(hold)
+			l.Release(p)
+		}
+	})
+	return float64(res.Cycles)/float64(iters*procs) - float64(hold)
+}
+
+// Ensure the extended sweep and figure-8 share workload semantics: the
+// three paper locks measured through either path must agree. Exposed for
+// tests.
+func crossCheckLockPaths(o Options, kind workload.LockKind, pr proto.Protocol, procs int) (viaWorkload, viaCustom float64) {
+	p := workload.DefaultLockParams(pr, procs)
+	p.Iterations = o.LockIterations
+	viaWorkload = workload.LockLoop(p, kind).AvgLatency
+	var mk func(m *machine.Machine) constructs.Lock
+	switch kind {
+	case workload.Ticket:
+		mk = func(m *machine.Machine) constructs.Lock { return constructs.NewTicketLock(m, "lock") }
+	case workload.MCS:
+		mk = func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", false) }
+	case workload.UpdateConsciousMCS:
+		mk = func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", true) }
+	}
+	viaCustom = runCustomLock(pr, procs, o.LockIterations, mk)
+	return viaWorkload, viaCustom
+}

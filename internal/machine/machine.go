@@ -1,0 +1,248 @@
+// Package machine assembles the full simulated multiprocessor — engine,
+// mesh, memories, caches, coherence system, classifier — and exposes the
+// simulated-processor programming model that workloads are written
+// against: Read, Write, FetchAdd, FetchStore, CompareSwap, Flush,
+// Compute, Fence, and spin-wait primitives.
+//
+// Workloads are ordinary Go functions of a *Proc, one per simulated
+// processor; each runs as a coroutine in strict alternation with the
+// event engine, so simulations are deterministic and race-free. Cycle
+// accounting follows the paper: every instruction and read hit costs one
+// cycle, read misses stall the processor, writes enter a 4-entry write
+// buffer in one cycle (stalling only when it is full), reads bypass
+// buffered writes with value forwarding, and atomic instructions drain
+// the write buffer first.
+package machine
+
+import (
+	"fmt"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+	"coherencesim/internal/mem"
+	"coherencesim/internal/mesh"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
+)
+
+// Addr is a byte address in the simulated shared segment.
+type Addr = cache.Addr
+
+// WordBytes re-exports the simulated word size.
+const WordBytes = cache.WordBytes
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	Procs       int
+	Protocol    proto.Protocol
+	CUThreshold uint8 // competitive-update threshold (paper: 4)
+	CacheBytes  int   // per-node cache size (paper: 64 KB)
+	WBEntries   int   // write-buffer entries (paper: 4)
+	// MagicSyncCycles is the fixed latency charged by the zero-traffic
+	// lock and barrier used in the reduction experiments.
+	MagicSyncCycles sim.Time
+	// SpinPollCycles selects the spin-wait model: 0 (default) compresses
+	// spins — the processor parks and is woken by coherence events on
+	// the watched block; a positive value instead re-reads every that
+	// many cycles, modeling an explicit uncompressed polling loop
+	// (ablation studies; both models generate identical traffic).
+	SpinPollCycles sim.Time
+	// DisableRetention turns off PU's private-block retention
+	// optimization (ablation studies).
+	DisableRetention bool
+	// Trace, when non-nil, records every processor-level operation into
+	// the given ring buffer for post-mortem inspection.
+	Trace *trace.Log
+	Mesh  mesh.Config
+	Mem   mem.Config
+}
+
+// DefaultConfig returns the paper's machine parameters.
+func DefaultConfig(protocol proto.Protocol, procs int) Config {
+	return Config{
+		Procs:           procs,
+		Protocol:        protocol,
+		CUThreshold:     4,
+		CacheBytes:      64 * 1024,
+		WBEntries:       4,
+		MagicSyncCycles: 2,
+		Mesh:            mesh.DefaultConfig(),
+		Mem:             mem.DefaultConfig(),
+	}
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Cycles   sim.Time              // simulated execution time
+	Misses   classify.MissCounts   // categorized cache misses
+	Updates  classify.UpdateCounts // categorized update messages
+	Counters proto.Counters        // raw protocol transaction counts
+	Net      mesh.Stats            // network traffic
+	// References counts shared-data references; the paper computes miss
+	// rates solely with respect to them.
+	References uint64
+	// MissRate is misses per shared reference.
+	MissRate float64
+	// SimEvents is the number of engine events the run processed
+	// (simulator performance, not a property of the modeled machine).
+	SimEvents uint64
+	// PerProc is each processor's time/activity breakdown (omitted from
+	// equality-sensitive comparisons of Result values by keeping it a
+	// slice; compare it explicitly when needed).
+	PerProc []ProcStats
+}
+
+// Machine is one simulated multiprocessor. Allocate shared data with
+// Alloc, initialize it with Poke, then execute a workload with Run.
+// A Machine runs exactly one workload; build a fresh Machine per run.
+type Machine struct {
+	e   *sim.Engine
+	cl  *classify.Classifier
+	sys *proto.System
+	cfg Config
+
+	nextBlock uint32
+	blockHome map[uint32]int
+	allocs    map[string]Addr
+
+	procs []*Proc
+	ran   bool
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.Procs <= 0 || cfg.Procs > 64 {
+		panic(fmt.Sprintf("machine: Procs %d out of range [1,64]", cfg.Procs))
+	}
+	if cfg.WBEntries <= 0 {
+		panic("machine: WBEntries must be positive")
+	}
+	m := &Machine{
+		e:         sim.NewEngine(),
+		cl:        classify.New(cfg.Procs),
+		cfg:       cfg,
+		blockHome: make(map[uint32]int),
+		allocs:    make(map[string]Addr),
+	}
+	pcfg := proto.Config{
+		Protocol:         cfg.Protocol,
+		CUThreshold:      cfg.CUThreshold,
+		CacheBytes:       cfg.CacheBytes,
+		DisableRetention: cfg.DisableRetention,
+		Mesh:             cfg.Mesh,
+		Mem:              cfg.Mem,
+		HomeOf: func(block uint32) int {
+			if h, ok := m.blockHome[block]; ok {
+				return h
+			}
+			return int(block) % cfg.Procs
+		},
+	}
+	m.sys = proto.NewSystem(m.e, cfg.Procs, pcfg, m.cl)
+	return m
+}
+
+// Procs returns the processor count.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Protocol returns the machine's coherence protocol.
+func (m *Machine) Protocol() proto.Protocol { return m.cfg.Protocol }
+
+// Engine exposes the event engine (tests and advanced instrumentation).
+func (m *Machine) Engine() *sim.Engine { return m.e }
+
+// System exposes the coherence system (tests and diagnostics).
+func (m *Machine) System() *proto.System { return m.sys }
+
+// Alloc reserves size bytes of shared memory, rounded up to whole cache
+// blocks, and returns the base address. home pins every block of the
+// allocation to that node, following the paper's placement of shared
+// data at the processor that uses it most; home = -1 interleaves the
+// allocation's blocks across nodes at block granularity. Each allocation
+// starts on its own block, so distinct allocations never false-share.
+func (m *Machine) Alloc(name string, size, home int) Addr {
+	if size <= 0 {
+		panic("machine: Alloc size must be positive")
+	}
+	if home < -1 || home >= m.cfg.Procs {
+		panic(fmt.Sprintf("machine: Alloc home %d out of range", home))
+	}
+	if _, dup := m.allocs[name]; dup {
+		panic(fmt.Sprintf("machine: duplicate allocation %q", name))
+	}
+	blocks := (size + cache.BlockBytes - 1) / cache.BlockBytes
+	base := cache.BlockBase(m.nextBlock)
+	for i := 0; i < blocks; i++ {
+		b := m.nextBlock + uint32(i)
+		if home >= 0 {
+			m.blockHome[b] = home
+		} else {
+			m.blockHome[b] = i % m.cfg.Procs
+		}
+	}
+	m.nextBlock += uint32(blocks)
+	m.allocs[name] = base
+	return base
+}
+
+// Base returns the address of a named allocation.
+func (m *Machine) Base(name string) Addr {
+	a, ok := m.allocs[name]
+	if !ok {
+		panic(fmt.Sprintf("machine: unknown allocation %q", name))
+	}
+	return a
+}
+
+// Poke initializes a shared word in memory without simulated time or
+// traffic. Use only before Run.
+func (m *Machine) Poke(a Addr, v uint32) {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	m.sys.Memory(m.sys.HomeOf(block)).Poke(block, word, v)
+}
+
+// Peek reads a shared word directly from memory (diagnostics; note that
+// under WI a dirty cached copy may be newer).
+func (m *Machine) Peek(a Addr) uint32 {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	return m.sys.Memory(m.sys.HomeOf(block)).Peek(block, word)
+}
+
+// Run executes body on every simulated processor to completion and
+// returns the run summary. Following the paper's fork-time optimization,
+// processor 0's cache is flushed before the parallel phase (caches are
+// cold in a fresh Machine, so this matters only for machines that Poke
+// through a processor; it is kept for fidelity).
+func (m *Machine) Run(body func(p *Proc)) Result {
+	if m.ran {
+		panic("machine: Run called twice; build a fresh Machine per run")
+	}
+	m.ran = true
+	m.sys.FlushAll(0)
+	m.procs = make([]*Proc, m.cfg.Procs)
+	for i := 0; i < m.cfg.Procs; i++ {
+		m.procs[i] = newProc(m, i)
+	}
+	for _, p := range m.procs {
+		p := p
+		p.co = m.e.Go(fmt.Sprintf("proc%d", p.id), func() { body(p) })
+	}
+	m.e.Run()
+	m.cl.Finish()
+	per := make([]ProcStats, len(m.procs))
+	for i, p := range m.procs {
+		per[i] = p.stats
+	}
+	return Result{
+		Cycles:     m.e.Now(),
+		Misses:     m.cl.Misses(),
+		Updates:    m.cl.Updates(),
+		Counters:   m.sys.Counters(),
+		Net:        m.sys.Network().Stats(),
+		References: m.cl.References(),
+		MissRate:   m.cl.MissRate(),
+		SimEvents:  m.e.Processed(),
+		PerProc:    per,
+	}
+}

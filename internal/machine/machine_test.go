@@ -1,0 +1,583 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coherencesim/internal/classify"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+)
+
+func newM(t *testing.T, pr proto.Protocol, procs int) *Machine {
+	t.Helper()
+	return New(DefaultConfig(pr, procs))
+}
+
+func allProtocols() []proto.Protocol {
+	return []proto.Protocol{proto.WI, proto.PU, proto.CU}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Procs: 0},
+		{Procs: 65},
+		{Procs: 4, WBEntries: 0},
+	} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestAllocPlacementAndAlignment(t *testing.T) {
+	m := newM(t, proto.WI, 4)
+	a := m.Alloc("x", 4, 2)
+	b := m.Alloc("y", 100, 1)
+	c := m.Alloc("z", 64, -1)
+	if a%64 != 0 || b%64 != 0 || c%64 != 0 {
+		t.Fatal("allocations not block-aligned")
+	}
+	if a == b || b == c {
+		t.Fatal("allocations overlap")
+	}
+	// Homes: x on node 2; y spans 2 blocks both on node 1.
+	if m.sys.HomeOf(uint32(a/64)) != 2 {
+		t.Errorf("x home = %d", m.sys.HomeOf(uint32(a/64)))
+	}
+	for i := uint32(0); i < 2; i++ {
+		if m.sys.HomeOf(uint32(b/64)+i) != 1 {
+			t.Errorf("y block %d home = %d", i, m.sys.HomeOf(uint32(b/64)+i))
+		}
+	}
+	if m.Base("x") != a {
+		t.Error("Base lookup wrong")
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	m := newM(t, proto.WI, 2)
+	m.Alloc("a", 4, 0)
+	for name, f := range map[string]func(){
+		"dup":  func() { m.Alloc("a", 4, 0) },
+		"size": func() { m.Alloc("b", 0, 0) },
+		"home": func() { m.Alloc("c", 4, 5) },
+		"base": func() { m.Base("nope") },
+	} {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPokePeek(t *testing.T) {
+	m := newM(t, proto.WI, 2)
+	a := m.Alloc("x", 64, 0)
+	m.Poke(a+8, 31415)
+	if m.Peek(a+8) != 31415 {
+		t.Fatal("Poke/Peek roundtrip failed")
+	}
+}
+
+func TestReadHitCostsOneCycle(t *testing.T) {
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 2)
+		a := m.Alloc("x", 4, 0)
+		var missT, hitT sim.Time
+		res := m.Run(func(p *Proc) {
+			if p.ID() != 0 {
+				return
+			}
+			t0 := p.Now()
+			p.Read(a)
+			missT = p.Now() - t0
+			t1 := p.Now()
+			p.Read(a)
+			hitT = p.Now() - t1
+		})
+		if hitT != 1 {
+			t.Errorf("%v: hit cost %d cycles, want 1", pr, hitT)
+		}
+		if missT <= 1 {
+			t.Errorf("%v: miss cost %d cycles, want > 1", pr, missT)
+		}
+		if res.Misses.TotalMisses() != 1 {
+			t.Errorf("%v: misses %v", pr, res.Misses)
+		}
+	}
+}
+
+func TestWriteCostsOneCycleIntoBuffer(t *testing.T) {
+	m := newM(t, proto.WI, 2)
+	a := m.Alloc("x", 4, 1)
+	m.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		t0 := p.Now()
+		p.Write(a, 1)
+		if d := p.Now() - t0; d != 1 {
+			t.Errorf("buffered write cost %d cycles, want 1", d)
+		}
+	})
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	m := newM(t, proto.PU, 2)
+	a := m.Alloc("x", 64*8, 1) // remote home: drains are slow
+	m.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		t0 := p.Now()
+		// 5 writes into a 4-entry buffer: the fifth must stall.
+		for i := 0; i < 5; i++ {
+			p.Write(a+Addr(i*64), uint32(i))
+		}
+		if d := p.Now() - t0; d <= 5 {
+			t.Errorf("5 writes took %d cycles; fifth should have stalled", d)
+		}
+	})
+}
+
+func TestReadForwardsFromWriteBuffer(t *testing.T) {
+	m := newM(t, proto.WI, 2)
+	a := m.Alloc("x", 4, 1)
+	m.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		p.Write(a, 7)
+		t0 := p.Now()
+		if v := p.Read(a); v != 7 {
+			t.Errorf("forwarded read = %d, want 7", v)
+		}
+		if d := p.Now() - t0; d != 1 {
+			t.Errorf("forwarded read cost %d, want 1 (no miss)", d)
+		}
+	})
+}
+
+func TestFenceWaitsForWritesAllProtocols(t *testing.T) {
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 4)
+		a := m.Alloc("x", 4, 3)
+		m.Run(func(p *Proc) {
+			if p.ID() != 0 {
+				return
+			}
+			p.Write(a, 1)
+			p.Fence()
+			if p.m.sys.Outstanding(p.id) != 0 || !p.wb.Empty() {
+				t.Errorf("%v: fence left outstanding state", pr)
+			}
+		})
+	}
+}
+
+func TestFetchAddAcrossProcs(t *testing.T) {
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 8)
+		ctr := m.Alloc("ctr", 4, 0)
+		m.Run(func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.FetchAdd(ctr, 1)
+			}
+		})
+		// All 80 increments must be present.
+		m2 := m
+		var final uint32
+		_ = m2
+		final = m.Peek(ctr)
+		if pr == proto.WI {
+			// Under WI the final value may live in a cache, not memory.
+			// Fetch it through the directory by peeking each cache.
+			found := false
+			for q := 0; q < 8; q++ {
+				if ln := m.sys.Cache(q).Lookup(uint32(ctr / 64)); ln != nil {
+					final = ln.Data[0]
+					found = true
+				}
+			}
+			if !found {
+				final = m.Peek(ctr)
+			}
+		}
+		if final != 80 {
+			t.Errorf("%v: counter = %d, want 80", pr, final)
+		}
+	}
+}
+
+func TestCompareSwapMutex(t *testing.T) {
+	// A CAS-based test-and-set lock must provide mutual exclusion.
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 4)
+		lock := m.Alloc("lock", 4, 0)
+		shared := m.Alloc("shared", 4, 0)
+		m.Run(func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				for !p.CompareSwap(lock, 0, 1) {
+					p.SpinWhileEqual(lock, 1)
+				}
+				v := p.Read(shared)
+				p.Compute(3)
+				p.Write(shared, v+1)
+				p.Fence()
+				p.Write(lock, 0)
+			}
+		})
+		var final uint32
+		m2 := New(DefaultConfig(pr, 1))
+		_ = m2
+		final = m.Peek(shared)
+		if pr == proto.WI {
+			for q := 0; q < 4; q++ {
+				if ln := m.sys.Cache(q).Lookup(uint32(shared / 64)); ln != nil && ln.State != 0 {
+					final = ln.Data[0]
+				}
+			}
+		}
+		if final != 20 {
+			t.Errorf("%v: shared counter = %d, want 20 (mutual exclusion violated)", pr, final)
+		}
+	}
+}
+
+func TestSpinUntilSeesRemoteWrite(t *testing.T) {
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 2)
+		flag := m.Alloc("flag", 4, 0)
+		var sawAt, wroteAt sim.Time
+		m.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Compute(500)
+				p.Write(flag, 1)
+				wroteAt = p.Now()
+			} else {
+				p.SpinUntil(flag, func(v uint32) bool { return v == 1 })
+				sawAt = p.Now()
+			}
+		})
+		if sawAt == 0 || sawAt < wroteAt {
+			t.Errorf("%v: spin saw flag at %d, write at %d", pr, sawAt, wroteAt)
+		}
+	}
+}
+
+func TestSpinUntilWordsTreeStyle(t *testing.T) {
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 4)
+		flags := m.Alloc("flags", 16, 0) // 4 words, one block
+		for i := 0; i < 4; i++ {
+			m.Poke(flags+Addr(i*4), 1)
+		}
+		m.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				addrs := []Addr{flags, flags + 4, flags + 8, flags + 12}
+				p.SpinUntilWords(addrs, func(vs []uint32) bool {
+					for _, v := range vs {
+						if v != 0 {
+							return false
+						}
+					}
+					return true
+				})
+				return
+			}
+			p.Compute(sim.Time(100 * p.ID()))
+			p.Write(flags+Addr((p.ID()-1)*4), 0)
+			if p.ID() == 3 {
+				p.Compute(50)
+				p.Write(flags+12, 0) // also clear the fourth word
+			}
+		})
+	}
+}
+
+func TestSpinUntilWordsValidation(t *testing.T) {
+	m := newM(t, proto.WI, 1)
+	a := m.Alloc("x", 128, 0)
+	m.Run(func(p *Proc) {
+		for name, addrs := range map[string][]Addr{
+			"empty":       {},
+			"span blocks": {a, a + 64},
+		} {
+			addrs := addrs
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s did not panic", name)
+					}
+				}()
+				p.SpinUntilWords(addrs, func([]uint32) bool { return true })
+			}()
+		}
+	})
+}
+
+func TestMagicLockFIFOAndExclusion(t *testing.T) {
+	m := newM(t, proto.WI, 8)
+	l := m.NewMagicLock()
+	inCS := 0
+	var order []int
+	m.Run(func(p *Proc) {
+		p.Compute(sim.Time(p.ID())) // stagger arrivals
+		l.Acquire(p)
+		inCS++
+		if inCS != 1 {
+			t.Error("mutual exclusion violated")
+		}
+		order = append(order, p.ID())
+		p.Compute(20)
+		inCS--
+		l.Release(p)
+	})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("order %v not FIFO", order)
+		}
+	}
+}
+
+func TestMagicLockGeneratesNoTraffic(t *testing.T) {
+	m := newM(t, proto.PU, 4)
+	l := m.NewMagicLock()
+	res := m.Run(func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			l.Acquire(p)
+			p.Compute(5)
+			l.Release(p)
+		}
+	})
+	if res.Net.Messages != 0 || res.Net.Loopback != 0 {
+		t.Fatalf("magic lock produced traffic: %+v", res.Net)
+	}
+}
+
+func TestMagicLockReleaseWithoutHolderPanics(t *testing.T) {
+	m := newM(t, proto.WI, 1)
+	l := m.NewMagicLock()
+	m.Run(func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("release without holder did not panic")
+			}
+		}()
+		l.Release(p)
+	})
+}
+
+func TestMagicBarrierJoinsAll(t *testing.T) {
+	m := newM(t, proto.WI, 8)
+	b := m.NewMagicBarrier()
+	var maxArrive, minLeave sim.Time
+	minLeave = 1 << 60
+	m.Run(func(p *Proc) {
+		p.Compute(sim.Time(10 * p.ID()))
+		if p.Now() > maxArrive {
+			maxArrive = p.Now()
+		}
+		b.Wait(p)
+		if p.Now() < minLeave {
+			minLeave = p.Now()
+		}
+	})
+	if minLeave < maxArrive {
+		t.Fatalf("a processor left the barrier (t=%d) before the last arrival (t=%d)", minLeave, maxArrive)
+	}
+}
+
+func TestMagicBarrierRepeatedEpisodes(t *testing.T) {
+	m := newM(t, proto.WI, 4)
+	b := m.NewMagicBarrier()
+	counts := make([]int, 4)
+	m.Run(func(p *Proc) {
+		for ep := 0; ep < 50; ep++ {
+			p.Compute(sim.Time(p.Rand().Intn(30) + 1))
+			b.Wait(p)
+			counts[p.ID()]++
+		}
+	})
+	for i, c := range counts {
+		if c != 50 {
+			t.Fatalf("proc %d completed %d episodes, want 50", i, c)
+		}
+	}
+	if res := m; res == nil {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestMagicBarrierGeneratesNoTraffic(t *testing.T) {
+	m := newM(t, proto.CU, 4)
+	b := m.NewMagicBarrier()
+	res := m.Run(func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			b.Wait(p)
+		}
+	})
+	if res.Net.Messages != 0 || res.Net.Loopback != 0 {
+		t.Fatalf("magic barrier produced traffic: %+v", res.Net)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	m := newM(t, proto.WI, 1)
+	m.Run(func(p *Proc) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	m.Run(func(p *Proc) {})
+}
+
+func TestRunResultPopulated(t *testing.T) {
+	m := newM(t, proto.PU, 4)
+	a := m.Alloc("x", 4, 0)
+	res := m.Run(func(p *Proc) {
+		p.Read(a)
+		p.Write(a, uint32(p.ID()))
+		p.Fence()
+	})
+	if res.Cycles == 0 {
+		t.Error("zero cycles")
+	}
+	if res.Misses.TotalMisses() == 0 {
+		t.Error("no misses recorded")
+	}
+	if res.Counters.WriteThrough == 0 {
+		t.Error("no write-throughs recorded")
+	}
+	if res.Net.Messages == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		m := newM(t, proto.CU, 8)
+		a := m.Alloc("x", 256, -1)
+		l := m.NewMagicLock()
+		return m.Run(func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.FetchAdd(a, 1)
+				l.Acquire(p)
+				v := p.Read(a + 64)
+				p.Write(a+64, v+1)
+				l.Release(p)
+				p.Compute(sim.Time(p.Rand().Intn(10)))
+			}
+		})
+	}
+	r1, r2 := run(), run()
+	if r1.Cycles != r2.Cycles || r1.Misses != r2.Misses ||
+		r1.Updates != r2.Updates || r1.Counters != r2.Counters || r1.Net != r2.Net {
+		t.Fatalf("nondeterministic results:\n%+v\n%+v", r1, r2)
+	}
+	for i := range r1.PerProc {
+		if r1.PerProc[i] != r2.PerProc[i] {
+			t.Fatalf("nondeterministic per-proc stats at %d", i)
+		}
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	m := newM(t, proto.WI, 3)
+	m.Run(func(p *Proc) {
+		if p.N() != 3 {
+			t.Errorf("N() = %d", p.N())
+		}
+		if p.Machine() != m {
+			t.Error("Machine() wrong")
+		}
+		if p.Rand() == nil {
+			t.Error("Rand() nil")
+		}
+		p.Compute(0) // zero-cost compute is a no-op
+	})
+	if m.Procs() != 3 || m.Protocol() != proto.WI {
+		t.Error("machine accessors wrong")
+	}
+	if m.Engine() == nil || m.System() == nil {
+		t.Error("engine/system accessors nil")
+	}
+}
+
+// Property: per-processor sequential semantics — a processor reading a
+// location it alone writes always observes its own latest write,
+// regardless of protocol and intervening operations.
+func TestPropertyReadYourOwnWrites(t *testing.T) {
+	f := func(valsRaw []uint32, protoIdx uint8) bool {
+		if len(valsRaw) == 0 {
+			return true
+		}
+		if len(valsRaw) > 12 {
+			valsRaw = valsRaw[:12]
+		}
+		pr := allProtocols()[int(protoIdx)%3]
+		m := New(DefaultConfig(pr, 2))
+		a := m.Alloc("x", 4, 1)
+		ok := true
+		m.Run(func(p *Proc) {
+			if p.ID() != 0 {
+				return
+			}
+			for _, v := range valsRaw {
+				p.Write(a, v)
+				if got := p.Read(a); got != v {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coherence — after quiescence, a value written (and fenced) by
+// one processor is read by every other processor, for all protocols.
+func TestPropertyEventualVisibility(t *testing.T) {
+	f := func(v uint32, protoIdx, writerRaw uint8) bool {
+		pr := allProtocols()[int(protoIdx)%3]
+		procs := 4
+		writer := int(writerRaw) % procs
+		m := New(DefaultConfig(pr, procs))
+		a := m.Alloc("x", 4, 0)
+		flag := m.Alloc("flag", 4, 0)
+		okAll := true
+		m.Run(func(p *Proc) {
+			if p.ID() == writer {
+				p.Write(a, v)
+				p.Fence()
+				p.Write(flag, 1)
+				return
+			}
+			p.SpinUntil(flag, func(x uint32) bool { return x == 1 })
+			if got := p.Read(a); got != v {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = classify.MissCold // keep import for documentation-oriented tests

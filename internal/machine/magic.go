@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+)
+
+func (k atomicKind) proto() proto.AtomicKind {
+	switch k {
+	case atomicAdd:
+		return proto.FetchAdd
+	case atomicStore:
+		return proto.FetchStore
+	case atomicCAS:
+		return proto.CompareSwap
+	}
+	panic("machine: unknown atomic kind")
+}
+
+// MagicLock is the paper's zero-traffic lock (Section 4.3): it serializes
+// critical sections with FIFO fairness at a fixed cycle cost and without
+// generating any coherence or network activity. The reduction experiments
+// use it so that reduction communication is measured in isolation.
+//
+// Release performs the release-consistency fence (waiting for the
+// holder's outstanding write acknowledgements), since that stall is a
+// property of the data writes being released, not of the lock's own
+// communication.
+type MagicLock struct {
+	m      *Machine
+	held   bool
+	queue  []*Proc
+	cycles sim.Time
+}
+
+// NewMagicLock creates a zero-traffic lock on m.
+func (m *Machine) NewMagicLock() *MagicLock {
+	return &MagicLock{m: m, cycles: m.cfg.MagicSyncCycles}
+}
+
+// Acquire obtains the lock, queueing FIFO behind the current holder.
+func (l *MagicLock) Acquire(p *Proc) {
+	p.Compute(l.cycles)
+	if !l.held {
+		l.held = true
+		return
+	}
+	l.queue = append(l.queue, p)
+	p.block(waitSync)
+}
+
+// Release passes the lock to the oldest waiter, or frees it.
+func (l *MagicLock) Release(p *Proc) {
+	if !l.held {
+		panic("machine: MagicLock.Release without holder")
+	}
+	p.Fence() // release consistency: wait for the holder's write acks
+	p.Compute(l.cycles)
+	if len(l.queue) == 0 {
+		l.held = false
+		return
+	}
+	next := l.queue[0]
+	l.queue = l.queue[1:]
+	l.m.e.Schedule(0, func() { next.unblock(waitSync) })
+}
+
+// MagicBarrier is the paper's zero-traffic barrier: all processors
+// proceed a fixed cost after the last arrival, with no coherence or
+// network activity.
+type MagicBarrier struct {
+	m       *Machine
+	n       int
+	arrived int
+	waiters []*Proc
+	cycles  sim.Time
+}
+
+// NewMagicBarrier creates a zero-traffic barrier for all of m's
+// processors.
+func (m *Machine) NewMagicBarrier() *MagicBarrier {
+	return &MagicBarrier{m: m, n: m.cfg.Procs, cycles: m.cfg.MagicSyncCycles}
+}
+
+// Wait blocks until all processors have arrived. Like any barrier under
+// release consistency, arrival first waits for the processor's prior
+// writes to be fully acknowledged, so data written before the barrier is
+// visible to every processor after it.
+func (b *MagicBarrier) Wait(p *Proc) {
+	p.Fence()
+	b.arrived++
+	if b.arrived < b.n {
+		b.waiters = append(b.waiters, p)
+		p.block(waitSync)
+		return
+	}
+	// Last arrival: release everyone after the fixed cost.
+	b.arrived = 0
+	ws := b.waiters
+	b.waiters = nil
+	for _, w := range ws {
+		w := w
+		b.m.e.Schedule(b.cycles, func() { w.unblock(waitSync) })
+	}
+	p.Compute(b.cycles)
+}

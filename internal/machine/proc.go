@@ -1,0 +1,364 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
+)
+
+// waitReason says what a stalled processor is waiting for, so wake
+// sources never resume a processor parked on something else.
+type waitReason int
+
+const (
+	waitNone waitReason = iota
+	waitRead
+	waitWBSpace
+	waitFence
+	waitSpin
+	waitAtomic
+	waitSync
+	waitFlushWB
+)
+
+// ProcStats breaks one simulated processor's time and activity down by
+// cause, in the style of the paper's execution-time analyses.
+type ProcStats struct {
+	// Cycle accounting. Busy covers instruction issue and Compute;
+	// the stall categories cover suspended time by cause.
+	Busy        sim.Time
+	ReadStall   sim.Time // waiting for read-miss data
+	WriteStall  sim.Time // write buffer full or forced drain
+	FenceStall  sim.Time // release fences awaiting acknowledgements
+	AtomicStall sim.Time // atomic operations in flight
+	SpinWait    sim.Time // parked on a watched block (compressed spin)
+	SyncWait    sim.Time // parked in magic lock/barrier queues
+
+	// Operation counts.
+	Reads   uint64
+	Writes  uint64
+	Atomics uint64
+	Flushes uint64
+}
+
+// Total returns all accounted cycles.
+func (s ProcStats) Total() sim.Time {
+	return s.Busy + s.ReadStall + s.WriteStall + s.FenceStall +
+		s.AtomicStall + s.SpinWait + s.SyncWait
+}
+
+// Proc is one simulated processor. All methods must be called from the
+// processor's own workload body (they suspend the underlying coroutine).
+type Proc struct {
+	m  *Machine
+	id int
+	co *sim.Coroutine
+
+	wb      *cache.WriteBuffer
+	waiting waitReason
+	rng     *rand.Rand
+	stats   ProcStats
+}
+
+func newProc(m *Machine, id int) *Proc {
+	return &Proc{
+		m:   m,
+		id:  id,
+		wb:  cache.NewWriteBuffer(m.cfg.WBEntries),
+		rng: rand.New(rand.NewSource(int64(id)*2654435761 + 12345)),
+	}
+}
+
+// ID returns the processor number (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the machine's processor count.
+func (p *Proc) N() int { return p.m.cfg.Procs }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() sim.Time { return p.m.e.Now() }
+
+// Rand returns the processor's private deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Stats returns the processor's accumulated time breakdown.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// block parks the processor with a reason tag and charges the suspended
+// time to the matching stall category.
+func (p *Proc) block(r waitReason) {
+	if p.waiting != waitNone {
+		panic(fmt.Sprintf("machine: proc %d blocking while already waiting (%d)", p.id, p.waiting))
+	}
+	t0 := p.m.e.Now()
+	p.waiting = r
+	p.co.Stall()
+	dt := p.m.e.Now() - t0
+	switch r {
+	case waitRead:
+		p.stats.ReadStall += dt
+	case waitWBSpace, waitFlushWB:
+		p.stats.WriteStall += dt
+	case waitFence:
+		p.stats.FenceStall += dt
+	case waitAtomic:
+		p.stats.AtomicStall += dt
+	case waitSpin:
+		p.stats.SpinWait += dt
+	case waitSync:
+		p.stats.SyncWait += dt
+	}
+}
+
+// unblock wakes the processor if it is parked for the given reason.
+func (p *Proc) unblock(r waitReason) {
+	if p.waiting == r {
+		p.waiting = waitNone
+		p.co.Wake()
+	}
+}
+
+// Compute charges n cycles of local computation.
+func (p *Proc) Compute(n sim.Time) {
+	if n == 0 {
+		return
+	}
+	p.stats.Busy += n
+	p.co.StallFor(n)
+}
+
+// Read performs a load. Read hits take one cycle; misses stall until the
+// protocol delivers the block. Reads bypass the write buffer, forwarding
+// the newest buffered value for the same address.
+func (p *Proc) Read(a Addr) uint32 {
+	p.stats.Reads++
+	p.stats.Busy++
+	p.co.StallFor(1)
+	if v, ok := p.wb.Forward(a); ok {
+		return v
+	}
+	var val uint32
+	completed := false
+	p.m.sys.Read(p.id, a, func(v uint32) {
+		val = v
+		completed = true
+		p.unblock(waitRead)
+	})
+	kind := trace.Read
+	if !completed {
+		kind = trace.ReadMiss
+		p.block(waitRead)
+	}
+	p.m.cfg.Trace.Record(p.Now(), p.id, kind, uint32(a), val)
+	return val
+}
+
+// Write performs a store: one cycle into the write buffer, stalling only
+// while the buffer is full. The buffered entry drains through the
+// coherence protocol in the background.
+func (p *Proc) Write(a Addr, v uint32) {
+	p.stats.Writes++
+	p.stats.Busy++
+	p.co.StallFor(1)
+	for p.wb.Full() {
+		p.block(waitWBSpace)
+	}
+	p.wb.Push(a, v)
+	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Write, uint32(a), v)
+	p.drain()
+}
+
+// drain launches the protocol transaction for the write-buffer head if
+// none is in flight. It runs in both processor and engine contexts.
+func (p *Proc) drain() {
+	if p.wb.Empty() || p.wb.Draining() {
+		return
+	}
+	p.wb.MarkDraining()
+	h := p.wb.Head()
+	p.m.sys.Write(p.id, h.Addr, h.Val, func() {
+		p.wb.PopHead()
+		switch p.waiting {
+		case waitWBSpace:
+			p.unblock(waitWBSpace)
+		case waitFlushWB, waitFence:
+			if p.wb.Empty() {
+				p.unblock(p.waiting)
+			}
+		}
+		p.drain()
+	})
+}
+
+// drainWB stalls until the write buffer is empty (atomic instructions
+// force this, per the paper).
+func (p *Proc) drainWB() {
+	for !p.wb.Empty() {
+		p.block(waitFlushWB)
+	}
+}
+
+// Fence implements the release-consistency synchronization point: it
+// stalls until the write buffer has drained and every prior write has
+// been fully acknowledged. Call it before releasing writes (unlock,
+// barrier-arrival stores).
+func (p *Proc) Fence() {
+	for !p.wb.Empty() {
+		p.block(waitFence)
+	}
+	completed := false
+	p.m.sys.WhenDrained(p.id, func() {
+		completed = true
+		p.unblock(waitFence)
+	})
+	if !completed {
+		p.block(waitFence)
+	}
+	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Fence, 0, 0)
+}
+
+// atomic runs one atomic read-modify-write, stalling until it completes.
+func (p *Proc) atomic(a Addr, kind atomicKind, op1, op2 uint32) uint32 {
+	p.stats.Atomics++
+	p.stats.Busy++
+	p.co.StallFor(1)
+	p.drainWB()
+	var old uint32
+	completed := false
+	p.m.sys.Atomic(p.id, a, kind.proto(), op1, op2, func(o uint32) {
+		old = o
+		completed = true
+		p.unblock(waitAtomic)
+	})
+	if !completed {
+		p.block(waitAtomic)
+	}
+	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Atomic, uint32(a), old)
+	return old
+}
+
+// FetchAdd atomically adds delta to the word at a, returning the old
+// value (the paper's fetch_and_add).
+func (p *Proc) FetchAdd(a Addr, delta uint32) uint32 {
+	return p.atomic(a, atomicAdd, delta, 0)
+}
+
+// FetchStore atomically stores v, returning the old value (the paper's
+// fetch_and_store, i.e. swap).
+func (p *Proc) FetchStore(a Addr, v uint32) uint32 {
+	return p.atomic(a, atomicStore, v, 0)
+}
+
+// CompareSwap atomically stores newV if the word equals oldV, reporting
+// success (the paper's compare_and_swap).
+func (p *Proc) CompareSwap(a Addr, oldV, newV uint32) bool {
+	return p.atomic(a, atomicCAS, oldV, newV) == oldV
+}
+
+// Flush issues a user-level block flush of a's block (the PowerPC-style
+// instruction used by the update-conscious MCS lock). Pending buffered
+// stores drain first, so the flushed line's writes are not resurrected.
+func (p *Proc) Flush(a Addr) {
+	p.stats.Flushes++
+	p.stats.Busy++
+	p.co.StallFor(1)
+	p.drainWB()
+	completed := false
+	p.m.sys.FlushBlock(p.id, a, func() {
+		completed = true
+		p.unblock(waitRead)
+	})
+	if !completed {
+		p.block(waitRead)
+	}
+	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Flush, uint32(a), 0)
+}
+
+// SpinUntil spins reading the word at a until pred is satisfied and
+// returns the satisfying value. The spin is compressed: between checks
+// the processor parks and is woken only when a coherence event
+// (invalidate, update, drop, eviction) touches the watched block — the
+// only instants at which the value can change. Each check charges the
+// one-cycle read (plus any miss latency), exactly as an uncompressed
+// spin loop's first and post-event iterations would.
+func (p *Proc) SpinUntil(a Addr, pred func(v uint32) bool) uint32 {
+	poll := p.m.cfg.SpinPollCycles
+	for {
+		v := p.Read(a)
+		if pred(v) {
+			return v
+		}
+		if poll > 0 {
+			p.stats.SpinWait += poll
+			p.co.StallFor(poll) // uncompressed polling loop (ablation)
+			continue
+		}
+		p.watchAndWait(cache.BlockOf(a))
+	}
+}
+
+// SpinWhileEqual spins until the word at a differs from v.
+func (p *Proc) SpinWhileEqual(a Addr, v uint32) uint32 {
+	return p.SpinUntil(a, func(x uint32) bool { return x != v })
+}
+
+// SpinUntilWords spins on several words of a single cache block until
+// pred over all their values is satisfied (the tree barrier spins on its
+// four child flags this way). All addresses must lie in one block.
+func (p *Proc) SpinUntilWords(addrs []Addr, pred func(vals []uint32) bool) []uint32 {
+	if len(addrs) == 0 {
+		panic("machine: SpinUntilWords needs at least one address")
+	}
+	block := cache.BlockOf(addrs[0])
+	for _, a := range addrs[1:] {
+		if cache.BlockOf(a) != block {
+			panic("machine: SpinUntilWords addresses span blocks")
+		}
+	}
+	vals := make([]uint32, len(addrs))
+	c := p.m.sys.Cache(p.id)
+	poll := p.m.cfg.SpinPollCycles
+	for {
+		v0 := c.Version(block)
+		for i, a := range addrs {
+			vals[i] = p.Read(a)
+		}
+		if pred(vals) {
+			return vals
+		}
+		if poll > 0 {
+			p.stats.SpinWait += poll
+			p.co.StallFor(poll)
+			continue
+		}
+		if c.Version(block) != v0 {
+			// The block changed while we were reading: the value vector
+			// mixes epochs, so re-read before deciding to park.
+			continue
+		}
+		p.watchAndWait(block)
+	}
+}
+
+// watchAndWait parks until a coherence event touches block.
+func (p *Proc) watchAndWait(block uint32) {
+	p.m.cfg.Trace.Record(p.Now(), p.id, trace.SpinPark, block*cache.BlockBytes, 0)
+	p.m.sys.Cache(p.id).Watch(block, func() { p.unblock(waitSpin) })
+	p.block(waitSpin)
+	p.m.cfg.Trace.Record(p.Now(), p.id, trace.SpinWake, block*cache.BlockBytes, 0)
+}
+
+// atomicKind mirrors proto's atomic ops without exposing that package.
+type atomicKind int
+
+const (
+	atomicAdd atomicKind = iota
+	atomicStore
+	atomicCAS
+)

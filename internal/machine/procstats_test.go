@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"testing"
+
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+)
+
+func TestProcStatsComputeAndOps(t *testing.T) {
+	m := newM(t, proto.WI, 2)
+	a := m.Alloc("x", 4, 1)
+	res := m.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		p.Compute(100)
+		p.Read(a)        // cold miss: shared copy
+		p.FetchAdd(a, 1) // upgrade transaction: stalls
+		p.Write(a, 1)    // local (line now exclusive)
+		p.Flush(a)
+	})
+	st := res.PerProc[0]
+	if st.Reads != 1 || st.Writes != 1 || st.Atomics != 1 || st.Flushes != 1 {
+		t.Fatalf("op counts %+v", st)
+	}
+	// Busy = 100 compute + 4 instruction issues.
+	if st.Busy != 104 {
+		t.Fatalf("busy = %d, want 104", st.Busy)
+	}
+	if st.ReadStall == 0 {
+		t.Fatal("remote read recorded no stall")
+	}
+	if st.AtomicStall == 0 {
+		t.Fatal("atomic recorded no stall")
+	}
+}
+
+func TestProcStatsSpinWaitAccounted(t *testing.T) {
+	for _, pr := range allProtocols() {
+		m := newM(t, pr, 2)
+		flag := m.Alloc("flag", 4, 0)
+		res := m.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Compute(1000)
+				p.Write(flag, 1)
+				return
+			}
+			p.SpinUntil(flag, func(v uint32) bool { return v == 1 })
+		})
+		st := res.PerProc[1]
+		if st.SpinWait < 800 {
+			t.Errorf("%v: spin wait %d cycles, expected most of the 1000-cycle delay", pr, st.SpinWait)
+		}
+	}
+}
+
+func TestProcStatsSyncWaitAccounted(t *testing.T) {
+	m := newM(t, proto.WI, 2)
+	b := m.NewMagicBarrier()
+	res := m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Compute(500)
+		}
+		b.Wait(p)
+	})
+	if res.PerProc[1].SyncWait < 400 {
+		t.Fatalf("sync wait = %d, want ~500", res.PerProc[1].SyncWait)
+	}
+}
+
+func TestProcStatsFenceAccounted(t *testing.T) {
+	m := newM(t, proto.PU, 4)
+	a := m.Alloc("x", 4, 3)
+	res := m.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			p.Read(a) // create sharers so the write needs acks
+			p.Compute(200)
+			return
+		}
+		p.Compute(100) // let the sharers cache the block first
+		p.Write(a, 1)
+		p.Fence()
+	})
+	if res.PerProc[0].FenceStall == 0 {
+		t.Fatal("fence recorded no stall despite outstanding acks")
+	}
+}
+
+func TestProcStatsTotalCoversRun(t *testing.T) {
+	// For a processor that never idles outside its accounted states, the
+	// total must be close to the run length (it may run shorter than the
+	// machine if others finish later).
+	m := newM(t, proto.CU, 4)
+	l := m.NewMagicLock()
+	a := m.Alloc("x", 4, 0)
+	res := m.Run(func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			l.Acquire(p)
+			v := p.Read(a)
+			p.Write(a, v+1)
+			l.Release(p)
+		}
+	})
+	var maxTotal sim.Time
+	for _, st := range res.PerProc {
+		if st.Total() > maxTotal {
+			maxTotal = st.Total()
+		}
+		if st.Total() > res.Cycles {
+			t.Fatalf("proc total %d exceeds run length %d", st.Total(), res.Cycles)
+		}
+	}
+	if maxTotal*10 < res.Cycles*9 {
+		t.Fatalf("slowest proc accounts for %d of %d cycles; accounting leak", maxTotal, res.Cycles)
+	}
+}

@@ -1,0 +1,165 @@
+// Package mem models the per-node memory modules of the simulated
+// machine. Following the paper: a module can provide the first word of a
+// request 20 processor cycles after the request is issued and streams
+// subsequent words at 1 word per cycle; memory contention is fully
+// modeled (a module serves one request at a time, FIFO).
+//
+// Shared data are interleaved across the modules at the cache-block level
+// (the allocator in internal/machine decides block homes; this package
+// only provides timing and backing storage).
+package mem
+
+import (
+	"fmt"
+
+	"coherencesim/internal/sim"
+)
+
+// Config holds memory timing parameters.
+type Config struct {
+	FirstWord  sim.Time // cycles to the first word (paper: 20)
+	PerWord    sim.Time // cycles per subsequent word (paper: 1)
+	DirLookup  sim.Time // directory/controller processing per transaction
+	WordsBlock int      // words per cache block (64B / 4B = 16)
+}
+
+// DefaultConfig returns the paper's memory parameters.
+func DefaultConfig() Config {
+	return Config{FirstWord: 20, PerWord: 1, DirLookup: 4, WordsBlock: 16}
+}
+
+// Stats counts module activity.
+type Stats struct {
+	BlockReads  uint64
+	BlockWrites uint64
+	WordWrites  uint64
+	AtomicOps   uint64
+	// BusyCycles accumulates occupied module time, for utilization reports.
+	BusyCycles uint64
+}
+
+// Module is one node's memory bank plus its slice of the physical address
+// space. Storage is allocated lazily per block.
+type Module struct {
+	e    *sim.Engine
+	cfg  Config
+	node int
+
+	nextFree sim.Time
+	data     map[uint32][]uint32 // block number -> word values
+
+	stats Stats
+}
+
+// NewModule creates the memory module for the given node.
+func NewModule(e *sim.Engine, node int, cfg Config) *Module {
+	if cfg.WordsBlock <= 0 {
+		panic("mem: WordsBlock must be positive")
+	}
+	return &Module{e: e, node: node, cfg: cfg, data: make(map[uint32][]uint32)}
+}
+
+// Node returns the owning node id.
+func (m *Module) Node() int { return m.node }
+
+// Stats returns a copy of the activity counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// reserve books the module for dur cycles starting no earlier than now and
+// returns the completion time.
+func (m *Module) reserve(dur sim.Time) sim.Time {
+	start := m.e.Now()
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	done := start + dur
+	m.nextFree = done
+	m.stats.BusyCycles += uint64(dur)
+	return done
+}
+
+// blockReadCycles is the occupancy of a full-block read.
+func (m *Module) blockReadCycles() sim.Time {
+	return m.cfg.DirLookup + m.cfg.FirstWord + sim.Time(m.cfg.WordsBlock-1)*m.cfg.PerWord
+}
+
+// ReadBlock fetches the 16-word block and schedules done(data) at the time
+// the last word is available, modeling FIFO module contention.
+func (m *Module) ReadBlock(block uint32, done func(data []uint32)) {
+	m.stats.BlockReads++
+	t := m.reserve(m.blockReadCycles())
+	data := m.Block(block)
+	snapshot := make([]uint32, len(data))
+	copy(snapshot, data)
+	m.e.At(t, func() { done(snapshot) })
+}
+
+// WriteBlock stores a full block (e.g. a write-back) and schedules done at
+// completion.
+func (m *Module) WriteBlock(block uint32, data []uint32, done func()) {
+	m.stats.BlockWrites++
+	t := m.reserve(m.blockReadCycles())
+	stored := m.Block(block)
+	copy(stored, data)
+	if done != nil {
+		m.e.At(t, done)
+	}
+}
+
+// WriteWord performs a single-word update (write-through traffic under the
+// update-based protocols) and schedules done at completion.
+func (m *Module) WriteWord(block uint32, word int, v uint32, done func()) {
+	m.checkWord(word)
+	m.stats.WordWrites++
+	t := m.reserve(m.cfg.DirLookup + m.cfg.FirstWord)
+	m.Block(block)[word] = v
+	if done != nil {
+		m.e.At(t, done)
+	}
+}
+
+// Atomic performs op on the word in-memory (the update-based protocols
+// place the computational power of atomic instructions at the memory) and
+// schedules done(old, new) at completion.
+func (m *Module) Atomic(block uint32, word int, op func(old uint32) (new uint32), done func(old, new uint32)) {
+	m.checkWord(word)
+	m.stats.AtomicOps++
+	t := m.reserve(m.cfg.DirLookup + m.cfg.FirstWord)
+	data := m.Block(block)
+	old := data[word]
+	newV := op(old)
+	data[word] = newV
+	if done != nil {
+		m.e.At(t, func() { done(old, newV) })
+	}
+}
+
+// Block returns the backing storage for a block, allocating zeroed words
+// on first touch. Mutations through the returned slice are immediate and
+// untimed; protocol code must pair them with reserve-based calls above.
+func (m *Module) Block(block uint32) []uint32 {
+	d, ok := m.data[block]
+	if !ok {
+		d = make([]uint32, m.cfg.WordsBlock)
+		m.data[block] = d
+	}
+	return d
+}
+
+// Peek returns the current value of a word without timing side effects.
+func (m *Module) Peek(block uint32, word int) uint32 {
+	m.checkWord(word)
+	return m.Block(block)[word]
+}
+
+// Poke sets a word without timing side effects (used for initialization).
+func (m *Module) Poke(block uint32, word int, v uint32) {
+	m.checkWord(word)
+	m.Block(block)[word] = v
+}
+
+func (m *Module) checkWord(word int) {
+	if word < 0 || word >= m.cfg.WordsBlock {
+		panic(fmt.Sprintf("mem: word index %d out of range [0,%d)", word, m.cfg.WordsBlock))
+	}
+}

@@ -1,0 +1,178 @@
+// Package mesh models the interconnection network of the simulated
+// multiprocessor: a bi-directional wormhole-routed 2D mesh with
+// dimension-ordered routing, a 16-bit-wide datapath, and a 2-cycle delay
+// per switch, clocked at processor speed. Following the paper's
+// methodology, network contention is modeled only at the source and
+// destination of messages: each node's network interface serializes
+// outgoing and incoming flits, while the interior of the mesh is treated
+// as contention-free pipelined wormhole transmission.
+package mesh
+
+import (
+	"fmt"
+
+	"coherencesim/internal/sim"
+)
+
+// Config holds the network parameters. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	FlitBytes   int      // datapath width in bytes (paper: 2, i.e. 16 bits)
+	SwitchDelay sim.Time // header delay per switch (paper: 2 cycles)
+	LocalDelay  sim.Time // delivery delay when src == dst (NI loopback)
+}
+
+// DefaultConfig returns the paper's network parameters.
+func DefaultConfig() Config {
+	return Config{FlitBytes: 2, SwitchDelay: 2, LocalDelay: 1}
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Messages uint64 // messages delivered (excluding loopback)
+	Loopback uint64 // src == dst deliveries
+	Flits    uint64 // flits injected into the mesh
+	HopSum   uint64 // total switch traversals (for mean-hops reporting)
+}
+
+// Network is the mesh. Nodes are numbered 0..N-1 and laid out row-major
+// on a W x H grid with W*H >= N and W as close to sqrt(N) as possible.
+type Network struct {
+	e   *sim.Engine
+	cfg Config
+	n   int
+	w   int // grid width
+
+	outFree []sim.Time // per-node earliest time the output NI is free
+	inFree  []sim.Time // per-node earliest time the input NI is free
+
+	// Per-node flit counts, for hot-spot analysis of the contention the
+	// model concentrates at sources and destinations.
+	outFlits []uint64
+	inFlits  []uint64
+
+	stats Stats
+}
+
+// New builds an N-node mesh on engine e.
+func New(e *sim.Engine, n int, cfg Config) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("mesh: invalid node count %d", n))
+	}
+	if cfg.FlitBytes <= 0 {
+		panic("mesh: FlitBytes must be positive")
+	}
+	w := 1
+	for w*w < n {
+		w++
+	}
+	return &Network{
+		e:        e,
+		cfg:      cfg,
+		n:        n,
+		w:        w,
+		outFree:  make([]sim.Time, n),
+		inFree:   make([]sim.Time, n),
+		outFlits: make([]uint64, n),
+		inFlits:  make([]uint64, n),
+	}
+}
+
+// Nodes returns the number of nodes.
+func (nw *Network) Nodes() int { return nw.n }
+
+// Width returns the mesh grid width.
+func (nw *Network) Width() int { return nw.w }
+
+// Coord returns the (x, y) grid coordinate of node id.
+func (nw *Network) Coord(id int) (x, y int) { return id % nw.w, id / nw.w }
+
+// Hops returns the number of switch traversals between src and dst under
+// dimension-ordered routing (the Manhattan distance, plus one for the
+// injection switch when src != dst).
+func (nw *Network) Hops(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	sx, sy := nw.Coord(src)
+	dx, dy := nw.Coord(dst)
+	return abs(sx-dx) + abs(sy-dy) + 1
+}
+
+// Flits returns the number of flits needed to carry a message of the given
+// byte size (at least one flit).
+func (nw *Network) Flits(bytes int) int {
+	f := (bytes + nw.cfg.FlitBytes - 1) / nw.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Send injects a message of the given size from src to dst and schedules
+// deliver to run when the tail flit has drained into the destination NI.
+// Timing: the source NI serializes the flits (contention with other
+// outgoing messages), the header then pipelines through the mesh at
+// SwitchDelay per hop, and the destination NI serializes arrival
+// (contention with other incoming messages).
+func (nw *Network) Send(src, dst, bytes int, deliver func()) {
+	now := nw.e.Now()
+	if src == dst {
+		nw.stats.Loopback++
+		nw.e.Schedule(nw.cfg.LocalDelay, deliver)
+		return
+	}
+	flits := sim.Time(nw.Flits(bytes))
+	hops := sim.Time(nw.Hops(src, dst))
+
+	start := max64(now, nw.outFree[src])
+	nw.outFree[src] = start + flits
+
+	headArrive := start + hops*nw.cfg.SwitchDelay
+	inStart := max64(headArrive, nw.inFree[dst])
+	done := inStart + flits
+	nw.inFree[dst] = done
+
+	nw.stats.Messages++
+	nw.stats.Flits += uint64(flits)
+	nw.stats.HopSum += uint64(hops)
+	nw.outFlits[src] += uint64(flits)
+	nw.inFlits[dst] += uint64(flits)
+
+	nw.e.At(done, deliver)
+}
+
+// NodeFlits returns node id's injected (out) and received (in) flit
+// counts — the occupancies of the two interfaces where contention is
+// modeled. Loopback deliveries do not count.
+func (nw *Network) NodeFlits(id int) (out, in uint64) {
+	return nw.outFlits[id], nw.inFlits[id]
+}
+
+// Hotspot returns the node with the highest combined interface flit
+// count and that count.
+func (nw *Network) Hotspot() (node int, flits uint64) {
+	for i := 0; i < nw.n; i++ {
+		if f := nw.outFlits[i] + nw.inFlits[i]; f > flits {
+			node, flits = i, f
+		}
+	}
+	return node, flits
+}
+
+// Stats returns a copy of the accumulated traffic counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max64(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package proto
+
+import (
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+)
+
+// Read performs processor p's load from address a. done(value) is
+// scheduled when the value is available: immediately (same timestamp) on
+// a cache hit, or after the miss transaction completes. The 1-cycle
+// instruction charge is the machine layer's responsibility.
+func (s *System) Read(p int, a cache.Addr, done func(v uint32)) {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	c := s.caches[p]
+	if ln := c.Lookup(block); ln != nil {
+		c.CountHit()
+		ln.Counter = 0 // a reference resets the CU counter
+		s.cl.Reference(p, block, word)
+		done(ln.Data[word])
+		return
+	}
+	c.CountMiss()
+	s.cl.Miss(p, block, word)
+	s.ctr.Reads++
+	home := s.HomeOf(block)
+	s.send(p, home, szControl, func() { s.homeRead(p, block, word, done) })
+}
+
+// Write performs the protocol transaction for one drained write-buffer
+// entry. retire() is scheduled when the entry may leave the buffer (the
+// write is globally ordered); full completion — all sharer
+// acknowledgements under the update protocols — is tracked separately via
+// Outstanding/WhenDrained for release-consistency fences.
+func (s *System) Write(p int, a cache.Addr, v uint32, retire func()) {
+	switch s.cfg.Protocol {
+	case WI:
+		s.wiWrite(p, a, v, retire)
+	default:
+		s.updWrite(p, a, v, retire)
+	}
+}
+
+// Atomic executes an atomic read-modify-write at address a and schedules
+// done(old) on completion. Under WI the operation executes in p's cache
+// controller on an exclusive copy; under PU/CU it executes at the home
+// memory, which multicasts the new value to sharers.
+func (s *System) Atomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32, done func(old uint32)) {
+	s.ctr.Atomics++
+	switch s.cfg.Protocol {
+	case WI:
+		s.wiAtomic(p, a, kind, op1, op2, done)
+	default:
+		s.updAtomic(p, a, kind, op1, op2, done)
+	}
+}
+
+// FlushBlock performs a user-level block flush of a's block from p's
+// cache (the PowerPC-style instruction the update-conscious MCS lock
+// uses). The local invalidation is immediate; the directory notification
+// (with data write-back if the copy was dirty) proceeds asynchronously.
+// done() is scheduled after the local action.
+func (s *System) FlushBlock(p int, a cache.Addr, done func()) {
+	block := cache.BlockOf(a)
+	c := s.caches[p]
+	old, was := c.Flush(block)
+	if !was {
+		done()
+		return
+	}
+	s.ctr.Flushes++
+	s.cl.LostCopy(p, block, classify.LossFlush)
+	home := s.HomeOf(block)
+	if old.Dirty || old.State == cache.Exclusive {
+		data := make([]uint32, len(old.Data))
+		copy(data, old.Data[:])
+		s.ctr.Writebacks++
+		s.procs[p].pendingWB[block] = data
+		s.send(p, home, szData, func() { s.queueWriteback(p, block, data) })
+	} else {
+		s.send(p, home, szControl, func() { s.homeRelinquish(p, block) })
+	}
+	done()
+}
+
+// homeRelinquish removes p's registration for block at the home (clean
+// flush notice).
+func (s *System) homeRelinquish(p int, block uint32) {
+	d := s.entry(block)
+	if d.state == dirOwned && d.owner == p {
+		d.state = dirUncached
+		d.sharers = 0
+		return
+	}
+	s.homeDropSharer(p, block)
+}
+
+// homeRead serializes a read request through the block's directory entry.
+func (s *System) homeRead(p int, block uint32, word int, done func(uint32)) {
+	d := s.entry(block)
+	s.whenFree(d, func() { s.homeReadLocked(p, block, word, done) })
+}
+
+// homeReadLocked services a read at the home once the entry is free.
+func (s *System) homeReadLocked(p int, block uint32, word int, done func(uint32)) {
+	d := s.entry(block)
+	home := s.HomeOf(block)
+	switch d.state {
+	case dirUncached, dirShared:
+		d.busy = true
+		s.mems[home].ReadBlock(block, func(data []uint32) {
+			d.state = dirShared
+			d.add(p)
+			// Book the reply before releasing: a queued invalidating
+			// transaction must not reach the requester first (mesh FIFO).
+			s.send(home, p, szData, func() { s.finishRead(p, block, word, data, done) })
+			s.release(d)
+		})
+	case dirOwned:
+		d.busy = true
+		owner := d.owner
+		s.send(home, owner, szControl, func() {
+			data := s.takeOwnerData(owner, block, true /* demote to shared */)
+			s.send(owner, home, szData, func() {
+				s.mems[home].WriteBlock(block, data, func() {
+					d.state = dirShared
+					d.sharers = 0
+					if s.caches[owner].Present(block) {
+						d.add(owner)
+					}
+					d.add(p)
+					s.send(home, p, szData, func() { s.finishRead(p, block, word, data, done) })
+					s.release(d)
+				})
+			})
+		})
+	}
+}
+
+// finishRead installs the fetched block at the requester and delivers the
+// value.
+func (s *System) finishRead(p int, block uint32, word int, data []uint32, done func(uint32)) {
+	ln := s.install(p, block, data, cache.Shared)
+	ln.Counter = 0
+	s.cl.Reference(p, block, word)
+	done(ln.Data[word])
+}
+
+// takeOwnerData extracts the current data for block from the owning node:
+// its live cache line, or — if the line was just evicted/flushed and the
+// write-back is still in flight — the pending write-back buffer, in which
+// case the in-flight write-back is cancelled (the caller is about to
+// refresh memory itself). When demote is true a live line is downgraded
+// to Shared; when false it is invalidated (write-invalidate ownership
+// transfer).
+func (s *System) takeOwnerData(owner int, block uint32, demote bool) []uint32 {
+	if ln := s.caches[owner].Lookup(block); ln != nil {
+		data := make([]uint32, len(ln.Data))
+		copy(data, ln.Data[:])
+		if demote {
+			ln.State = cache.Shared
+			ln.Dirty = false
+		} else {
+			s.cl.LostCopy(owner, block, classify.LossInvalidation)
+			s.caches[owner].Invalidate(block)
+		}
+		return data
+	}
+	if data, ok := s.procs[owner].pendingWB[block]; ok {
+		// Supersede the in-flight write-back: we are servicing it now.
+		delete(s.procs[owner].pendingWB, block)
+		s.procs[owner].cancelledWB[block]++
+		out := make([]uint32, len(data))
+		copy(out, data)
+		return out
+	}
+	panic("proto: owner holds neither line nor pending write-back")
+}

@@ -1,0 +1,144 @@
+package proto
+
+import (
+	"fmt"
+
+	"coherencesim/internal/cache"
+)
+
+// CheckCoherence validates the protocol's global invariants. It is meant
+// to be called at quiescence (no in-flight transactions: engine drained
+// and all write buffers empty); some invariants are necessarily violated
+// transiently while messages are in flight. It returns every violation
+// found, or nil if the system is coherent.
+//
+// Invariants checked, per block that any directory entry or cache knows:
+//
+//  1. At most one cache holds the block Exclusive, and then no other
+//     cache holds it at all.
+//  2. If a cache holds the block Exclusive, the directory is in the
+//     owned state with that cache's node as owner.
+//  3. If the directory is in the owned state, the owner caches the block
+//     (or a write-back is pending).
+//  4. Every node recorded as a sharer holds a valid copy, and every node
+//     holding a valid copy is recorded (owner or sharer).
+//  5. Every non-dirty cached copy's words match memory exactly; for an
+//     owned block, only the owner may diverge from memory.
+//  6. No directory entry is busy and no transaction is queued.
+//
+// The checker is O(blocks x nodes) and intended for tests and debugging,
+// not for per-event use.
+func (s *System) CheckCoherence() []error {
+	var errs []error
+	report := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// Gather every block any cache holds, merged with directory entries.
+	blocks := make(map[uint32]bool)
+	for _, c := range s.caches {
+		c.ForEachValid(func(ln *cache.Line) { blocks[ln.Block] = true })
+	}
+	for b := range s.dir {
+		blocks[b] = true
+	}
+
+	for b := range blocks {
+		d := s.dir[b]
+		home := s.HomeOf(b)
+		memData := s.mems[home].Block(b)
+
+		var exclusive []int
+		holders := make(map[int]*cache.Line)
+		for q, c := range s.caches {
+			if ln := c.Lookup(b); ln != nil {
+				holders[q] = ln
+				if ln.State == cache.Exclusive {
+					exclusive = append(exclusive, q)
+				}
+			}
+		}
+
+		// (1) single-writer.
+		if len(exclusive) > 1 {
+			report("block %d: %d exclusive copies (nodes %v)", b, len(exclusive), exclusive)
+		}
+		if len(exclusive) == 1 && len(holders) > 1 {
+			report("block %d: exclusive at node %d alongside %d other copies",
+				b, exclusive[0], len(holders)-1)
+		}
+
+		// (2) exclusive copy implies owned directory state.
+		if len(exclusive) == 1 {
+			if d == nil || d.state != dirOwned || d.owner != exclusive[0] {
+				report("block %d: exclusive at node %d but directory %s", b, exclusive[0], dirString(d))
+			}
+		}
+
+		if d != nil {
+			// (6) quiescence.
+			if d.busy || len(d.waitq) > 0 {
+				report("block %d: directory busy=%v queued=%d at quiescence", b, d.busy, len(d.waitq))
+			}
+			switch d.state {
+			case dirOwned:
+				// (3) owner holds the block or has a write-back pending.
+				if _, ok := holders[d.owner]; !ok {
+					if _, wb := s.procs[d.owner].pendingWB[b]; !wb {
+						report("block %d: owned by node %d which holds no copy", b, d.owner)
+					}
+				}
+				for q := range holders {
+					if q != d.owner {
+						report("block %d: owned by %d but node %d also caches it", b, d.owner, q)
+					}
+				}
+			case dirShared, dirUncached:
+				// (4) sharer list and holders agree.
+				for q := 0; q < len(s.caches); q++ {
+					if d.has(q) && holders[q] == nil {
+						report("block %d: directory lists node %d as sharer without a copy", b, q)
+					}
+				}
+				for q := range holders {
+					if !d.has(q) {
+						report("block %d: node %d caches the block but is not a recorded sharer", b, q)
+					}
+				}
+			}
+		} else if len(holders) > 0 {
+			report("block %d: cached at %d node(s) with no directory entry", b, len(holders))
+		}
+
+		// (5) value coherence: clean copies match memory.
+		for q, ln := range holders {
+			owner := d != nil && d.state == dirOwned && d.owner == q
+			if owner {
+				continue // the owner may legitimately diverge from memory
+			}
+			for w := range ln.Data {
+				if ln.Data[w] != memData[w] {
+					report("block %d word %d: node %d has %d, memory has %d",
+						b, w, q, ln.Data[w], memData[w])
+					break
+				}
+			}
+		}
+	}
+	return errs
+}
+
+func dirString(d *dirEntry) string {
+	if d == nil {
+		return "absent"
+	}
+	switch d.state {
+	case dirUncached:
+		return "uncached"
+	case dirShared:
+		return fmt.Sprintf("shared(%b)", d.sharers)
+	case dirOwned:
+		return fmt.Sprintf("owned(%d)", d.owner)
+	}
+	return "?"
+}

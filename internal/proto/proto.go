@@ -1,0 +1,462 @@
+// Package proto implements the coherence machinery of the simulated
+// multiprocessor: a full-map directory per home node and the three
+// protocols the paper studies.
+//
+//   - WI: a DASH-like write-invalidate directory protocol with release
+//     consistency. Unlike DASH's requester-centric collection, our home
+//     node gathers invalidation acknowledgements and then grants the
+//     write; this adds one switch traversal of latency on contended
+//     upgrades but exchanges the same number of messages, and removes
+//     transient-state races (see DESIGN.md).
+//
+//   - PU: pure update. Writes write through to the home, which updates
+//     memory and multicasts updates to the remaining sharers; sharers
+//     acknowledge to the writer, who stalls on acks only at release
+//     points. Includes the paper's private-block retention optimization:
+//     when the home sees an update for a block cached only by the writer,
+//     the reply tells the writer to retain future updates locally.
+//
+//   - CU: competitive update. Like PU, but each cached copy carries a
+//     counter; an arriving update increments it and local references
+//     reset it. At the threshold (paper: 4) the copy self-invalidates
+//     and the node asks the home to stop sending it updates.
+//
+// Atomic fetch_and_add / fetch_and_store / compare_and_swap execute in
+// the cache controller (obtaining an exclusive copy) under WI and at the
+// home memory under the update-based protocols, as in the paper.
+//
+// All methods must be invoked from engine context (events or stalled-
+// coroutine call sites); the package performs no locking.
+package proto
+
+import (
+	"fmt"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+	"coherencesim/internal/mem"
+	"coherencesim/internal/mesh"
+	"coherencesim/internal/sim"
+)
+
+// Protocol selects the coherence protocol.
+type Protocol int
+
+const (
+	// WI is the write-invalidate protocol.
+	WI Protocol = iota
+	// PU is the pure update protocol.
+	PU
+	// CU is the competitive update protocol.
+	CU
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case WI:
+		return "WI"
+	case PU:
+		return "PU"
+	case CU:
+		return "CU"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Short returns the paper's one-letter protocol tag ("i", "u", "c").
+func (p Protocol) Short() string {
+	switch p {
+	case WI:
+		return "i"
+	case PU:
+		return "u"
+	case CU:
+		return "c"
+	}
+	return "?"
+}
+
+// Message sizes in bytes (8-byte header; +8 for address/word payloads;
+// +64 for a data block).
+const (
+	szControl = 8
+	szWord    = 16
+	szData    = 72
+	szAck     = 8
+)
+
+// AtomicKind selects an atomic read-modify-write operation.
+type AtomicKind int
+
+const (
+	// FetchAdd returns the old value and stores old+operand.
+	FetchAdd AtomicKind = iota
+	// FetchStore returns the old value and stores operand.
+	FetchStore
+	// CompareSwap stores operand2 if old == operand1; returns old.
+	CompareSwap
+)
+
+func (k AtomicKind) apply(old, op1, op2 uint32) uint32 {
+	switch k {
+	case FetchAdd:
+		return old + op1
+	case FetchStore:
+		return op1
+	case CompareSwap:
+		if old == op1 {
+			return op2
+		}
+		return old
+	}
+	panic(fmt.Sprintf("proto: unknown atomic kind %d", int(k)))
+}
+
+// Config parameterizes the coherence system.
+type Config struct {
+	Protocol    Protocol
+	CUThreshold uint8 // competitive-update counter threshold (paper: 4)
+	CacheBytes  int   // per-node data cache size (paper: 64 KB)
+	// DisableRetention turns off PU's private-block retention
+	// optimization (ablation studies).
+	DisableRetention bool
+	Mesh             mesh.Config
+	Mem              mem.Config
+	// HomeOf maps a block number to its home node. Required.
+	HomeOf func(block uint32) int
+}
+
+// DefaultConfig returns the paper's machine parameters for the given
+// protocol and processor count, with block-interleaved homes.
+func DefaultConfig(p Protocol, procs int) Config {
+	return Config{
+		Protocol:    p,
+		CUThreshold: 4,
+		CacheBytes:  64 * 1024,
+		Mesh:        mesh.DefaultConfig(),
+		Mem:         mem.DefaultConfig(),
+		HomeOf:      func(block uint32) int { return int(block) % procs },
+	}
+}
+
+// Counters tallies protocol transactions for reporting.
+type Counters struct {
+	Reads        uint64 // read transactions sent to homes
+	WriteMisses  uint64 // WI read-exclusive transactions
+	Upgrades     uint64 // WI upgrade transactions
+	UpdatesSent  uint64 // update messages sent to sharers (PU/CU)
+	Acks         uint64 // acknowledgement messages
+	Invals       uint64 // invalidation messages (WI)
+	Atomics      uint64 // atomic operations executed
+	Writebacks   uint64 // dirty data returned to homes
+	Flushes      uint64 // user-level block flushes
+	DropNotices  uint64 // CU "stop updating me" messages
+	Retentions   uint64 // PU private-block retention grants
+	WriteThrough uint64 // write-through update requests to homes
+}
+
+// dirState is the home directory state of one block.
+type dirState int
+
+const (
+	dirUncached dirState = iota
+	dirShared            // one or more clean copies (all protocols)
+	dirOwned             // WI dirty-exclusive or PU retained-private
+)
+
+// dirEntry is the full-map directory record for one block.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitmap over nodes
+	busy    bool
+	waitq   []func()
+}
+
+func (d *dirEntry) has(p int) bool   { return d.sharers&(1<<uint(p)) != 0 }
+func (d *dirEntry) add(p int)        { d.sharers |= 1 << uint(p) }
+func (d *dirEntry) remove(p int)     { d.sharers &^= 1 << uint(p) }
+func (d *dirEntry) sharerCount() int { return popcount(d.sharers) }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// procState is per-node transient protocol state.
+type procState struct {
+	outstanding  int      // writes issued but not fully acknowledged
+	drainWaiters []func() // callbacks awaiting outstanding == 0
+	// pendingWB holds dirty data evicted/flushed but not yet arrived at
+	// the home, so forwarded requests can still be served.
+	pendingWB map[uint32][]uint32
+	// cancelledWB counts write-backs that were superseded by a forwarded
+	// request before reaching the home; each arrival consumes one count
+	// and is ignored. (A counter, not a flag: the node can re-acquire
+	// and re-evict the block while an earlier cancelled write-back is
+	// still in flight.)
+	cancelledWB map[uint32]int
+}
+
+// System is the coherence engine for one simulated machine.
+type System struct {
+	e      *sim.Engine
+	nw     *mesh.Network
+	mems   []*mem.Module
+	caches []*cache.Cache
+	procs  []procState
+	dir    map[uint32]*dirEntry
+	cl     *classify.Classifier
+	cfg    Config
+
+	ctr Counters
+}
+
+// NewSystem assembles the coherence system for n nodes.
+func NewSystem(e *sim.Engine, n int, cfg Config, cl *classify.Classifier) *System {
+	if cfg.HomeOf == nil {
+		panic("proto: Config.HomeOf is required")
+	}
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("proto: node count %d out of range [1,64]", n))
+	}
+	s := &System{
+		e:      e,
+		nw:     mesh.New(e, n, cfg.Mesh),
+		mems:   make([]*mem.Module, n),
+		caches: make([]*cache.Cache, n),
+		procs:  make([]procState, n),
+		dir:    make(map[uint32]*dirEntry),
+		cl:     cl,
+		cfg:    cfg,
+	}
+	for i := 0; i < n; i++ {
+		s.mems[i] = mem.NewModule(e, i, cfg.Mem)
+		s.caches[i] = cache.New(i, cfg.CacheBytes)
+		s.procs[i].pendingWB = make(map[uint32][]uint32)
+		s.procs[i].cancelledWB = make(map[uint32]int)
+	}
+	return s
+}
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return len(s.caches) }
+
+// Cache returns node p's cache (used by the machine layer for spin
+// watchers and diagnostics).
+func (s *System) Cache(p int) *cache.Cache { return s.caches[p] }
+
+// Memory returns node p's memory module (used for initialization).
+func (s *System) Memory(p int) *mem.Module { return s.mems[p] }
+
+// Network returns the mesh (for traffic statistics).
+func (s *System) Network() *mesh.Network { return s.nw }
+
+// Counters returns a copy of the transaction counters.
+func (s *System) Counters() Counters { return s.ctr }
+
+// Protocol returns the configured protocol.
+func (s *System) Protocol() Protocol { return s.cfg.Protocol }
+
+// HomeOf returns the home node of a block.
+func (s *System) HomeOf(block uint32) int { return s.cfg.HomeOf(block) }
+
+// entry returns (creating if needed) the directory entry for block.
+func (s *System) entry(block uint32) *dirEntry {
+	d, ok := s.dir[block]
+	if !ok {
+		d = &dirEntry{}
+		s.dir[block] = d
+	}
+	return d
+}
+
+// whenFree runs fn when the directory entry is not busy, queueing it
+// behind in-flight transactions otherwise. fn must re-examine all state.
+func (s *System) whenFree(d *dirEntry, fn func()) {
+	if d.busy {
+		d.waitq = append(d.waitq, fn)
+		return
+	}
+	fn()
+}
+
+// release clears busy and dispatches queued transactions until one takes
+// the entry busy again (transactions that never set busy, such as plain
+// write-through updates, drain in FIFO order).
+func (s *System) release(d *dirEntry) {
+	d.busy = false
+	for !d.busy && len(d.waitq) > 0 {
+		next := d.waitq[0]
+		d.waitq = d.waitq[1:]
+		next()
+	}
+}
+
+// send is a convenience wrapper over the mesh.
+func (s *System) send(src, dst, bytes int, deliver func()) {
+	s.nw.Send(src, dst, bytes, deliver)
+}
+
+// addOutstanding notes n not-yet-complete write components for p.
+func (s *System) addOutstanding(p, n int) {
+	s.procs[p].outstanding += n
+}
+
+// completeOutstanding retires one write component for p and fires drain
+// waiters when the count reaches zero.
+func (s *System) completeOutstanding(p int) {
+	ps := &s.procs[p]
+	ps.outstanding--
+	if ps.outstanding < 0 {
+		panic("proto: outstanding write count went negative")
+	}
+	if ps.outstanding == 0 && len(ps.drainWaiters) > 0 {
+		ws := ps.drainWaiters
+		ps.drainWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// Outstanding returns p's count of incompletely acknowledged writes.
+func (s *System) Outstanding(p int) int { return s.procs[p].outstanding }
+
+// WhenDrained runs fn once p has no outstanding write components
+// (immediately if already drained).
+func (s *System) WhenDrained(p int, fn func()) {
+	ps := &s.procs[p]
+	if ps.outstanding == 0 {
+		fn()
+		return
+	}
+	ps.drainWaiters = append(ps.drainWaiters, fn)
+}
+
+// install places data in p's cache, handling any conflict eviction.
+// If the block is already present (a racing transaction installed it),
+// the existing line is kept and returned.
+func (s *System) install(p int, block uint32, data []uint32, st cache.State) *cache.Line {
+	c := s.caches[p]
+	if ln := c.Lookup(block); ln != nil {
+		return ln
+	}
+	if v, would := c.Victim(block); would {
+		s.evictVictim(p, v)
+	}
+	c.Install(block, data, st)
+	s.cl.Installed(p, block)
+	return c.Lookup(block)
+}
+
+// evictVictim handles a direct-mapped conflict eviction: classification,
+// write-back (any exclusively held line — even a clean one, since the
+// directory must relinquish ownership through the serialized write-back
+// path), or a replacement hint keeping the directory exact.
+func (s *System) evictVictim(p int, v cache.Line) {
+	s.cl.LostCopy(p, v.Block, classify.LossEviction)
+	home := s.HomeOf(v.Block)
+	if v.Dirty || v.State == cache.Exclusive {
+		s.ctr.Writebacks++
+		data := make([]uint32, len(v.Data))
+		copy(data, v.Data[:])
+		s.procs[p].pendingWB[v.Block] = data
+		block := v.Block
+		s.send(p, home, szData, func() { s.queueWriteback(p, block, data) })
+		return
+	}
+	// Clean copy: replacement hint so homes stop updating/invalidating us.
+	block := v.Block
+	s.send(p, home, szControl, func() { s.homeDropSharer(p, block) })
+}
+
+// queueWriteback serializes write-back processing behind any in-flight
+// transaction for the block: a fetch already on its way to the evicting
+// node must find (and cancel) the pending write-back buffer before the
+// home consumes the write-back message.
+func (s *System) queueWriteback(p int, block uint32, data []uint32) {
+	d := s.entry(block)
+	s.whenFree(d, func() { s.homeWriteback(p, block, data) })
+}
+
+// homeWriteback applies dirty evicted/flushed data at the home.
+func (s *System) homeWriteback(p int, block uint32, data []uint32) {
+	if n := s.procs[p].cancelledWB[block]; n > 0 {
+		// A forwarded request already consumed this write-back.
+		if n == 1 {
+			delete(s.procs[p].cancelledWB, block)
+		} else {
+			s.procs[p].cancelledWB[block] = n - 1
+		}
+		return
+	}
+	d := s.entry(block)
+	s.mems[s.HomeOf(block)].WriteBlock(block, data, nil)
+	delete(s.procs[p].pendingWB, block)
+	if d.state == dirOwned && d.owner == p {
+		d.state = dirUncached
+		d.sharers = 0
+	} else {
+		d.remove(p)
+		if d.sharers == 0 && d.state == dirShared {
+			d.state = dirUncached
+		}
+	}
+}
+
+// homeDropSharer removes p from a block's sharer set (replacement hint or
+// CU drop notice).
+func (s *System) homeDropSharer(p int, block uint32) {
+	d := s.entry(block)
+	d.remove(p)
+	if d.sharers == 0 && d.state == dirShared {
+		d.state = dirUncached
+	}
+}
+
+// ownerData fetches block data from node p's cache or its pending
+// write-back buffer. ok is false if neither holds the block (a protocol
+// invariant violation for callers that expect ownership).
+func (s *System) ownerData(p int, block uint32) (data []uint32, ok bool) {
+	if ln := s.caches[p].Lookup(block); ln != nil {
+		d := make([]uint32, len(ln.Data))
+		copy(d, ln.Data[:])
+		return d, true
+	}
+	if d, okWB := s.procs[p].pendingWB[block]; okWB {
+		out := make([]uint32, len(d))
+		copy(out, d)
+		return out, true
+	}
+	return nil, false
+}
+
+// FlushAll silently empties p's cache and fixes the directory, modeling
+// the paper's fork-time flush of the parent's cache. It is untimed and
+// generates no traffic; call it only before the timed region.
+func (s *System) FlushAll(p int) {
+	c := s.caches[p]
+	var blocks []uint32
+	c.ForEachValid(func(ln *cache.Line) { blocks = append(blocks, ln.Block) })
+	for _, b := range blocks {
+		old, _ := c.Flush(b)
+		if old.Dirty {
+			s.mems[s.HomeOf(b)].WriteBlock(b, old.Data[:], nil)
+		}
+		d := s.entry(b)
+		if d.state == dirOwned && d.owner == p {
+			d.state = dirUncached
+			d.sharers = 0
+		} else {
+			d.remove(p)
+			if d.sharers == 0 && d.state == dirShared {
+				d.state = dirUncached
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package proto
+
+import (
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+)
+
+// This file implements the update-based protocols (PU and CU).
+//
+// A store writes through the cache to the home node. The home updates
+// memory, multicasts the new word to the other sharers, and tells the
+// writer how many acknowledgements to expect; sharers acknowledge
+// directly to the writer. The writer's write-buffer entry retires when
+// the home's reply arrives; the acknowledgements drain in the background
+// and are awaited only at release points (release consistency).
+//
+// PU additionally implements the paper's retention optimization: if the
+// home sees an update for a block cached only by the writer, the reply
+// instructs the writer to retain future updates — the line moves to
+// Exclusive and subsequent stores complete locally until another node
+// fetches the block.
+//
+// CU gives every cached copy a counter: an arriving update increments
+// it, any local reference resets it, and at the threshold the copy
+// self-invalidates (the "drop"); the node then asks the home to stop
+// sending it updates.
+
+// updTx tracks one write-through (or atomic) transaction's completion:
+// the home's reply carries the expected acknowledgement count, and
+// sharers acknowledge directly.
+type updTx struct {
+	s        *System
+	p        int
+	expected int
+	got      int
+	replied  bool
+	finished bool
+}
+
+func newUpdTx(s *System, p int) *updTx {
+	s.addOutstanding(p, 1)
+	return &updTx{s: s, p: p, expected: -1}
+}
+
+func (t *updTx) ack() {
+	t.got++
+	t.check()
+}
+
+func (t *updTx) reply(expected int) {
+	t.expected = expected
+	t.replied = true
+	t.check()
+}
+
+func (t *updTx) check() {
+	if !t.finished && t.replied && t.got == t.expected {
+		t.finished = true
+		t.s.completeOutstanding(t.p)
+	}
+}
+
+// updWrite drains one write-buffer entry under PU/CU. The caches are
+// write-allocate ("a processor writes through its cache to the home"):
+// a write miss first fetches the block shared, making the writer a
+// sharer that will receive others' updates — the behaviour behind the
+// paper's MCS-under-PU traffic explosion.
+func (s *System) updWrite(p int, a cache.Addr, v uint32, retire func()) {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	c := s.caches[p]
+	if c.Lookup(block) == nil {
+		c.CountMiss()
+		s.cl.Miss(p, block, word)
+		s.ctr.WriteMisses++
+		home := s.HomeOf(block)
+		s.send(p, home, szControl, func() {
+			s.homeRead(p, block, word, func(uint32) {
+				s.updWriteLocal(p, block, word, v, retire)
+			})
+		})
+		return
+	}
+	c.CountHit()
+	s.updWriteLocal(p, block, word, v, retire)
+}
+
+// updWriteLocal issues the write-through for a store whose block is (or
+// was, before a racing drop) cached locally.
+//
+// The writer's own cached copy is NOT updated here: the home serializes
+// all writes to the block, and a racing write by another node may be
+// ordered after this one — its update message would then overwrite the
+// newer value in this cache. Instead the home's reply (which travels the
+// same FIFO home-to-writer channel as other writers' update messages,
+// and therefore arrives in serialization order) applies the value; until
+// the write-buffer entry retires on that reply, the processor's own
+// loads are satisfied by write-buffer forwarding.
+func (s *System) updWriteLocal(p int, block uint32, word int, v uint32, retire func()) {
+	c := s.caches[p]
+	s.cl.Reference(p, block, word)
+	if ln := c.Lookup(block); ln != nil {
+		ln.Counter = 0
+		if ln.State == cache.Exclusive {
+			// Retained-private block (PU): the write is entirely local.
+			ln.Data[word] = v
+			ln.Dirty = true
+			s.cl.GlobalWrite(p, block, word)
+			c.FireWatchers(block)
+			retire()
+			return
+		}
+	}
+	s.ctr.WriteThrough++
+	tx := newUpdTx(s, p)
+	home := s.HomeOf(block)
+	s.send(p, home, szWord, func() { s.homeUpdate(p, block, word, v, tx, retire) })
+}
+
+// homeUpdate serializes a write-through at the directory (it must wait
+// out a retained-private owner, which is first demoted).
+func (s *System) homeUpdate(p int, block uint32, word int, v uint32, tx *updTx, retire func()) {
+	d := s.entry(block)
+	s.whenFree(d, func() {
+		if d.state == dirOwned {
+			s.demoteOwner(d, block, func() {
+				s.homeUpdate(p, block, word, v, tx, retire)
+			})
+			return
+		}
+		s.homeUpdateReady(p, block, word, v, tx, retire)
+	})
+}
+
+// demoteOwner fetches a retained-private block back from its owner,
+// refreshes memory, downgrades the owner to Shared, and then continues.
+func (s *System) demoteOwner(d *dirEntry, block uint32, then func()) {
+	d.busy = true
+	home := s.HomeOf(block)
+	owner := d.owner
+	s.send(home, owner, szControl, func() {
+		data := s.takeOwnerData(owner, block, true /* demote */)
+		s.send(owner, home, szData, func() {
+			s.mems[home].WriteBlock(block, data, func() {
+				d.state = dirShared
+				d.sharers = 0
+				if s.caches[owner].Present(block) {
+					d.add(owner)
+				}
+				if d.sharers == 0 {
+					d.state = dirUncached
+				}
+				s.release(d)
+				then()
+			})
+		})
+	})
+}
+
+// homeUpdateReady applies a write-through at the home: memory write,
+// update multicast, reply (with PU retention decision).
+func (s *System) homeUpdateReady(p int, block uint32, word int, v uint32, tx *updTx, retire func()) {
+	d := s.entry(block)
+	home := s.HomeOf(block)
+	s.mems[home].WriteWord(block, word, v, func() {
+		s.cl.GlobalWrite(p, block, word)
+		others := d.sharerList(p)
+		// Retention decision (PU): the block is cached by the writer
+		// alone and no transaction is in flight. Both the directory and
+		// the writer's line transition at the decision instant — the
+		// permission change carries no data, and the writer cannot issue
+		// another store before the reply retires this one, so the early
+		// line-state change is unobservable except through the protocol
+		// behaving consistently under racing requests from other nodes.
+		if s.cfg.Protocol == PU && !s.cfg.DisableRetention &&
+			len(others) == 0 && !d.busy &&
+			d.state == dirShared && d.has(p) {
+			if ln := s.caches[p].Lookup(block); ln != nil && ln.State == cache.Shared {
+				// The grant is this write's serialization point: the
+				// line takes the written value here (it matches memory,
+				// so the copy stays clean) and no later reply will touch
+				// an Exclusive line.
+				ln.State = cache.Exclusive
+				ln.Data[word] = v
+				s.caches[p].FireWatchers(block)
+				d.state = dirOwned
+				d.owner = p
+				d.sharers = 0
+				s.ctr.Retentions++
+			}
+		}
+		for _, q := range others {
+			q := q
+			s.ctr.UpdatesSent++
+			s.send(home, q, szWord, func() { s.deliverUpdate(q, block, word, v, p, tx) })
+		}
+		expected := len(others)
+		s.send(home, p, szControl, func() {
+			// Apply the serialized value to the writer's own copy (see
+			// updWriteLocal: the reply is FIFO-ordered with other
+			// writers' update messages on the home-to-writer channel).
+			if ln := s.caches[p].Lookup(block); ln != nil && ln.State != cache.Exclusive {
+				ln.Data[word] = v
+				s.caches[p].FireWatchers(block)
+			}
+			tx.reply(expected)
+			retire()
+		})
+	})
+}
+
+// deliverUpdate applies an update message at sharer q: plain application
+// under PU, counter-gated application or self-invalidation under CU.
+// Every recipient acknowledges to the writer.
+func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer int, tx *updTx) {
+	c := s.caches[q]
+	ln := c.Lookup(block)
+	if ln == nil {
+		// Stale sharer: our drop notice / replacement hint is in flight.
+		s.cl.StrayUpdate()
+		s.sendAck(q, tx)
+		return
+	}
+	if ln.State == cache.Exclusive {
+		// The copy was granted retention after this update was
+		// serialized: the owner's value is newer, so the update is
+		// stale and must not be applied.
+		s.cl.StrayUpdate()
+		s.sendAck(q, tx)
+		return
+	}
+	if s.cfg.Protocol == CU {
+		if c.Watched(block) {
+			// A parked spinner is logically referencing the block every
+			// few cycles (spin compression hides the reads); references
+			// reset the competitive counter, so it cannot accumulate.
+			ln.Counter = 0
+		}
+		ln.Counter++
+		if ln.Counter >= s.cfg.CUThreshold {
+			s.cl.DropDelivered(q, block, word)
+			s.cl.LostCopy(q, block, classify.LossDrop)
+			c.Invalidate(block) // wakes spinners, who will re-miss (drop miss)
+			s.ctr.DropNotices++
+			home := s.HomeOf(block)
+			s.send(q, home, szControl, func() { s.homeDropSharer(q, block) })
+			s.sendAck(q, tx)
+			return
+		}
+	}
+	s.cl.UpdateDelivered(q, block, word, writer)
+	c.ApplyUpdate(block, word, v) // wakes spinners
+	s.sendAck(q, tx)
+}
+
+// sendAck sends a sharer acknowledgement to the transaction's writer.
+func (s *System) sendAck(from int, tx *updTx) {
+	s.ctr.Acks++
+	s.send(from, tx.p, szAck, func() { tx.ack() })
+}
+
+// updAtomic executes an atomic op at the home memory under PU/CU. The
+// requester becomes (or remains) a sharer of the block: if it does not
+// cache the block, the reply carries the post-operation block data and
+// installs it — so the next processor's atomic on the same word updates
+// this copy, as in the paper's description of fetch_and_add.
+func (s *System) updAtomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32, done func(old uint32)) {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	c := s.caches[p]
+	needData := c.Lookup(block) == nil
+	if needData {
+		c.CountMiss()
+		s.cl.Miss(p, block, word)
+	} else {
+		c.CountHit()
+	}
+	tx := newUpdTx(s, p)
+	home := s.HomeOf(block)
+	s.send(p, home, szWord, func() { s.homeAtomic(p, block, word, kind, op1, op2, needData, tx, done) })
+}
+
+// homeAtomic serializes an atomic at the directory, demoting a private
+// owner first.
+func (s *System) homeAtomic(p int, block uint32, word int, kind AtomicKind, op1, op2 uint32, needData bool, tx *updTx, done func(old uint32)) {
+	d := s.entry(block)
+	s.whenFree(d, func() {
+		if d.state == dirOwned {
+			s.demoteOwner(d, block, func() {
+				s.homeAtomic(p, block, word, kind, op1, op2, needData, tx, done)
+			})
+			return
+		}
+		s.homeAtomicReady(p, block, word, kind, op1, op2, needData, tx, done)
+	})
+}
+
+// homeAtomicReady performs the read-modify-write in the memory module,
+// multicasts the new value to the other sharers, and replies to the
+// requester (with the whole block when it is a new sharer).
+func (s *System) homeAtomicReady(p int, block uint32, word int, kind AtomicKind, op1, op2 uint32, needData bool, tx *updTx, done func(old uint32)) {
+	d := s.entry(block)
+	home := s.HomeOf(block)
+	s.mems[home].Atomic(block, word, func(old uint32) uint32 {
+		return kind.apply(old, op1, op2)
+	}, func(old, newV uint32) {
+		s.cl.GlobalWrite(p, block, word)
+		others := d.sharerList(p)
+		for _, q := range others {
+			q := q
+			s.ctr.UpdatesSent++
+			s.send(home, q, szWord, func() { s.deliverUpdate(q, block, word, newV, p, tx) })
+		}
+		expected := len(others)
+		var data []uint32
+		size := szWord
+		if needData {
+			// The requester becomes a sharer; the reply carries the block.
+			stored := s.mems[home].Block(block)
+			data = make([]uint32, len(stored))
+			copy(data, stored)
+			d.add(p)
+			if d.state == dirUncached {
+				d.state = dirShared
+			}
+			size = szData
+		}
+		s.send(home, p, size, func() {
+			if data != nil {
+				s.install(p, block, data, cache.Shared)
+			}
+			if ln := s.caches[p].Lookup(block); ln != nil {
+				ln.Data[word] = newV
+				ln.Counter = 0
+				s.caches[p].FireWatchers(block)
+			}
+			s.cl.Reference(p, block, word)
+			tx.reply(expected)
+			done(old)
+		})
+	})
+}

@@ -1,0 +1,189 @@
+package proto
+
+import (
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+)
+
+// This file implements the write-invalidate protocol's write and atomic
+// paths. Reads are shared with the update protocols (api.go): the only
+// protocol-specific read behaviour — servicing a dirty-owned block — is
+// identical in structure to fetching a PU retained-private block.
+//
+// Writes: under release consistency the processor has already buffered
+// the store; this transaction obtains an exclusive copy (upgrading a
+// shared copy or fetching the block), with the home sending invalidations
+// and collecting acknowledgements before granting ownership. The write
+// retires when the grant arrives, at which point all invalidations have
+// been acknowledged, so WI writes never leave residual outstanding state.
+
+// wiWrite drains one write-buffer entry under WI.
+func (s *System) wiWrite(p int, a cache.Addr, v uint32, retire func()) {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	s.wiAcquire(p, block, word, func(ln *cache.Line) {
+		ln.Data[word] = v
+		ln.Dirty = true
+		s.cl.Reference(p, block, word)
+		s.cl.GlobalWrite(p, block, word)
+		s.caches[p].FireWatchers(block)
+		retire()
+	})
+}
+
+// wiAtomic executes an atomic op in the cache controller on an exclusive
+// copy.
+func (s *System) wiAtomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32, done func(old uint32)) {
+	block, word := cache.BlockOf(a), cache.WordOf(a)
+	s.wiAcquire(p, block, word, func(ln *cache.Line) {
+		old := ln.Data[word]
+		ln.Data[word] = kind.apply(old, op1, op2)
+		ln.Dirty = true
+		s.cl.Reference(p, block, word)
+		s.cl.GlobalWrite(p, block, word)
+		s.caches[p].FireWatchers(block)
+		done(old)
+	})
+}
+
+// wiAcquire obtains an exclusive copy of block in p's cache and calls
+// perform with the line. It classifies the access (hit, upgrade, or
+// write miss) as a side effect.
+func (s *System) wiAcquire(p int, block uint32, word int, perform func(*cache.Line)) {
+	c := s.caches[p]
+	if ln := c.Lookup(block); ln != nil {
+		if ln.State == cache.Exclusive {
+			c.CountHit()
+			perform(ln)
+			return
+		}
+		// Shared copy: exclusive-request (upgrade) transaction.
+		c.CountHit()
+		s.cl.Upgrade(p)
+		s.ctr.Upgrades++
+	} else {
+		c.CountMiss()
+		s.cl.Miss(p, block, word)
+		s.ctr.WriteMisses++
+	}
+	home := s.HomeOf(block)
+	s.send(p, home, szControl, func() { s.wiHomeAcquire(p, block, word, perform) })
+}
+
+// wiHomeAcquire serializes an ownership request through the directory.
+func (s *System) wiHomeAcquire(p int, block uint32, word int, perform func(*cache.Line)) {
+	d := s.entry(block)
+	s.whenFree(d, func() { s.wiHomeAcquireLocked(p, block, word, perform) })
+}
+
+// wiHomeAcquireLocked services an ownership request once the entry is
+// free. Exactly one of three cases applies: no other copies (fetch from
+// memory), shared copies (invalidate them, collecting acks at the home),
+// or a dirty owner (fetch-and-invalidate the owner).
+func (s *System) wiHomeAcquireLocked(p int, block uint32, word int, perform func(*cache.Line)) {
+	d := s.entry(block)
+	home := s.HomeOf(block)
+	d.busy = true
+
+	grantOwnership := func(data []uint32) {
+		d.state = dirOwned
+		d.owner = p
+		d.sharers = 0
+		size := szControl
+		if data != nil {
+			size = szData
+		}
+		// Book the grant before releasing the entry: the next queued
+		// transaction may immediately send a fetch/invalidate to the new
+		// owner, and same-pair mesh FIFO then guarantees the grant
+		// arrives first.
+		s.send(home, p, size, func() { s.wiGrant(p, block, word, data, perform) })
+		s.release(d)
+	}
+
+	switch d.state {
+	case dirUncached:
+		s.mems[home].ReadBlock(block, func(data []uint32) { grantOwnership(data) })
+
+	case dirShared:
+		needData := !d.has(p)
+		others := d.sharerList(p)
+		pending := len(others)
+		var data []uint32
+		haveData := !needData
+		maybeGrant := func() {
+			if pending == 0 && haveData {
+				if needData {
+					grantOwnership(data)
+				} else {
+					grantOwnership(nil)
+				}
+			}
+		}
+		if needData {
+			s.mems[home].ReadBlock(block, func(dd []uint32) {
+				data = dd
+				haveData = true
+				maybeGrant()
+			})
+		}
+		for _, q := range others {
+			q := q
+			s.ctr.Invals++
+			s.send(home, q, szControl, func() {
+				if s.caches[q].Present(block) {
+					s.cl.LostCopy(q, block, classify.LossInvalidation)
+					s.caches[q].Invalidate(block)
+				}
+				s.ctr.Acks++
+				s.send(q, home, szAck, func() {
+					pending--
+					maybeGrant()
+				})
+			})
+		}
+		maybeGrant() // covers the no-other-sharers upgrade
+
+	case dirOwned:
+		owner := d.owner
+		s.send(home, owner, szControl, func() {
+			data := s.takeOwnerData(owner, block, false /* invalidate */)
+			s.send(owner, home, szData, func() {
+				s.mems[home].WriteBlock(block, data, func() { grantOwnership(data) })
+			})
+		})
+	}
+}
+
+// wiGrant applies ownership at the requester and runs the deferred
+// store/atomic. If the requester's shared copy vanished while an
+// upgrade was in flight (possible only through a conflict eviction by an
+// unrelated access), the transaction is retried as a full write miss.
+func (s *System) wiGrant(p int, block uint32, word int, data []uint32, perform func(*cache.Line)) {
+	c := s.caches[p]
+	ln := c.Lookup(block)
+	switch {
+	case ln != nil:
+		ln.State = cache.Exclusive
+		if data != nil {
+			copy(ln.Data[:], data)
+		}
+	case data != nil:
+		ln = s.install(p, block, data, cache.Exclusive)
+	default:
+		// Upgrade grant raced with losing the line: retry from scratch.
+		s.wiAcquire(p, block, word, perform)
+		return
+	}
+	perform(ln)
+}
+
+// sharerList returns the sharers of d other than p, in node order.
+func (d *dirEntry) sharerList(except int) []int {
+	var out []int
+	for q := 0; q < 64; q++ {
+		if q != except && d.has(q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package sim
+
+// Coroutine is a simulated thread of control (e.g. a simulated processor)
+// that runs as a goroutine in strict alternation with the engine: while the
+// coroutine body is executing, the engine (and every other coroutine) is
+// parked, and vice versa. This gives sequential, deterministic semantics
+// while letting simulation workloads be written as ordinary imperative Go.
+//
+// A coroutine body calls Stall to suspend itself; some engine event must
+// later call Wake to resume it. StallFor suspends for a fixed number of
+// cycles. When the body returns, the coroutine terminates.
+type Coroutine struct {
+	e       *Engine
+	name    string
+	run     chan struct{} // engine -> coroutine: you may run
+	done    chan struct{} // coroutine -> engine: I have parked or finished
+	stalled bool
+	ended   bool
+}
+
+// Go starts body as a coroutine. The body begins executing at the engine's
+// current time via a scheduled event, so Go may be called before Run.
+func (e *Engine) Go(name string, body func()) *Coroutine {
+	c := &Coroutine{
+		e:    e,
+		name: name,
+		run:  make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	e.live++
+	go func() {
+		<-c.run // wait for first dispatch
+		body()
+		c.ended = true
+		e.live--
+		c.done <- struct{}{}
+	}()
+	e.Schedule(0, func() { c.dispatch() })
+	return c
+}
+
+// dispatch transfers control to the coroutine and blocks until it parks
+// again (or finishes). Must be called from engine context.
+func (c *Coroutine) dispatch() {
+	if c.ended {
+		panic("sim: dispatching finished coroutine " + c.name)
+	}
+	c.run <- struct{}{}
+	<-c.done
+}
+
+// Stall suspends the coroutine until Wake is called on it. It must only be
+// called from within the coroutine's own body.
+func (c *Coroutine) Stall() {
+	c.stalled = true
+	c.e.blocked++
+	c.done <- struct{}{} // yield to engine
+	<-c.run              // parked until Wake dispatches us
+}
+
+// Wake resumes a stalled coroutine at the current simulated time. It must
+// be called from engine context (i.e. from an event callback), not from
+// another coroutine's body. Waking a coroutine that is not stalled panics.
+func (c *Coroutine) Wake() {
+	if !c.stalled {
+		panic("sim: waking non-stalled coroutine " + c.name)
+	}
+	c.stalled = false
+	c.e.blocked--
+	c.dispatch()
+}
+
+// WakeAt schedules the coroutine to resume at absolute time t.
+func (c *Coroutine) WakeAt(t Time) {
+	c.e.At(t, func() { c.Wake() })
+}
+
+// StallFor suspends the coroutine for d cycles of simulated time.
+func (c *Coroutine) StallFor(d Time) {
+	c.e.Schedule(d, func() { c.Wake() })
+	c.Stall()
+}
+
+// Stalled reports whether the coroutine is currently suspended.
+func (c *Coroutine) Stalled() bool { return c.stalled }
+
+// Ended reports whether the coroutine body has returned.
+func (c *Coroutine) Ended() bool { return c.ended }
+
+// Name returns the coroutine's diagnostic name.
+func (c *Coroutine) Name() string { return c.name }
+
+// Live reports the number of coroutines that have been started on the
+// engine and have not yet finished.
+func (e *Engine) Live() int { return e.live }

@@ -1,0 +1,136 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underlies the multiprocessor model.
+//
+// The engine maintains a priority queue of events ordered by (time, seq),
+// where seq is a monotonically increasing tie-breaker, so simulations are
+// bit-reproducible. Simulated processors run as goroutines that hand
+// control back and forth with the engine: at any instant exactly one
+// goroutine (the engine or a single coroutine) is running, so simulation
+// state needs no locking and executes deterministically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in processor cycles.
+type Time = uint64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// create one with NewEngine.
+type Engine struct {
+	pq      eventHeap
+	now     Time
+	seq     uint64
+	running bool
+
+	// processed counts events executed, for simulator performance
+	// reporting.
+	processed uint64
+
+	// coroutines that are currently blocked waiting to be woken.
+	blocked int
+	// live coroutines that have been started and have not finished.
+	live int
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.pq)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run delay cycles from now. Events scheduled
+// for the same time run in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t. Scheduling in the past is
+// a programming error and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Run executes events until the queue is empty. If coroutines are still
+// blocked when the queue drains, the simulation has deadlocked and Run
+// panics with a diagnostic.
+func (e *Engine) Run() {
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	if e.blocked > 0 {
+		panic(fmt.Sprintf("sim: deadlock at time %d: %d coroutine(s) blocked with no pending events", e.now, e.blocked))
+	}
+}
+
+// RunUntil executes events with time <= t and then stops, setting the
+// clock to t. Events at exactly t do run.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Step runs the single earliest event, returning false if none remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }

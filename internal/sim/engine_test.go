@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{30, 10, 20} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-broken order %v not FIFO", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.Schedule(1, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(2, func() { trace = append(trace, e.Now()) })
+		e.Schedule(0, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	want := []Time{1, 1, 3}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At() in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := map[Time]bool{}
+	for _, d := range []Time{5, 10, 15} {
+		d := d
+		e.Schedule(d, func() { fired[d] = true })
+	}
+	e.RunUntil(10)
+	if !fired[5] || !fired[10] || fired[15] {
+		t.Fatalf("fired = %v, want events at 5 and 10 only", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", e.Now())
+	}
+	e.Run()
+	if !fired[15] {
+		t.Fatal("remaining event did not fire on Run()")
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", e.Now())
+	}
+}
+
+func TestStepSingleEvent(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("after first Step n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("after second Step n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: any multiset of (delay, id) events runs in nondecreasing time
+// order with FIFO tie-break, regardless of insertion order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, d := i, Time(d)
+			e.Schedule(d, func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		// Expected: stable sort of (delay, insertion index).
+		want := make([]rec, len(delays))
+		for i, d := range delays {
+			want[i] = rec{Time(d), i}
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoroutineBasicHandoff(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	c := e.Go("worker", func() {
+		trace = append(trace, "start")
+		e.Schedule(10, func() {})
+	})
+	_ = c
+	e.Schedule(5, func() { trace = append(trace, "event5") })
+	e.Run()
+	if len(trace) != 2 || trace[0] != "start" || trace[1] != "event5" {
+		t.Fatalf("trace = %v", trace)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live() = %d, want 0", e.Live())
+	}
+}
+
+func TestCoroutineStallFor(t *testing.T) {
+	e := NewEngine()
+	var wakeTimes []Time
+	var co *Coroutine
+	co = e.Go("sleeper", func() {
+		co.StallFor(7)
+		wakeTimes = append(wakeTimes, e.Now())
+		co.StallFor(3)
+		wakeTimes = append(wakeTimes, e.Now())
+	})
+	e.Run()
+	if len(wakeTimes) != 2 || wakeTimes[0] != 7 || wakeTimes[1] != 10 {
+		t.Fatalf("wakeTimes = %v, want [7 10]", wakeTimes)
+	}
+}
+
+func TestCoroutineStallWake(t *testing.T) {
+	e := NewEngine()
+	var co *Coroutine
+	resumed := Time(0)
+	co = e.Go("waiter", func() {
+		co.Stall()
+		resumed = e.Now()
+	})
+	e.Schedule(42, func() { co.Wake() })
+	e.Run()
+	if resumed != 42 {
+		t.Fatalf("resumed at %d, want 42", resumed)
+	}
+}
+
+func TestCoroutineWakeAt(t *testing.T) {
+	e := NewEngine()
+	var co *Coroutine
+	resumed := Time(0)
+	co = e.Go("waiter", func() {
+		co.WakeAt(99)
+		co.Stall()
+		resumed = e.Now()
+	})
+	e.Run()
+	if resumed != 99 {
+		t.Fatalf("resumed at %d, want 99", resumed)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	var co *Coroutine
+	co = e.Go("stuck", func() {
+		co.Stall() // nobody will wake us
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("Run() did not panic on deadlock")
+		}
+		// Unstick the goroutine so the test process can exit cleanly.
+		go func() { co.Wake() }()
+	}()
+	e.Run()
+}
+
+func TestManyCoroutinesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		for i := 0; i < 8; i++ {
+			i := i
+			var co *Coroutine
+			co = e.Go("p", func() {
+				for k := 0; k < 3; k++ {
+					co.StallFor(Time(1 + (i+k)%4))
+					trace = append(trace, string(rune('a'+i))+string(rune('0'+k)))
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != 24 || len(b) != 24 {
+		t.Fatalf("trace lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic trace at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCoroutineStalledAndEnded(t *testing.T) {
+	e := NewEngine()
+	var co *Coroutine
+	co = e.Go("x", func() {
+		if co.Stalled() {
+			t.Error("Stalled() true while running")
+		}
+		co.StallFor(1)
+	})
+	e.Run()
+	if !co.Ended() {
+		t.Error("Ended() false after Run")
+	}
+	if co.Name() != "x" {
+		t.Errorf("Name() = %q", co.Name())
+	}
+}
+
+// Random workload stress: schedule a random DAG of events and check the
+// simulation clock never goes backwards.
+func TestClockMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEngine()
+	last := Time(0)
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth > 6 {
+			return
+		}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			d := Time(rng.Intn(50))
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					t.Errorf("clock went backwards: %d < %d", e.Now(), last)
+				}
+				last = e.Now()
+				spawn(depth + 1)
+			})
+		}
+	}
+	spawn(0)
+	e.Run()
+}
+
+func TestProcessedCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunUntil(2)
+	if e.Processed() != 3 {
+		t.Fatalf("Processed() = %d after RunUntil(2), want 3", e.Processed())
+	}
+	e.Step()
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats renders experiment results as aligned ASCII tables and
+// simple horizontal bar charts, mirroring the layout of the paper's
+// figures (latency-vs-processors line plots and stacked traffic bars).
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic labeled grid.
+type Table struct {
+	Title      string
+	ColHeaders []string
+	RowHeaders []string
+	Cells      [][]string // [row][col]
+}
+
+// NewTable builds an empty table with the given shape.
+func NewTable(title string, cols, rows []string) *Table {
+	cells := make([][]string, len(rows))
+	for i := range cells {
+		cells[i] = make([]string, len(cols))
+	}
+	return &Table{Title: title, ColHeaders: cols, RowHeaders: rows, Cells: cells}
+}
+
+// Set fills one cell.
+func (t *Table) Set(row, col int, format string, args ...interface{}) {
+	t.Cells[row][col] = fmt.Sprintf(format, args...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	// Column widths: header column, then data columns.
+	hw := 0
+	for _, r := range t.RowHeaders {
+		if len(r) > hw {
+			hw = len(r)
+		}
+	}
+	ws := make([]int, len(t.ColHeaders))
+	for j, h := range t.ColHeaders {
+		ws[j] = len(h)
+		for i := range t.Cells {
+			if len(t.Cells[i][j]) > ws[j] {
+				ws[j] = len(t.Cells[i][j])
+			}
+		}
+	}
+	line := func(parts ...string) {
+		b.WriteString(strings.Join(parts, "  ") + "\n")
+	}
+	head := make([]string, 0, len(t.ColHeaders)+1)
+	head = append(head, pad("", hw))
+	for j, h := range t.ColHeaders {
+		head = append(head, pad(h, ws[j]))
+	}
+	line(head...)
+	for i, rh := range t.RowHeaders {
+		row := make([]string, 0, len(t.ColHeaders)+1)
+		row = append(row, pad(rh, hw))
+		for j := range t.ColHeaders {
+			row = append(row, pad(t.Cells[i][j], ws[j]))
+		}
+		line(row...)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// Bars renders labeled quantities as a horizontal bar chart scaled to
+// width characters, echoing the paper's stacked-bar figures.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("stats: labels/values length mismatch")
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for i, l := range labels {
+		n := 0
+		if max > 0 {
+			n = int(values[i] / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%s  %s %.0f\n", pad(l, lw), strings.Repeat("#", n), values[i])
+	}
+	return b.String()
+}
+
+// FormatCount renders large counters compactly (1234567 -> "1.23M").
+func FormatCount(v uint64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", []string{"a", "bb"}, []string{"r1", "row2"})
+	tb.Set(0, 0, "%d", 1)
+	tb.Set(0, 1, "%d", 22)
+	tb.Set(1, 0, "%.1f", 3.5)
+	tb.Set(1, 1, "%s", "x")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"3.5", "22", "row2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Aligned columns: header and data lines are equal length.
+	for _, l := range lines[2:] {
+		if len(l) != len(lines[1]) {
+			t.Errorf("ragged rows:\n%s", out)
+		}
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", []string{"c"}, []string{"r"})
+	tb.Set(0, 0, "v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("empty title produced leading newline")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("B", []string{"x", "yy"}, []float64{10, 5}, 10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("half bar missing:\n%s", out)
+	}
+	// Zero maximum: no panic, no bars.
+	out = Bars("Z", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero values drew bars:\n%s", out)
+	}
+}
+
+func TestBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched labels/values did not panic")
+		}
+	}()
+	Bars("", []string{"a"}, nil, 10)
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[uint64]string{
+		0:             "0",
+		9999:          "9999",
+		10000:         "10.0K",
+		1234567:       "1.23M",
+		5_000_000_000: "5.00G",
+	}
+	for v, want := range cases {
+		if got := FormatCount(v); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

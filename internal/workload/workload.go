@@ -1,0 +1,306 @@
+// Package workload implements the paper's synthetic programs (Section 4):
+//
+//   - LockLoop: each processor acquires a lock, holds it 50 cycles, and
+//     releases, in a tight loop executed Iterations/P times (paper:
+//     32000 total acquires);
+//   - LockLoopRandomPause: the low-contention variant that wastes a
+//     bounded pseudo-random time after each release;
+//   - LockLoopWorkRatio: the controlled variant where the work outside
+//     the critical section is P times the work inside (± 10%);
+//   - BarrierLoop: processors cross a barrier in a tight loop (paper:
+//     5000 episodes);
+//   - ReductionLoop: each processor executes reductions in a tight loop
+//     (paper: 5000), with the zero-traffic magic lock/barrier so the
+//     reduction's own communication is isolated;
+//   - ReductionLoopImbalanced: the load-imbalance variant.
+//
+// Each workload builds its own fresh Machine, runs, and reports the
+// metrics the paper plots.
+package workload
+
+import (
+	"coherencesim/internal/constructs"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+)
+
+// LockKind selects the lock implementation (paper labels: tk, MCS, uc).
+type LockKind int
+
+const (
+	Ticket LockKind = iota
+	MCS
+	UpdateConsciousMCS
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case Ticket:
+		return "tk"
+	case MCS:
+		return "MCS"
+	case UpdateConsciousMCS:
+		return "uc"
+	}
+	return "?"
+}
+
+// BarrierKind selects the barrier implementation (paper labels: cb, db, tb).
+type BarrierKind int
+
+const (
+	Central BarrierKind = iota
+	Dissemination
+	Tree
+)
+
+func (k BarrierKind) String() string {
+	switch k {
+	case Central:
+		return "cb"
+	case Dissemination:
+		return "db"
+	case Tree:
+		return "tb"
+	}
+	return "?"
+}
+
+// ReductionKind selects the reduction strategy (paper labels: sr, pr).
+type ReductionKind int
+
+const (
+	Sequential ReductionKind = iota
+	Parallel
+)
+
+func (k ReductionKind) String() string {
+	switch k {
+	case Sequential:
+		return "sr"
+	case Parallel:
+		return "pr"
+	}
+	return "?"
+}
+
+// Params configures a synthetic run.
+type Params struct {
+	Procs    int
+	Protocol proto.Protocol
+	// Iterations is the *total* count across processors for lock loops
+	// (paper: 32000) and the per-machine episode count for barrier and
+	// reduction loops (paper: 5000).
+	Iterations int
+	// HoldCycles is the critical-section length for lock loops (paper: 50).
+	HoldCycles sim.Time
+	// Tune, if set, adjusts the machine configuration before
+	// construction (ablation studies: CU threshold, retention, spin
+	// polling, network parameters).
+	Tune func(*machine.Config)
+}
+
+// newMachine builds the machine for a run, applying any tuning hook.
+func (p Params) newMachine() *machine.Machine {
+	cfg := machine.DefaultConfig(p.Protocol, p.Procs)
+	if p.Tune != nil {
+		p.Tune(&cfg)
+	}
+	return machine.New(cfg)
+}
+
+// DefaultLockParams returns the paper's figure 8 parameters.
+func DefaultLockParams(pr proto.Protocol, procs int) Params {
+	return Params{Procs: procs, Protocol: pr, Iterations: 32000, HoldCycles: 50}
+}
+
+// DefaultBarrierParams returns the paper's figure 11 parameters.
+func DefaultBarrierParams(pr proto.Protocol, procs int) Params {
+	return Params{Procs: procs, Protocol: pr, Iterations: 5000}
+}
+
+// DefaultReductionParams returns the paper's figure 14 parameters.
+func DefaultReductionParams(pr proto.Protocol, procs int) Params {
+	return Params{Procs: procs, Protocol: pr, Iterations: 5000}
+}
+
+// newLock builds the lock under test on m.
+func newLock(m *machine.Machine, k LockKind) constructs.Lock {
+	switch k {
+	case Ticket:
+		return constructs.NewTicketLock(m, "lock")
+	case MCS:
+		return constructs.NewMCSLock(m, "lock", false)
+	case UpdateConsciousMCS:
+		return constructs.NewMCSLock(m, "lock", true)
+	}
+	panic("workload: unknown lock kind")
+}
+
+// newBarrier builds the barrier under test on m.
+func newBarrier(m *machine.Machine, k BarrierKind) constructs.Barrier {
+	switch k {
+	case Central:
+		return constructs.NewCentralBarrier(m, "barrier")
+	case Dissemination:
+		return constructs.NewDisseminationBarrier(m, "barrier")
+	case Tree:
+		return constructs.NewTreeBarrier(m, "barrier")
+	}
+	panic("workload: unknown barrier kind")
+}
+
+// LockResult reports a lock-loop run. AvgLatency is the paper's metric:
+// execution time divided by total acquires, minus the hold time.
+type LockResult struct {
+	machine.Result
+	Acquires   int
+	AvgLatency float64
+}
+
+func lockLatency(res machine.Result, acquires int, hold sim.Time) LockResult {
+	avg := float64(res.Cycles)/float64(acquires) - float64(hold)
+	return LockResult{Result: res, Acquires: acquires, AvgLatency: avg}
+}
+
+// LockLoop runs the paper's lock synthetic program.
+func LockLoop(p Params, kind LockKind) LockResult {
+	m := p.newMachine()
+	l := newLock(m, kind)
+	iters := p.Iterations / p.Procs
+	res := m.Run(func(proc *machine.Proc) {
+		for i := 0; i < iters; i++ {
+			l.Acquire(proc)
+			proc.Compute(p.HoldCycles)
+			l.Release(proc)
+		}
+	})
+	return lockLatency(res, iters*p.Procs, p.HoldCycles)
+}
+
+// LockLoopRandomPause is the low-contention variant: after each release
+// the processor wastes a bounded pseudo-random time (up to four hold
+// times) before trying again.
+func LockLoopRandomPause(p Params, kind LockKind) LockResult {
+	m := p.newMachine()
+	l := newLock(m, kind)
+	iters := p.Iterations / p.Procs
+	res := m.Run(func(proc *machine.Proc) {
+		for i := 0; i < iters; i++ {
+			l.Acquire(proc)
+			proc.Compute(p.HoldCycles)
+			l.Release(proc)
+			proc.Compute(sim.Time(proc.Rand().Int63n(int64(4*p.HoldCycles) + 1)))
+		}
+	})
+	return lockLatency(res, iters*p.Procs, p.HoldCycles)
+}
+
+// LockLoopWorkRatio is the controlled variant: the work outside the
+// critical section is P times the work inside, within ±10%.
+func LockLoopWorkRatio(p Params, kind LockKind) LockResult {
+	m := p.newMachine()
+	l := newLock(m, kind)
+	iters := p.Iterations / p.Procs
+	res := m.Run(func(proc *machine.Proc) {
+		outside := int64(p.HoldCycles) * int64(p.Procs)
+		for i := 0; i < iters; i++ {
+			l.Acquire(proc)
+			proc.Compute(p.HoldCycles)
+			l.Release(proc)
+			jitter := proc.Rand().Int63n(outside/5+1) - outside/10
+			proc.Compute(sim.Time(outside + jitter))
+		}
+	})
+	return lockLatency(res, iters*p.Procs, p.HoldCycles)
+}
+
+// BarrierResult reports a barrier-loop run. AvgLatency is execution time
+// divided by the episode count.
+type BarrierResult struct {
+	machine.Result
+	Episodes   int
+	AvgLatency float64
+}
+
+// BarrierLoop runs the paper's barrier synthetic program.
+func BarrierLoop(p Params, kind BarrierKind) BarrierResult {
+	m := p.newMachine()
+	b := newBarrier(m, kind)
+	res := m.Run(func(proc *machine.Proc) {
+		for i := 0; i < p.Iterations; i++ {
+			b.Wait(proc)
+		}
+	})
+	return BarrierResult{
+		Result:     res,
+		Episodes:   p.Iterations,
+		AvgLatency: float64(res.Cycles) / float64(p.Iterations),
+	}
+}
+
+// ReductionResult reports a reduction-loop run. AvgLatency is execution
+// time divided by the reduction count.
+type ReductionResult struct {
+	machine.Result
+	Reductions int
+	AvgLatency float64
+}
+
+// localValue is the per-episode contribution of a processor: strictly
+// increasing across episodes (so every episode really updates the global
+// maximum) with a processor-dependent component that varies the winner.
+func localValue(ep, id, procs int) uint32 {
+	return uint32(ep)*uint32(2*procs) + uint32((id*7+ep)%procs)
+}
+
+// ReductionLoop runs the paper's reduction synthetic program: Iterations
+// tightly synchronized reductions using zero-traffic magic sync. After
+// each reduction every processor reads the global result (the figures'
+// "code that uses max").
+func ReductionLoop(p Params, kind ReductionKind) ReductionResult {
+	m := p.newMachine()
+	red := newReducer(m, kind)
+	res := m.Run(func(proc *machine.Proc) {
+		for i := 0; i < p.Iterations; i++ {
+			red.Reduce(proc, localValue(i, proc.ID(), p.Procs))
+			proc.Read(red.ResultAddr())
+		}
+	})
+	return ReductionResult{
+		Result:     res,
+		Reductions: p.Iterations,
+		AvgLatency: float64(res.Cycles) / float64(p.Iterations),
+	}
+}
+
+// ReductionLoopImbalanced is the load-imbalance variant: processors
+// spend a pseudo-random time producing their local value, reducing lock
+// contention in the parallel strategy.
+func ReductionLoopImbalanced(p Params, kind ReductionKind) ReductionResult {
+	m := p.newMachine()
+	red := newReducer(m, kind)
+	res := m.Run(func(proc *machine.Proc) {
+		for i := 0; i < p.Iterations; i++ {
+			proc.Compute(sim.Time(proc.Rand().Int63n(400) + 1))
+			red.Reduce(proc, localValue(i, proc.ID(), p.Procs))
+			proc.Read(red.ResultAddr())
+		}
+	})
+	return ReductionResult{
+		Result:     res,
+		Reductions: p.Iterations,
+		AvgLatency: float64(res.Cycles) / float64(p.Iterations),
+	}
+}
+
+func newReducer(m *machine.Machine, k ReductionKind) constructs.Reducer {
+	switch k {
+	case Parallel:
+		return constructs.NewParallelReducer(m, "red", m.NewMagicLock(), m.NewMagicBarrier())
+	case Sequential:
+		return constructs.NewSequentialReducer(m, "red", m.NewMagicBarrier())
+	}
+	panic("workload: unknown reduction kind")
+}
