@@ -7,6 +7,8 @@ import (
 // benchOptions is a miniature experiment scale so each benchmark
 // iteration regenerates a whole figure in tens of milliseconds while
 // preserving the contention structure (32-processor traffic points).
+// Sweeps run through a GOMAXPROCS-sized pool, matching the command's
+// -parallel default; BenchmarkFigure8Serial keeps the serial reference.
 func benchOptions() ExperimentOptions {
 	return ExperimentOptions{
 		Procs:             []int{4, 32},
@@ -14,12 +16,25 @@ func benchOptions() ExperimentOptions {
 		LockIterations:    640,
 		BarrierEpisodes:   60,
 		ReductionEpisodes: 60,
+		Runner:            NewRunnerPool(0),
 	}
 }
 
 // BenchmarkFigure8 regenerates the lock latency sweep (paper figure 8).
 func BenchmarkFigure8(b *testing.B) {
 	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Figure8(o)
+	}
+}
+
+// BenchmarkFigure8Serial is the pool-free baseline for BenchmarkFigure8;
+// the ratio between the two is the experiment layer's parallel speedup
+// on this host.
+func BenchmarkFigure8Serial(b *testing.B) {
+	o := benchOptions()
+	o.Runner = nil
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Figure8(o)

@@ -18,11 +18,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"coherencesim/internal/experiments"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
 	"coherencesim/internal/workload"
 )
@@ -32,6 +35,8 @@ func main() {
 		experiment = flag.String("experiment", "", "figure to regenerate: fig8..fig16, lockvariants, redvariants, extlocks, contention, apps, ablations, all")
 		quick      = flag.Bool("quick", false, "reduced iteration counts (~20x faster, same shapes)")
 		format     = flag.String("format", "table", "output format for fig8/fig11/fig14 and traffic figures: table or csv")
+		parallel   = flag.Int("parallel", 0, "simulation worker pool size: 0 = NumCPU, 1 = pure serial")
+		progress   = flag.Bool("progress", false, "report per-job progress and per-figure wall time on stderr")
 		run        = flag.String("run", "", "single run: lock, barrier, or reduction")
 		lockKind   = flag.String("lock", "tk", "lock for -run lock: tk, mcs, ucmcs")
 		barKind    = flag.String("barrier", "db", "barrier for -run barrier: cb, db, tb")
@@ -53,6 +58,16 @@ func main() {
 		if *quick {
 			o = experiments.Quick()
 		}
+		// Fan each figure's independent simulations across the pool.
+		// Result assembly is deterministic, so stdout is byte-identical
+		// to -parallel 1; all progress reporting goes to stderr.
+		o.Runner = runner.New(*parallel)
+		var timings io.Writer
+		if *progress {
+			o.Runner.SetProgress(runner.Printer(os.Stderr))
+			timings = os.Stderr
+			fmt.Fprintf(os.Stderr, "coherencesim: %d simulation workers\n", o.Runner.Workers())
+		}
 		if *format == "csv" {
 			if err := runExperimentsCSV(*experiment, o); err != nil {
 				fmt.Fprintln(os.Stderr, "coherencesim:", err)
@@ -60,7 +75,7 @@ func main() {
 			}
 			return
 		}
-		if err := runExperiments(*experiment, o); err != nil {
+		if err := runExperiments(*experiment, o, timings); err != nil {
 			fmt.Fprintln(os.Stderr, "coherencesim:", err)
 			os.Exit(1)
 		}
@@ -82,7 +97,7 @@ func parseProtocol(s string) (proto.Protocol, error) {
 	return 0, fmt.Errorf("unknown protocol %q (want WI, PU, or CU)", s)
 }
 
-func runExperiments(name string, o experiments.Options) error {
+func runExperiments(name string, o experiments.Options, timings io.Writer) error {
 	type driver struct {
 		id  string
 		fn  func(experiments.Options)
@@ -119,8 +134,9 @@ func runExperiments(name string, o experiments.Options) error {
 			show(experiments.ExtendedLockSweep(o).Table())
 		}, "extended lock sweep incl. TAS/TTAS"},
 		{"contention", func(o experiments.Options) {
-			show(experiments.AnalyzeLockContention(o, proto.PU).Table())
-			show(experiments.AnalyzeLockContention(o, proto.WI).Table())
+			for _, r := range experiments.AnalyzeLockContentions(o, []proto.Protocol{proto.PU, proto.WI}) {
+				show(r.Table())
+			}
 		}, "per-node traffic concentration of the centralized lock"},
 		{"apps", func(o experiments.Options) {
 			show(experiments.CompareWorkQueue(o).Table())
@@ -134,16 +150,23 @@ func runExperiments(name string, o experiments.Options) error {
 			show(experiments.AblateSpinModel(o, proto.WI).Table())
 		}, "DESIGN.md ablation studies"},
 	}
+	timed := func(d driver) {
+		t0 := time.Now()
+		d.fn(o)
+		if timings != nil {
+			fmt.Fprintf(timings, "coherencesim: %s done in %.2fs\n", d.id, time.Since(t0).Seconds())
+		}
+	}
 	if name == "all" {
 		for _, d := range drivers {
 			fmt.Printf("== %s (%s) ==\n", d.id, d.txt)
-			d.fn(o)
+			timed(d)
 		}
 		return nil
 	}
 	for _, d := range drivers {
 		if d.id == name {
-			d.fn(o)
+			timed(d)
 			return nil
 		}
 	}

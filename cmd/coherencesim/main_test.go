@@ -5,6 +5,7 @@ import (
 
 	"coherencesim/internal/experiments"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 )
 
 func TestParseProtocol(t *testing.T) {
@@ -24,7 +25,8 @@ func TestParseProtocol(t *testing.T) {
 	}
 }
 
-// microOptions keeps CLI driver tests fast.
+// microOptions keeps CLI driver tests fast; the pool mirrors the
+// -parallel default path the command wires up.
 func microOptions() experiments.Options {
 	return experiments.Options{
 		Procs:             []int{2},
@@ -32,17 +34,18 @@ func microOptions() experiments.Options {
 		LockIterations:    80,
 		BarrierEpisodes:   10,
 		ReductionEpisodes: 10,
+		Runner:            runner.New(2),
 	}
 }
 
 func TestRunExperimentsDispatch(t *testing.T) {
 	o := microOptions()
 	for _, id := range []string{"fig8", "fig11", "fig14", "redvariants"} {
-		if err := runExperiments(id, o); err != nil {
+		if err := runExperiments(id, o, nil); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 	}
-	if err := runExperiments("nope", o); err == nil {
+	if err := runExperiments("nope", o, nil); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"coherencesim/internal/experiments"
 	"coherencesim/internal/machine"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/trace"
 	"coherencesim/internal/workload"
 )
@@ -224,6 +225,21 @@ var (
 	QuickScale = experiments.Quick
 )
 
+// RunnerPool is the worker pool that fans independent simulations of an
+// experiment sweep across OS threads; attach one to
+// ExperimentOptions.Runner. Result assembly stays deterministic, so the
+// rendered figures are byte-identical at any worker count.
+// RunnerSnapshot is the pool's progress counter (jobs done, aggregate
+// simulated cycles, wall time).
+type (
+	RunnerPool     = runner.Pool
+	RunnerSnapshot = runner.Snapshot
+)
+
+// NewRunnerPool builds a simulation worker pool. workers <= 0 selects
+// GOMAXPROCS; 1 keeps every job inline on the calling goroutine.
+func NewRunnerPool(workers int) *RunnerPool { return runner.New(workers) }
+
 // Per-figure drivers.
 var (
 	Figure8  = experiments.Figure8
@@ -249,8 +265,11 @@ var (
 	ExtendedLockSweep = experiments.ExtendedLockSweep
 
 	// AnalyzeLockContention reports per-node traffic concentration for
-	// the centralized lock (the paper's resource-contention argument).
-	AnalyzeLockContention = experiments.AnalyzeLockContention
+	// the centralized lock (the paper's resource-contention argument);
+	// AnalyzeLockContentions runs it for several protocols through the
+	// runner pool.
+	AnalyzeLockContention  = experiments.AnalyzeLockContention
+	AnalyzeLockContentions = experiments.AnalyzeLockContentions
 )
 
 // Trace support: attach a TraceLog to Config.Trace to record every

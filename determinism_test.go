@@ -1,0 +1,76 @@
+package coherencesim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Determinism tests: the runner pool's whole contract is that fanning an
+// experiment sweep across workers changes wall-clock time and nothing
+// else. These regenerate a representative slice of the paper's figures
+// serially (twice — pinning the simulations themselves) and through
+// pools of several sizes, and require the rendered tables and CSV to be
+// byte-identical.
+
+// determinismOptions is small enough that five full regenerations stay
+// inside test time while still covering multi-size sweeps, 8-processor
+// traffic points, and every experiment family.
+func determinismOptions() ExperimentOptions {
+	return ExperimentOptions{
+		Procs:             []int{1, 4},
+		TrafficProcs:      8,
+		LockIterations:    320,
+		BarrierEpisodes:   30,
+		ReductionEpisodes: 30,
+	}
+}
+
+// renderExperiments regenerates one latency sweep, both traffic
+// breakdowns, a reduction sweep, an application comparison, an ablation,
+// and the contention analysis, concatenating every rendered form.
+func renderExperiments(o ExperimentOptions) string {
+	var b strings.Builder
+	f8 := Figure8(o)
+	b.WriteString(f8.Table().String())
+	b.WriteString(f8.CSV())
+	f9 := Figure9(o)
+	b.WriteString(f9.Table().String())
+	b.WriteString(f9.CSV())
+	f10 := Figure10(o)
+	b.WriteString(f10.Table().String())
+	b.WriteString(f10.CSV())
+	b.WriteString(Figure14(o).Table().String())
+	b.WriteString(CompareJacobi(o).Table().String())
+	b.WriteString(AblateCUThreshold(o, []uint8{1, 4}).Table().String())
+	for _, r := range AnalyzeLockContentions(o, []Protocol{PU, WI}) {
+		b.WriteString(r.Table().String())
+	}
+	return b.String()
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %q\n  parallel: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}
+
+func TestParallelAssemblyIsByteIdentical(t *testing.T) {
+	serial := renderExperiments(determinismOptions())
+	if again := renderExperiments(determinismOptions()); again != serial {
+		t.Fatalf("serial rerun differs — the simulations themselves are nondeterministic\n%s",
+			firstDiff(serial, again))
+	}
+	for _, workers := range []int{2, 3, 8} {
+		o := determinismOptions()
+		o.Runner = NewRunnerPool(workers)
+		if got := renderExperiments(o); got != serial {
+			t.Errorf("workers=%d: output differs from serial\n%s", workers, firstDiff(serial, got))
+		}
+	}
+}

@@ -3,6 +3,8 @@ package coherencesim
 import (
 	"fmt"
 	"testing"
+
+	"coherencesim/internal/runner"
 )
 
 // Golden regression tests: exact simulated cycle counts for small
@@ -10,13 +12,57 @@ import (
 // intentional timing-model change must update the constants, and any
 // unintentional drift (protocol, network, or engine) fails loudly.
 //
+// The per-protocol runs fan out through the runner pool; the exact-count
+// assertions therefore also pin the pool's determinism (a pooled run
+// that perturbed a simulation would shift its cycle count).
+//
 // To regenerate after an intentional change:
 //
 //	go test -run TestGolden -v   (failures print got-vs-want)
 
+var goldenProtocols = []Protocol{WI, PU, CU}
+
+// goldenMap runs one simulation per protocol through a 3-worker pool and
+// returns the cycle counts in protocol order.
+func goldenMap(name string, run func(pr Protocol) uint64) []uint64 {
+	jobs := make([]runner.Job[uint64], len(goldenProtocols))
+	for i, pr := range goldenProtocols {
+		pr := pr
+		jobs[i] = runner.Job[uint64]{
+			Label: fmt.Sprintf("golden/%s/%v", name, pr),
+			Run:   func() uint64 { return run(pr) },
+		}
+	}
+	return runner.Map(runner.New(3), jobs)
+}
+
 func goldenRun(pr Protocol, procs int, body func(m *Machine) func(p *Proc)) Result {
 	m := NewMachine(DefaultConfig(pr, procs))
 	return m.Run(body(m))
+}
+
+func goldenLock(pr Protocol) uint64 {
+	p := DefaultLockParams(pr, 4)
+	p.Iterations = 400
+	return LockLoop(p, Ticket).Cycles
+}
+
+func goldenBarrier(pr Protocol) uint64 {
+	p := DefaultBarrierParams(pr, 8)
+	p.Iterations = 100
+	return BarrierLoop(p, Dissemination).Cycles
+}
+
+func goldenFetchAdd(pr Protocol) uint64 {
+	res := goldenRun(pr, 8, func(m *Machine) func(p *Proc) {
+		ctr := m.Alloc("ctr", 4, 0)
+		return func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.FetchAdd(ctr, 1)
+			}
+		}
+	})
+	return res.Cycles
 }
 
 func TestGoldenLockLoop(t *testing.T) {
@@ -25,12 +71,9 @@ func TestGoldenLockLoop(t *testing.T) {
 		PU: 50616,
 		CU: 50616,
 	}
-	for pr, cycles := range want {
-		p := DefaultLockParams(pr, 4)
-		p.Iterations = 400
-		res := LockLoop(p, Ticket)
-		if res.Cycles != cycles {
-			t.Errorf("ticket/%v: %d cycles, want %d", pr, res.Cycles, cycles)
+	for i, cycles := range goldenMap("lock", goldenLock) {
+		if pr := goldenProtocols[i]; cycles != want[pr] {
+			t.Errorf("ticket/%v: %d cycles, want %d", pr, cycles, want[pr])
 		}
 	}
 }
@@ -41,12 +84,9 @@ func TestGoldenBarrierLoop(t *testing.T) {
 		PU: 17096,
 		CU: 17096,
 	}
-	for pr, cycles := range want {
-		p := DefaultBarrierParams(pr, 8)
-		p.Iterations = 100
-		res := BarrierLoop(p, Dissemination)
-		if res.Cycles != cycles {
-			t.Errorf("dissemination/%v: %d cycles, want %d", pr, res.Cycles, cycles)
+	for i, cycles := range goldenMap("barrier", goldenBarrier) {
+		if pr := goldenProtocols[i]; cycles != want[pr] {
+			t.Errorf("dissemination/%v: %d cycles, want %d", pr, cycles, want[pr])
 		}
 	}
 }
@@ -57,17 +97,9 @@ func TestGoldenFetchAddChain(t *testing.T) {
 		PU: 9542,
 		CU: 8330,
 	}
-	for pr, cycles := range want {
-		res := goldenRun(pr, 8, func(m *Machine) func(p *Proc) {
-			ctr := m.Alloc("ctr", 4, 0)
-			return func(p *Proc) {
-				for i := 0; i < 20; i++ {
-					p.FetchAdd(ctr, 1)
-				}
-			}
-		})
-		if res.Cycles != cycles {
-			t.Errorf("fetchadd/%v: %d cycles, want %d", pr, res.Cycles, cycles)
+	for i, cycles := range goldenMap("fetchadd", goldenFetchAdd) {
+		if pr := goldenProtocols[i]; cycles != want[pr] {
+			t.Errorf("fetchadd/%v: %d cycles, want %d", pr, cycles, want[pr])
 		}
 	}
 }
@@ -78,21 +110,9 @@ func TestGoldenPrint(t *testing.T) {
 	if !testing.Verbose() {
 		t.Skip("run with -v to print golden values")
 	}
-	for _, pr := range []Protocol{WI, PU, CU} {
-		p := DefaultLockParams(pr, 4)
-		p.Iterations = 400
-		fmt.Printf("lock/%v: %d\n", pr, LockLoop(p, Ticket).Cycles)
-		b := DefaultBarrierParams(pr, 8)
-		b.Iterations = 100
-		fmt.Printf("barrier/%v: %d\n", pr, BarrierLoop(b, Dissemination).Cycles)
-		res := goldenRun(pr, 8, func(m *Machine) func(p *Proc) {
-			ctr := m.Alloc("ctr", 4, 0)
-			return func(p *Proc) {
-				for i := 0; i < 20; i++ {
-					p.FetchAdd(ctr, 1)
-				}
-			}
-		})
-		fmt.Printf("fetchadd/%v: %d\n", pr, res.Cycles)
+	for _, pr := range goldenProtocols {
+		fmt.Printf("lock/%v: %d\n", pr, goldenLock(pr))
+		fmt.Printf("barrier/%v: %d\n", pr, goldenBarrier(pr))
+		fmt.Printf("fetchadd/%v: %d\n", pr, goldenFetchAdd(pr))
 	}
 }

@@ -3,19 +3,42 @@ package coherencesim
 import (
 	"fmt"
 	"testing"
+
+	"coherencesim/internal/runner"
 )
 
 // Integration tests: complete parallel applications combining several
 // constructs, verified for functional correctness under every protocol
 // and machine size, with the protocol invariant checker run at the end.
+//
+// Each (protocol, size) combination is an independent simulation, so the
+// matrices fan out through the runner pool. Jobs return failure messages
+// instead of calling into *testing.T so every assertion happens on the
+// test goroutine; under -race this also exercises the pool ↔ simulation
+// interaction.
 
-func checkCoherent(t *testing.T, m *Machine, context string) {
+// fanOut runs one job per combination and reports the failures each
+// returns, prefixed with the combination's label.
+func fanOut(t *testing.T, labels []string, runs []func() []string) {
 	t.Helper()
-	if errs := m.System().CheckCoherence(); len(errs) != 0 {
-		for _, e := range errs {
-			t.Errorf("%s: %v", context, e)
+	jobs := make([]runner.Job[[]string], len(runs))
+	for i := range runs {
+		jobs[i] = runner.Job[[]string]{Label: labels[i], Run: runs[i]}
+	}
+	for i, fails := range runner.Map(runner.New(4), jobs) {
+		for _, f := range fails {
+			t.Errorf("%s: %s", labels[i], f)
 		}
 	}
+}
+
+// coherenceErrors renders the invariant checker's findings.
+func coherenceErrors(m *Machine) []string {
+	var out []string
+	for _, e := range m.System().CheckCoherence() {
+		out = append(out, e.Error())
+	}
+	return out
 }
 
 // coherentPeek reads a word's current global value (memory, or a dirty
@@ -35,146 +58,172 @@ func coherentPeek(m *Machine, a Addr) uint32 {
 func TestParallelHistogram(t *testing.T) {
 	const bins = 4
 	const perProc = 32
+	run := func(pr Protocol, procs int) []string {
+		var fails []string
+		m := NewMachine(DefaultConfig(pr, procs))
+		hist := make([]Addr, bins)
+		locks := make([]Lock, bins)
+		for b := 0; b < bins; b++ {
+			hist[b] = m.Alloc(fmt.Sprintf("bin%d", b), 4, b%procs)
+			locks[b] = NewMCSLock(m, fmt.Sprintf("L%d", b), false)
+		}
+		bar := NewDisseminationBarrier(m, "B")
+		total := m.Alloc("total", 4, 0)
+
+		m.Run(func(p *Proc) {
+			for i := 0; i < perProc; i++ {
+				b := (p.ID() + i) % bins
+				locks[b].Acquire(p)
+				v := p.Read(hist[b])
+				p.Write(hist[b], v+1)
+				locks[b].Release(p)
+			}
+			bar.Wait(p)
+			if p.ID() == 0 {
+				sum := uint32(0)
+				for b := 0; b < bins; b++ {
+					sum += p.Read(hist[b])
+				}
+				p.Write(total, sum)
+			}
+			bar.Wait(p)
+			// Every processor observes the published total. Sim procs run
+			// in strict alternation, so the append is race-free.
+			if got := p.Read(total); got != uint32(procs*perProc) {
+				fails = append(fails, fmt.Sprintf("proc %d read total %d, want %d",
+					p.ID(), got, procs*perProc))
+			}
+		})
+		return append(fails, coherenceErrors(m)...)
+	}
+
+	var labels []string
+	var runs []func() []string
 	for _, pr := range []Protocol{WI, PU, CU} {
 		for _, procs := range []int{2, 8, 16} {
-			t.Run(fmt.Sprintf("%v/p%d", pr, procs), func(t *testing.T) {
-				m := NewMachine(DefaultConfig(pr, procs))
-				hist := make([]Addr, bins)
-				locks := make([]Lock, bins)
-				for b := 0; b < bins; b++ {
-					hist[b] = m.Alloc(fmt.Sprintf("bin%d", b), 4, b%procs)
-					locks[b] = NewMCSLock(m, fmt.Sprintf("L%d", b), false)
-				}
-				bar := NewDisseminationBarrier(m, "B")
-				total := m.Alloc("total", 4, 0)
-
-				m.Run(func(p *Proc) {
-					for i := 0; i < perProc; i++ {
-						b := (p.ID() + i) % bins
-						locks[b].Acquire(p)
-						v := p.Read(hist[b])
-						p.Write(hist[b], v+1)
-						locks[b].Release(p)
-					}
-					bar.Wait(p)
-					if p.ID() == 0 {
-						sum := uint32(0)
-						for b := 0; b < bins; b++ {
-							sum += p.Read(hist[b])
-						}
-						p.Write(total, sum)
-					}
-					bar.Wait(p)
-					// Every processor observes the published total.
-					if got := p.Read(total); got != uint32(procs*perProc) {
-						t.Errorf("proc %d read total %d, want %d", p.ID(), got, procs*perProc)
-					}
-				})
-				checkCoherent(t, m, "histogram")
-			})
+			pr, procs := pr, procs
+			labels = append(labels, fmt.Sprintf("histogram/%v/p%d", pr, procs))
+			runs = append(runs, func() []string { return run(pr, procs) })
 		}
 	}
+	fanOut(t, labels, runs)
 }
 
 // TestIterativeSolver mimics a BSP iterative solver: local relaxation,
 // halo exchange through shared strips, a max-residual reduction, and a
 // convergence broadcast — every construct class in one program.
 func TestIterativeSolver(t *testing.T) {
-	for _, pr := range []Protocol{WI, PU, CU} {
-		t.Run(pr.String(), func(t *testing.T) {
-			const procs = 8
-			const sweeps = 6
-			m := NewMachine(DefaultConfig(pr, procs))
-			strips := make([]Addr, procs)
-			for i := range strips {
-				strips[i] = m.Alloc(fmt.Sprintf("strip%d", i), 64, i)
-				m.Poke(strips[i], uint32(100+i))
-			}
-			bar := NewTreeBarrier(m, "B")
-			red := NewSequentialReducer(m, "R", m.NewMagicBarrier())
+	run := func(pr Protocol) []string {
+		const procs = 8
+		const sweeps = 6
+		var fails []string
+		m := NewMachine(DefaultConfig(pr, procs))
+		strips := make([]Addr, procs)
+		for i := range strips {
+			strips[i] = m.Alloc(fmt.Sprintf("strip%d", i), 64, i)
+			m.Poke(strips[i], uint32(100+i))
+		}
+		bar := NewTreeBarrier(m, "B")
+		red := NewSequentialReducer(m, "R", m.NewMagicBarrier())
 
-			residuals := make([][]uint32, procs)
-			m.Run(func(p *Proc) {
-				id := p.ID()
-				for s := 0; s < sweeps; s++ {
-					left := p.Read(strips[(id+procs-1)%procs])
-					right := p.Read(strips[(id+1)%procs])
-					p.Compute(16)
-					val := (left + right) / 2
-					p.Write(strips[id], val)
-					bar.Wait(p)
-					red.Reduce(p, val)
-					max := p.Read(red.ResultAddr())
-					residuals[id] = append(residuals[id], max)
-					bar.Wait(p)
-				}
-			})
-			// All processors must have observed identical reduction
-			// results each sweep.
+		residuals := make([][]uint32, procs)
+		m.Run(func(p *Proc) {
+			id := p.ID()
 			for s := 0; s < sweeps; s++ {
-				for id := 1; id < procs; id++ {
-					if residuals[id][s] != residuals[0][s] {
-						t.Fatalf("sweep %d: proc %d saw %d, proc 0 saw %d",
-							s, id, residuals[id][s], residuals[0][s])
-					}
+				left := p.Read(strips[(id+procs-1)%procs])
+				right := p.Read(strips[(id+1)%procs])
+				p.Compute(16)
+				val := (left + right) / 2
+				p.Write(strips[id], val)
+				bar.Wait(p)
+				red.Reduce(p, val)
+				max := p.Read(red.ResultAddr())
+				residuals[id] = append(residuals[id], max)
+				bar.Wait(p)
+			}
+		})
+		// All processors must have observed identical reduction results
+		// each sweep.
+		for s := 0; s < sweeps; s++ {
+			for id := 1; id < procs; id++ {
+				if residuals[id][s] != residuals[0][s] {
+					fails = append(fails, fmt.Sprintf("sweep %d: proc %d saw %d, proc 0 saw %d",
+						s, id, residuals[id][s], residuals[0][s]))
 				}
 			}
-			checkCoherent(t, m, "solver")
-		})
+		}
+		return append(fails, coherenceErrors(m)...)
 	}
+
+	var labels []string
+	var runs []func() []string
+	for _, pr := range []Protocol{WI, PU, CU} {
+		pr := pr
+		labels = append(labels, "solver/"+pr.String())
+		runs = append(runs, func() []string { return run(pr) })
+	}
+	fanOut(t, labels, runs)
 }
 
 // TestProducerConsumerPipeline passes tokens through a chain of
 // single-word mailboxes using spin waits, the pattern underlying flag
 // synchronization.
 func TestProducerConsumerPipeline(t *testing.T) {
-	for _, pr := range []Protocol{WI, PU, CU} {
-		t.Run(pr.String(), func(t *testing.T) {
-			const procs = 8
-			const tokens = 20
-			m := NewMachine(DefaultConfig(pr, procs))
-			boxes := make([]Addr, procs)
-			for i := range boxes {
-				boxes[i] = m.Alloc(fmt.Sprintf("box%d", i), 4, i)
-			}
-			sink := m.Alloc("sink", 4, procs-1)
+	run := func(pr Protocol) []string {
+		const procs = 8
+		const tokens = 20
+		m := NewMachine(DefaultConfig(pr, procs))
+		boxes := make([]Addr, procs)
+		for i := range boxes {
+			boxes[i] = m.Alloc(fmt.Sprintf("box%d", i), 4, i)
+		}
+		sink := m.Alloc("sink", 4, procs-1)
 
-			m.Run(func(p *Proc) {
-				id := p.ID()
-				for k := 1; k <= tokens; k++ {
-					if id == 0 {
-						// Produce token k into box 0 once it is free.
-						p.SpinUntil(boxes[0], func(v uint32) bool { return v == 0 })
-						p.Fence()
-						p.Write(boxes[0], uint32(k))
-						continue
-					}
-					// Stage id: take token from the previous box, pass on.
-					v := p.SpinUntil(boxes[id-1], func(v uint32) bool { return v != 0 })
+		m.Run(func(p *Proc) {
+			id := p.ID()
+			for k := 1; k <= tokens; k++ {
+				if id == 0 {
+					// Produce token k into box 0 once it is free.
+					p.SpinUntil(boxes[0], func(v uint32) bool { return v == 0 })
 					p.Fence()
-					p.Write(boxes[id-1], 0) // free the upstream box
-					if id == procs-1 {
-						acc := p.Read(sink)
-						p.Write(sink, acc+v)
-					} else {
-						p.SpinUntil(boxes[id], func(v uint32) bool { return v == 0 })
-						p.Write(boxes[id], v)
-					}
+					p.Write(boxes[0], uint32(k))
+					continue
 				}
-			})
-			want := uint32(tokens * (tokens + 1) / 2)
-			if got := coherentPeek(m, sink); got != want {
-				t.Fatalf("sink = %d, want %d", got, want)
+				// Stage id: take token from the previous box, pass on.
+				v := p.SpinUntil(boxes[id-1], func(v uint32) bool { return v != 0 })
+				p.Fence()
+				p.Write(boxes[id-1], 0) // free the upstream box
+				if id == procs-1 {
+					acc := p.Read(sink)
+					p.Write(sink, acc+v)
+				} else {
+					p.SpinUntil(boxes[id], func(v uint32) bool { return v == 0 })
+					p.Write(boxes[id], v)
+				}
 			}
-			checkCoherent(t, m, "pipeline")
 		})
+		var fails []string
+		want := uint32(tokens * (tokens + 1) / 2)
+		if got := coherentPeek(m, sink); got != want {
+			fails = append(fails, fmt.Sprintf("sink = %d, want %d", got, want))
+		}
+		return append(fails, coherenceErrors(m)...)
 	}
+
+	var labels []string
+	var runs []func() []string
+	for _, pr := range []Protocol{WI, PU, CU} {
+		pr := pr
+		labels = append(labels, "pipeline/"+pr.String())
+		runs = append(runs, func() []string { return run(pr) })
+	}
+	fanOut(t, labels, runs)
 }
 
 // TestAllConstructsOneProgram runs every lock, barrier, and reducer in a
 // single program as a smoke-level compatibility matrix.
 func TestAllConstructsOneProgram(t *testing.T) {
-	for _, pr := range []Protocol{WI, PU, CU} {
+	run := func(pr Protocol) []string {
 		m := NewMachine(DefaultConfig(pr, 8))
 		locks := []Lock{
 			NewTicketLock(m, "tk"),
@@ -204,11 +253,21 @@ func TestAllConstructsOneProgram(t *testing.T) {
 				b.Wait(p)
 			}
 		})
+		var fails []string
 		for i := range locks {
 			if got := coherentPeek(m, ctrs[i]); got != 8 {
-				t.Fatalf("%v: counter %d = %d, want 8", pr, i, got)
+				fails = append(fails, fmt.Sprintf("counter %d = %d, want 8", i, got))
 			}
 		}
-		checkCoherent(t, m, pr.String())
+		return append(fails, coherenceErrors(m)...)
 	}
+
+	var labels []string
+	var runs []func() []string
+	for _, pr := range []Protocol{WI, PU, CU} {
+		pr := pr
+		labels = append(labels, "allconstructs/"+pr.String())
+		runs = append(runs, func() []string { return run(pr) })
+	}
+	fanOut(t, labels, runs)
 }

@@ -6,6 +6,7 @@ import (
 	"coherencesim/internal/classify"
 	"coherencesim/internal/machine"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
 	"coherencesim/internal/workload"
 )
@@ -24,7 +25,7 @@ type CUThresholdAblation struct {
 }
 
 // AblateCUThreshold sweeps the CU threshold on the MCS lock workload at
-// the traffic machine size.
+// the traffic machine size, one pool job per threshold.
 func AblateCUThreshold(o Options, thresholds []uint8) *CUThresholdAblation {
 	a := &CUThresholdAblation{
 		Thresholds: thresholds,
@@ -32,12 +33,21 @@ func AblateCUThreshold(o Options, thresholds []uint8) *CUThresholdAblation {
 		Updates:    make(map[uint8]uint64),
 		DropMisses: make(map[uint8]uint64),
 	}
-	for _, th := range thresholds {
+	jobs := make([]runner.Job[workload.LockResult], len(thresholds))
+	for i, th := range thresholds {
 		th := th
-		p := workload.DefaultLockParams(proto.CU, o.TrafficProcs)
-		p.Iterations = o.LockIterations
-		p.Tune = func(c *machine.Config) { c.CUThreshold = th }
-		res := workload.LockLoop(p, workload.MCS)
+		jobs[i] = runner.Job[workload.LockResult]{
+			Label: fmt.Sprintf("ablation/cu-threshold/thr=%d", th),
+			Run: func() workload.LockResult {
+				p := workload.DefaultLockParams(proto.CU, o.TrafficProcs)
+				p.Iterations = o.LockIterations
+				p.Tune = func(c *machine.Config) { c.CUThreshold = th }
+				return workload.LockLoop(p, workload.MCS)
+			},
+		}
+	}
+	for i, res := range runner.Map(o.Runner, jobs) {
+		th := thresholds[i]
 		a.Latency[th] = res.AvgLatency
 		a.Updates[th] = res.Updates.Total()
 		a.DropMisses[th] = res.Misses[classify.MissDrop]
@@ -107,7 +117,11 @@ func AblatePURetention(o Options) *RetentionAblation {
 			p.Read(own[(id+1)%procs])
 		})
 	}
-	on, off := run(false), run(true)
+	pair := runner.Map(o.Runner, []runner.Job[machine.Result]{
+		{Label: "ablation/retention/on", Run: func() machine.Result { return run(false) }},
+		{Label: "ablation/retention/off", Run: func() machine.Result { return run(true) }},
+	})
+	on, off := pair[0], pair[1]
 	return &RetentionAblation{
 		Workload:        fmt.Sprintf("private-phase rewrites, PU, P=%d", procs),
 		LatencyOn:       float64(on.Cycles) / phases,
@@ -152,7 +166,11 @@ func AblateSpinModel(o Options, pr proto.Protocol) *SpinModelAblation {
 		p.Tune = func(c *machine.Config) { c.SpinPollCycles = poll }
 		return workload.LockLoop(p, workload.Ticket)
 	}
-	w, pl := run(0), run(2)
+	pair := runner.Map(o.Runner, []runner.Job[workload.LockResult]{
+		{Label: fmt.Sprintf("ablation/spin/%v/compressed", pr), Run: func() workload.LockResult { return run(0) }},
+		{Label: fmt.Sprintf("ablation/spin/%v/polling", pr), Run: func() workload.LockResult { return run(2) }},
+	})
+	w, pl := pair[0], pair[1]
 	return &SpinModelAblation{
 		Workload:      fmt.Sprintf("ticket lock, %v, P=%d", pr, o.TrafficProcs),
 		LatencyWatch:  w.AvgLatency,

@@ -5,6 +5,7 @@ import (
 
 	"coherencesim/internal/apps"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
 	"coherencesim/internal/workload"
 )
@@ -52,68 +53,77 @@ func newAppComparison(app string, procs int) *AppComparison {
 	}
 }
 
+// appSweep fans an application kernel's (construct, protocol) runs
+// through the pool and records them in submission order, keeping the
+// incremental winner computation identical to the serial path.
+func appSweep[K fmt.Stringer](o Options, app string, kinds []K,
+	run func(kind K, pr proto.Protocol) apps.Result) *AppComparison {
+	a := newAppComparison(app, o.TrafficProcs)
+	type key struct {
+		name, alg string
+		pr        proto.Protocol
+	}
+	var keys []key
+	var jobs []runner.Job[apps.Result]
+	for _, kind := range kinds {
+		for _, pr := range protocols {
+			keys = append(keys, key{comboName(kind, pr), kind.String(), pr})
+			jobs = append(jobs, runner.Job[apps.Result]{
+				Label: fmt.Sprintf("apps/%s/%v-%s", app, kind, pr.Short()),
+				Run:   func() apps.Result { return run(kind, pr) },
+			})
+		}
+	}
+	for i, r := range runner.Map(o.Runner, jobs) {
+		if !r.Correct {
+			panic(fmt.Sprintf("experiments: %s %s incorrect", app, keys[i].name))
+		}
+		a.record(keys[i].name, keys[i].pr, keys[i].alg, r.CyclesPerOp)
+	}
+	return a
+}
+
 // CompareWorkQueue sweeps the lock choices for the work-queue kernel.
 func CompareWorkQueue(o Options) *AppComparison {
-	a := newAppComparison("workqueue", o.TrafficProcs)
 	tasks := o.LockIterations / 10
 	if tasks < 32 {
 		tasks = 32
 	}
-	for _, lk := range []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS} {
-		for _, pr := range protocols {
-			r := apps.WorkQueue(apps.WorkQueueParams{
+	return appSweep(o, "workqueue", lockKinds,
+		func(lk workload.LockKind, pr proto.Protocol) apps.Result {
+			return apps.WorkQueue(apps.WorkQueueParams{
 				Protocol: pr, Procs: o.TrafficProcs, Lock: lk,
 				Tasks: tasks, TaskWork: 50,
 			})
-			if !r.Correct {
-				panic(fmt.Sprintf("experiments: workqueue %v/%v incorrect", lk, pr))
-			}
-			a.record(fmt.Sprintf("%v-%s", lk, pr.Short()), pr, lk.String(), r.CyclesPerOp)
-		}
-	}
-	return a
+		})
 }
 
 // CompareJacobi sweeps the barrier choices for the Jacobi kernel.
 func CompareJacobi(o Options) *AppComparison {
-	a := newAppComparison("jacobi", o.TrafficProcs)
 	sweeps := o.BarrierEpisodes / 10
 	if sweeps < 20 {
 		sweeps = 20
 	}
-	for _, bk := range []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree} {
-		for _, pr := range protocols {
-			r := apps.Jacobi(apps.JacobiParams{
+	return appSweep(o, "jacobi", barrierKinds,
+		func(bk workload.BarrierKind, pr proto.Protocol) apps.Result {
+			return apps.Jacobi(apps.JacobiParams{
 				Protocol: pr, Procs: o.TrafficProcs, Barrier: bk,
 				Sweeps: sweeps, CellsPerProc: 16,
 			})
-			if !r.Correct {
-				panic(fmt.Sprintf("experiments: jacobi %v/%v incorrect", bk, pr))
-			}
-			a.record(fmt.Sprintf("%v-%s", bk, pr.Short()), pr, bk.String(), r.CyclesPerOp)
-		}
-	}
-	return a
+		})
 }
 
 // CompareNBody sweeps the reduction strategies for the n-body kernel.
 func CompareNBody(o Options) *AppComparison {
-	a := newAppComparison("nbodymax", o.TrafficProcs)
 	steps := o.ReductionEpisodes / 10
 	if steps < 20 {
 		steps = 20
 	}
-	for _, rk := range []workload.ReductionKind{workload.Sequential, workload.Parallel} {
-		for _, pr := range protocols {
-			r := apps.NBodyMax(apps.NBodyParams{
+	return appSweep(o, "nbodymax", reductionKinds,
+		func(rk workload.ReductionKind, pr proto.Protocol) apps.Result {
+			return apps.NBodyMax(apps.NBodyParams{
 				Protocol: pr, Procs: o.TrafficProcs, Reduction: rk,
 				Steps: steps, BodyWork: 100,
 			})
-			if !r.Correct {
-				panic(fmt.Sprintf("experiments: nbody %v/%v incorrect", rk, pr))
-			}
-			a.record(fmt.Sprintf("%v-%s", rk, pr.Short()), pr, rk.String(), r.CyclesPerOp)
-		}
-	}
-	return a
+		})
 }

@@ -7,6 +7,7 @@ import (
 	"coherencesim/internal/constructs"
 	"coherencesim/internal/machine"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
 )
 
@@ -26,6 +27,24 @@ type ContentionReport struct {
 	MeanMemBusy float64
 	// TopNodes lists the three busiest nodes by combined NI flits.
 	TopNodes []int
+}
+
+// SimulatedCycles reports the underlying run's simulated time (the
+// runner pool's CycleReporter).
+func (r *ContentionReport) SimulatedCycles() uint64 { return r.Cycles }
+
+// AnalyzeLockContentions runs the contention analysis for several
+// protocols, one pool job each, returning the reports in input order.
+func AnalyzeLockContentions(o Options, prs []proto.Protocol) []*ContentionReport {
+	jobs := make([]runner.Job[*ContentionReport], len(prs))
+	for i, pr := range prs {
+		pr := pr
+		jobs[i] = runner.Job[*ContentionReport]{
+			Label: fmt.Sprintf("contention/%v/P=%d", pr, o.TrafficProcs),
+			Run:   func() *ContentionReport { return AnalyzeLockContention(o, pr) },
+		}
+	}
+	return runner.Map(o.Runner, jobs)
 }
 
 // AnalyzeLockContention runs the ticket-lock loop and reports where the

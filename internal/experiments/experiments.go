@@ -11,7 +11,9 @@ import (
 	"fmt"
 
 	"coherencesim/internal/classify"
+	"coherencesim/internal/machine"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
 	"coherencesim/internal/workload"
 )
@@ -24,6 +26,11 @@ type Options struct {
 	LockIterations    int   // total acquires (paper: 32000)
 	BarrierEpisodes   int   // barrier episodes (paper: 5000)
 	ReductionEpisodes int   // reductions (paper: 5000)
+	// Runner, when non-nil, fans a figure's independent simulations out
+	// on a worker pool. Results are always assembled in deterministic
+	// submission order, so every rendered table and CSV is byte-identical
+	// to the serial path's. Nil runs everything serially inline.
+	Runner *runner.Pool
 }
 
 // Defaults returns the paper's experiment parameters.
@@ -51,8 +58,91 @@ func Quick() Options {
 
 var protocols = []proto.Protocol{proto.WI, proto.PU, proto.CU}
 
+// The construct sets every sweep and traffic breakdown iterates over.
+// Sweep and traffic paths share these slices so the two cannot drift.
+var (
+	lockKinds      = []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS}
+	barrierKinds   = []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree}
+	reductionKinds = []workload.ReductionKind{workload.Sequential, workload.Parallel}
+)
+
 func comboName(alg fmt.Stringer, pr proto.Protocol) string {
 	return fmt.Sprintf("%v-%s", alg, pr.Short())
+}
+
+// latencyPoint is one latency-sweep measurement: the full run result
+// (for the pool's sim-cycle throughput accounting) plus the figure's
+// metric.
+type latencyPoint struct {
+	machine.Result
+	Latency float64
+}
+
+// latencySweep builds a latency figure by fanning one job per
+// (construct, protocol, machine size) simulation through the pool and
+// assembling the sweep in submission order.
+func latencySweep[K fmt.Stringer](o Options, figure, metric string, kinds []K,
+	run func(kind K, pr proto.Protocol, procs int) latencyPoint) *LatencySweep {
+	s := &LatencySweep{
+		Figure:  figure,
+		Metric:  metric,
+		Procs:   o.Procs,
+		Latency: make(map[string]map[int]float64),
+	}
+	type point struct {
+		name  string
+		procs int
+	}
+	var points []point
+	var jobs []runner.Job[latencyPoint]
+	for _, kind := range kinds {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			s.Combos = append(s.Combos, name)
+			s.Latency[name] = make(map[int]float64)
+			for _, procs := range o.Procs {
+				points = append(points, point{name, procs})
+				jobs = append(jobs, runner.Job[latencyPoint]{
+					Label: fmt.Sprintf("%s/%s/P=%d", figure, name, procs),
+					Run:   func() latencyPoint { return run(kind, pr, procs) },
+				})
+			}
+		}
+	}
+	for i, res := range runner.Map(o.Runner, jobs) {
+		s.Latency[points[i].name][points[i].procs] = res.Latency
+	}
+	return s
+}
+
+// trafficSweep builds the per-combo miss and update counts of a traffic
+// breakdown, one pool job per (construct, protocol) simulation at the
+// traffic machine size.
+func trafficSweep[K fmt.Stringer](o Options, figure string, kinds []K,
+	run func(kind K, pr proto.Protocol) machine.Result) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
+	misses := make(map[string]classify.MissCounts)
+	updates := make(map[string]classify.UpdateCounts)
+	var allCombos, updCombos, names []string
+	var jobs []runner.Job[machine.Result]
+	for _, kind := range kinds {
+		for _, pr := range protocols {
+			name := comboName(kind, pr)
+			allCombos = append(allCombos, name)
+			if pr != proto.WI {
+				updCombos = append(updCombos, name)
+			}
+			names = append(names, name)
+			jobs = append(jobs, runner.Job[machine.Result]{
+				Label: fmt.Sprintf("%s/%s/P=%d", figure, name, o.TrafficProcs),
+				Run:   func() machine.Result { return run(kind, pr) },
+			})
+		}
+	}
+	for i, res := range runner.Map(o.Runner, jobs) {
+		misses[names[i]] = res.Misses
+		updates[names[i]] = res.Updates
+	}
+	return misses, updates, allCombos, updCombos
 }
 
 // LatencySweep is a latency-versus-machine-size figure.
@@ -153,25 +243,13 @@ type lockRun func(p workload.Params, k workload.LockKind) workload.LockResult
 
 // lockSweep runs a lock latency sweep for every combo.
 func lockSweep(o Options, figure, metric string, run lockRun) *LatencySweep {
-	s := &LatencySweep{
-		Figure:  figure,
-		Metric:  metric,
-		Procs:   o.Procs,
-		Latency: make(map[string]map[int]float64),
-	}
-	for _, kind := range []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS} {
-		for _, pr := range protocols {
-			name := comboName(kind, pr)
-			s.Combos = append(s.Combos, name)
-			s.Latency[name] = make(map[int]float64)
-			for _, procs := range o.Procs {
-				p := workload.DefaultLockParams(pr, procs)
-				p.Iterations = o.LockIterations
-				s.Latency[name][procs] = run(p, kind).AvgLatency
-			}
-		}
-	}
-	return s
+	return latencySweep(o, figure, metric, lockKinds,
+		func(kind workload.LockKind, pr proto.Protocol, procs int) latencyPoint {
+			p := workload.DefaultLockParams(pr, procs)
+			p.Iterations = o.LockIterations
+			r := run(p, kind)
+			return latencyPoint{r.Result, r.AvgLatency}
+		})
 }
 
 // Figure8 reproduces the lock latency sweep: average acquire-release
@@ -183,24 +261,12 @@ func Figure8(o Options) *LatencySweep {
 // lockTraffic runs the traffic-size lock workload for every combo,
 // returning per-combo miss and update counts.
 func lockTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
-	misses := make(map[string]classify.MissCounts)
-	updates := make(map[string]classify.UpdateCounts)
-	var allCombos, updCombos []string
-	for _, kind := range []workload.LockKind{workload.Ticket, workload.MCS, workload.UpdateConsciousMCS} {
-		for _, pr := range protocols {
-			name := comboName(kind, pr)
+	return trafficSweep(o, "lock traffic", lockKinds,
+		func(kind workload.LockKind, pr proto.Protocol) machine.Result {
 			p := workload.DefaultLockParams(pr, o.TrafficProcs)
 			p.Iterations = o.LockIterations
-			res := workload.LockLoop(p, kind)
-			misses[name] = res.Misses
-			updates[name] = res.Updates
-			allCombos = append(allCombos, name)
-			if pr != proto.WI {
-				updCombos = append(updCombos, name)
-			}
-		}
-	}
-	return misses, updates, allCombos, updCombos
+			return workload.LockLoop(p, kind).Result
+		})
 }
 
 // Figure9 reproduces the lock miss-traffic breakdown at 32 processors.
@@ -218,47 +284,23 @@ func Figure10(o Options) *UpdateBreakdown {
 // Figure11 reproduces the barrier latency sweep: average episode latency
 // (cycles) for each barrier/protocol combination and machine size.
 func Figure11(o Options) *LatencySweep {
-	s := &LatencySweep{
-		Figure:  "Figure 11",
-		Metric:  "avg barrier episode latency (cycles)",
-		Procs:   o.Procs,
-		Latency: make(map[string]map[int]float64),
-	}
-	for _, kind := range []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree} {
-		for _, pr := range protocols {
-			name := comboName(kind, pr)
-			s.Combos = append(s.Combos, name)
-			s.Latency[name] = make(map[int]float64)
-			for _, procs := range o.Procs {
-				p := workload.DefaultBarrierParams(pr, procs)
-				p.Iterations = o.BarrierEpisodes
-				s.Latency[name][procs] = workload.BarrierLoop(p, kind).AvgLatency
-			}
-		}
-	}
-	return s
+	return latencySweep(o, "Figure 11", "avg barrier episode latency (cycles)", barrierKinds,
+		func(kind workload.BarrierKind, pr proto.Protocol, procs int) latencyPoint {
+			p := workload.DefaultBarrierParams(pr, procs)
+			p.Iterations = o.BarrierEpisodes
+			r := workload.BarrierLoop(p, kind)
+			return latencyPoint{r.Result, r.AvgLatency}
+		})
 }
 
 // barrierTraffic mirrors lockTraffic for barriers.
 func barrierTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
-	misses := make(map[string]classify.MissCounts)
-	updates := make(map[string]classify.UpdateCounts)
-	var allCombos, updCombos []string
-	for _, kind := range []workload.BarrierKind{workload.Central, workload.Dissemination, workload.Tree} {
-		for _, pr := range protocols {
-			name := comboName(kind, pr)
+	return trafficSweep(o, "barrier traffic", barrierKinds,
+		func(kind workload.BarrierKind, pr proto.Protocol) machine.Result {
 			p := workload.DefaultBarrierParams(pr, o.TrafficProcs)
 			p.Iterations = o.BarrierEpisodes
-			res := workload.BarrierLoop(p, kind)
-			misses[name] = res.Misses
-			updates[name] = res.Updates
-			allCombos = append(allCombos, name)
-			if pr != proto.WI {
-				updCombos = append(updCombos, name)
-			}
-		}
-	}
-	return misses, updates, allCombos, updCombos
+			return workload.BarrierLoop(p, kind).Result
+		})
 }
 
 // Figure12 reproduces the barrier miss-traffic breakdown at 32 processors.
@@ -278,25 +320,13 @@ func Figure13(o Options) *UpdateBreakdown {
 type reductionRun func(p workload.Params, k workload.ReductionKind) workload.ReductionResult
 
 func reductionSweep(o Options, figure, metric string, run reductionRun) *LatencySweep {
-	s := &LatencySweep{
-		Figure:  figure,
-		Metric:  metric,
-		Procs:   o.Procs,
-		Latency: make(map[string]map[int]float64),
-	}
-	for _, kind := range []workload.ReductionKind{workload.Sequential, workload.Parallel} {
-		for _, pr := range protocols {
-			name := comboName(kind, pr)
-			s.Combos = append(s.Combos, name)
-			s.Latency[name] = make(map[int]float64)
-			for _, procs := range o.Procs {
-				p := workload.DefaultReductionParams(pr, procs)
-				p.Iterations = o.ReductionEpisodes
-				s.Latency[name][procs] = run(p, kind).AvgLatency
-			}
-		}
-	}
-	return s
+	return latencySweep(o, figure, metric, reductionKinds,
+		func(kind workload.ReductionKind, pr proto.Protocol, procs int) latencyPoint {
+			p := workload.DefaultReductionParams(pr, procs)
+			p.Iterations = o.ReductionEpisodes
+			r := run(p, kind)
+			return latencyPoint{r.Result, r.AvgLatency}
+		})
 }
 
 // Figure14 reproduces the reduction latency sweep: average reduction
@@ -308,24 +338,12 @@ func Figure14(o Options) *LatencySweep {
 
 // reductionTraffic mirrors lockTraffic for reductions.
 func reductionTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
-	misses := make(map[string]classify.MissCounts)
-	updates := make(map[string]classify.UpdateCounts)
-	var allCombos, updCombos []string
-	for _, kind := range []workload.ReductionKind{workload.Sequential, workload.Parallel} {
-		for _, pr := range protocols {
-			name := comboName(kind, pr)
+	return trafficSweep(o, "reduction traffic", reductionKinds,
+		func(kind workload.ReductionKind, pr proto.Protocol) machine.Result {
 			p := workload.DefaultReductionParams(pr, o.TrafficProcs)
 			p.Iterations = o.ReductionEpisodes
-			res := workload.ReductionLoop(p, kind)
-			misses[name] = res.Misses
-			updates[name] = res.Updates
-			allCombos = append(allCombos, name)
-			if pr != proto.WI {
-				updCombos = append(updCombos, name)
-			}
-		}
-	}
-	return misses, updates, allCombos, updCombos
+			return workload.ReductionLoop(p, kind).Result
+		})
 }
 
 // Figure15 reproduces the reduction miss-traffic breakdown at 32

@@ -6,12 +6,16 @@ import (
 
 	"coherencesim/internal/classify"
 	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
 	"coherencesim/internal/workload"
 )
 
 // tiny returns a very small configuration so the full figure set runs in
 // test time while keeping contention structure (32 processors for
-// traffic figures).
+// traffic figures). The fixed-size pool makes every sweep in this file
+// exercise the pooled fan-out path regardless of the host's core count;
+// the shape assertions below double as determinism checks because they
+// depend on exact latencies and counts.
 func tiny() Options {
 	return Options{
 		Procs:             []int{1, 2, 4, 32},
@@ -19,6 +23,7 @@ func tiny() Options {
 		LockIterations:    640,
 		BarrierEpisodes:   60,
 		ReductionEpisodes: 60,
+		Runner:            runner.New(4),
 	}
 }
 

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"coherencesim/internal/constructs"
 	"coherencesim/internal/machine"
 	"coherencesim/internal/proto"
@@ -10,47 +8,44 @@ import (
 	"coherencesim/internal/workload"
 )
 
+// mkLock builds a lock implementation on a fresh machine.
+type mkLock func(m *machine.Machine) constructs.Lock
+
+// namedAlgo pairs a lock constructor with its figure label.
+type namedAlgo struct {
+	name string
+	mk   mkLock
+}
+
+func (a namedAlgo) String() string { return a.name }
+
+// extendedAlgos is the full Mellor-Crummey & Scott suite: the paper's
+// three candidates plus test-and-set (with exponential backoff) and
+// test-and-test-and-set.
+var extendedAlgos = []namedAlgo{
+	{"tas", func(m *machine.Machine) constructs.Lock { return constructs.NewTASLock(m, "lock") }},
+	{"ttas", func(m *machine.Machine) constructs.Lock { return constructs.NewTTASLock(m, "lock") }},
+	{"tk", func(m *machine.Machine) constructs.Lock { return constructs.NewTicketLock(m, "lock") }},
+	{"MCS", func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", false) }},
+	{"uc", func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", true) }},
+}
+
 // ExtendedLockSweep extends figure 8 with the two other classic spin
 // locks from the Mellor-Crummey & Scott suite (test-and-set with
 // exponential backoff, and test-and-test-and-set), measuring all five
 // algorithms under all three protocols — the comparison the paper's
 // Section 2.1 references when justifying its ticket/MCS selection.
 func ExtendedLockSweep(o Options) *LatencySweep {
-	s := &LatencySweep{
-		Figure:  "Extended lock sweep",
-		Metric:  "avg acquire-release latency (cycles)",
-		Procs:   o.Procs,
-		Latency: make(map[string]map[int]float64),
-	}
-
-	type mkLock func(m *machine.Machine) constructs.Lock
-	algos := []struct {
-		name string
-		mk   mkLock
-	}{
-		{"tas", func(m *machine.Machine) constructs.Lock { return constructs.NewTASLock(m, "lock") }},
-		{"ttas", func(m *machine.Machine) constructs.Lock { return constructs.NewTTASLock(m, "lock") }},
-		{"tk", func(m *machine.Machine) constructs.Lock { return constructs.NewTicketLock(m, "lock") }},
-		{"MCS", func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", false) }},
-		{"uc", func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", true) }},
-	}
-
-	for _, alg := range algos {
-		for _, pr := range protocols {
-			name := fmt.Sprintf("%s-%s", alg.name, pr.Short())
-			s.Combos = append(s.Combos, name)
-			s.Latency[name] = make(map[int]float64)
-			for _, procs := range o.Procs {
-				s.Latency[name][procs] = runCustomLock(pr, procs, o.LockIterations, alg.mk)
-			}
-		}
-	}
-	return s
+	return latencySweep(o, "Extended lock sweep", "avg acquire-release latency (cycles)",
+		extendedAlgos,
+		func(alg namedAlgo, pr proto.Protocol, procs int) latencyPoint {
+			return runCustomLock(pr, procs, o.LockIterations, alg.mk)
+		})
 }
 
 // runCustomLock measures the paper's lock synthetic program over an
 // arbitrary lock implementation.
-func runCustomLock(pr proto.Protocol, procs, iterations int, mk func(m *machine.Machine) constructs.Lock) float64 {
+func runCustomLock(pr proto.Protocol, procs, iterations int, mk mkLock) latencyPoint {
 	const hold = sim.Time(50)
 	m := machine.New(machine.DefaultConfig(pr, procs))
 	l := mk(m)
@@ -62,7 +57,7 @@ func runCustomLock(pr proto.Protocol, procs, iterations int, mk func(m *machine.
 			l.Release(p)
 		}
 	})
-	return float64(res.Cycles)/float64(iters*procs) - float64(hold)
+	return latencyPoint{res, float64(res.Cycles)/float64(iters*procs) - float64(hold)}
 }
 
 // Ensure the extended sweep and figure-8 share workload semantics: the
@@ -72,7 +67,7 @@ func crossCheckLockPaths(o Options, kind workload.LockKind, pr proto.Protocol, p
 	p := workload.DefaultLockParams(pr, procs)
 	p.Iterations = o.LockIterations
 	viaWorkload = workload.LockLoop(p, kind).AvgLatency
-	var mk func(m *machine.Machine) constructs.Lock
+	var mk mkLock
 	switch kind {
 	case workload.Ticket:
 		mk = func(m *machine.Machine) constructs.Lock { return constructs.NewTicketLock(m, "lock") }
@@ -81,6 +76,6 @@ func crossCheckLockPaths(o Options, kind workload.LockKind, pr proto.Protocol, p
 	case workload.UpdateConsciousMCS:
 		mk = func(m *machine.Machine) constructs.Lock { return constructs.NewMCSLock(m, "lock", true) }
 	}
-	viaCustom = runCustomLock(pr, procs, o.LockIterations, mk)
+	viaCustom = runCustomLock(pr, procs, o.LockIterations, mk).Latency
 	return viaWorkload, viaCustom
 }

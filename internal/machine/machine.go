@@ -93,6 +93,10 @@ type Result struct {
 	PerProc []ProcStats
 }
 
+// SimulatedCycles reports the run's simulated execution time for
+// aggregate-throughput accounting (the runner pool's CycleReporter).
+func (r Result) SimulatedCycles() uint64 { return r.Cycles }
+
 // Machine is one simulated multiprocessor. Allocate shared data with
 // Alloc, initialize it with Poke, then execute a workload with Run.
 // A Machine runs exactly one workload; build a fresh Machine per run.

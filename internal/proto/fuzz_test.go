@@ -1,0 +1,140 @@
+package proto
+
+import (
+	"testing"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+	"coherencesim/internal/sim"
+)
+
+// FuzzProtocolAgainstInvariants drives every protocol with the same
+// randomized sequence of loads, stores, atomics, and flushes, then
+// checks two cross-cutting properties:
+//
+//  1. CheckCoherence finds no invariant violation at quiescence.
+//  2. The final memory image is identical across WI, PU, and CU — the
+//     operations run strictly sequentially (each write and atomic is
+//     drained before the next step issues), so the protocols must agree
+//     on every word even though their message traffic differs entirely.
+
+const (
+	fuzzProcs  = 4
+	fuzzBlocks = 8
+	fuzzWords  = 16 // words per block
+	maxFuzzOps = 128
+)
+
+type fuzzOpKind int
+
+const (
+	fuzzRead fuzzOpKind = iota
+	fuzzWrite
+	fuzzAtomic
+	fuzzFlush
+)
+
+type fuzzOp struct {
+	kind   fuzzOpKind
+	proc   int
+	addr   cache.Addr
+	val    uint32
+	atomic AtomicKind
+}
+
+// decodeFuzzOps maps raw fuzz bytes onto a bounded op sequence, three
+// bytes per operation: selector+processor, address, value.
+func decodeFuzzOps(data []byte) []fuzzOp {
+	var ops []fuzzOp
+	for i := 0; i+2 < len(data) && len(ops) < maxFuzzOps; i += 3 {
+		b0, b1, b2 := data[i], data[i+1], data[i+2]
+		op := fuzzOp{
+			proc: int(b0 & 3),
+			addr: cache.Addr(64*uint32(b1%fuzzBlocks) + 4*uint32((b1/fuzzBlocks)%fuzzWords)),
+			val:  uint32(b2),
+		}
+		switch (b0 >> 2) % 6 {
+		case 0, 1:
+			op.kind = fuzzRead
+		case 2, 3:
+			op.kind = fuzzWrite
+		case 4:
+			op.kind = fuzzAtomic
+			op.atomic = AtomicKind(int(b2) % 3)
+		case 5:
+			op.kind = fuzzFlush
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// newFuzzSystem is newTest without the *testing.T, usable from the fuzz
+// function's per-input body.
+func newFuzzSystem(pr Protocol) *testSystem {
+	e := sim.NewEngine()
+	cl := classify.New(fuzzProcs)
+	return &testSystem{e: e, s: NewSystem(e, fuzzProcs, DefaultConfig(pr, fuzzProcs), cl), cl: cl}
+}
+
+// runFuzzProgram executes the ops on a fresh system, then reads back the
+// whole address space from processor 0 and checks coherence.
+func runFuzzProgram(pr Protocol, ops []fuzzOp) ([fuzzBlocks * fuzzWords]uint32, []error) {
+	ts := newFuzzSystem(pr)
+	sc := ts.script()
+	for _, op := range ops {
+		switch op.kind {
+		case fuzzRead:
+			sc.read(op.proc, op.addr, nil)
+		case fuzzWrite:
+			sc.write(op.proc, op.addr, op.val)
+		case fuzzAtomic:
+			// FetchAdd adds val; FetchStore stores val; CompareSwap
+			// stores val+1 when the old value equals val.
+			sc.atomic(op.proc, op.addr, op.atomic, op.val, op.val+1, nil)
+		case fuzzFlush:
+			sc.flush(op.proc, op.addr)
+		}
+	}
+	var final [fuzzBlocks * fuzzWords]uint32
+	for b := 0; b < fuzzBlocks; b++ {
+		for w := 0; w < fuzzWords; w++ {
+			sc.read(0, cache.Addr(64*b+4*w), &final[b*fuzzWords+w])
+		}
+	}
+	sc.run()
+	return final, ts.s.CheckCoherence()
+}
+
+func FuzzProtocolAgainstInvariants(f *testing.F) {
+	// Seed corpus: a write/read ping-pong, atomics on one hot word,
+	// flushes interleaved with writes, and all four procs touching all
+	// selector arms.
+	f.Add([]byte{0x08, 0x00, 0x2a, 0x01, 0x00, 0x00, 0x0a, 0x00, 0x07, 0x02, 0x00, 0x00})
+	f.Add([]byte{0x10, 0x09, 0x01, 0x11, 0x09, 0x01, 0x12, 0x09, 0x02, 0x13, 0x09, 0x00})
+	f.Add([]byte{0x08, 0x11, 0x63, 0x14, 0x11, 0x00, 0x09, 0x11, 0x07, 0x15, 0x11, 0x00})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x0d, 0x23, 0x45, 0x16, 0x37, 0x01, 0x0b, 0x40, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeFuzzOps(data)
+		var ref [fuzzBlocks * fuzzWords]uint32
+		prs := []Protocol{WI, PU, CU}
+		for i, pr := range prs {
+			final, errs := runFuzzProgram(pr, ops)
+			for _, e := range errs {
+				t.Errorf("%v: coherence violation: %v", pr, e)
+			}
+			if i == 0 {
+				ref = final
+				continue
+			}
+			if final != ref {
+				for w := range final {
+					if final[w] != ref[w] {
+						t.Errorf("%v disagrees with %v at block %d word %d: %d vs %d (ops %+v)",
+							pr, prs[0], w/fuzzWords, w%fuzzWords, final[w], ref[w], ops)
+					}
+				}
+			}
+		}
+	})
+}

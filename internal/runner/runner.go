@@ -1,0 +1,211 @@
+// Package runner provides the worker pool that fans independent
+// simulation runs across CPUs. Every experiment of the paper's
+// evaluation is a sweep over fully independent discrete-event
+// simulations (each builds its own Machine and engine), so the sweeps
+// parallelize perfectly; what must not change is the output. Map
+// therefore assembles results strictly in submission order, making a
+// parallel sweep's rendered tables byte-identical to the serial path's.
+//
+// A nil *Pool, or a pool with one worker, executes jobs inline on the
+// calling goroutine in submission order — the pure-serial path, with no
+// goroutines or channels involved.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CycleReporter is implemented by job results that can report how much
+// simulated time their run covered (machine.Result and the workload
+// result types embedding it). The pool uses it to account aggregate
+// simulation throughput (sim-cycles per wall second) for progress
+// reporting; results that do not implement it simply contribute no
+// cycles.
+type CycleReporter interface {
+	SimulatedCycles() uint64
+}
+
+// Snapshot is the pool's cumulative progress at one job completion.
+type Snapshot struct {
+	JobsDone  int           // jobs finished since the pool was created
+	JobsTotal int           // jobs submitted since the pool was created
+	SimCycles uint64        // total simulated cycles across finished jobs
+	Elapsed   time.Duration // wall time since the pool was created
+	Label     string        // label of the job that just finished
+	JobTime   time.Duration // wall time of the job that just finished
+}
+
+// CyclesPerSecond returns aggregate simulation throughput.
+func (s Snapshot) CyclesPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / s.Elapsed.Seconds()
+}
+
+// Pool is a bounded worker pool for independent simulation jobs. Create
+// one with New and share it across any number of Map calls; the
+// progress counters accumulate over the pool's lifetime.
+type Pool struct {
+	workers int
+	start   time.Time
+
+	mu        sync.Mutex
+	onDone    func(Snapshot)
+	jobsDone  int
+	jobsTotal int
+	simCycles uint64
+}
+
+// New builds a pool. workers <= 0 selects GOMAXPROCS; workers == 1
+// yields a pool whose Map calls run inline (the serial path).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, start: time.Now()}
+}
+
+// Workers returns the pool's concurrency bound (1 for nil pools).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// SetProgress installs fn to be called after every job completes. Calls
+// are serialized by the pool, so fn needs no locking of its own.
+func (p *Pool) SetProgress(fn func(Snapshot)) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.onDone = fn
+	p.mu.Unlock()
+}
+
+// Progress returns the pool's current cumulative counters.
+func (p *Pool) Progress() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Snapshot{
+		JobsDone:  p.jobsDone,
+		JobsTotal: p.jobsTotal,
+		SimCycles: p.simCycles,
+		Elapsed:   time.Since(p.start),
+	}
+}
+
+// submit registers n new jobs.
+func (p *Pool) submit(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.jobsTotal += n
+	p.mu.Unlock()
+}
+
+// finish records one completed job and fires the progress hook.
+func (p *Pool) finish(label string, jobTime time.Duration, result any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jobsDone++
+	if c, ok := result.(CycleReporter); ok {
+		p.simCycles += c.SimulatedCycles()
+	}
+	if p.onDone != nil {
+		// Called under the pool lock: hooks run one at a time and must
+		// not call back into the pool.
+		p.onDone(Snapshot{
+			JobsDone:  p.jobsDone,
+			JobsTotal: p.jobsTotal,
+			SimCycles: p.simCycles,
+			Elapsed:   time.Since(p.start),
+			Label:     label,
+			JobTime:   jobTime,
+		})
+	}
+}
+
+// Job is one independent unit of work with a diagnostic label.
+type Job[T any] struct {
+	Label string
+	Run   func() T
+}
+
+// Map executes every job and returns their results indexed exactly as
+// submitted, so callers assemble output in a deterministic order
+// regardless of scheduling. With a nil pool or a single worker the jobs
+// run inline in submission order on the calling goroutine.
+func Map[T any](p *Pool, jobs []Job[T]) []T {
+	results := make([]T, len(jobs))
+	p.submit(len(jobs))
+	if p.Workers() == 1 || len(jobs) <= 1 {
+		for i, j := range jobs {
+			t0 := time.Now()
+			results[i] = j.Run()
+			p.finish(j.Label, time.Since(t0), results[i])
+		}
+		return results
+	}
+	workers := p.Workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				results[i] = jobs[i].Run()
+				p.finish(jobs[i].Label, time.Since(t0), results[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Printer returns a progress hook that writes one line per completed
+// job to w (conventionally os.Stderr, keeping stdout byte-identical to
+// the serial path).
+func Printer(w io.Writer) func(Snapshot) {
+	return func(s Snapshot) {
+		fmt.Fprintf(w, "runner: %d/%d jobs  %s sim-cycles  %s/s  %s (%.2fs)\n",
+			s.JobsDone, s.JobsTotal,
+			formatCycles(float64(s.SimCycles)), formatCycles(s.CyclesPerSecond()),
+			s.Label, s.JobTime.Seconds())
+	}
+}
+
+func formatCycles(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func squareJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job%d", i),
+			Run:   func() int { return i * i },
+		}
+	}
+	return jobs
+}
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		got := Map(New(workers), squareJobs(25))
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	// A nil pool must run inline in order; verify with an order-sensitive
+	// side effect (only legal because the path is single-goroutine).
+	var order []int
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func() int {
+			order = append(order, i)
+			return i
+		}}
+	}
+	var p *Pool
+	got := Map(p, jobs)
+	for i := range jobs {
+		if order[i] != i || got[i] != i {
+			t.Fatalf("nil pool ran out of order: order=%v results=%v", order, got)
+		}
+	}
+	if p.Workers() != 1 {
+		t.Errorf("nil pool workers = %d, want 1", p.Workers())
+	}
+}
+
+func TestSingleWorkerRunsInline(t *testing.T) {
+	// The serial path must execute on the calling goroutine: jobs observe
+	// and mutate unsynchronized state without the race detector firing.
+	p := New(1)
+	sum := 0
+	jobs := make([]Job[int], 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func() int { sum += i; return sum }}
+	}
+	got := Map(p, jobs)
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10", sum)
+	}
+	if got[4] != 10 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+func TestDefaultWorkersIsGOMAXPROCS(t *testing.T) {
+	if w := New(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := New(-3).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	// Never more than `workers` jobs in flight at once.
+	const workers = 3
+	p := New(workers)
+	var inFlight, maxSeen atomic.Int32
+	jobs := make([]Job[struct{}], 40)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{Run: func() struct{} {
+			n := inFlight.Add(1)
+			for {
+				m := maxSeen.Load()
+				if n <= m || maxSeen.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			runtime.Gosched()
+			inFlight.Add(-1)
+			return struct{}{}
+		}}
+	}
+	Map(p, jobs)
+	if got := maxSeen.Load(); got > workers {
+		t.Errorf("observed %d concurrent jobs, bound is %d", got, workers)
+	}
+}
+
+type cycleResult struct{ cycles uint64 }
+
+func (r cycleResult) SimulatedCycles() uint64 { return r.cycles }
+
+func TestProgressAccounting(t *testing.T) {
+	p := New(2)
+	var lines []string
+	p.SetProgress(func(s Snapshot) {
+		lines = append(lines, fmt.Sprintf("%d/%d %d", s.JobsDone, s.JobsTotal, s.SimCycles))
+	})
+	jobs := make([]Job[cycleResult], 4)
+	for i := range jobs {
+		jobs[i] = Job[cycleResult]{Label: "c", Run: func() cycleResult { return cycleResult{100} }}
+	}
+	Map(p, jobs)
+	snap := p.Progress()
+	if snap.JobsDone != 4 || snap.JobsTotal != 4 {
+		t.Errorf("progress jobs %d/%d, want 4/4", snap.JobsDone, snap.JobsTotal)
+	}
+	if snap.SimCycles != 400 {
+		t.Errorf("sim cycles = %d, want 400", snap.SimCycles)
+	}
+	if len(lines) != 4 {
+		t.Errorf("progress hook fired %d times, want 4", len(lines))
+	}
+	// The final callback must report the complete totals.
+	if lines[len(lines)-1] != "4/4 400" {
+		t.Errorf("last progress line %q", lines[len(lines)-1])
+	}
+}
+
+func TestProgressAccumulatesAcrossMaps(t *testing.T) {
+	p := New(4)
+	Map(p, squareJobs(3))
+	Map(p, squareJobs(2))
+	snap := p.Progress()
+	if snap.JobsDone != 5 || snap.JobsTotal != 5 {
+		t.Errorf("cumulative jobs %d/%d, want 5/5", snap.JobsDone, snap.JobsTotal)
+	}
+}
+
+func TestPrinterFormat(t *testing.T) {
+	var b strings.Builder
+	Printer(&b)(Snapshot{JobsDone: 3, JobsTotal: 9, SimCycles: 1_500_000, Label: "fig8/tk-i/P=4"})
+	out := b.String()
+	if !strings.Contains(out, "3/9 jobs") || !strings.Contains(out, "1.50M sim-cycles") ||
+		!strings.Contains(out, "fig8/tk-i/P=4") {
+		t.Errorf("printer line %q", out)
+	}
+}
+
+func TestFormatCycles(t *testing.T) {
+	cases := map[float64]string{
+		0:             "0",
+		999:           "999",
+		25_000:        "25.0K",
+		3_200_000:     "3.20M",
+		7_800_000_000: "7.80G",
+	}
+	for v, want := range cases {
+		if got := formatCycles(v); got != want {
+			t.Errorf("formatCycles(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
