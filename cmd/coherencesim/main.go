@@ -13,6 +13,18 @@
 //
 // The -run mode executes a single (construct, protocol, size)
 // combination and prints its full metrics.
+//
+// Observability:
+//
+//	coherencesim -experiment fig8 -quick -metrics-out m.json
+//	coherencesim -experiment fig8 -quick -metrics-csv series.csv
+//	coherencesim -run lock -timeline-out timeline.json   # Perfetto
+//	coherencesim -run lock -trace 2000 -trace-out ops.log
+//	coherencesim -experiment all -quick -cpuprofile cpu.pprof
+//
+// Metrics are keyed to simulated time, so -metrics-out documents are
+// byte-identical at any -parallel worker count; the nondeterministic
+// wall-clock section is added only with -metrics-wallclock.
 package main
 
 import (
@@ -20,38 +32,116 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"coherencesim/internal/experiments"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/runner"
+	"coherencesim/internal/sim"
 	"coherencesim/internal/stats"
+	"coherencesim/internal/trace"
 	"coherencesim/internal/workload"
 )
 
+// obsOptions carries the CLI's observability settings into the run paths.
+type obsOptions struct {
+	metricsOut  string   // JSON metrics report destination
+	metricsCSV  string   // CSV time-series destination
+	interval    sim.Time // sampling interval (simulated cycles)
+	wallclock   bool     // include the nondeterministic wall-clock section
+	timelineOut string   // Chrome trace-event / Perfetto destination (-run only)
+	traceN      int      // operation-trace ring capacity (-run only)
+	traceOut    string   // operation-trace dump destination (default stderr)
+}
+
+// metricsEnabled reports whether any metrics export was requested.
+func (ob obsOptions) metricsEnabled() bool {
+	return ob.metricsOut != "" || ob.metricsCSV != ""
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		experiment = flag.String("experiment", "", "figure to regenerate: fig8..fig16, lockvariants, redvariants, extlocks, contention, apps, ablations, all")
 		quick      = flag.Bool("quick", false, "reduced iteration counts (~20x faster, same shapes)")
 		format     = flag.String("format", "table", "output format for fig8/fig11/fig14 and traffic figures: table or csv")
 		parallel   = flag.Int("parallel", 0, "simulation worker pool size: 0 = NumCPU, 1 = pure serial")
-		progress   = flag.Bool("progress", false, "report per-job progress and per-figure wall time on stderr")
-		run        = flag.String("run", "", "single run: lock, barrier, or reduction")
+		progress   = flag.Bool("progress", false, "report per-job progress (with ETA and sim-cycle throughput) and per-figure wall time on stderr")
+		runKind    = flag.String("run", "", "single run: lock, barrier, or reduction")
 		lockKind   = flag.String("lock", "tk", "lock for -run lock: tk, mcs, ucmcs")
 		barKind    = flag.String("barrier", "db", "barrier for -run barrier: cb, db, tb")
 		redKind    = flag.String("reduction", "sr", "reduction for -run reduction: sr, pr")
 		protoName  = flag.String("protocol", "WI", "protocol: WI, PU, CU")
 		procs      = flag.Int("procs", 32, "processor count (1-64)")
 		iters      = flag.Int("iterations", 0, "override iteration count (0 = paper default)")
+
+		metricsOut       = flag.String("metrics-out", "", "write a deterministic JSON metrics report (counters, latency histograms, stall time series) to this file")
+		metricsCSV       = flag.String("metrics-csv", "", "write the sampled counter time series as CSV (one row per run, frame, counter) to this file")
+		metricsInterval  = flag.Uint64("metrics-interval", 10000, "metrics sampling interval in simulated cycles")
+		metricsWallclock = flag.Bool("metrics-wallclock", false, "include the (nondeterministic) wall-clock self-observability section in -metrics-out")
+		timelineOut      = flag.String("timeline-out", "", "write a Chrome trace-event / Perfetto timeline of per-processor states to this file (-run mode)")
+		traceN           = flag.Int("trace", 0, "record the last N processor operations in a ring buffer and dump them after the run (-run mode)")
+		traceOut         = flag.String("trace-out", "", "file for the -trace dump (default stderr)")
+		cpuprofile       = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
+		memprofile       = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
-	switch {
-	case *run != "":
-		if err := singleRun(*run, *lockKind, *barKind, *redKind, *protoName, *procs, *iters); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "coherencesim:", err)
-			os.Exit(1)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "coherencesim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coherencesim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the stable live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coherencesim:", err)
+			}
+		}()
+	}
+
+	ob := obsOptions{
+		metricsOut:  *metricsOut,
+		metricsCSV:  *metricsCSV,
+		interval:    sim.Time(*metricsInterval),
+		wallclock:   *metricsWallclock,
+		timelineOut: *timelineOut,
+		traceN:      *traceN,
+		traceOut:    *traceOut,
+	}
+	if ob.metricsEnabled() && ob.interval == 0 {
+		fmt.Fprintln(os.Stderr, "coherencesim: -metrics-interval must be positive")
+		return 1
+	}
+
+	switch {
+	case *runKind != "":
+		if err := singleRun(*runKind, *lockKind, *barKind, *redKind, *protoName, *procs, *iters, ob); err != nil {
+			fmt.Fprintln(os.Stderr, "coherencesim:", err)
+			return 1
 		}
 	case *experiment != "":
 		o := experiments.Defaults()
@@ -68,21 +158,29 @@ func main() {
 			timings = os.Stderr
 			fmt.Fprintf(os.Stderr, "coherencesim: %d simulation workers\n", o.Runner.Workers())
 		}
-		if *format == "csv" {
-			if err := runExperimentsCSV(*experiment, o); err != nil {
-				fmt.Fprintln(os.Stderr, "coherencesim:", err)
-				os.Exit(1)
-			}
-			return
+		var phases *metrics.PhaseTimer
+		if ob.metricsEnabled() {
+			o.Metrics = metrics.NewCollector(ob.interval)
+			phases = metrics.NewPhaseTimer()
 		}
-		if err := runExperiments(*experiment, o, timings); err != nil {
+		var err error
+		if *format == "csv" {
+			err = runExperimentsCSV(*experiment, o)
+		} else {
+			err = runExperiments(*experiment, o, timings, phases)
+		}
+		if err == nil {
+			err = writeExperimentMetrics(o, phases, ob)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "coherencesim:", err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func parseProtocol(s string) (proto.Protocol, error) {
@@ -97,7 +195,60 @@ func parseProtocol(s string) (proto.Protocol, error) {
 	return 0, fmt.Errorf("unknown protocol %q (want WI, PU, or CU)", s)
 }
 
-func runExperiments(name string, o experiments.Options, timings io.Writer) error {
+// writeExperimentMetrics exports the collected experiment metrics to the
+// requested files, attaching the wall-clock section only on explicit
+// request so the default document stays deterministic.
+func writeExperimentMetrics(o experiments.Options, phases *metrics.PhaseTimer, ob obsOptions) error {
+	if !ob.metricsEnabled() || o.Metrics == nil {
+		return nil
+	}
+	rep := o.Metrics.Report()
+	if ob.wallclock {
+		pg := o.Runner.Progress()
+		rep.Wallclock = &metrics.Wallclock{
+			Workers:         o.Runner.Workers(),
+			JobsDone:        pg.JobsDone,
+			SimCycles:       pg.SimCycles,
+			WallSeconds:     pg.Elapsed.Seconds(),
+			CyclesPerSecond: pg.CyclesPerSecond(),
+			Phases:          phases.Phases(),
+		}
+	}
+	return writeReport(rep, ob)
+}
+
+// writeReport writes the report to the JSON and/or CSV destinations.
+func writeReport(rep *metrics.Report, ob obsOptions) error {
+	if ob.metricsOut != "" {
+		f, err := os.Create(ob.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if ob.metricsCSV != "" {
+		f, err := os.Create(ob.metricsCSV)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runExperiments(name string, o experiments.Options, timings io.Writer, phases *metrics.PhaseTimer) error {
 	type driver struct {
 		id  string
 		fn  func(experiments.Options)
@@ -153,8 +304,10 @@ func runExperiments(name string, o experiments.Options, timings io.Writer) error
 	timed := func(d driver) {
 		t0 := time.Now()
 		d.fn(o)
+		elapsed := time.Since(t0)
+		phases.Observe(d.id, elapsed)
 		if timings != nil {
-			fmt.Fprintf(timings, "coherencesim: %s done in %.2fs\n", d.id, time.Since(t0).Seconds())
+			fmt.Fprintf(timings, "coherencesim: %s done in %.2fs\n", d.id, elapsed.Seconds())
 		}
 	}
 	if name == "all" {
@@ -173,7 +326,87 @@ func runExperiments(name string, o experiments.Options, timings io.Writer) error
 	return fmt.Errorf("unknown experiment %q", name)
 }
 
-func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters int) error {
+// instrument applies the observability options to a single run's
+// parameters, returning the timeline and trace handles to export after
+// the run (nil when the corresponding flag is off).
+func instrument(p *workload.Params, ob obsOptions) (*metrics.Timeline, *trace.Log) {
+	if ob.metricsEnabled() {
+		p.MetricsInterval = ob.interval
+	}
+	var tl *metrics.Timeline
+	var tr *trace.Log
+	if ob.timelineOut != "" {
+		tl = metrics.NewTimeline(0)
+	}
+	if ob.traceN > 0 {
+		tr = trace.NewLog(ob.traceN)
+	}
+	if tl != nil || tr != nil {
+		prev := p.Tune
+		p.Tune = func(cfg *machine.Config) {
+			cfg.Timeline = tl
+			cfg.Trace = tr
+			if prev != nil {
+				prev(cfg)
+			}
+		}
+	}
+	return tl, tr
+}
+
+// writeRunOutputs exports a single run's requested observability
+// artifacts: the operation-trace dump, the Perfetto timeline (with trace
+// events folded in as instants when both are enabled), and the metrics
+// report.
+func writeRunOutputs(label string, res machine.Result, tl *metrics.Timeline, tr *trace.Log, ob obsOptions) error {
+	if tr != nil {
+		w := io.Writer(os.Stderr)
+		if ob.traceOut != "" {
+			f, err := os.Create(ob.traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		fmt.Fprintln(w, tr.Summary())
+		if err := tr.Dump(w, -1); err != nil {
+			return err
+		}
+	}
+	if tl != nil {
+		if tr != nil {
+			// Fold the buffered operation trace into the timeline as
+			// point events, so Perfetto shows atomics/fences/flushes and
+			// spin wake-ups against the stall intervals.
+			for _, e := range tr.Events() {
+				switch e.Kind {
+				case trace.Atomic, trace.Fence, trace.Flush, trace.SpinWake:
+					tl.AddInstant(e.Proc, e.Kind.String(), e.Time)
+				}
+			}
+		}
+		f, err := os.Create(ob.timelineOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteChromeTrace(f, tl, len(res.PerProc)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if ob.metricsEnabled() {
+		coll := metrics.NewCollector(ob.interval)
+		coll.Add(label, res.Metrics)
+		return writeReport(coll.Report(), ob)
+	}
+	return nil
+}
+
+func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters int, ob obsOptions) error {
 	pr, err := parseProtocol(protoName)
 	if err != nil {
 		return err
@@ -195,11 +428,14 @@ func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters 
 		if iters > 0 {
 			p.Iterations = iters
 		}
+		tl, tr := instrument(&p, ob)
 		res := workload.LockLoop(p, lk)
 		fmt.Printf("%v lock, %v, P=%d: %d acquires\n", lk, pr, procs, res.Acquires)
 		fmt.Printf("  avg acquire-release latency: %.1f cycles\n", res.AvgLatency)
 		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Result.Net.Messages)
 		fmt.Print(missBar(res))
+		return writeRunOutputs(fmt.Sprintf("run/lock/%v-%s/P=%d", lk, pr.Short(), procs),
+			res.Result, tl, tr, ob)
 	case "barrier":
 		var bk workload.BarrierKind
 		switch strings.ToLower(barKind) {
@@ -216,10 +452,13 @@ func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters 
 		if iters > 0 {
 			p.Iterations = iters
 		}
+		tl, tr := instrument(&p, ob)
 		res := workload.BarrierLoop(p, bk)
 		fmt.Printf("%v barrier, %v, P=%d: %d episodes\n", bk, pr, procs, res.Episodes)
 		fmt.Printf("  avg episode latency: %.1f cycles\n", res.AvgLatency)
 		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Net.Messages)
+		return writeRunOutputs(fmt.Sprintf("run/barrier/%v-%s/P=%d", bk, pr.Short(), procs),
+			res.Result, tl, tr, ob)
 	case "reduction":
 		var rk workload.ReductionKind
 		switch strings.ToLower(redKind) {
@@ -234,14 +473,16 @@ func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters 
 		if iters > 0 {
 			p.Iterations = iters
 		}
+		tl, tr := instrument(&p, ob)
 		res := workload.ReductionLoop(p, rk)
 		fmt.Printf("%v reduction, %v, P=%d: %d reductions\n", rk, pr, procs, res.Reductions)
 		fmt.Printf("  avg reduction latency: %.1f cycles\n", res.AvgLatency)
 		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Net.Messages)
+		return writeRunOutputs(fmt.Sprintf("run/reduction/%v-%s/P=%d", rk, pr.Short(), procs),
+			res.Result, tl, tr, ob)
 	default:
 		return fmt.Errorf("unknown run kind %q (want lock, barrier, or reduction)", kind)
 	}
-	return nil
 }
 
 func printTraffic(misses, updates, messages uint64) {

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"coherencesim/internal/experiments"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/runner"
 )
@@ -41,11 +46,11 @@ func microOptions() experiments.Options {
 func TestRunExperimentsDispatch(t *testing.T) {
 	o := microOptions()
 	for _, id := range []string{"fig8", "fig11", "fig14", "redvariants"} {
-		if err := runExperiments(id, o, nil); err != nil {
+		if err := runExperiments(id, o, nil, nil); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 	}
-	if err := runExperiments("nope", o, nil); err == nil {
+	if err := runExperiments("nope", o, nil, nil); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -64,7 +69,7 @@ func TestSingleRunDispatch(t *testing.T) {
 		{"reduction", "", "", "pr", "WI"},
 	}
 	for _, c := range cases {
-		if err := singleRun(c.kind, c.lock, c.bar, c.red, c.protocol, 4, 40); err != nil {
+		if err := singleRun(c.kind, c.lock, c.bar, c.red, c.protocol, 4, 40, obsOptions{}); err != nil {
 			t.Errorf("%+v: %v", c, err)
 		}
 	}
@@ -77,8 +82,137 @@ func TestSingleRunDispatch(t *testing.T) {
 		{"bogus", "", "", "", "WI"},
 		{"lock", "tk", "", "", "bogus"},
 	} {
-		if err := singleRun(c.kind, c.lock, c.bar, c.red, c.protocol, 4, 40); err == nil {
+		if err := singleRun(c.kind, c.lock, c.bar, c.red, c.protocol, 4, 40, obsOptions{}); err == nil {
 			t.Errorf("%+v: error expected", c)
 		}
+	}
+}
+
+// TestSingleRunObservability drives the -run path with every
+// observability output enabled and validates the produced artifacts.
+func TestSingleRunObservability(t *testing.T) {
+	dir := t.TempDir()
+	ob := obsOptions{
+		metricsOut:  filepath.Join(dir, "m.json"),
+		metricsCSV:  filepath.Join(dir, "m.csv"),
+		interval:    500,
+		timelineOut: filepath.Join(dir, "tl.json"),
+		traceN:      200,
+		traceOut:    filepath.Join(dir, "tr.log"),
+	}
+	if err := singleRun("lock", "mcs", "", "", "CU", 4, 200, ob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics JSON: parses, has the lock-acquire histogram and sampled
+	// series.
+	var rep metrics.Report
+	b, err := os.ReadFile(ob.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if rep.Version != metrics.ReportVersion || len(rep.Runs) != 1 {
+		t.Fatalf("version/runs = %d/%d", rep.Version, len(rep.Runs))
+	}
+	s := rep.Runs[0].Metrics
+	if s == nil || s.Histograms["latency.lock_acquire"].Count == 0 {
+		t.Error("lock-acquire histogram missing from single-run metrics")
+	}
+	if s.Series == nil || s.Series.Interval != 500 {
+		t.Error("sampled series missing from single-run metrics")
+	}
+	if rep.Wallclock != nil {
+		t.Error("wallclock section present without opt-in")
+	}
+
+	// CSV: header plus at least one series row.
+	csv, err := os.ReadFile(ob.metricsCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if lines[0] != "label,frame,t_start,t_end,counter,delta" || len(lines) < 2 {
+		t.Errorf("unexpected CSV shape: %d lines, header %q", len(lines), lines[0])
+	}
+
+	// Timeline: Chrome trace-event JSON with per-processor slices and
+	// folded trace instants.
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			Tid   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	tb, err := os.ReadFile(ob.timelineOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(tb, &doc); err != nil {
+		t.Fatalf("timeline JSON does not parse: %v", err)
+	}
+	var slices, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "X":
+			slices++
+		case "i":
+			instants++
+		}
+	}
+	if slices == 0 || instants == 0 {
+		t.Errorf("timeline has %d slices, %d instants; want both", slices, instants)
+	}
+
+	// Trace dump: summary line plus events.
+	tr, err := os.ReadFile(ob.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(tr), "trace: ") {
+		t.Error("trace dump missing summary line")
+	}
+}
+
+// TestExperimentMetricsExport drives the experiment path end to end:
+// collector wired through Options, report written, deterministic across
+// worker counts, wall-clock section only on request.
+func TestExperimentMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(workers int, wallclock bool, out string) []byte {
+		o := microOptions()
+		o.Runner = runner.New(workers)
+		o.Metrics = metrics.NewCollector(1000)
+		phases := metrics.NewPhaseTimer()
+		if err := runExperiments("fig8", o, nil, phases); err != nil {
+			t.Fatal(err)
+		}
+		ob := obsOptions{metricsOut: filepath.Join(dir, out), interval: 1000, wallclock: wallclock}
+		if err := writeExperimentMetrics(o, phases, ob); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(ob.metricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := runOnce(1, false, "a.json")
+	b := runOnce(4, false, "b.json")
+	if string(a) != string(b) {
+		t.Error("experiment metrics differ across worker counts")
+	}
+	w := runOnce(2, true, "w.json")
+	var rep metrics.Report
+	if err := json.Unmarshal(w, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wallclock == nil || len(rep.Wallclock.Phases) == 0 {
+		t.Error("wallclock section missing after opt-in")
+	}
+	if len(rep.Runs) == 0 {
+		t.Error("no runs collected")
 	}
 }

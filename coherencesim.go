@@ -41,6 +41,7 @@ import (
 	"coherencesim/internal/constructs"
 	"coherencesim/internal/experiments"
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/runner"
 	"coherencesim/internal/trace"
@@ -278,6 +279,51 @@ type TraceLog = trace.Log
 
 // NewTraceLog creates an operation trace ring buffer.
 func NewTraceLog(capacity int) *TraceLog { return trace.NewLog(capacity) }
+
+// Observability layer: attach a MetricsRegistry to Config.Metrics to
+// collect named counters, latency/fan-out histograms, and (with a
+// positive sampling interval) per-interval time series, all keyed to
+// simulated time; the run's MetricsSnapshot comes back in
+// Result.Metrics. Attach a MetricsTimeline to Config.Timeline to record
+// per-processor state intervals for Chrome trace-event / Perfetto
+// export. MetricsCollector assembles labeled snapshots into a
+// MetricsReport for JSON/CSV export.
+type (
+	MetricsRegistry  = metrics.Registry
+	MetricsSnapshot  = metrics.Snapshot
+	MetricsTimeline  = metrics.Timeline
+	MetricsCollector = metrics.Collector
+	MetricsReport    = metrics.Report
+)
+
+// NewMetricsRegistry builds an observability registry; interval is the
+// time-series sampling period in simulated cycles (0 disables series).
+func NewMetricsRegistry(interval uint64) *MetricsRegistry {
+	return metrics.New(interval)
+}
+
+// NewMetricsTimeline builds a timeline recorder holding at most limit
+// events (<= 0 for unbounded).
+func NewMetricsTimeline(limit int) *MetricsTimeline {
+	return metrics.NewTimeline(limit)
+}
+
+// NewMetricsCollector builds a snapshot collector whose runs sample at
+// the given interval.
+func NewMetricsCollector(interval uint64) *MetricsCollector {
+	return metrics.NewCollector(interval)
+}
+
+// WriteChromeTrace renders a timeline as Chrome trace-event JSON that
+// chrome://tracing and Perfetto load directly.
+var WriteChromeTrace = metrics.WriteChromeTrace
+
+// Histogram names the built-in constructs record latency under.
+const (
+	HistLockAcquire    = constructs.HistLockAcquire
+	HistBarrierEpisode = constructs.HistBarrierEpisode
+	HistReduction      = constructs.HistReduction
+)
 
 // Application kernels (lock-, barrier-, and reduction-bound programs
 // distilling the workload classes the paper motivates) and the

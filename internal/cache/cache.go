@@ -13,7 +13,12 @@
 // can change.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"coherencesim/internal/metrics"
+	"coherencesim/internal/sim"
+)
 
 // Fixed geometry of the simulated memory system.
 const (
@@ -84,6 +89,19 @@ type Cache struct {
 	watchers map[uint32][]func()
 	versions map[uint32]uint64
 	stats    Stats
+
+	// Optional sampled observability counters, shared across all caches
+	// of a machine; now supplies the simulated clock.
+	mHits   *metrics.Counter
+	mMisses *metrics.Counter
+	now     func() sim.Time
+}
+
+// Instrument attaches sampled hit/miss metric counters and a simulated
+// clock source, so the observability layer can export cache hit/miss
+// rates over simulated time.
+func (c *Cache) Instrument(hits, misses *metrics.Counter, now func() sim.Time) {
+	c.mHits, c.mMisses, c.now = hits, misses, now
 }
 
 // New builds a cache of the given total size in bytes. Size must be a
@@ -125,8 +143,19 @@ func (c *Cache) Lookup(block uint32) *Line {
 func (c *Cache) Present(block uint32) bool { return c.Lookup(block) != nil }
 
 // CountHit / CountMiss record raw access outcomes.
-func (c *Cache) CountHit()  { c.stats.Hits++ }
-func (c *Cache) CountMiss() { c.stats.Misses++ }
+func (c *Cache) CountHit() {
+	c.stats.Hits++
+	if c.now != nil {
+		c.mHits.Add(c.now(), 1)
+	}
+}
+
+func (c *Cache) CountMiss() {
+	c.stats.Misses++
+	if c.now != nil {
+		c.mMisses.Add(c.now(), 1)
+	}
+}
 
 // Victim returns a copy of the line that Install(block) would evict, and
 // whether there is such a conflicting valid line.

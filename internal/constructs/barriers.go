@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 )
 
 // CentralBarrier is the sense-reversing centralized barrier of figure 3:
@@ -16,6 +17,7 @@ type CentralBarrier struct {
 	sense      machine.Addr
 	procs      int
 	localSense [64]uint32
+	lat        *metrics.Histogram
 }
 
 // NewCentralBarrier allocates a centralized barrier for all processors.
@@ -24,6 +26,7 @@ func NewCentralBarrier(m *machine.Machine, name string) *CentralBarrier {
 		count: m.Alloc(name+".count", 4, 0),
 		sense: m.Alloc(name+".sense", 4, 0),
 		procs: m.Procs(),
+		lat:   m.MetricsHistogram(HistBarrierEpisode),
 	}
 	m.Poke(b.count, uint32(m.Procs()))
 	for i := range b.localSense {
@@ -34,6 +37,8 @@ func NewCentralBarrier(m *machine.Machine, name string) *CentralBarrier {
 
 // Wait joins the barrier episode.
 func (b *CentralBarrier) Wait(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { b.lat.Observe(p.Now() - t0) }()
 	p.Fence() // release: writes before the barrier
 	ls := b.localSense[p.ID()]
 	b.localSense[p.ID()] = 1 - ls // toggle private sense (register-resident)
@@ -61,11 +66,13 @@ type DisseminationBarrier struct {
 	flags  [64]machine.Addr // per-processor flag area (one block per flag)
 	parity [64]int
 	sense  [64]uint32
+	lat    *metrics.Histogram
 }
 
 // NewDisseminationBarrier allocates a dissemination barrier.
 func NewDisseminationBarrier(m *machine.Machine, name string) *DisseminationBarrier {
 	b := &DisseminationBarrier{procs: m.Procs(), rounds: ceilLog2(m.Procs())}
+	b.lat = m.MetricsHistogram(HistBarrierEpisode)
 	for i := 0; i < m.Procs(); i++ {
 		// 2 parities x up to 6 rounds, one block each.
 		b.flags[i] = m.Alloc(fmt.Sprintf("%s.flags%d", name, i), 64*2*6, i)
@@ -83,6 +90,8 @@ func (b *DisseminationBarrier) flagAddr(node, parity, round int) machine.Addr {
 
 // Wait joins the barrier episode.
 func (b *DisseminationBarrier) Wait(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { b.lat.Observe(p.Now() - t0) }()
 	p.Fence()
 	p.Compute(1) // parity/sense bookkeeping instructions
 	id := p.ID()
@@ -118,12 +127,14 @@ type TreeBarrier struct {
 	globalSense machine.Addr
 	havechild   [64][4]bool
 	sense       [64]uint32
+	lat         *metrics.Histogram
 }
 
 // NewTreeBarrier allocates a tree barrier and initializes the arrival
 // flags (childnotready := havechild).
 func NewTreeBarrier(m *machine.Machine, name string) *TreeBarrier {
 	b := &TreeBarrier{procs: m.Procs()}
+	b.lat = m.MetricsHistogram(HistBarrierEpisode)
 	b.globalSense = m.Alloc(name+".gsense", 4, 0)
 	for i := 0; i < m.Procs(); i++ {
 		b.nodes[i] = m.Alloc(fmt.Sprintf("%s.node%d", name, i), 64*4, i)
@@ -153,6 +164,8 @@ func (b *TreeBarrier) parentSlot(id int) machine.Addr {
 
 // Wait joins the barrier episode.
 func (b *TreeBarrier) Wait(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { b.lat.Observe(p.Now() - t0) }()
 	p.Fence()
 	id := p.ID()
 	sense := b.sense[id]

@@ -19,7 +19,16 @@ import (
 	"fmt"
 
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/sim"
+)
+
+// Observability histogram names shared by every construct of a kind, so
+// a machine's exported metrics aggregate per construct class.
+const (
+	HistLockAcquire    = "latency.lock_acquire"
+	HistBarrierEpisode = "latency.barrier_episode"
+	HistReduction      = "latency.reduction"
 )
 
 // Lock is a mutual-exclusion lock usable from simulated processors.
@@ -48,6 +57,7 @@ type TicketLock struct {
 	now     machine.Addr
 	backoff uint32 // pause per waiting ticket, in cycles
 	myTick  [64]uint32
+	lat     *metrics.Histogram
 }
 
 // NewTicketLock allocates a ticket lock. name must be unique per machine.
@@ -56,12 +66,15 @@ func NewTicketLock(m *machine.Machine, name string) *TicketLock {
 		ticket:  m.Alloc(name+".ticket", 4, 0),
 		now:     m.Alloc(name+".now", 4, 0),
 		backoff: 50, // roughly one critical section per ticket ahead
+		lat:     m.MetricsHistogram(HistLockAcquire),
 	}
 }
 
 // Acquire takes a ticket and probes (with proportional backoff) until it
 // is served.
 func (l *TicketLock) Acquire(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { l.lat.Observe(p.Now() - t0) }()
 	my := p.FetchAdd(l.ticket, 1)
 	l.myTick[p.ID()] = my
 	for {
@@ -93,6 +106,7 @@ type MCSLock struct {
 	nodes           [64]machine.Addr // per-processor queue node blocks
 	updateConscious bool
 	procs           int
+	lat             *metrics.Histogram
 }
 
 // Queue-node word offsets: next pointer, then the spun-on flag.
@@ -105,6 +119,7 @@ const (
 // flush-augmented variant.
 func NewMCSLock(m *machine.Machine, name string, updateConscious bool) *MCSLock {
 	l := &MCSLock{updateConscious: updateConscious, procs: m.Procs()}
+	l.lat = m.MetricsHistogram(HistLockAcquire)
 	l.tail = m.Alloc(name+".tail", 4, 0)
 	for i := 0; i < m.Procs(); i++ {
 		l.nodes[i] = m.Alloc(fmt.Sprintf("%s.qnode%d", name, i), 8, i)
@@ -130,6 +145,8 @@ func (l *MCSLock) ownerOf(node machine.Addr) int {
 
 // Acquire appends p's node to the queue and spins on its own flag.
 func (l *MCSLock) Acquire(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { l.lat.Observe(p.Now() - t0) }()
 	i := l.node(p.ID())
 	p.Write(i+qnodeNext, 0)
 	pred := machine.Addr(p.FetchStore(l.tail, uint32(i)))

@@ -2,6 +2,7 @@ package constructs
 
 import (
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/sim"
 )
 
@@ -21,6 +22,7 @@ type TASLock struct {
 	word       machine.Addr
 	minBackoff sim.Time
 	maxBackoff sim.Time
+	lat        *metrics.Histogram
 }
 
 // NewTASLock allocates a test-and-set lock.
@@ -29,6 +31,7 @@ func NewTASLock(m *machine.Machine, name string) *TASLock {
 		word:       m.Alloc(name+".tas", 4, 0),
 		minBackoff: 8,
 		maxBackoff: 1024,
+		lat:        m.MetricsHistogram(HistLockAcquire),
 	}
 }
 
@@ -44,6 +47,8 @@ func (l *TASLock) SetBackoff(min, max sim.Time) {
 
 // Acquire spins with exponential backoff until the swap wins.
 func (l *TASLock) Acquire(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { l.lat.Observe(p.Now() - t0) }()
 	pause := l.minBackoff
 	for p.FetchStore(l.word, 1) != 0 {
 		p.Compute(sim.Time(p.Rand().Int63n(int64(pause))) + 1)
@@ -65,16 +70,22 @@ func (l *TASLock) Release(p *machine.Proc) {
 // TAS's coherence storm under invalidate protocols.
 type TTASLock struct {
 	word machine.Addr
+	lat  *metrics.Histogram
 }
 
 // NewTTASLock allocates a test-and-test-and-set lock.
 func NewTTASLock(m *machine.Machine, name string) *TTASLock {
-	return &TTASLock{word: m.Alloc(name+".ttas", 4, 0)}
+	return &TTASLock{
+		word: m.Alloc(name+".ttas", 4, 0),
+		lat:  m.MetricsHistogram(HistLockAcquire),
+	}
 }
 
 // Acquire spins on a cached copy until the word reads free, then races
 // the swap, repeating on loss.
 func (l *TTASLock) Acquire(p *machine.Proc) {
+	t0 := p.Now()
+	defer func() { l.lat.Observe(p.Now() - t0) }()
 	for {
 		p.SpinUntil(l.word, func(v uint32) bool { return v == 0 })
 		if p.FetchStore(l.word, 1) == 0 {

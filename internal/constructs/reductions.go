@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 )
 
 // Reducer computes a machine-wide maximum from per-processor arguments,
@@ -27,6 +28,7 @@ type ParallelReducer struct {
 	max     machine.Addr
 	lock    Lock
 	barrier Barrier
+	lat     *metrics.Histogram
 }
 
 // NewParallelReducer allocates the global cell at node 0.
@@ -35,6 +37,7 @@ func NewParallelReducer(m *machine.Machine, name string, lock Lock, barrier Barr
 		max:     m.Alloc(name+".max", 4, 0),
 		lock:    lock,
 		barrier: barrier,
+		lat:     m.MetricsHistogram(HistReduction),
 	}
 }
 
@@ -43,6 +46,8 @@ func (r *ParallelReducer) ResultAddr() machine.Addr { return r.max }
 
 // Reduce performs one parallel reduction episode.
 func (r *ParallelReducer) Reduce(p *machine.Proc, local uint32) {
+	t0 := p.Now()
+	defer func() { r.lat.Observe(p.Now() - t0) }()
 	r.lock.Acquire(p)
 	if p.Read(r.max) < local {
 		p.Write(r.max, local)
@@ -61,11 +66,13 @@ type SequentialReducer struct {
 	slots   [64]machine.Addr
 	barrier Barrier
 	procs   int
+	lat     *metrics.Histogram
 }
 
 // NewSequentialReducer allocates the global cell and per-processor slots.
 func NewSequentialReducer(m *machine.Machine, name string, barrier Barrier) *SequentialReducer {
 	r := &SequentialReducer{barrier: barrier, procs: m.Procs()}
+	r.lat = m.MetricsHistogram(HistReduction)
 	r.max = m.Alloc(name+".max", 4, 0)
 	for i := 0; i < m.Procs(); i++ {
 		r.slots[i] = m.Alloc(fmt.Sprintf("%s.local%d", name, i), 4, i)
@@ -81,6 +88,8 @@ func (r *SequentialReducer) SlotAddr(id int) machine.Addr { return r.slots[id] }
 
 // Reduce performs one sequential reduction episode.
 func (r *SequentialReducer) Reduce(p *machine.Proc, local uint32) {
+	t0 := p.Now()
+	defer func() { r.lat.Observe(p.Now() - t0) }()
 	p.Write(r.slots[p.ID()], local)
 	r.barrier.Wait(p) // barrier entry fences, publishing the slot
 	if p.ID() == 0 {

@@ -12,6 +12,7 @@ import (
 
 	"coherencesim/internal/classify"
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
@@ -31,6 +32,12 @@ type Options struct {
 	// submission order, so every rendered table and CSV is byte-identical
 	// to the serial path's. Nil runs everything serially inline.
 	Runner *runner.Pool
+	// Metrics, when non-nil, attaches an observability registry (sampling
+	// at Metrics.Interval()) to every simulation and collects the labeled
+	// snapshots. Snapshots are fed from the submission-ordered assembly
+	// loops, so the collected report is byte-identical at any worker
+	// count.
+	Metrics *metrics.Collector
 }
 
 // Defaults returns the paper's experiment parameters.
@@ -68,6 +75,13 @@ var (
 
 func comboName(alg fmt.Stringer, pr proto.Protocol) string {
 	return fmt.Sprintf("%v-%s", alg, pr.Short())
+}
+
+// withMetrics applies the collector's sampling interval to one run's
+// parameters, attaching a per-machine registry when collection is on.
+func (o Options) withMetrics(p workload.Params) workload.Params {
+	p.MetricsInterval = o.Metrics.Interval()
+	return p
 }
 
 // latencyPoint is one latency-sweep measurement: the full run result
@@ -111,6 +125,7 @@ func latencySweep[K fmt.Stringer](o Options, figure, metric string, kinds []K,
 	}
 	for i, res := range runner.Map(o.Runner, jobs) {
 		s.Latency[points[i].name][points[i].procs] = res.Latency
+		o.Metrics.Add(jobs[i].Label, res.Metrics)
 	}
 	return s
 }
@@ -141,6 +156,7 @@ func trafficSweep[K fmt.Stringer](o Options, figure string, kinds []K,
 	for i, res := range runner.Map(o.Runner, jobs) {
 		misses[names[i]] = res.Misses
 		updates[names[i]] = res.Updates
+		o.Metrics.Add(jobs[i].Label, res.Metrics)
 	}
 	return misses, updates, allCombos, updCombos
 }
@@ -245,7 +261,7 @@ type lockRun func(p workload.Params, k workload.LockKind) workload.LockResult
 func lockSweep(o Options, figure, metric string, run lockRun) *LatencySweep {
 	return latencySweep(o, figure, metric, lockKinds,
 		func(kind workload.LockKind, pr proto.Protocol, procs int) latencyPoint {
-			p := workload.DefaultLockParams(pr, procs)
+			p := o.withMetrics(workload.DefaultLockParams(pr, procs))
 			p.Iterations = o.LockIterations
 			r := run(p, kind)
 			return latencyPoint{r.Result, r.AvgLatency}
@@ -263,7 +279,7 @@ func Figure8(o Options) *LatencySweep {
 func lockTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	return trafficSweep(o, "lock traffic", lockKinds,
 		func(kind workload.LockKind, pr proto.Protocol) machine.Result {
-			p := workload.DefaultLockParams(pr, o.TrafficProcs)
+			p := o.withMetrics(workload.DefaultLockParams(pr, o.TrafficProcs))
 			p.Iterations = o.LockIterations
 			return workload.LockLoop(p, kind).Result
 		})
@@ -286,7 +302,7 @@ func Figure10(o Options) *UpdateBreakdown {
 func Figure11(o Options) *LatencySweep {
 	return latencySweep(o, "Figure 11", "avg barrier episode latency (cycles)", barrierKinds,
 		func(kind workload.BarrierKind, pr proto.Protocol, procs int) latencyPoint {
-			p := workload.DefaultBarrierParams(pr, procs)
+			p := o.withMetrics(workload.DefaultBarrierParams(pr, procs))
 			p.Iterations = o.BarrierEpisodes
 			r := workload.BarrierLoop(p, kind)
 			return latencyPoint{r.Result, r.AvgLatency}
@@ -297,7 +313,7 @@ func Figure11(o Options) *LatencySweep {
 func barrierTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	return trafficSweep(o, "barrier traffic", barrierKinds,
 		func(kind workload.BarrierKind, pr proto.Protocol) machine.Result {
-			p := workload.DefaultBarrierParams(pr, o.TrafficProcs)
+			p := o.withMetrics(workload.DefaultBarrierParams(pr, o.TrafficProcs))
 			p.Iterations = o.BarrierEpisodes
 			return workload.BarrierLoop(p, kind).Result
 		})
@@ -322,7 +338,7 @@ type reductionRun func(p workload.Params, k workload.ReductionKind) workload.Red
 func reductionSweep(o Options, figure, metric string, run reductionRun) *LatencySweep {
 	return latencySweep(o, figure, metric, reductionKinds,
 		func(kind workload.ReductionKind, pr proto.Protocol, procs int) latencyPoint {
-			p := workload.DefaultReductionParams(pr, procs)
+			p := o.withMetrics(workload.DefaultReductionParams(pr, procs))
 			p.Iterations = o.ReductionEpisodes
 			r := run(p, kind)
 			return latencyPoint{r.Result, r.AvgLatency}
@@ -340,7 +356,7 @@ func Figure14(o Options) *LatencySweep {
 func reductionTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	return trafficSweep(o, "reduction traffic", reductionKinds,
 		func(kind workload.ReductionKind, pr proto.Protocol) machine.Result {
-			p := workload.DefaultReductionParams(pr, o.TrafficProcs)
+			p := o.withMetrics(workload.DefaultReductionParams(pr, o.TrafficProcs))
 			p.Iterations = o.ReductionEpisodes
 			return workload.ReductionLoop(p, kind).Result
 		})

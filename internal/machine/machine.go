@@ -21,6 +21,7 @@ import (
 	"coherencesim/internal/classify"
 	"coherencesim/internal/mem"
 	"coherencesim/internal/mesh"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/sim"
 	"coherencesim/internal/trace"
@@ -54,8 +55,20 @@ type Config struct {
 	// Trace, when non-nil, records every processor-level operation into
 	// the given ring buffer for post-mortem inspection.
 	Trace *trace.Log
-	Mesh  mesh.Config
-	Mem   mem.Config
+	// Metrics, when non-nil, collects the run's observability data —
+	// named counters, latency/fan-out histograms, and (when the registry
+	// has a sampling interval) per-interval time series — all keyed to
+	// simulated time, so enabling it never perturbs the simulation and
+	// its snapshot is byte-identical at any experiment worker count.
+	// The machine threads the registry through the coherence system,
+	// caches, and mesh; Run folds the snapshot into Result.Metrics.
+	Metrics *metrics.Registry
+	// Timeline, when non-nil, records per-processor state intervals
+	// (stalls, spins, sync waits) for Chrome trace-event / Perfetto
+	// export.
+	Timeline *metrics.Timeline
+	Mesh     mesh.Config
+	Mem      mem.Config
 }
 
 // DefaultConfig returns the paper's machine parameters.
@@ -91,6 +104,9 @@ type Result struct {
 	// equality-sensitive comparisons of Result values by keeping it a
 	// slice; compare it explicitly when needed).
 	PerProc []ProcStats
+	// Metrics is the observability snapshot of the run, non-nil only
+	// when Config.Metrics was set.
+	Metrics *metrics.Snapshot
 }
 
 // SimulatedCycles reports the run's simulated execution time for
@@ -105,6 +121,7 @@ type Machine struct {
 	cl  *classify.Classifier
 	sys *proto.System
 	cfg Config
+	met machMetrics
 
 	nextBlock uint32
 	blockHome map[uint32]int
@@ -112,6 +129,38 @@ type Machine struct {
 
 	procs []*Proc
 	ran   bool
+}
+
+// machMetrics caches the machine-level observability handles. All
+// handles are nil-safe no-ops when no registry is configured, so the
+// processor hot paths call them unconditionally.
+type machMetrics struct {
+	busy     *metrics.Counter
+	stall    [8]*metrics.Counter // indexed by waitReason
+	reads    *metrics.Counter
+	writes   *metrics.Counter
+	atomics  *metrics.Counter
+	flushes  *metrics.Counter
+	readMiss *metrics.Histogram
+}
+
+func newMachMetrics(r *metrics.Registry) machMetrics {
+	m := machMetrics{
+		busy:     r.Counter("busy"),
+		reads:    r.Counter("ops.reads"),
+		writes:   r.Counter("ops.writes"),
+		atomics:  r.Counter("ops.atomics"),
+		flushes:  r.Counter("ops.flushes"),
+		readMiss: r.Histogram("latency.read_miss"),
+	}
+	m.stall[waitRead] = r.Counter("stall.read")
+	m.stall[waitWBSpace] = r.Counter("stall.write")
+	m.stall[waitFlushWB] = m.stall[waitWBSpace]
+	m.stall[waitFence] = r.Counter("stall.fence")
+	m.stall[waitAtomic] = r.Counter("stall.atomic")
+	m.stall[waitSpin] = r.Counter("stall.spin")
+	m.stall[waitSync] = r.Counter("stall.sync")
+	return m
 }
 
 // New builds a machine.
@@ -126,6 +175,7 @@ func New(cfg Config) *Machine {
 		e:         sim.NewEngine(),
 		cl:        classify.New(cfg.Procs),
 		cfg:       cfg,
+		met:       newMachMetrics(cfg.Metrics),
 		blockHome: make(map[uint32]int),
 		allocs:    make(map[string]Addr),
 	}
@@ -136,6 +186,7 @@ func New(cfg Config) *Machine {
 		DisableRetention: cfg.DisableRetention,
 		Mesh:             cfg.Mesh,
 		Mem:              cfg.Mem,
+		Metrics:          cfg.Metrics,
 		HomeOf: func(block uint32) int {
 			if h, ok := m.blockHome[block]; ok {
 				return h
@@ -158,6 +209,22 @@ func (m *Machine) Engine() *sim.Engine { return m.e }
 
 // System exposes the coherence system (tests and diagnostics).
 func (m *Machine) System() *proto.System { return m.sys }
+
+// Metrics returns the machine's observability registry (nil when none
+// was configured; the nil registry is a valid no-op sink).
+func (m *Machine) Metrics() *metrics.Registry { return m.cfg.Metrics }
+
+// MetricsHistogram returns a named histogram handle from the machine's
+// registry — a nil no-op handle when observability is off. Constructs
+// use it to record latency distributions without caring whether metrics
+// are enabled.
+func (m *Machine) MetricsHistogram(name string) *metrics.Histogram {
+	return m.cfg.Metrics.Histogram(name)
+}
+
+// Timeline returns the machine's timeline recorder (nil when none was
+// configured).
+func (m *Machine) Timeline() *metrics.Timeline { return m.cfg.Timeline }
 
 // Alloc reserves size bytes of shared memory, rounded up to whole cache
 // blocks, and returns the base address. home pins every block of the
@@ -248,5 +315,6 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		MissRate:   m.cl.MissRate(),
 		SimEvents:  m.e.Processed(),
 		PerProc:    per,
+		Metrics:    m.cfg.Metrics.Snapshot(m.e.Now()),
 	}
 }

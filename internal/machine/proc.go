@@ -24,6 +24,25 @@ const (
 	waitFlushWB
 )
 
+// timelineName labels a stall interval for the exported timeline.
+func (r waitReason) timelineName() string {
+	switch r {
+	case waitRead:
+		return "read-stall"
+	case waitWBSpace, waitFlushWB:
+		return "write-stall"
+	case waitFence:
+		return "fence-stall"
+	case waitAtomic:
+		return "atomic-stall"
+	case waitSpin:
+		return "spin-wait"
+	case waitSync:
+		return "sync-wait"
+	}
+	return "stall"
+}
+
 // ProcStats breaks one simulated processor's time and activity down by
 // cause, in the style of the paper's execution-time analyses.
 type ProcStats struct {
@@ -99,7 +118,8 @@ func (p *Proc) block(r waitReason) {
 	t0 := p.m.e.Now()
 	p.waiting = r
 	p.co.Stall()
-	dt := p.m.e.Now() - t0
+	now := p.m.e.Now()
+	dt := now - t0
 	switch r {
 	case waitRead:
 		p.stats.ReadStall += dt
@@ -113,6 +133,10 @@ func (p *Proc) block(r waitReason) {
 		p.stats.SpinWait += dt
 	case waitSync:
 		p.stats.SyncWait += dt
+	}
+	p.m.met.stall[r].Add(now, dt)
+	if dt > 0 {
+		p.m.cfg.Timeline.AddSlice(p.id, r.timelineName(), t0, now)
 	}
 }
 
@@ -130,6 +154,7 @@ func (p *Proc) Compute(n sim.Time) {
 		return
 	}
 	p.stats.Busy += n
+	p.m.met.busy.Add(p.m.e.Now(), n)
 	p.co.StallFor(n)
 }
 
@@ -139,12 +164,15 @@ func (p *Proc) Compute(n sim.Time) {
 func (p *Proc) Read(a Addr) uint32 {
 	p.stats.Reads++
 	p.stats.Busy++
+	p.m.met.reads.Add(p.m.e.Now(), 1)
+	p.m.met.busy.Add(p.m.e.Now(), 1)
 	p.co.StallFor(1)
 	if v, ok := p.wb.Forward(a); ok {
 		return v
 	}
 	var val uint32
 	completed := false
+	issued := p.m.e.Now()
 	p.m.sys.Read(p.id, a, func(v uint32) {
 		val = v
 		completed = true
@@ -154,6 +182,7 @@ func (p *Proc) Read(a Addr) uint32 {
 	if !completed {
 		kind = trace.ReadMiss
 		p.block(waitRead)
+		p.m.met.readMiss.Observe(p.m.e.Now() - issued)
 	}
 	p.m.cfg.Trace.Record(p.Now(), p.id, kind, uint32(a), val)
 	return val
@@ -165,6 +194,8 @@ func (p *Proc) Read(a Addr) uint32 {
 func (p *Proc) Write(a Addr, v uint32) {
 	p.stats.Writes++
 	p.stats.Busy++
+	p.m.met.writes.Add(p.m.e.Now(), 1)
+	p.m.met.busy.Add(p.m.e.Now(), 1)
 	p.co.StallFor(1)
 	for p.wb.Full() {
 		p.block(waitWBSpace)
@@ -227,6 +258,8 @@ func (p *Proc) Fence() {
 func (p *Proc) atomic(a Addr, kind atomicKind, op1, op2 uint32) uint32 {
 	p.stats.Atomics++
 	p.stats.Busy++
+	p.m.met.atomics.Add(p.m.e.Now(), 1)
+	p.m.met.busy.Add(p.m.e.Now(), 1)
 	p.co.StallFor(1)
 	p.drainWB()
 	var old uint32
@@ -267,6 +300,8 @@ func (p *Proc) CompareSwap(a Addr, oldV, newV uint32) bool {
 func (p *Proc) Flush(a Addr) {
 	p.stats.Flushes++
 	p.stats.Busy++
+	p.m.met.flushes.Add(p.m.e.Now(), 1)
+	p.m.met.busy.Add(p.m.e.Now(), 1)
 	p.co.StallFor(1)
 	p.drainWB()
 	completed := false
@@ -296,6 +331,7 @@ func (p *Proc) SpinUntil(a Addr, pred func(v uint32) bool) uint32 {
 		}
 		if poll > 0 {
 			p.stats.SpinWait += poll
+			p.m.met.stall[waitSpin].Add(p.m.e.Now(), poll)
 			p.co.StallFor(poll) // uncompressed polling loop (ablation)
 			continue
 		}
@@ -334,6 +370,7 @@ func (p *Proc) SpinUntilWords(addrs []Addr, pred func(vals []uint32) bool) []uin
 		}
 		if poll > 0 {
 			p.stats.SpinWait += poll
+			p.m.met.stall[waitSpin].Add(p.m.e.Now(), poll)
 			p.co.StallFor(poll)
 			continue
 		}

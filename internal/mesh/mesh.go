@@ -11,6 +11,7 @@ package mesh
 import (
 	"fmt"
 
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/sim"
 )
 
@@ -52,6 +53,18 @@ type Network struct {
 	inFlits  []uint64
 
 	stats Stats
+
+	// Optional sampled observability counters (nil-safe handles).
+	mMsgs  *metrics.Counter
+	mFlits *metrics.Counter
+}
+
+// Instrument attaches sampled metric counters for delivered messages and
+// injected flits, so the observability layer can export network traffic
+// rates over simulated time. Loopback deliveries are excluded, matching
+// Stats.Messages.
+func (nw *Network) Instrument(msgs, flits *metrics.Counter) {
+	nw.mMsgs, nw.mFlits = msgs, flits
 }
 
 // New builds an N-node mesh on engine e.
@@ -138,6 +151,8 @@ func (nw *Network) Send(src, dst, bytes int, deliver func()) {
 	nw.stats.HopSum += uint64(hops)
 	nw.outFlits[src] += uint64(flits)
 	nw.inFlits[dst] += uint64(flits)
+	nw.mMsgs.Add(now, 1)
+	nw.mFlits.Add(now, uint64(flits))
 
 	nw.e.At(done, deliver)
 }

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildReport assembles one deterministic two-run report, simulating the
+// way experiment sweeps feed the collector.
+func buildReport() *Report {
+	c := NewCollector(100)
+	for _, label := range []string{"fig/x/P=1", "fig/x/P=2"} {
+		r := New(c.Interval())
+		cnt := r.Counter("busy")
+		cnt.Add(40, 4)
+		cnt.Add(140, 6)
+		r.Histogram("lat").Observe(17)
+		c.Add(label, r.Snapshot(200))
+	}
+	return c.Report()
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildReport().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical reports serialized differently")
+	}
+	// The document must round-trip as JSON and carry the schema version.
+	var doc map[string]any
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if doc["version"] != float64(ReportVersion) {
+		t.Errorf("version = %v, want %d", doc["version"], ReportVersion)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "label,frame,t_start,t_end,counter,delta\n" +
+		"fig/x/P=1,0,0,100,busy,4\n" +
+		"fig/x/P=1,1,100,200,busy,6\n" +
+		"fig/x/P=2,0,0,100,busy,4\n" +
+		"fig/x/P=2,1,100,200,busy,6\n"
+	if buf.String() != want {
+		t.Errorf("CSV:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Add("x", &Snapshot{}) // must not panic
+	if c.Len() != 0 || c.Enabled() || c.Interval() != 0 {
+		t.Error("nil collector reported state")
+	}
+}
+
+func TestCollectorSkipsNilSnapshots(t *testing.T) {
+	c := NewCollector(10)
+	c.Add("none", nil)
+	if c.Len() != 0 {
+		t.Error("nil snapshot collected")
+	}
+}
+
+func TestWallclockOptIn(t *testing.T) {
+	rep := buildReport()
+	var without bytes.Buffer
+	if err := rep.WriteJSON(&without); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(without.String(), "wallclock") {
+		t.Error("wallclock section present without opt-in")
+	}
+	pt := NewPhaseTimer()
+	pt.Observe("fig8", 1500*time.Millisecond)
+	rep.Wallclock = &Wallclock{Workers: 4, Phases: pt.Phases()}
+	var with bytes.Buffer
+	if err := rep.WriteJSON(&with); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(with.String(), "wallclock") || !strings.Contains(with.String(), "fig8") {
+		t.Error("wallclock section missing after opt-in")
+	}
+}
+
+func TestPhaseTimerNilSafe(t *testing.T) {
+	var pt *PhaseTimer
+	pt.Observe("x", time.Second) // must not panic
+	if pt.Phases() != nil {
+		t.Error("nil phase timer recorded phases")
+	}
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"coherencesim/internal/sim"
+)
+
+// Timeline records per-processor state intervals (stalls, spins, sync
+// waits) and point events (stores, atomics, fences) during one
+// simulation, for export as a Chrome trace-event / Perfetto-compatible
+// timeline. Events are appended from engine context in simulation order,
+// so the recorded sequence is deterministic.
+//
+// A nil *Timeline is a valid no-op recorder, so the machine layer can
+// thread one unconditionally.
+type Timeline struct {
+	slices   []TimelineSlice
+	instants []TimelineInstant
+	limit    int
+	dropped  uint64
+}
+
+// TimelineSlice is one closed per-processor interval.
+type TimelineSlice struct {
+	Proc  int
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// TimelineInstant is one per-processor point event.
+type TimelineInstant struct {
+	Proc int
+	Name string
+	At   sim.Time
+}
+
+// NewTimeline builds a timeline holding at most limit events in total
+// (slices plus instants); limit <= 0 means unbounded. Once full, further
+// events are counted as dropped rather than recorded, bounding memory on
+// very long runs.
+func NewTimeline(limit int) *Timeline {
+	return &Timeline{limit: limit}
+}
+
+// full reports whether the event cap is exhausted.
+func (t *Timeline) full() bool {
+	return t.limit > 0 && len(t.slices)+len(t.instants) >= t.limit
+}
+
+// AddSlice records one interval [start, end) on proc. Safe on nil.
+func (t *Timeline) AddSlice(proc int, name string, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	if t.full() {
+		t.dropped++
+		return
+	}
+	t.slices = append(t.slices, TimelineSlice{Proc: proc, Name: name, Start: start, End: end})
+}
+
+// AddInstant records one point event on proc. Safe on nil.
+func (t *Timeline) AddInstant(proc int, name string, at sim.Time) {
+	if t == nil {
+		return
+	}
+	if t.full() {
+		t.dropped++
+		return
+	}
+	t.instants = append(t.instants, TimelineInstant{Proc: proc, Name: name, At: at})
+}
+
+// Len returns the number of recorded events.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slices) + len(t.instants)
+}
+
+// Dropped returns how many events were discarded after the cap filled.
+func (t *Timeline) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Slices returns the recorded intervals in recording order (do not
+// mutate).
+func (t *Timeline) Slices() []TimelineSlice {
+	if t == nil {
+		return nil
+	}
+	return t.slices
+}
+
+// Instants returns the recorded point events in recording order (do not
+// mutate).
+func (t *Timeline) Instants() []TimelineInstant {
+	if t == nil {
+		return nil
+	}
+	return t.instants
+}
+
+// traceEvent is one Chrome trace-event object. Perfetto and
+// chrome://tracing consume the JSON object format {"traceEvents": [...]}.
+// Simulated cycles map 1:1 to the format's microsecond timestamps.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the exported document shape.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the timeline in Chrome trace-event JSON.
+// procs is the simulated processor count, used to emit thread-name
+// metadata so Perfetto labels each track "proc N". The event order is
+// the deterministic recording order; viewers sort by timestamp
+// themselves.
+func WriteChromeTrace(w io.Writer, t *Timeline, procs int) error {
+	doc := traceDoc{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = make([]traceEvent, 0, 2*procs+t.Len())
+	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+		Name: "process_name", Phase: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "coherencesim"},
+	})
+	for p := 0; p < procs; p++ {
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Phase: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("proc%d", p)},
+		})
+	}
+	if t != nil {
+		for _, s := range t.slices {
+			dur := s.End - s.Start
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: s.Name, Phase: "X", Ts: s.Start, Dur: &dur,
+				Pid: 0, Tid: s.Proc, Cat: "stall",
+			})
+		}
+		for _, i := range t.instants {
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: i.Name, Phase: "i", Ts: i.At,
+				Pid: 0, Tid: i.Proc, Cat: "op", Scope: "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -36,6 +36,7 @@ import (
 	"coherencesim/internal/classify"
 	"coherencesim/internal/mem"
 	"coherencesim/internal/mesh"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/sim"
 )
 
@@ -124,6 +125,11 @@ type Config struct {
 	Mem              mem.Config
 	// HomeOf maps a block number to its home node. Required.
 	HomeOf func(block uint32) int
+	// Metrics, when non-nil, receives protocol-level observability:
+	// invalidation/update fan-out histograms and sampled network and
+	// cache counters. Keyed entirely to simulated time, so enabling it
+	// never perturbs determinism.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's machine parameters for the given
@@ -214,6 +220,10 @@ type System struct {
 	cfg    Config
 
 	ctr Counters
+
+	// Cached observability handles (nil-safe no-ops without a registry).
+	mUpdFan *metrics.Histogram // update multicast fan-out per write/atomic
+	mInvFan *metrics.Histogram // invalidation fan-out per WI write
 }
 
 // NewSystem assembles the coherence system for n nodes.
@@ -239,6 +249,15 @@ func NewSystem(e *sim.Engine, n int, cfg Config, cl *classify.Classifier) *Syste
 		s.caches[i] = cache.New(i, cfg.CacheBytes)
 		s.procs[i].pendingWB = make(map[uint32][]uint32)
 		s.procs[i].cancelledWB = make(map[uint32]int)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mUpdFan = reg.Histogram("fanout.update")
+		s.mInvFan = reg.Histogram("fanout.invalidate")
+		s.nw.Instrument(reg.Counter("net.msgs"), reg.Counter("net.flits"))
+		hits, misses := reg.Counter("cache.hits"), reg.Counter("cache.misses")
+		for i := 0; i < n; i++ {
+			s.caches[i].Instrument(hits, misses, e.Now)
+		}
 	}
 	return s
 }

@@ -188,6 +188,7 @@ func (s *System) homeUpdateReady(p int, block uint32, word int, v uint32, tx *up
 				s.ctr.Retentions++
 			}
 		}
+		s.mUpdFan.Observe(uint64(len(others)))
 		for _, q := range others {
 			q := q
 			s.ctr.UpdatesSent++
@@ -304,6 +305,7 @@ func (s *System) homeAtomicReady(p int, block uint32, word int, kind AtomicKind,
 	}, func(old, newV uint32) {
 		s.cl.GlobalWrite(p, block, word)
 		others := d.sharerList(p)
+		s.mUpdFan.Observe(uint64(len(others)))
 		for _, q := range others {
 			q := q
 			s.ctr.UpdatesSent++

@@ -107,6 +107,7 @@ func (s *System) wiHomeAcquireLocked(p int, block uint32, word int, perform func
 	case dirShared:
 		needData := !d.has(p)
 		others := d.sharerList(p)
+		s.mInvFan.Observe(uint64(len(others)))
 		pending := len(others)
 		var data []uint32
 		haveData := !needData

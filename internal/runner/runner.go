@@ -47,6 +47,17 @@ func (s Snapshot) CyclesPerSecond() float64 {
 	return float64(s.SimCycles) / s.Elapsed.Seconds()
 }
 
+// ETA estimates the wall time remaining until all submitted jobs finish,
+// extrapolating from the average time per completed job. It returns 0
+// until at least one job has finished (no basis for an estimate).
+func (s Snapshot) ETA() time.Duration {
+	if s.JobsDone <= 0 || s.JobsTotal <= s.JobsDone {
+		return 0
+	}
+	perJob := s.Elapsed / time.Duration(s.JobsDone)
+	return perJob * time.Duration(s.JobsTotal-s.JobsDone)
+}
+
 // Pool is a bounded worker pool for independent simulation jobs. Create
 // one with New and share it across any number of Map calls; the
 // progress counters accumulate over the pool's lifetime.
@@ -187,13 +198,19 @@ func Map[T any](p *Pool, jobs []Job[T]) []T {
 
 // Printer returns a progress hook that writes one line per completed
 // job to w (conventionally os.Stderr, keeping stdout byte-identical to
-// the serial path).
+// the serial path). Each line carries the cumulative job count,
+// aggregate simulated cycles and throughput, an ETA extrapolated from
+// the average job time, and the just-finished job's label and duration.
 func Printer(w io.Writer) func(Snapshot) {
 	return func(s Snapshot) {
-		fmt.Fprintf(w, "runner: %d/%d jobs  %s sim-cycles  %s/s  %s (%.2fs)\n",
+		eta := "done"
+		if d := s.ETA(); d > 0 {
+			eta = "eta " + d.Round(100*time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "runner: %d/%d jobs  %s sim-cycles  %s/s  %s  %s (%.2fs)\n",
 			s.JobsDone, s.JobsTotal,
 			formatCycles(float64(s.SimCycles)), formatCycles(s.CyclesPerSecond()),
-			s.Label, s.JobTime.Seconds())
+			eta, s.Label, s.JobTime.Seconds())
 	}
 }
 

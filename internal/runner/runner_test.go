@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func squareJobs(n int) []Job[int] {
@@ -152,11 +153,37 @@ func TestProgressAccumulatesAcrossMaps(t *testing.T) {
 
 func TestPrinterFormat(t *testing.T) {
 	var b strings.Builder
-	Printer(&b)(Snapshot{JobsDone: 3, JobsTotal: 9, SimCycles: 1_500_000, Label: "fig8/tk-i/P=4"})
+	Printer(&b)(Snapshot{JobsDone: 3, JobsTotal: 9, SimCycles: 1_500_000,
+		Elapsed: 3 * time.Second, Label: "fig8/tk-i/P=4"})
 	out := b.String()
 	if !strings.Contains(out, "3/9 jobs") || !strings.Contains(out, "1.50M sim-cycles") ||
 		!strings.Contains(out, "fig8/tk-i/P=4") {
 		t.Errorf("printer line %q", out)
+	}
+	// 3 jobs in 3s leaves 6 jobs ≈ 6s remaining.
+	if !strings.Contains(out, "eta 6s") {
+		t.Errorf("printer line %q missing ETA", out)
+	}
+	// The final job prints "done" instead of an ETA.
+	b.Reset()
+	Printer(&b)(Snapshot{JobsDone: 9, JobsTotal: 9, Elapsed: time.Second, Label: "last"})
+	if !strings.Contains(b.String(), "done") {
+		t.Errorf("final printer line %q lacks completion marker", b.String())
+	}
+}
+
+func TestSnapshotETA(t *testing.T) {
+	// Half the jobs took 10s: the other half should take ~10s more.
+	s := Snapshot{JobsDone: 5, JobsTotal: 10, Elapsed: 10 * time.Second}
+	if got := s.ETA(); got != 10*time.Second {
+		t.Errorf("ETA = %v, want 10s", got)
+	}
+	// No completed jobs or all done: no estimate.
+	if got := (Snapshot{JobsTotal: 4, Elapsed: time.Second}).ETA(); got != 0 {
+		t.Errorf("ETA with no completions = %v, want 0", got)
+	}
+	if got := (Snapshot{JobsDone: 4, JobsTotal: 4, Elapsed: time.Second}).ETA(); got != 0 {
+		t.Errorf("ETA when finished = %v, want 0", got)
 	}
 }
 

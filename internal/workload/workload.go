@@ -21,6 +21,7 @@ package workload
 import (
 	"coherencesim/internal/constructs"
 	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/sim"
 )
@@ -95,6 +96,12 @@ type Params struct {
 	Iterations int
 	// HoldCycles is the critical-section length for lock loops (paper: 50).
 	HoldCycles sim.Time
+	// MetricsInterval, when positive, attaches a metrics registry to the
+	// run's machine with the given sampling interval (simulated cycles per
+	// time-series frame); the snapshot comes back in Result.Metrics.
+	// Metrics are keyed purely to simulated time, so enabling them never
+	// changes the simulated outcome.
+	MetricsInterval sim.Time
 	// Tune, if set, adjusts the machine configuration before
 	// construction (ablation studies: CU threshold, retention, spin
 	// polling, network parameters).
@@ -104,6 +111,9 @@ type Params struct {
 // newMachine builds the machine for a run, applying any tuning hook.
 func (p Params) newMachine() *machine.Machine {
 	cfg := machine.DefaultConfig(p.Protocol, p.Procs)
+	if p.MetricsInterval > 0 {
+		cfg.Metrics = metrics.New(p.MetricsInterval)
+	}
 	if p.Tune != nil {
 		p.Tune(&cfg)
 	}
