@@ -169,6 +169,26 @@ func BenchmarkMachineEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkReadHitIssue measures the per-instruction cost of the
+// processor front end alone: a single processor reading a word it owns,
+// so every access hits and no protocol traffic is generated. This is the
+// floor the pending-cycle accumulator and typed event core set for any
+// simulated instruction.
+func BenchmarkReadHitIssue(b *testing.B) {
+	b.ReportAllocs()
+	m := NewMachine(DefaultConfig(WI, 1))
+	x := m.Alloc("x", 4, 0)
+	n := b.N
+	b.ResetTimer()
+	m.Run(func(p *Proc) {
+		p.Write(x, 7)
+		p.Fence()
+		for i := 0; i < n; i++ {
+			p.Read(x)
+		}
+	})
+}
+
 // BenchmarkSingleLockRun measures one MCS/CU lock workload at the
 // paper's traffic size — the configuration the paper highlights as the
 // best large-machine combination.

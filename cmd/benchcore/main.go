@@ -1,0 +1,260 @@
+// Command benchcore runs the simulator's core performance benchmarks and
+// writes the results as machine-readable JSON (BENCH_core.json). It exists
+// so performance numbers can be captured, committed, and compared across
+// revisions without parsing `go test -bench` text output.
+//
+//	benchcore                         # run, write BENCH_core.json
+//	benchcore -benchtime 200ms        # quick smoke run (CI)
+//	benchcore -compare BENCH_core.json -out /tmp/new.json
+//
+// With -compare, a benchstat-style old-vs-new table is printed after the
+// run (suitable for a CI job summary). Benchmarks cover the engine event
+// core (scheduling, stall fast path, park/unpark) and machine-level
+// workloads (event throughput, read-hit issue, a full lock run); events
+// per second is reported where a run exposes its processed-event count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	core "coherencesim"
+	"coherencesim/internal/sim"
+)
+
+// Result is one benchmark's measurement in BENCH_core.json.
+type Result struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// File is the BENCH_core.json document.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// bench is one named benchmark. The function returns the number of
+// simulation events processed during the timed run (0 when the notion
+// does not apply), which yields events_per_sec.
+type bench struct {
+	name string
+	fn   func(b *testing.B) uint64
+}
+
+func engineScheduleRun(b *testing.B) uint64 {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	const depth = 512
+	remaining := b.N
+	var fn func()
+	fn = func() {
+		if remaining > 0 {
+			remaining--
+			e.Schedule(sim.Time(remaining%7+1), fn)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		e.Schedule(sim.Time(i%7+1), fn)
+	}
+	b.ResetTimer()
+	e.Run()
+	return e.Processed()
+}
+
+func engineStallFastPath(b *testing.B) uint64 {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := b.N
+	var c *sim.Coroutine
+	c = e.Go("bench", func() {
+		for i := 0; i < n; i++ {
+			c.StallFor(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+	return e.Processed()
+}
+
+func engineParkUnpark(b *testing.B) uint64 {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := b.N
+	done := false
+	var tick func()
+	tick = func() {
+		if !done {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	var c *sim.Coroutine
+	c = e.Go("bench", func() {
+		for i := 0; i < n; i++ {
+			c.StallFor(2)
+		}
+		done = true
+	})
+	b.ResetTimer()
+	e.Run()
+	return e.Processed()
+}
+
+func machineEventThroughput(b *testing.B) uint64 {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		m := core.NewMachine(core.DefaultConfig(core.CU, 32))
+		ctr := m.Alloc("ctr", 4, 0)
+		res := m.Run(func(p *core.Proc) {
+			for k := 0; k < 50; k++ {
+				p.FetchAdd(ctr, 1)
+			}
+		})
+		events += res.SimEvents
+	}
+	return events
+}
+
+func machineReadHitIssue(b *testing.B) uint64 {
+	b.ReportAllocs()
+	m := core.NewMachine(core.DefaultConfig(core.WI, 1))
+	x := m.Alloc("x", 4, 0)
+	n := b.N
+	b.ResetTimer()
+	res := m.Run(func(p *core.Proc) {
+		p.Write(x, 7)
+		p.Fence()
+		for i := 0; i < n; i++ {
+			p.Read(x)
+		}
+	})
+	return res.SimEvents
+}
+
+func singleLockRun(b *testing.B) uint64 {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		p := core.DefaultLockParams(core.CU, 32)
+		p.Iterations = 1600
+		res := core.LockLoop(p, core.MCS)
+		events += res.SimEvents
+	}
+	return events
+}
+
+var benches = []bench{
+	{"EngineScheduleRun", engineScheduleRun},
+	{"EngineStallForFastPath", engineStallFastPath},
+	{"EngineParkUnpark", engineParkUnpark},
+	{"MachineEventThroughput", machineEventThroughput},
+	{"MachineReadHitIssue", machineReadHitIssue},
+	{"SingleLockRun", singleLockRun},
+}
+
+func run(benchtime string) (File, error) {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return File{}, fmt.Errorf("invalid -benchtime %q: %w", benchtime, err)
+	}
+	f := File{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: benchtime,
+	}
+	for _, bm := range benches {
+		var events uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			events = bm.fn(b)
+		})
+		res := Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if events > 0 && r.T > 0 {
+			res.EventsPerSec = float64(events) / r.T.Seconds()
+		}
+		fmt.Printf("%-24s %12d iters %14.1f ns/op %8d allocs/op %10.0f events/s\n",
+			bm.name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
+		f.Results = append(f.Results, res)
+	}
+	return f, nil
+}
+
+// compare prints a benchstat-style old-vs-new table.
+func compare(oldPath string, cur File) error {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old File
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	prev := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		prev[r.Name] = r
+	}
+	fmt.Printf("\n%-24s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	for _, r := range cur.Results {
+		o, ok := prev[r.Name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.1f %8s %16d\n", r.Name, "-", r.NsPerOp, "new", r.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (r.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %8s %10d→%d\n",
+			r.Name, o.NsPerOp, r.NsPerOp, delta, o.AllocsPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_core.json", "output path for the JSON results")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (accepts 200ms, 100x, ...)")
+	comparePath := flag.String("compare", "", "existing BENCH_core.json to print an old-vs-new table against")
+	flag.Parse()
+
+	f, err := run(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcore:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcore:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcore:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if *comparePath != "" {
+		if err := compare(*comparePath, f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcore: compare:", err)
+			os.Exit(1)
+		}
+	}
+}

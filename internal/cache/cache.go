@@ -86,6 +86,7 @@ type Stats struct {
 type Cache struct {
 	node     int
 	lines    []Line
+	mask     uint32 // len(lines)-1 when a power of two, else 0 (use modulo)
 	watchers map[uint32][]func()
 	versions map[uint32]uint64
 	stats    Stats
@@ -95,6 +96,9 @@ type Cache struct {
 	mHits   *metrics.Counter
 	mMisses *metrics.Counter
 	now     func() sim.Time
+
+	// fireScratch recycles the callback snapshot fire iterates over.
+	fireScratch []func()
 }
 
 // Instrument attaches sampled hit/miss metric counters and a simulated
@@ -110,12 +114,17 @@ func New(node, sizeBytes int) *Cache {
 	if sizeBytes <= 0 || sizeBytes%BlockBytes != 0 {
 		panic(fmt.Sprintf("cache: invalid size %d", sizeBytes))
 	}
-	return &Cache{
+	n := sizeBytes / BlockBytes
+	c := &Cache{
 		node:     node,
-		lines:    make([]Line, sizeBytes/BlockBytes),
+		lines:    make([]Line, n),
 		watchers: make(map[uint32][]func()),
 		versions: make(map[uint32]uint64),
 	}
+	if n > 1 && n&(n-1) == 0 {
+		c.mask = uint32(n - 1)
+	}
+	return c
 }
 
 // NumLines returns the number of frames.
@@ -124,8 +133,13 @@ func (c *Cache) NumLines() int { return len(c.lines) }
 // Stats returns a copy of the raw counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// frame returns the direct-mapped frame for a block.
+// frame returns the direct-mapped frame for a block. The usual
+// power-of-two frame count indexes with a mask instead of the integer
+// division a modulo costs on this hot path.
 func (c *Cache) frame(block uint32) *Line {
+	if c.mask != 0 {
+		return &c.lines[block&c.mask]
+	}
 	return &c.lines[int(block)%len(c.lines)]
 }
 
@@ -236,17 +250,33 @@ func (c *Cache) Watched(block uint32) bool { return len(c.watchers[block]) > 0 }
 func (c *Cache) Version(block uint32) uint64 { return c.versions[block] }
 
 // fire advances the block's version and invokes (then clears) its
-// watchers.
+// watchers. The watcher list and a fire-time scratch copy both keep
+// their backing arrays, so the park/notify cycle of spin compression
+// does not allocate in steady state. Callbacks run from the scratch
+// copy: one may re-register on the same block (appending to the now
+// emptied list) without disturbing the iteration. A callback that fires
+// watchers itself finds fireScratch checked out and allocates a fresh
+// scratch — rare, and the deepest scratch is simply dropped.
 func (c *Cache) fire(block uint32) {
 	c.versions[block]++
 	ws := c.watchers[block]
 	if len(ws) == 0 {
 		return
 	}
-	delete(c.watchers, block)
-	for _, fn := range ws {
+	scratch := c.fireScratch
+	c.fireScratch = nil
+	scratch = append(scratch[:0], ws...)
+	for i := range ws {
+		ws[i] = nil
+	}
+	c.watchers[block] = ws[:0]
+	for _, fn := range scratch {
 		fn()
 	}
+	for i := range scratch {
+		scratch[i] = nil
+	}
+	c.fireScratch = scratch[:0]
 }
 
 // FireWatchers exposes watcher notification for protocol code that

@@ -10,9 +10,13 @@ type WBEntry struct {
 // Writes enter the buffer in 1 cycle; the memory stage drains entries in
 // order, one outstanding write transaction at a time. Reads bypass queued
 // writes, forwarding the newest buffered value for a matching address.
+//
+// Entries live in a fixed ring allocated once at construction, so the
+// push/drain cycle on the write path never allocates.
 type WriteBuffer struct {
-	capacity int
-	entries  []WBEntry
+	buf  []WBEntry // ring storage, len == capacity
+	head int       // index of the oldest entry
+	n    int       // number of queued entries
 	// draining marks that the head entry's transaction is in flight.
 	draining bool
 }
@@ -22,20 +26,20 @@ func NewWriteBuffer(capacity int) *WriteBuffer {
 	if capacity <= 0 {
 		panic("cache: write buffer capacity must be positive")
 	}
-	return &WriteBuffer{capacity: capacity}
+	return &WriteBuffer{buf: make([]WBEntry, capacity)}
 }
 
 // Cap returns the capacity.
-func (wb *WriteBuffer) Cap() int { return wb.capacity }
+func (wb *WriteBuffer) Cap() int { return len(wb.buf) }
 
 // Len returns the number of queued entries.
-func (wb *WriteBuffer) Len() int { return len(wb.entries) }
+func (wb *WriteBuffer) Len() int { return wb.n }
 
 // Full reports whether a new write would stall the processor.
-func (wb *WriteBuffer) Full() bool { return len(wb.entries) >= wb.capacity }
+func (wb *WriteBuffer) Full() bool { return wb.n >= len(wb.buf) }
 
 // Empty reports whether no writes are queued.
-func (wb *WriteBuffer) Empty() bool { return len(wb.entries) == 0 }
+func (wb *WriteBuffer) Empty() bool { return wb.n == 0 }
 
 // Push appends a write. Pushing into a full buffer panics; the caller
 // must stall the processor instead.
@@ -43,7 +47,8 @@ func (wb *WriteBuffer) Push(a Addr, v uint32) {
 	if wb.Full() {
 		panic("cache: push into full write buffer")
 	}
-	wb.entries = append(wb.entries, WBEntry{a, v})
+	wb.buf[(wb.head+wb.n)%len(wb.buf)] = WBEntry{a, v}
+	wb.n++
 }
 
 // Head returns the oldest entry. Calling Head on an empty buffer panics.
@@ -51,13 +56,14 @@ func (wb *WriteBuffer) Head() WBEntry {
 	if wb.Empty() {
 		panic("cache: head of empty write buffer")
 	}
-	return wb.entries[0]
+	return wb.buf[wb.head]
 }
 
 // PopHead removes the oldest entry and clears the draining mark.
 func (wb *WriteBuffer) PopHead() WBEntry {
 	h := wb.Head()
-	wb.entries = wb.entries[1:]
+	wb.head = (wb.head + 1) % len(wb.buf)
+	wb.n--
 	wb.draining = false
 	return h
 }
@@ -76,9 +82,10 @@ func (wb *WriteBuffer) MarkDraining() {
 // Forward returns the newest buffered value for address a, letting reads
 // bypass writes without losing program-order semantics.
 func (wb *WriteBuffer) Forward(a Addr) (uint32, bool) {
-	for i := len(wb.entries) - 1; i >= 0; i-- {
-		if wb.entries[i].Addr == a {
-			return wb.entries[i].Val, true
+	for i := wb.n - 1; i >= 0; i-- {
+		e := wb.buf[(wb.head+i)%len(wb.buf)]
+		if e.Addr == a {
+			return e.Val, true
 		}
 	}
 	return 0, false

@@ -135,6 +135,8 @@ func (u UpdateCounts) Total() uint64 {
 func (u UpdateCounts) Useful() uint64 { return u[UpdTrue] }
 
 // pendingUpdate tracks one delivered-but-unclassified update message.
+// It is stored by value in procBlock.pending, so the per-update
+// bookkeeping on the delivery hot path does not allocate.
 type pendingUpdate struct {
 	refdOther bool // receiver referenced another word in the block
 }
@@ -159,7 +161,7 @@ type procBlock struct {
 	// was lost; a later miss compares against current versions.
 	lostVer [16]uint64
 	// pending maps word -> unclassified delivered update.
-	pending map[int]*pendingUpdate
+	pending map[int]pendingUpdate
 }
 
 // Classifier accumulates categorized communication for one simulation run.
@@ -206,7 +208,7 @@ func (c *Classifier) hist(block uint32) *blockHistory {
 func (c *Classifier) pb(p int, block uint32) *procBlock {
 	s, ok := c.state[p][block]
 	if !ok {
-		s = &procBlock{pending: make(map[int]*pendingUpdate)}
+		s = &procBlock{pending: make(map[int]pendingUpdate)}
 		c.state[p][block] = s
 	}
 	return s
@@ -237,8 +239,8 @@ func (c *Classifier) Reference(p int, block uint32, word int) {
 		if w == word {
 			c.updates[UpdTrue]++
 			delete(s.pending, w)
-		} else {
-			pu.refdOther = true
+		} else if !pu.refdOther {
+			s.pending[w] = pendingUpdate{refdOther: true}
 		}
 	}
 }
@@ -278,7 +280,7 @@ func (c *Classifier) LostCopy(p int, block uint32, reason LossReason) {
 // resolveUseless classifies a lifetime-ended useless update as false
 // sharing if the receiver was actively referencing other words in the
 // block, else as proliferation (the paper's convention).
-func (c *Classifier) resolveUseless(pu *pendingUpdate) {
+func (c *Classifier) resolveUseless(pu pendingUpdate) {
 	if pu.refdOther {
 		c.updates[UpdFalse]++
 	} else {
@@ -342,9 +344,8 @@ func (c *Classifier) UpdateDelivered(p int, block uint32, word, writer int) {
 	s := c.pb(p, block)
 	if old, ok := s.pending[word]; ok {
 		c.resolveUseless(old)
-		delete(s.pending, word)
 	}
-	s.pending[word] = &pendingUpdate{}
+	s.pending[word] = pendingUpdate{}
 }
 
 // DropDelivered records an update that, on arrival at p, pushed the CU

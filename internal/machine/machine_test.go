@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"coherencesim/internal/classify"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/sim"
 )
@@ -273,6 +274,48 @@ func TestSpinUntilSeesRemoteWrite(t *testing.T) {
 		})
 		if sawAt == 0 || sawAt < wroteAt {
 			t.Errorf("%v: spin saw flag at %d, write at %d", pr, sawAt, wroteAt)
+		}
+	}
+}
+
+// TestSpinPollTimelineSlices pins the uncompressed-spin observability
+// fix: with SpinPollCycles > 0 each polling interval must appear on the
+// timeline as a "spin-wait" slice, and the slice durations must sum to
+// exactly the spinner's ProcStats.SpinWait.
+func TestSpinPollTimelineSlices(t *testing.T) {
+	for _, pr := range allProtocols() {
+		cfg := DefaultConfig(pr, 2)
+		cfg.SpinPollCycles = 10
+		tl := metrics.NewTimeline(0)
+		cfg.Timeline = tl
+		m := New(cfg)
+		flag := m.Alloc("flag", 4, 0)
+		res := m.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Compute(500)
+				p.Write(flag, 1)
+				p.Fence()
+			} else {
+				p.SpinUntil(flag, func(v uint32) bool { return v == 1 })
+			}
+		})
+		var slices, total sim.Time
+		for _, s := range tl.Slices() {
+			if s.Proc != 1 || s.Name != "spin-wait" {
+				continue
+			}
+			slices++
+			if s.End != s.Start+cfg.SpinPollCycles {
+				t.Errorf("%v: spin-wait slice [%d,%d) is not one %d-cycle poll",
+					pr, s.Start, s.End, cfg.SpinPollCycles)
+			}
+			total += s.End - s.Start
+		}
+		if slices == 0 {
+			t.Errorf("%v: no spin-wait timeline slices recorded under polling model", pr)
+		}
+		if want := res.PerProc[1].SpinWait; total != want {
+			t.Errorf("%v: spin-wait slices cover %d cycles, ProcStats.SpinWait = %d", pr, total, want)
 		}
 	}
 }

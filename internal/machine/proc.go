@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"coherencesim/internal/cache"
+	"coherencesim/internal/metrics"
 	"coherencesim/internal/sim"
 	"coherencesim/internal/trace"
 )
@@ -80,15 +81,68 @@ type Proc struct {
 	waiting waitReason
 	rng     *rand.Rand
 	stats   ProcStats
+
+	// pending accumulates locally charged cycles (instruction issue,
+	// Compute) that have not yet been realized on the simulated clock.
+	// flushPending realizes them as a single StallFor before the
+	// processor observes or mutates any state shared with the engine —
+	// the write buffer, the coherence system, traces — so deferred
+	// charging is indistinguishable from eager charging.
+	pending sim.Time
+
+	// One-shot completion state for the single in-flight blocking
+	// operation (read, atomic, flush, or fence — a processor issues at
+	// most one at a time). The callbacks are allocated once here so the
+	// per-operation hot path is free of closure allocations.
+	opDone     bool
+	opVal      uint32
+	readDone   func(uint32)
+	atomicDone func(uint32)
+	flushDone  func()
+	fenceDone  func()
+	drainStep  func()
+	spinWake   func()
 }
 
 func newProc(m *Machine, id int) *Proc {
-	return &Proc{
+	p := &Proc{
 		m:   m,
 		id:  id,
 		wb:  cache.NewWriteBuffer(m.cfg.WBEntries),
 		rng: rand.New(rand.NewSource(int64(id)*2654435761 + 12345)),
 	}
+	p.readDone = func(v uint32) {
+		p.opVal = v
+		p.opDone = true
+		p.unblock(waitRead)
+	}
+	p.atomicDone = func(old uint32) {
+		p.opVal = old
+		p.opDone = true
+		p.unblock(waitAtomic)
+	}
+	p.flushDone = func() {
+		p.opDone = true
+		p.unblock(waitRead)
+	}
+	p.fenceDone = func() {
+		p.opDone = true
+		p.unblock(waitFence)
+	}
+	p.drainStep = func() {
+		p.wb.PopHead()
+		switch p.waiting {
+		case waitWBSpace:
+			p.unblock(waitWBSpace)
+		case waitFlushWB, waitFence:
+			if p.wb.Empty() {
+				p.unblock(p.waiting)
+			}
+		}
+		p.drain()
+	}
+	p.spinWake = func() { p.unblock(waitSpin) }
+	return p
 }
 
 // ID returns the processor number (0-based).
@@ -109,12 +163,42 @@ func (p *Proc) Machine() *Machine { return p.m }
 // Stats returns the processor's accumulated time breakdown.
 func (p *Proc) Stats() ProcStats { return p.stats }
 
+// charge adds n cycles of local progress to the pending-cycle
+// accumulator without touching the simulated clock.
+func (p *Proc) charge(n sim.Time) { p.pending += n }
+
+// flushPending realizes all accumulated local cycles as one stall. It
+// must run before any interaction with shared protocol state.
+func (p *Proc) flushPending() {
+	if p.pending != 0 {
+		d := p.pending
+		p.pending = 0
+		p.co.StallFor(d)
+	}
+}
+
+// issue charges the fixed one-cycle instruction issue of an operation:
+// the operation count, the busy cycle, and the paired sampled counters
+// — reading the clock once and skipping it entirely when observability
+// is off.
+func (p *Proc) issue(opCount *uint64, opCtr *metrics.Counter) {
+	*opCount++
+	p.stats.Busy++
+	if p.m.cfg.Metrics != nil {
+		now := p.m.e.Now()
+		opCtr.Add(now, 1)
+		p.m.met.busy.Add(now, 1)
+	}
+	p.charge(1)
+}
+
 // block parks the processor with a reason tag and charges the suspended
 // time to the matching stall category.
 func (p *Proc) block(r waitReason) {
 	if p.waiting != waitNone {
 		panic(fmt.Sprintf("machine: proc %d blocking while already waiting (%d)", p.id, p.waiting))
 	}
+	p.flushPending()
 	t0 := p.m.e.Now()
 	p.waiting = r
 	p.co.Stall()
@@ -155,35 +239,29 @@ func (p *Proc) Compute(n sim.Time) {
 	}
 	p.stats.Busy += n
 	p.m.met.busy.Add(p.m.e.Now(), n)
-	p.co.StallFor(n)
+	p.charge(n)
+	p.flushPending()
 }
 
 // Read performs a load. Read hits take one cycle; misses stall until the
 // protocol delivers the block. Reads bypass the write buffer, forwarding
 // the newest buffered value for the same address.
 func (p *Proc) Read(a Addr) uint32 {
-	p.stats.Reads++
-	p.stats.Busy++
-	p.m.met.reads.Add(p.m.e.Now(), 1)
-	p.m.met.busy.Add(p.m.e.Now(), 1)
-	p.co.StallFor(1)
+	p.issue(&p.stats.Reads, p.m.met.reads)
+	p.flushPending()
 	if v, ok := p.wb.Forward(a); ok {
 		return v
 	}
-	var val uint32
-	completed := false
+	p.opDone = false
 	issued := p.m.e.Now()
-	p.m.sys.Read(p.id, a, func(v uint32) {
-		val = v
-		completed = true
-		p.unblock(waitRead)
-	})
+	p.m.sys.Read(p.id, a, p.readDone)
 	kind := trace.Read
-	if !completed {
+	if !p.opDone {
 		kind = trace.ReadMiss
 		p.block(waitRead)
 		p.m.met.readMiss.Observe(p.m.e.Now() - issued)
 	}
+	val := p.opVal
 	p.m.cfg.Trace.Record(p.Now(), p.id, kind, uint32(a), val)
 	return val
 }
@@ -192,11 +270,8 @@ func (p *Proc) Read(a Addr) uint32 {
 // while the buffer is full. The buffered entry drains through the
 // coherence protocol in the background.
 func (p *Proc) Write(a Addr, v uint32) {
-	p.stats.Writes++
-	p.stats.Busy++
-	p.m.met.writes.Add(p.m.e.Now(), 1)
-	p.m.met.busy.Add(p.m.e.Now(), 1)
-	p.co.StallFor(1)
+	p.issue(&p.stats.Writes, p.m.met.writes)
+	p.flushPending()
 	for p.wb.Full() {
 		p.block(waitWBSpace)
 	}
@@ -213,18 +288,7 @@ func (p *Proc) drain() {
 	}
 	p.wb.MarkDraining()
 	h := p.wb.Head()
-	p.m.sys.Write(p.id, h.Addr, h.Val, func() {
-		p.wb.PopHead()
-		switch p.waiting {
-		case waitWBSpace:
-			p.unblock(waitWBSpace)
-		case waitFlushWB, waitFence:
-			if p.wb.Empty() {
-				p.unblock(p.waiting)
-			}
-		}
-		p.drain()
-	})
+	p.m.sys.Write(p.id, h.Addr, h.Val, p.drainStep)
 }
 
 // drainWB stalls until the write buffer is empty (atomic instructions
@@ -243,12 +307,9 @@ func (p *Proc) Fence() {
 	for !p.wb.Empty() {
 		p.block(waitFence)
 	}
-	completed := false
-	p.m.sys.WhenDrained(p.id, func() {
-		completed = true
-		p.unblock(waitFence)
-	})
-	if !completed {
+	p.opDone = false
+	p.m.sys.WhenDrained(p.id, p.fenceDone)
+	if !p.opDone {
 		p.block(waitFence)
 	}
 	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Fence, 0, 0)
@@ -256,22 +317,15 @@ func (p *Proc) Fence() {
 
 // atomic runs one atomic read-modify-write, stalling until it completes.
 func (p *Proc) atomic(a Addr, kind atomicKind, op1, op2 uint32) uint32 {
-	p.stats.Atomics++
-	p.stats.Busy++
-	p.m.met.atomics.Add(p.m.e.Now(), 1)
-	p.m.met.busy.Add(p.m.e.Now(), 1)
-	p.co.StallFor(1)
+	p.issue(&p.stats.Atomics, p.m.met.atomics)
+	p.flushPending()
 	p.drainWB()
-	var old uint32
-	completed := false
-	p.m.sys.Atomic(p.id, a, kind.proto(), op1, op2, func(o uint32) {
-		old = o
-		completed = true
-		p.unblock(waitAtomic)
-	})
-	if !completed {
+	p.opDone = false
+	p.m.sys.Atomic(p.id, a, kind.proto(), op1, op2, p.atomicDone)
+	if !p.opDone {
 		p.block(waitAtomic)
 	}
+	old := p.opVal
 	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Atomic, uint32(a), old)
 	return old
 }
@@ -298,21 +352,26 @@ func (p *Proc) CompareSwap(a Addr, oldV, newV uint32) bool {
 // instruction used by the update-conscious MCS lock). Pending buffered
 // stores drain first, so the flushed line's writes are not resurrected.
 func (p *Proc) Flush(a Addr) {
-	p.stats.Flushes++
-	p.stats.Busy++
-	p.m.met.flushes.Add(p.m.e.Now(), 1)
-	p.m.met.busy.Add(p.m.e.Now(), 1)
-	p.co.StallFor(1)
+	p.issue(&p.stats.Flushes, p.m.met.flushes)
+	p.flushPending()
 	p.drainWB()
-	completed := false
-	p.m.sys.FlushBlock(p.id, a, func() {
-		completed = true
-		p.unblock(waitRead)
-	})
-	if !completed {
+	p.opDone = false
+	p.m.sys.FlushBlock(p.id, a, p.flushDone)
+	if !p.opDone {
 		p.block(waitRead)
 	}
 	p.m.cfg.Trace.Record(p.Now(), p.id, trace.Flush, uint32(a), 0)
+}
+
+// spinPoll charges one uncompressed polling interval and records it as a
+// spin-wait timeline slice, mirroring the parked (compressed) path so
+// exported timelines agree with ProcStats.SpinWait under either model.
+func (p *Proc) spinPoll(poll sim.Time) {
+	t0 := p.m.e.Now()
+	p.stats.SpinWait += poll
+	p.m.met.stall[waitSpin].Add(t0, poll)
+	p.co.StallFor(poll)
+	p.m.cfg.Timeline.AddSlice(p.id, waitSpin.timelineName(), t0, p.m.e.Now())
 }
 
 // SpinUntil spins reading the word at a until pred is satisfied and
@@ -330,9 +389,7 @@ func (p *Proc) SpinUntil(a Addr, pred func(v uint32) bool) uint32 {
 			return v
 		}
 		if poll > 0 {
-			p.stats.SpinWait += poll
-			p.m.met.stall[waitSpin].Add(p.m.e.Now(), poll)
-			p.co.StallFor(poll) // uncompressed polling loop (ablation)
+			p.spinPoll(poll) // uncompressed polling loop (ablation)
 			continue
 		}
 		p.watchAndWait(cache.BlockOf(a))
@@ -369,9 +426,7 @@ func (p *Proc) SpinUntilWords(addrs []Addr, pred func(vals []uint32) bool) []uin
 			return vals
 		}
 		if poll > 0 {
-			p.stats.SpinWait += poll
-			p.m.met.stall[waitSpin].Add(p.m.e.Now(), poll)
-			p.co.StallFor(poll)
+			p.spinPoll(poll)
 			continue
 		}
 		if c.Version(block) != v0 {
@@ -386,7 +441,7 @@ func (p *Proc) SpinUntilWords(addrs []Addr, pred func(vals []uint32) bool) []uin
 // watchAndWait parks until a coherence event touches block.
 func (p *Proc) watchAndWait(block uint32) {
 	p.m.cfg.Trace.Record(p.Now(), p.id, trace.SpinPark, block*cache.BlockBytes, 0)
-	p.m.sys.Cache(p.id).Watch(block, func() { p.unblock(waitSpin) })
+	p.m.sys.Cache(p.id).Watch(block, p.spinWake)
 	p.block(waitSpin)
 	p.m.cfg.Trace.Record(p.Now(), p.id, trace.SpinWake, block*cache.BlockBytes, 0)
 }

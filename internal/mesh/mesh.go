@@ -151,8 +151,10 @@ func (nw *Network) Send(src, dst, bytes int, deliver func()) {
 	nw.stats.HopSum += uint64(hops)
 	nw.outFlits[src] += uint64(flits)
 	nw.inFlits[dst] += uint64(flits)
-	nw.mMsgs.Add(now, 1)
-	nw.mFlits.Add(now, uint64(flits))
+	if nw.mMsgs != nil {
+		nw.mMsgs.Add(now, 1)
+		nw.mFlits.Add(now, uint64(flits))
+	}
 
 	nw.e.At(done, deliver)
 }

@@ -134,11 +134,15 @@ func (c *Counter) Value() uint64 {
 }
 
 // Add increments the counter by n at simulated time now. Safe on nil.
+// The frame check is inlined so the common case — sampling disabled, or
+// no frame boundary crossed — is a couple of loads on top of the add.
 func (c *Counter) Add(now sim.Time, n uint64) {
 	if c == nil {
 		return
 	}
-	c.r.tick(now)
+	if r := c.r; r.interval != 0 && r.frameEnd <= now {
+		r.tick(now)
+	}
 	c.v += n
 }
 

@@ -31,6 +31,7 @@ package proto
 
 import (
 	"fmt"
+	"math/bits"
 
 	"coherencesim/internal/cache"
 	"coherencesim/internal/classify"
@@ -182,16 +183,7 @@ type dirEntry struct {
 func (d *dirEntry) has(p int) bool   { return d.sharers&(1<<uint(p)) != 0 }
 func (d *dirEntry) add(p int)        { d.sharers |= 1 << uint(p) }
 func (d *dirEntry) remove(p int)     { d.sharers &^= 1 << uint(p) }
-func (d *dirEntry) sharerCount() int { return popcount(d.sharers) }
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func (d *dirEntry) sharerCount() int { return bits.OnesCount64(d.sharers) }
 
 // procState is per-node transient protocol state.
 type procState struct {
@@ -224,6 +216,30 @@ type System struct {
 	// Cached observability handles (nil-safe no-ops without a registry).
 	mUpdFan *metrics.Histogram // update multicast fan-out per write/atomic
 	mInvFan *metrics.Histogram // invalidation fan-out per WI write
+
+	// sharerScratch backs sharerList so enumerating a directory entry's
+	// sharers does not allocate; see sharerList for the aliasing rule.
+	sharerScratch [64]int
+	// updFree recycles update-delivery messages (see updMsg), wrFree
+	// write-through transactions (see wrMsg), txFree finished
+	// write/atomic completion trackers (see newUpdTx).
+	updFree *updMsg
+	wrFree  *wrMsg
+	txFree  *updTx
+}
+
+// sharerList returns the sharers of d other than except, in ascending
+// node order. The slice aliases a scratch buffer on s and is valid only
+// until the next call — every caller consumes it within its own event
+// callback, before any other directory operation can run.
+func (s *System) sharerList(d *dirEntry, except int) []int {
+	out := s.sharerScratch[:0]
+	m := d.sharers &^ (1 << uint(except))
+	for m != 0 {
+		out = append(out, bits.TrailingZeros64(m))
+		m &= m - 1
+	}
+	return out
 }
 
 // NewSystem assembles the coherence system for n nodes.

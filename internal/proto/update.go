@@ -35,11 +35,31 @@ type updTx struct {
 	got      int
 	replied  bool
 	finished bool
+	ackFn    func() // cached t.ack closure, shared by every ack message
+	next     *updTx // free list link (see newUpdTx)
 }
 
+// newUpdTx takes a transaction from the System's free list, or builds
+// one (with its ack closure) on first use. A transaction is recycled by
+// check() the moment it finishes: at that point the reply and every
+// expected acknowledgement have arrived, so no in-flight message can
+// still reference it.
 func newUpdTx(s *System, p int) *updTx {
 	s.addOutstanding(p, 1)
-	return &updTx{s: s, p: p, expected: -1}
+	t := s.txFree
+	if t == nil {
+		t = &updTx{s: s}
+		t.ackFn = t.ack
+	} else {
+		s.txFree = t.next
+		t.next = nil
+	}
+	t.p = p
+	t.expected = -1
+	t.got = 0
+	t.replied = false
+	t.finished = false
+	return t
 }
 
 func (t *updTx) ack() {
@@ -57,6 +77,8 @@ func (t *updTx) check() {
 	if !t.finished && t.replied && t.got == t.expected {
 		t.finished = true
 		t.s.completeOutstanding(t.p)
+		t.next = t.s.txFree
+		t.s.txFree = t
 	}
 }
 
@@ -113,22 +135,61 @@ func (s *System) updWriteLocal(p int, block uint32, word int, v uint32, retire f
 	s.ctr.WriteThrough++
 	tx := newUpdTx(s, p)
 	home := s.HomeOf(block)
-	s.send(p, home, szWord, func() { s.homeUpdate(p, block, word, v, tx, retire) })
+	s.send(p, home, szWord, s.newWrMsg(p, block, word, v, tx, retire).reqFn)
 }
 
-// homeUpdate serializes a write-through at the directory (it must wait
-// out a retained-private owner, which is first demoted).
-func (s *System) homeUpdate(p int, block uint32, word int, v uint32, tx *updTx, retire func()) {
-	d := s.entry(block)
-	s.whenFree(d, func() {
-		if d.state == dirOwned {
-			s.demoteOwner(d, block, func() {
-				s.homeUpdate(p, block, word, v, tx, retire)
-			})
-			return
-		}
-		s.homeUpdateReady(p, block, word, v, tx, retire)
-	})
+// wrMsg carries one write-through transaction along its fixed message
+// chain — request to the home, directory serialization, memory write,
+// reply to the writer — with the stage continuations built once per
+// pooled object, so the per-write closure chain does not allocate in
+// steady state. The object is recycled when the reply retires the
+// write; its fields are copied out (and references cleared) first, so
+// writes triggered from within the reply handler may reuse it.
+type wrMsg struct {
+	s        *System
+	p        int
+	word     int
+	expected int
+	block    uint32
+	v        uint32
+	tx       *updTx
+	retire   func()
+	next     *wrMsg
+	reqFn    func() // req: serialize at the home directory
+	wroteFn  func() // wrote: memory write done, multicast + reply
+	replyFn  func() // reply: apply at writer, retire
+}
+
+func (s *System) newWrMsg(p int, block uint32, word int, v uint32, tx *updTx, retire func()) *wrMsg {
+	m := s.wrFree
+	if m == nil {
+		m = &wrMsg{s: s}
+		m.reqFn = m.req
+		m.wroteFn = m.wrote
+		m.replyFn = m.reply
+	} else {
+		s.wrFree = m.next
+		m.next = nil
+	}
+	m.p, m.block, m.word, m.v, m.tx, m.retire = p, block, word, v, tx, retire
+	return m
+}
+
+// req serializes the write-through at the directory: it waits out a
+// busy entry and demotes a retained-private owner, re-examining all
+// state on each retry (reqFn re-enters here).
+func (m *wrMsg) req() {
+	s := m.s
+	d := s.entry(m.block)
+	if d.busy {
+		d.waitq = append(d.waitq, m.reqFn)
+		return
+	}
+	if d.state == dirOwned {
+		s.demoteOwner(d, m.block, m.reqFn)
+		return
+	}
+	s.mems[s.HomeOf(m.block)].WriteWord(m.block, m.word, m.v, m.wroteFn)
 }
 
 // demoteOwner fetches a retained-private block back from its owner,
@@ -156,57 +217,66 @@ func (s *System) demoteOwner(d *dirEntry, block uint32, then func()) {
 	})
 }
 
-// homeUpdateReady applies a write-through at the home: memory write,
-// update multicast, reply (with PU retention decision).
-func (s *System) homeUpdateReady(p int, block uint32, word int, v uint32, tx *updTx, retire func()) {
+// wrote applies a write-through at the home once memory has taken the
+// word: update multicast and reply (with PU retention decision).
+func (m *wrMsg) wrote() {
+	s := m.s
+	p, block, word, v, tx := m.p, m.block, m.word, m.v, m.tx
 	d := s.entry(block)
 	home := s.HomeOf(block)
-	s.mems[home].WriteWord(block, word, v, func() {
-		s.cl.GlobalWrite(p, block, word)
-		others := d.sharerList(p)
-		// Retention decision (PU): the block is cached by the writer
-		// alone and no transaction is in flight. Both the directory and
-		// the writer's line transition at the decision instant — the
-		// permission change carries no data, and the writer cannot issue
-		// another store before the reply retires this one, so the early
-		// line-state change is unobservable except through the protocol
-		// behaving consistently under racing requests from other nodes.
-		if s.cfg.Protocol == PU && !s.cfg.DisableRetention &&
-			len(others) == 0 && !d.busy &&
-			d.state == dirShared && d.has(p) {
-			if ln := s.caches[p].Lookup(block); ln != nil && ln.State == cache.Shared {
-				// The grant is this write's serialization point: the
-				// line takes the written value here (it matches memory,
-				// so the copy stays clean) and no later reply will touch
-				// an Exclusive line.
-				ln.State = cache.Exclusive
-				ln.Data[word] = v
-				s.caches[p].FireWatchers(block)
-				d.state = dirOwned
-				d.owner = p
-				d.sharers = 0
-				s.ctr.Retentions++
-			}
+	s.cl.GlobalWrite(p, block, word)
+	others := s.sharerList(d, p)
+	// Retention decision (PU): the block is cached by the writer
+	// alone and no transaction is in flight. Both the directory and
+	// the writer's line transition at the decision instant — the
+	// permission change carries no data, and the writer cannot issue
+	// another store before the reply retires this one, so the early
+	// line-state change is unobservable except through the protocol
+	// behaving consistently under racing requests from other nodes.
+	if s.cfg.Protocol == PU && !s.cfg.DisableRetention &&
+		len(others) == 0 && !d.busy &&
+		d.state == dirShared && d.has(p) {
+		if ln := s.caches[p].Lookup(block); ln != nil && ln.State == cache.Shared {
+			// The grant is this write's serialization point: the
+			// line takes the written value here (it matches memory,
+			// so the copy stays clean) and no later reply will touch
+			// an Exclusive line.
+			ln.State = cache.Exclusive
+			ln.Data[word] = v
+			s.caches[p].FireWatchers(block)
+			d.state = dirOwned
+			d.owner = p
+			d.sharers = 0
+			s.ctr.Retentions++
 		}
-		s.mUpdFan.Observe(uint64(len(others)))
-		for _, q := range others {
-			q := q
-			s.ctr.UpdatesSent++
-			s.send(home, q, szWord, func() { s.deliverUpdate(q, block, word, v, p, tx) })
-		}
-		expected := len(others)
-		s.send(home, p, szControl, func() {
-			// Apply the serialized value to the writer's own copy (see
-			// updWriteLocal: the reply is FIFO-ordered with other
-			// writers' update messages on the home-to-writer channel).
-			if ln := s.caches[p].Lookup(block); ln != nil && ln.State != cache.Exclusive {
-				ln.Data[word] = v
-				s.caches[p].FireWatchers(block)
-			}
-			tx.reply(expected)
-			retire()
-		})
-	})
+	}
+	s.mUpdFan.Observe(uint64(len(others)))
+	for _, q := range others {
+		s.ctr.UpdatesSent++
+		s.send(home, q, szWord, s.newUpdMsg(q, block, word, v, p, tx).fn)
+	}
+	m.expected = len(others)
+	s.send(home, p, szControl, m.replyFn)
+}
+
+// reply runs at the writer: it applies the serialized value, accounts
+// the acknowledgement expectation, and retires the write-buffer entry.
+func (m *wrMsg) reply() {
+	s := m.s
+	p, block, word, v := m.p, m.block, m.word, m.v
+	tx, retire, expected := m.tx, m.retire, m.expected
+	m.tx, m.retire = nil, nil
+	m.next = s.wrFree
+	s.wrFree = m
+	// Apply the serialized value to the writer's own copy (see
+	// updWriteLocal: the reply is FIFO-ordered with other writers'
+	// update messages on the home-to-writer channel).
+	if ln := s.caches[p].Lookup(block); ln != nil && ln.State != cache.Exclusive {
+		ln.Data[word] = v
+		s.caches[p].FireWatchers(block)
+	}
+	tx.reply(expected)
+	retire()
 }
 
 // deliverUpdate applies an update message at sharer q: plain application
@@ -256,7 +326,47 @@ func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer i
 // sendAck sends a sharer acknowledgement to the transaction's writer.
 func (s *System) sendAck(from int, tx *updTx) {
 	s.ctr.Acks++
-	s.send(from, tx.p, szAck, func() { tx.ack() })
+	s.send(from, tx.p, szAck, tx.ackFn)
+}
+
+// updMsg carries one update delivery to a sharer. Messages recycle
+// through a free list on System, each with a delivery closure built
+// once for the object's lifetime, so the per-sharer multicast — the
+// dominant residual allocation in update-protocol runs — stops
+// allocating in steady state. The object is returned to the free list
+// before deliverUpdate runs (its fields are copied out first), so
+// deliveries triggered from within deliverUpdate may reuse it.
+type updMsg struct {
+	s      *System
+	q      int
+	writer int
+	block  uint32
+	v      uint32
+	word   int
+	tx     *updTx
+	next   *updMsg
+	fn     func()
+}
+
+func (s *System) newUpdMsg(q int, block uint32, word int, v uint32, writer int, tx *updTx) *updMsg {
+	m := s.updFree
+	if m == nil {
+		m = &updMsg{s: s}
+		m.fn = m.deliver
+	} else {
+		s.updFree = m.next
+	}
+	m.q, m.block, m.word, m.v, m.writer, m.tx = q, block, word, v, writer, tx
+	return m
+}
+
+func (m *updMsg) deliver() {
+	s := m.s
+	q, block, word, v, writer, tx := m.q, m.block, m.word, m.v, m.writer, m.tx
+	m.tx = nil
+	m.next = s.updFree
+	s.updFree = m
+	s.deliverUpdate(q, block, word, v, writer, tx)
 }
 
 // updAtomic executes an atomic op at the home memory under PU/CU. The
@@ -304,12 +414,11 @@ func (s *System) homeAtomicReady(p int, block uint32, word int, kind AtomicKind,
 		return kind.apply(old, op1, op2)
 	}, func(old, newV uint32) {
 		s.cl.GlobalWrite(p, block, word)
-		others := d.sharerList(p)
+		others := s.sharerList(d, p)
 		s.mUpdFan.Observe(uint64(len(others)))
 		for _, q := range others {
-			q := q
 			s.ctr.UpdatesSent++
-			s.send(home, q, szWord, func() { s.deliverUpdate(q, block, word, newV, p, tx) })
+			s.send(home, q, szWord, s.newUpdMsg(q, block, word, newV, p, tx).fn)
 		}
 		expected := len(others)
 		var data []uint32

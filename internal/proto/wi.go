@@ -106,7 +106,7 @@ func (s *System) wiHomeAcquireLocked(p int, block uint32, word int, perform func
 
 	case dirShared:
 		needData := !d.has(p)
-		others := d.sharerList(p)
+		others := s.sharerList(d, p)
 		s.mInvFan.Observe(uint64(len(others)))
 		pending := len(others)
 		var data []uint32
@@ -176,15 +176,4 @@ func (s *System) wiGrant(p int, block uint32, word int, data []uint32, perform f
 		return
 	}
 	perform(ln)
-}
-
-// sharerList returns the sharers of d other than p, in node order.
-func (d *dirEntry) sharerList(except int) []int {
-	var out []int
-	for q := 0; q < 64; q++ {
-		if q != except && d.has(q) {
-			out = append(out, q)
-		}
-	}
-	return out
 }

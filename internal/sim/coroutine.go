@@ -9,11 +9,18 @@ package sim
 // A coroutine body calls Stall to suspend itself; some engine event must
 // later call Wake to resume it. StallFor suspends for a fixed number of
 // cycles. When the body returns, the coroutine terminates.
+//
+// Control transfer uses a single unbuffered channel per coroutine as a
+// token: whichever side holds the token runs, and passing it parks the
+// sender until the token comes back. Strict alternation makes the
+// bidirectional use safe — at most one side is ever sending — and one
+// channel (instead of the classic run/done pair) means one hand-off per
+// direction with half the channel state to touch.
 type Coroutine struct {
 	e       *Engine
 	name    string
-	run     chan struct{} // engine -> coroutine: you may run
-	done    chan struct{} // coroutine -> engine: I have parked or finished
+	swap    chan struct{} // control-transfer token (see type comment)
+	started bool
 	stalled bool
 	ended   bool
 }
@@ -24,19 +31,29 @@ func (e *Engine) Go(name string, body func()) *Coroutine {
 	c := &Coroutine{
 		e:    e,
 		name: name,
-		run:  make(chan struct{}),
-		done: make(chan struct{}),
+		swap: make(chan struct{}),
 	}
 	e.live++
 	go func() {
-		<-c.run // wait for first dispatch
+		<-c.swap // wait for first dispatch
 		body()
 		c.ended = true
 		e.live--
-		c.done <- struct{}{}
+		c.swap <- struct{}{}
 	}()
-	e.Schedule(0, func() { c.dispatch() })
+	e.atWake(e.now, c)
 	return c
+}
+
+// resume runs the coroutine's queued event: the first dispatch if the
+// body has not started yet, a wake-up otherwise.
+func (c *Coroutine) resume() {
+	if c.started {
+		c.Wake()
+		return
+	}
+	c.started = true
+	c.dispatch()
 }
 
 // dispatch transfers control to the coroutine and blocks until it parks
@@ -45,8 +62,8 @@ func (c *Coroutine) dispatch() {
 	if c.ended {
 		panic("sim: dispatching finished coroutine " + c.name)
 	}
-	c.run <- struct{}{}
-	<-c.done
+	c.swap <- struct{}{}
+	<-c.swap
 }
 
 // Stall suspends the coroutine until Wake is called on it. It must only be
@@ -54,8 +71,8 @@ func (c *Coroutine) dispatch() {
 func (c *Coroutine) Stall() {
 	c.stalled = true
 	c.e.blocked++
-	c.done <- struct{}{} // yield to engine
-	<-c.run              // parked until Wake dispatches us
+	c.swap <- struct{}{} // yield to engine
+	<-c.swap             // parked until Wake dispatches us
 }
 
 // Wake resumes a stalled coroutine at the current simulated time. It must
@@ -67,17 +84,45 @@ func (c *Coroutine) Wake() {
 	}
 	c.stalled = false
 	c.e.blocked--
+	if c.e.tail != c {
+		// Nested dispatch: we are being woken from inside an event
+		// callback or another coroutine's body, so interrupted work is
+		// pending beneath us at the current time. Neither we nor, after
+		// we park, the frames below may use the StallFor fast path.
+		c.e.tail = nil
+	}
 	c.dispatch()
 }
 
 // WakeAt schedules the coroutine to resume at absolute time t.
 func (c *Coroutine) WakeAt(t Time) {
-	c.e.At(t, func() { c.Wake() })
+	c.e.atWake(t, c)
 }
 
 // StallFor suspends the coroutine for d cycles of simulated time.
+//
+// Fast path: when this coroutine is the run loop's tail dispatch (no
+// interrupted engine callback pending beneath it, see Engine.tail) and
+// no queued event sorts before the wake-up would — the queue is empty
+// or its minimum lies strictly after now+d — no other code can observe
+// the stall, so the engine state is advanced in place (clock to now+d,
+// plus the seq and processed the elided wake event would have consumed,
+// keeping event numbering byte-identical) and the coroutine simply
+// keeps running, skipping the schedule, two goroutine hand-offs, and
+// heap traffic. Any event at or before now+d — even one tying at
+// exactly now+d, whose earlier seq must win — forces the full
+// park/unpark path. The fast path is additionally gated on Run
+// (e.running) because RunUntil and Step must observe the wake event to
+// stop at their boundaries.
 func (c *Coroutine) StallFor(d Time) {
-	c.e.Schedule(d, func() { c.Wake() })
+	e := c.e
+	if e.running && e.tail == c && (e.pq.len() == 0 || e.pq.minAt() > e.now+d) {
+		e.seq++
+		e.processed++
+		e.now += d
+		return
+	}
+	e.atWake(e.now+d, c)
 	c.Stall()
 }
 

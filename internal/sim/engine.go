@@ -7,64 +7,67 @@
 // control back and forth with the engine: at any instant exactly one
 // goroutine (the engine or a single coroutine) is running, so simulation
 // state needs no locking and executes deterministically.
+//
+// The event core is built for throughput: events are typed structs in a
+// concrete 4-ary min-heap (no interface boxing, no per-event allocation
+// in steady state — see heap4), coroutine wake-ups are a dedicated event
+// kind carrying the coroutine pointer instead of a heap-allocated
+// closure, and fixed-length stalls bypass the queue entirely when no
+// earlier event could observe them (see Coroutine.StallFor). DESIGN.md
+// ("Engine internals & performance") documents why none of these paths
+// can reorder events.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in processor cycles.
 type Time = uint64
 
+// event is a typed queue entry executed by the engine without interface
+// boxing. Exactly one payload field is set: co for the hot fixed-shape
+// edges (coroutine start and wake-up, which would otherwise each
+// heap-allocate a closure), fn for callers whose callbacks genuinely
+// carry state. Keeping the struct at 32 bytes (two per cache line)
+// matters: heap sifts move events by value.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	co  *Coroutine // wake/start target, nil for closure events
+	fn  func()     // closure callback, nil for coroutine events
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with NewEngine.
 type Engine struct {
-	pq      eventHeap
+	pq      heap4
 	now     Time
 	seq     uint64
 	running bool
 
 	// processed counts events executed, for simulator performance
-	// reporting.
+	// reporting. Stalls short-circuited by the StallFor fast path count
+	// too: they consume the same (seq, processed) budget as the wake
+	// event they elide, keeping event numbering byte-identical.
 	processed uint64
 
 	// coroutines that are currently blocked waiting to be woken.
 	blocked int
 	// live coroutines that have been started and have not finished.
 	live int
+
+	// tail is the coroutine the run loop dispatched directly with no
+	// engine callback frame pending beneath it — the only situation in
+	// which StallFor's in-place fast path is sound. It is cleared when a
+	// closure event runs (arbitrary code may follow a nested dispatch)
+	// and when a coroutine is woken from inside another frame, so any
+	// coroutine with interrupted work beneath it always takes the full
+	// park/unpark path.
+	tail *Coroutine
 }
 
 // NewEngine returns an empty engine at time 0.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.pq)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -83,11 +86,41 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// atWake schedules a typed wake-up (or first start) of co at absolute
+// time t, avoiding the closure a func() event would allocate.
+func (e *Engine) atWake(t Time, co *Coroutine) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
+	}
+	e.seq++
+	e.pq.push(event{at: t, seq: e.seq, co: co})
+}
+
+// exec runs one popped event.
+func (e *Engine) exec(ev event) {
+	e.now = ev.at
+	e.processed++
+	if ev.co != nil {
+		e.tail = ev.co
+		ev.co.resume()
+		e.tail = nil
+		return
+	}
+	e.tail = nil
+	ev.fn()
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return e.pq.len() }
+
+// deadlocked panics with the blocked-coroutine diagnostic. Called only
+// when the queue is empty.
+func (e *Engine) deadlocked() {
+	panic(fmt.Sprintf("sim: deadlock at time %d: %d coroutine(s) blocked with no pending events", e.now, e.blocked))
+}
 
 // Run executes events until the queue is empty. If coroutines are still
 // blocked when the queue drains, the simulation has deadlocked and Run
@@ -95,25 +128,24 @@ func (e *Engine) Pending() int { return len(e.pq) }
 func (e *Engine) Run() {
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(event)
-		e.now = ev.at
-		e.processed++
-		ev.fn()
+	for e.pq.len() > 0 {
+		e.exec(e.pq.pop())
 	}
 	if e.blocked > 0 {
-		panic(fmt.Sprintf("sim: deadlock at time %d: %d coroutine(s) blocked with no pending events", e.now, e.blocked))
+		e.deadlocked()
 	}
 }
 
 // RunUntil executes events with time <= t and then stops, setting the
-// clock to t. Events at exactly t do run.
+// clock to t. Events at exactly t do run. Like Run, it panics if the
+// queue drains entirely while coroutines are still blocked — with no
+// pending event, nothing can ever wake them.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.pq) > 0 && e.pq[0].at <= t {
-		ev := heap.Pop(&e.pq).(event)
-		e.now = ev.at
-		e.processed++
-		ev.fn()
+	for e.pq.len() > 0 && e.pq.minAt() <= t {
+		e.exec(e.pq.pop())
+	}
+	if e.pq.len() == 0 && e.blocked > 0 {
+		e.deadlocked()
 	}
 	if e.now < t {
 		e.now = t
@@ -121,14 +153,16 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // Step runs the single earliest event, returning false if none remain.
+// An empty queue with blocked coroutines is the same deadlock Run
+// diagnoses, and panics identically.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	if e.pq.len() == 0 {
+		if e.blocked > 0 {
+			e.deadlocked()
+		}
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
-	e.now = ev.at
-	e.processed++
-	ev.fn()
+	e.exec(e.pq.pop())
 	return true
 }
 

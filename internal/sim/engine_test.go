@@ -241,6 +241,43 @@ func TestDeadlockDetection(t *testing.T) {
 	e.Run()
 }
 
+func TestRunUntilDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	var co *Coroutine
+	co = e.Go("stuck", func() {
+		co.Stall() // nobody will wake us
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil() did not panic on deadlock")
+		}
+		// Unstick the goroutine so the test process can exit cleanly.
+		go func() { co.Wake() }()
+	}()
+	// The queue drains (only the start event) with the coroutine still
+	// blocked; with no pending event, nothing can ever wake it, so the
+	// bounded run must diagnose the deadlock just as Run does.
+	e.RunUntil(100)
+}
+
+func TestStepDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	var co *Coroutine
+	co = e.Go("stuck", func() {
+		co.Stall() // nobody will wake us
+	})
+	if !e.Step() { // start event: body runs until Stall
+		t.Fatal("Step() found no start event")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Step() did not panic on deadlock")
+		}
+		go func() { co.Wake() }()
+	}()
+	e.Step() // empty queue + blocked coroutine
+}
+
 func TestManyCoroutinesInterleaveDeterministically(t *testing.T) {
 	run := func() []string {
 		e := NewEngine()
