@@ -1,0 +1,77 @@
+// Command coherenced is the simulation-as-a-service daemon: it serves
+// the paper's experiments over a versioned REST/SSE API, backed by a
+// content-addressed result cache (identical requests never re-simulate),
+// a bounded priority job scheduler, and SIGTERM-triggered graceful
+// drain.
+//
+// Usage:
+//
+//	coherenced -addr :8377
+//
+// API:
+//
+//	POST   /v1/jobs              submit a canonical job spec
+//	GET    /v1/jobs/{id}         job status and (when done) result
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/jobs/{id}/events  runner progress snapshots over SSE
+//	GET    /v1/experiments       what can be run
+//	GET    /healthz              liveness + build info
+//	GET    /readyz               readiness (503 while draining)
+//	GET    /metrics              Prometheus-format service counters
+//
+// See the README's "Serving" section for curl examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coherencesim/internal/buildinfo"
+	"coherencesim/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8377", "listen address")
+		queue      = flag.Int("queue", 64, "admission bound per priority class; a full queue returns 429")
+		jobs       = flag.Int("jobs", 2, "concurrently executing jobs")
+		simWorkers = flag.Int("sim-workers", 0, "simulation worker pool width per job: 0 = NumCPU")
+		cacheSize  = flag.Int("cache", 256, "content-addressed result cache entries")
+		grace      = flag.Duration("grace", 30*time.Second, "graceful-drain window for in-flight jobs on SIGTERM")
+		version    = flag.Bool("version", false, "print version information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("coherenced"))
+		return 0
+	}
+
+	svc := service.New(service.Config{
+		Addr:         *addr,
+		QueueDepth:   *queue,
+		Jobs:         *jobs,
+		SimWorkers:   *simWorkers,
+		CacheEntries: *cacheSize,
+		Grace:        *grace,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	if err := svc.Run(stop); err != nil {
+		fmt.Fprintln(os.Stderr, "coherenced:", err)
+		return 1
+	}
+	return 0
+}

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"coherencesim/internal/buildinfo"
 	"coherencesim/internal/experiments"
 	"coherencesim/internal/machine"
 	"coherencesim/internal/metrics"
@@ -70,7 +71,9 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "", "figure to regenerate: fig8..fig16, lockvariants, redvariants, extlocks, contention, apps, ablations, all")
+		experiment = flag.String("experiment", "", "figure to regenerate: fig8..fig16, lockvariants, redvariants, extlocks, contention, apps, ablations, all (see -list)")
+		list       = flag.Bool("list", false, "print every experiment name with a one-line description and exit")
+		version    = flag.Bool("version", false, "print version information and exit")
 		quick      = flag.Bool("quick", false, "reduced iteration counts (~20x faster, same shapes)")
 		format     = flag.String("format", "table", "output format for fig8/fig11/fig14 and traffic figures: table or csv")
 		parallel   = flag.Int("parallel", 0, "simulation worker pool size: 0 = NumCPU, 1 = pure serial")
@@ -94,6 +97,15 @@ func run() int {
 		memprofile       = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("coherencesim"))
+		return 0
+	}
+	if *list {
+		printExperimentList(os.Stdout)
+		return 0
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -248,82 +260,55 @@ func writeReport(rep *metrics.Report, ob obsOptions) error {
 	return nil
 }
 
+// printExperimentList writes the -list output: every catalog entry with
+// its one-line description (the same catalog the serving API exposes at
+// GET /v1/experiments).
+func printExperimentList(w io.Writer) {
+	fmt.Fprintln(w, "experiments (-experiment NAME):")
+	for _, e := range experiments.Catalog() {
+		csv := ""
+		if e.HasCSV() {
+			csv = "  [csv]"
+		}
+		fmt.Fprintf(w, "  %-14s %s%s\n", e.Name, e.Description, csv)
+	}
+	fmt.Fprintln(w, "  all            every experiment above, in order")
+}
+
+// unknownExperiment builds the error for a bad -experiment value; its
+// message carries the full experiment list so the user never has to go
+// hunt for valid names.
+func unknownExperiment(name string) error {
+	var b strings.Builder
+	printExperimentList(&b)
+	return fmt.Errorf("unknown experiment %q\n%s", name, strings.TrimRight(b.String(), "\n"))
+}
+
 func runExperiments(name string, o experiments.Options, timings io.Writer, phases *metrics.PhaseTimer) error {
-	type driver struct {
-		id  string
-		fn  func(experiments.Options)
-		txt string
-	}
-	show := func(s fmt.Stringer) { fmt.Println(s) }
-	drivers := []driver{
-		{"fig8", func(o experiments.Options) { show(experiments.Figure8(o).Table()) },
-			"lock latency sweep"},
-		{"fig9", func(o experiments.Options) { show(experiments.Figure9(o).Table()) },
-			"lock miss traffic"},
-		{"fig10", func(o experiments.Options) { show(experiments.Figure10(o).Table()) },
-			"lock update traffic"},
-		{"fig11", func(o experiments.Options) { show(experiments.Figure11(o).Table()) },
-			"barrier latency sweep"},
-		{"fig12", func(o experiments.Options) { show(experiments.Figure12(o).Table()) },
-			"barrier miss traffic"},
-		{"fig13", func(o experiments.Options) { show(experiments.Figure13(o).Table()) },
-			"barrier update traffic"},
-		{"fig14", func(o experiments.Options) { show(experiments.Figure14(o).Table()) },
-			"reduction latency sweep"},
-		{"fig15", func(o experiments.Options) { show(experiments.Figure15(o).Table()) },
-			"reduction miss traffic"},
-		{"fig16", func(o experiments.Options) { show(experiments.Figure16(o).Table()) },
-			"reduction update traffic"},
-		{"lockvariants", func(o experiments.Options) {
-			show(experiments.LockVariantRandomPause(o).Table())
-			show(experiments.LockVariantWorkRatio(o).Table())
-		}, "Section 4.1 lock variants"},
-		{"redvariants", func(o experiments.Options) {
-			show(experiments.ReductionVariantImbalanced(o).Table())
-		}, "Section 4.3 reduction variant"},
-		{"extlocks", func(o experiments.Options) {
-			show(experiments.ExtendedLockSweep(o).Table())
-		}, "extended lock sweep incl. TAS/TTAS"},
-		{"contention", func(o experiments.Options) {
-			for _, r := range experiments.AnalyzeLockContentions(o, []proto.Protocol{proto.PU, proto.WI}) {
-				show(r.Table())
-			}
-		}, "per-node traffic concentration of the centralized lock"},
-		{"apps", func(o experiments.Options) {
-			show(experiments.CompareWorkQueue(o).Table())
-			show(experiments.CompareJacobi(o).Table())
-			show(experiments.CompareNBody(o).Table())
-		}, "application kernels: best construct per protocol"},
-		{"ablations", func(o experiments.Options) {
-			show(experiments.AblateCUThreshold(o, []uint8{1, 2, 4, 8, 16}).Table())
-			show(experiments.AblatePURetention(o).Table())
-			show(experiments.AblateSpinModel(o, proto.PU).Table())
-			show(experiments.AblateSpinModel(o, proto.WI).Table())
-		}, "DESIGN.md ablation studies"},
-	}
-	timed := func(d driver) {
+	timed := func(e experiments.CatalogEntry) {
 		t0 := time.Now()
-		d.fn(o)
+		for _, tbl := range e.Tables(o) {
+			fmt.Println(tbl)
+		}
 		elapsed := time.Since(t0)
-		phases.Observe(d.id, elapsed)
+		phases.Observe(e.Name, elapsed)
 		if timings != nil {
-			fmt.Fprintf(timings, "coherencesim: %s done in %.2fs\n", d.id, elapsed.Seconds())
+			fmt.Fprintf(timings, "coherencesim: %s done in %.2fs\n", e.Name, elapsed.Seconds())
 		}
 	}
 	if name == "all" {
-		for _, d := range drivers {
-			fmt.Printf("== %s (%s) ==\n", d.id, d.txt)
-			timed(d)
+		for _, e := range experiments.Catalog() {
+			fmt.Printf("== %s (%s) ==\n", e.Name, e.Description)
+			timed(e)
 		}
 		return nil
 	}
-	for _, d := range drivers {
-		if d.id == name {
-			timed(d)
-			return nil
-		}
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		return unknownExperiment(name)
 	}
-	return fmt.Errorf("unknown experiment %q", name)
+	timed(e)
+	return nil
 }
 
 // instrument applies the observability options to a single run's
@@ -503,29 +488,13 @@ func missBar(res workload.LockResult) string {
 // runExperimentsCSV prints plotting-friendly CSV for the figure
 // experiments that have a CSV form.
 func runExperimentsCSV(name string, o experiments.Options) error {
-	switch name {
-	case "fig8":
-		fmt.Print(experiments.Figure8(o).CSV())
-	case "fig9":
-		fmt.Print(experiments.Figure9(o).CSV())
-	case "fig10":
-		fmt.Print(experiments.Figure10(o).CSV())
-	case "fig11":
-		fmt.Print(experiments.Figure11(o).CSV())
-	case "fig12":
-		fmt.Print(experiments.Figure12(o).CSV())
-	case "fig13":
-		fmt.Print(experiments.Figure13(o).CSV())
-	case "fig14":
-		fmt.Print(experiments.Figure14(o).CSV())
-	case "fig15":
-		fmt.Print(experiments.Figure15(o).CSV())
-	case "fig16":
-		fmt.Print(experiments.Figure16(o).CSV())
-	case "extlocks":
-		fmt.Print(experiments.ExtendedLockSweep(o).CSV())
-	default:
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		return unknownExperiment(name)
+	}
+	if !e.HasCSV() {
 		return fmt.Errorf("experiment %q has no CSV form", name)
 	}
+	fmt.Print(e.CSV(o))
 	return nil
 }

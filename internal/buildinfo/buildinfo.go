@@ -1,0 +1,53 @@
+// Package buildinfo carries the binaries' version stamp. The release
+// string is overridable at link time:
+//
+//	go build -ldflags "-X coherencesim/internal/buildinfo.Version=v1.2.3"
+//
+// and the VCS revision the go toolchain bakes into the build is picked
+// up automatically, so even unstamped builds identify themselves.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the link-time release stamp ("dev" when unstamped).
+var Version = "dev"
+
+// Revision returns the short VCS revision recorded by the go toolchain,
+// suffixed "+dirty" for modified trees, or "" outside a VCS build.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// String renders the one-line -version output for the named binary.
+func String(binary string) string {
+	s := fmt.Sprintf("%s %s", binary, Version)
+	if rev := Revision(); rev != "" {
+		s += " (" + rev + ")"
+	}
+	return s + " " + runtime.Version()
+}

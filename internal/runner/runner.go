@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -64,6 +65,7 @@ func (s Snapshot) ETA() time.Duration {
 type Pool struct {
 	workers int
 	start   time.Time
+	ctx     context.Context // bound cancellation context; nil = Background
 
 	mu        sync.Mutex
 	onDone    func(Snapshot)
@@ -79,6 +81,27 @@ func New(workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: workers, start: time.Now()}
+}
+
+// NewWithContext builds a pool whose Map calls observe ctx: once ctx is
+// cancelled (or its deadline passes), no further jobs start and Map
+// returns with the unreached results left at their zero values. This is
+// how a caller that only controls the pool — not the sweep code calling
+// Map — threads cancellation through an experiment: the service hands
+// experiments.Options a context-bound pool and cancels the context.
+func NewWithContext(ctx context.Context, workers int) *Pool {
+	p := New(workers)
+	p.ctx = ctx
+	return p
+}
+
+// boundCtx returns the pool's bound context (Background when unbound or
+// nil).
+func (p *Pool) boundCtx() context.Context {
+	if p == nil || p.ctx == nil {
+		return context.Background()
+	}
+	return p.ctx
 }
 
 // Workers returns the pool's concurrency bound (1 for nil pools).
@@ -159,17 +182,35 @@ type Job[T any] struct {
 // Map executes every job and returns their results indexed exactly as
 // submitted, so callers assemble output in a deterministic order
 // regardless of scheduling. With a nil pool or a single worker the jobs
-// run inline in submission order on the calling goroutine.
+// run inline in submission order on the calling goroutine. Map observes
+// the pool's bound context (NewWithContext), so all existing call sites
+// stay cancellable without signature changes.
 func Map[T any](p *Pool, jobs []Job[T]) []T {
+	results, _ := MapCtx(p.boundCtx(), p, jobs)
+	return results
+}
+
+// MapCtx is Map with explicit cancellation: workers check ctx between
+// jobs (a running simulation is never interrupted mid-event), and once
+// ctx is done the remaining jobs are skipped, leaving their results at
+// the zero value. It returns ctx.Err() — non-nil means the result slice
+// is partial and must not be rendered as a complete sweep.
+func MapCtx[T any](ctx context.Context, p *Pool, jobs []Job[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]T, len(jobs))
 	p.submit(len(jobs))
 	if p.Workers() == 1 || len(jobs) <= 1 {
 		for i, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			t0 := time.Now()
 			results[i] = j.Run()
 			p.finish(j.Label, time.Since(t0), results[i])
 		}
-		return results
+		return results, ctx.Err()
 	}
 	workers := p.Workers()
 	if workers > len(jobs) {
@@ -182,18 +223,28 @@ func Map[T any](p *Pool, jobs []Job[T]) []T {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// Keep draining after cancellation (without running the
+				// jobs) so the feeder below can never block forever.
+				if ctx.Err() != nil {
+					continue
+				}
 				t0 := time.Now()
 				results[i] = jobs[i].Run()
 				p.finish(jobs[i].Label, time.Since(t0), results[i])
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }
 
 // Printer returns a progress hook that writes one line per completed

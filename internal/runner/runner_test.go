@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -199,5 +200,90 @@ func TestFormatCycles(t *testing.T) {
 		if got := formatCycles(v); got != want {
 			t.Errorf("formatCycles(%g) = %q, want %q", v, got, want)
 		}
+	}
+}
+
+func TestMapCtxCompletesWithLiveContext(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := MapCtx(context.Background(), New(workers), squareJobs(12))
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapCtxCancellationSkipsRemainingJobs(t *testing.T) {
+	// Cancel after the third job; workers must check the context between
+	// jobs and leave every unstarted result at its zero value.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		jobs := make([]Job[int], 50)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{Label: fmt.Sprintf("job%d", i), Run: func() int {
+				if started.Add(1) == 3 {
+					cancel()
+				}
+				time.Sleep(time.Millisecond)
+				return i + 1
+			}}
+		}
+		got, err := MapCtx(ctx, New(workers), jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled MapCtx returned nil error", workers)
+		}
+		ran := int(started.Load())
+		// Every in-flight job finishes (at most one per worker plus the
+		// cancelling one); everything else must have been skipped.
+		if ran >= len(jobs) {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancellation", workers, ran)
+		}
+		var nonzero int
+		for _, v := range got {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero != ran {
+			t.Fatalf("workers=%d: %d results set but %d jobs ran", workers, nonzero, ran)
+		}
+		cancel()
+	}
+}
+
+func TestMapCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	got, err := MapCtx(ctx, New(4), squareJobs(8))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("result[%d] = %d after expired deadline", i, v)
+		}
+	}
+}
+
+func TestMapHonorsBoundContext(t *testing.T) {
+	// A pool built with NewWithContext cancels plain Map calls too — the
+	// hook the service uses to cancel sweeps it did not write.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	jobs := make([]Job[int], 6)
+	for i := range jobs {
+		jobs[i] = Job[int]{Label: "j", Run: func() int { ran.Add(1); return 1 }}
+	}
+	Map(NewWithContext(ctx, 3), jobs)
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a cancelled bound context", ran.Load())
 	}
 }

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the bounded, content-addressed result store: terminal job
+// documents keyed by the canonical spec hash, evicted least recently
+// used. The stored value is the fully marshaled JobStatus document, so
+// a hit is served byte-identical to the first response without
+// re-marshaling (let alone re-simulating).
+//
+// Failed and cancelled jobs are stored too — their status stays
+// readable after the job leaves the scheduler — but only StatusDone
+// entries count as result hits for new submissions (see Scheduler).
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key    string
+	status string
+	body   []byte
+}
+
+// NewCache builds a cache bounded to max entries (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the stored document and terminal status for key,
+// refreshing its recency.
+func (c *Cache) Get(key string) (body []byte, status string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.status, true
+}
+
+// Put stores (or replaces) the terminal document for key, evicting the
+// least recently used entry when over capacity.
+func (c *Cache) Put(key, status string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.status, e.body = status, body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, status: status, body: body})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit/miss/eviction counts for /metrics.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

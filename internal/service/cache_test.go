@@ -1,0 +1,55 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), StatusDone, []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if _, _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", StatusDone, []byte{3})
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived eviction, want LRU out")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	_, _, evictions := c.Stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestCacheReplaceKeepsSize(t *testing.T) {
+	c := NewCache(2)
+	c.Put("k", StatusFailed, []byte("v1"))
+	c.Put("k", StatusDone, []byte("v2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	body, status, ok := c.Get("k")
+	if !ok || status != StatusDone || string(body) != "v2" {
+		t.Errorf("Get = %q/%q/%v, want v2/done/true", body, status, ok)
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0) // clamped to 1
+	c.Put("a", StatusDone, nil)
+	c.Put("b", StatusDone, nil)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Golden content addresses. These must stay stable across releases:
+// they key the content-addressed result cache, so an accidental change
+// silently invalidates every cached result (and a deliberate schema
+// change should be noticed here and called out).
+const (
+	goldenFig8QuickHash = "a5356a345b4cf677776d7251f5d836cf89a709d021ac01e21cc26f13ea6472cf"
+	goldenRunLockHash   = "969f9581e352587b050a5a3cbac12fa6630a27c9af106c3205022402486be1f2"
+)
+
+func TestCanonicalHashGolden(t *testing.T) {
+	_, h, err := CanonicalHash(JobSpec{Kind: "experiment", Experiment: "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenFig8QuickHash {
+		t.Errorf("fig8 quick hash = %s, want %s", h, goldenFig8QuickHash)
+	}
+	_, h, err = CanonicalHash(JobSpec{Kind: "run", Run: "lock", Algo: "mcs", Protocol: "cu", Procs: 8, Iterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenRunLockHash {
+		t.Errorf("run/lock hash = %s, want %s", h, goldenRunLockHash)
+	}
+}
+
+// TestHashStableAcrossFieldOrderings feeds the same spec through JSON
+// documents with shuffled field orders and alias spellings; every
+// variant must canonicalize to the same content address.
+func TestHashStableAcrossFieldOrderings(t *testing.T) {
+	variants := []string{
+		`{"kind":"experiment","experiment":"fig8","scale":"quick","format":"table","metrics_interval":10000}`,
+		`{"metrics_interval":10000,"format":"table","scale":"quick","experiment":"fig8","kind":"experiment"}`,
+		`{"scale":"quick","kind":"experiment","experiment":"fig8"}`,
+		`{"experiment":"fig8"}`,                       // kind inferred, defaults applied
+		`{"kind":"EXPERIMENT","experiment":"FIG8"}`,   // case-normalized
+		`{"experiment":"fig8","timeout_sec":30}`,      // deadline excluded from the hash
+		`{"experiment":"fig8","kind":"experiment","format":"table"}`,
+	}
+	for i, doc := range variants {
+		var s JobSpec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		_, h, err := CanonicalHash(s)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if h != goldenFig8QuickHash {
+			t.Errorf("variant %d: hash = %s, want %s", i, h, goldenFig8QuickHash)
+		}
+	}
+
+	runVariants := []string{
+		`{"kind":"run","run":"lock","algo":"mcs","protocol":"cu","procs":8,"iterations":500}`,
+		`{"procs":8,"protocol":"CU","iterations":500,"algo":"MCS","run":"LOCK"}`,
+		`{"run":"lock","algo":"mcs","protocol":"c","procs":8,"iterations":500,"timeout_sec":5}`,
+	}
+	for i, doc := range runVariants {
+		var s JobSpec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Fatalf("run variant %d: %v", i, err)
+		}
+		_, h, err := CanonicalHash(s)
+		if err != nil {
+			t.Fatalf("run variant %d: %v", i, err)
+		}
+		if h != goldenRunLockHash {
+			t.Errorf("run variant %d: hash = %s, want %s", i, h, goldenRunLockHash)
+		}
+	}
+}
+
+func TestCanonicalizeDefaultsAndClearing(t *testing.T) {
+	// Experiment kind: run-only fields are cleared so they cannot split
+	// the cache address space.
+	c, err := Canonicalize(JobSpec{Experiment: "fig11", Protocol: "CU", Procs: 8, Algo: "mcs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{Kind: "experiment", Experiment: "fig11", Scale: "quick", Format: "table", MetricsInterval: 10000}
+	if c != want {
+		t.Errorf("canonical = %+v, want %+v", c, want)
+	}
+
+	// Run kind: experiment-only fields cleared, defaults applied.
+	c, err = Canonicalize(JobSpec{Run: "barrier", Scale: "paper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = JobSpec{Kind: "run", Run: "barrier", Algo: "db", Protocol: "WI", Procs: 32, Format: "table", MetricsInterval: 10000}
+	if c != want {
+		t.Errorf("canonical = %+v, want %+v", c, want)
+	}
+}
+
+func TestCanonicalizeRejections(t *testing.T) {
+	bad := []JobSpec{
+		{},                                     // no kind derivable
+		{Kind: "bogus"},                        // unknown kind
+		{Kind: "experiment"},                   // no experiment name
+		{Experiment: "fig99"},                  // unknown experiment
+		{Experiment: "fig8", Scale: "huge"},    // unknown scale
+		{Experiment: "fig8", Format: "xml"},    // unknown format
+		{Experiment: "ablations", Format: "csv"}, // no CSV form
+		{Run: "mutex"},                         // unknown run kind
+		{Run: "lock", Algo: "spinlock"},        // unknown algorithm
+		{Run: "lock", Protocol: "MESI"},        // unknown protocol
+		{Run: "lock", Procs: 65},               // out of range
+		{Run: "lock", Procs: -1},               // out of range
+		{Run: "lock", Iterations: -5},          // negative iterations
+		{Experiment: "fig8", TimeoutSec: -1},   // negative deadline
+	}
+	for i, s := range bad {
+		if _, err := Canonicalize(s); err == nil {
+			t.Errorf("spec %d (%+v) accepted, want error", i, s)
+		}
+	}
+}
+
+func TestCanonicalizeAllCatalogNamesAndCSV(t *testing.T) {
+	// Every catalog experiment must canonicalize, and CSV must be
+	// accepted exactly for the entries that declare a CSV form.
+	for _, name := range []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "lockvariants", "redvariants", "extlocks", "contention", "apps", "ablations"} {
+		if _, err := Canonicalize(JobSpec{Experiment: name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Canonicalize(JobSpec{Experiment: "fig8", Format: "csv"}); err != nil {
+		t.Errorf("fig8 csv rejected: %v", err)
+	}
+	if _, err := Canonicalize(JobSpec{Experiment: "apps", Format: "csv"}); err == nil {
+		t.Error("apps csv accepted, but apps has no CSV form")
+	}
+}

@@ -1,0 +1,74 @@
+package service
+
+import "sync"
+
+// Event is one message on a job's event stream.
+type Event struct {
+	Type string // "status" or "progress"
+	Data any    // marshaled into the SSE data line
+}
+
+// broadcaster fans a job's events out to any number of SSE subscribers.
+// Publishing never blocks: a subscriber that cannot keep up loses
+// intermediate progress events rather than stalling the runner's
+// progress hook (which fires under the pool lock). Terminal state is
+// not delivered through the channel — subscribers learn it from the
+// channel closing and re-read the job, so it can never be dropped.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan Event]struct{})}
+}
+
+// subscribe registers a listener; the returned channel closes when the
+// job reaches a terminal state. Call unsub when done listening.
+func (b *broadcaster) subscribe() (ch chan Event, unsub func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch = make(chan Event, 16)
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+		}
+	}
+}
+
+// publish sends e to every subscriber without blocking.
+func (b *broadcaster) publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// close ends the stream for every subscriber. Idempotent.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"coherencesim/internal/experiments"
+	"coherencesim/internal/metrics"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/stats"
+	"coherencesim/internal/workload"
+)
+
+// ExecFunc runs one canonical job spec to completion, honoring ctx for
+// cancellation. The scheduler is written against this signature so
+// tests can substitute stub executors.
+type ExecFunc func(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot)) (*JobResult, error)
+
+// Execute is the production executor: it decodes the canonical spec
+// into experiments.Options (or a single workload run), fans the sweep's
+// simulations onto a context-bound runner pool, and assembles the
+// deterministic result document. Cancellation is observed between
+// simulations — a spec's individual simulation is never interrupted
+// mid-event — and a cancelled job returns ctx.Err() with no result.
+func Execute(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot)) (*JobResult, error) {
+	if spec.Kind == "run" {
+		return executeRun(ctx, spec)
+	}
+	entry, ok := experiments.Lookup(spec.Experiment)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", spec.Experiment)
+	}
+	o := experiments.Defaults()
+	if spec.Scale == "quick" {
+		o = experiments.Quick()
+	}
+	o.Runner = runner.NewWithContext(ctx, simWorkers)
+	if progress != nil {
+		o.Runner.SetProgress(progress)
+	}
+	o.Metrics = metrics.NewCollector(sim.Time(spec.MetricsInterval))
+
+	res := &JobResult{}
+	if spec.Format == "csv" {
+		res.Output = entry.CSV(o)
+	} else {
+		var b strings.Builder
+		for _, tbl := range entry.Tables(o) {
+			fmt.Fprintln(&b, tbl)
+		}
+		res.Output = b.String()
+	}
+	// A cancelled sweep assembled zero values; never serve it as a result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Metrics = o.Metrics.Report()
+	return res, nil
+}
+
+// executeRun handles kind=run: one (construct, protocol, size)
+// simulation, the API form of the CLI's -run mode, with the same
+// rendered summary lines.
+func executeRun(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var pr proto.Protocol
+	switch spec.Protocol {
+	case "WI":
+		pr = proto.WI
+	case "PU":
+		pr = proto.PU
+	case "CU":
+		pr = proto.CU
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", spec.Protocol)
+	}
+	interval := sim.Time(spec.MetricsInterval)
+	var b strings.Builder
+	coll := metrics.NewCollector(interval)
+	label := fmt.Sprintf("run/%s/%s-%s/P=%d", spec.Run, spec.Algo, strings.ToLower(spec.Protocol), spec.Procs)
+
+	switch spec.Run {
+	case "lock":
+		kinds := map[string]workload.LockKind{"tk": workload.Ticket, "mcs": workload.MCS, "ucmcs": workload.UpdateConsciousMCS}
+		p := workload.DefaultLockParams(pr, spec.Procs)
+		if spec.Iterations > 0 {
+			p.Iterations = spec.Iterations
+		}
+		p.MetricsInterval = interval
+		r := workload.LockLoop(p, kinds[spec.Algo])
+		fmt.Fprintf(&b, "%v lock, %v, P=%d: %d acquires\n", kinds[spec.Algo], pr, spec.Procs, r.Acquires)
+		fmt.Fprintf(&b, "  avg acquire-release latency: %.1f cycles\n", r.AvgLatency)
+		writeTraffic(&b, r.Misses.Total(), r.Updates.Total(), r.Result.Net.Messages)
+		coll.Add(label, r.Result.Metrics)
+	case "barrier":
+		kinds := map[string]workload.BarrierKind{"cb": workload.Central, "db": workload.Dissemination, "tb": workload.Tree}
+		p := workload.DefaultBarrierParams(pr, spec.Procs)
+		if spec.Iterations > 0 {
+			p.Iterations = spec.Iterations
+		}
+		p.MetricsInterval = interval
+		r := workload.BarrierLoop(p, kinds[spec.Algo])
+		fmt.Fprintf(&b, "%v barrier, %v, P=%d: %d episodes\n", kinds[spec.Algo], pr, spec.Procs, r.Episodes)
+		fmt.Fprintf(&b, "  avg episode latency: %.1f cycles\n", r.AvgLatency)
+		writeTraffic(&b, r.Misses.Total(), r.Updates.Total(), r.Net.Messages)
+		coll.Add(label, r.Result.Metrics)
+	case "reduction":
+		kinds := map[string]workload.ReductionKind{"sr": workload.Sequential, "pr": workload.Parallel}
+		p := workload.DefaultReductionParams(pr, spec.Procs)
+		if spec.Iterations > 0 {
+			p.Iterations = spec.Iterations
+		}
+		p.MetricsInterval = interval
+		r := workload.ReductionLoop(p, kinds[spec.Algo])
+		fmt.Fprintf(&b, "%v reduction, %v, P=%d: %d reductions\n", kinds[spec.Algo], pr, spec.Procs, r.Reductions)
+		fmt.Fprintf(&b, "  avg reduction latency: %.1f cycles\n", r.AvgLatency)
+		writeTraffic(&b, r.Misses.Total(), r.Updates.Total(), r.Net.Messages)
+		coll.Add(label, r.Result.Metrics)
+	default:
+		return nil, fmt.Errorf("unknown run kind %q", spec.Run)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &JobResult{Output: b.String(), Metrics: coll.Report()}, nil
+}
+
+func writeTraffic(b *strings.Builder, misses, updates, messages uint64) {
+	fmt.Fprintf(b, "  miss/upgrade transactions: %s   update messages: %s   network messages: %s\n",
+		stats.FormatCount(misses), stats.FormatCount(updates), stats.FormatCount(messages))
+}

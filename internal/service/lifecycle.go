@@ -1,0 +1,145 @@
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// State is the service lifecycle position: starting → ready → draining
+// → stopped, modeled on long-running-agent component lifecycles (start
+// serving only once dependencies are up; on shutdown flip readiness
+// first, then drain work, then close the listener).
+type State int32
+
+const (
+	StateStarting State = iota
+	StateReady
+	StateDraining
+	StateStopped
+)
+
+// String names the state for /readyz and logs.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	}
+	return "unknown"
+}
+
+// Lifecycle tracks the service state for readiness reporting.
+type Lifecycle struct{ state atomic.Int32 }
+
+// NewLifecycle starts in StateStarting.
+func NewLifecycle() *Lifecycle { return &Lifecycle{} }
+
+// State returns the current state.
+func (l *Lifecycle) State() State { return State(l.state.Load()) }
+
+// to moves to a new state.
+func (l *Lifecycle) to(s State) { l.state.Store(int32(s)) }
+
+// Config assembles a Service.
+type Config struct {
+	Addr         string        // listen address (default :8377)
+	QueueDepth   int           // scheduler admission bound per priority class
+	Jobs         int           // concurrently executing jobs
+	SimWorkers   int           // per-job simulation pool width (0 = GOMAXPROCS)
+	CacheEntries int           // result cache size
+	Grace        time.Duration // drain grace period (default 30s)
+	Logf         func(format string, args ...any)
+}
+
+// Service is the assembled daemon: scheduler + API server + lifecycle.
+type Service struct {
+	cfg   Config
+	sched *Scheduler
+	life  *Lifecycle
+	srv   *Server
+}
+
+// New builds a service executing jobs on the real simulator.
+func New(cfg Config) *Service { return newService(cfg, Execute) }
+
+// newService is the test seam: any ExecFunc.
+func newService(cfg Config, exec ExecFunc) *Service {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8377"
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = 30 * time.Second
+	}
+	life := NewLifecycle()
+	sched := NewScheduler(SchedulerConfig{
+		QueueDepth:   cfg.QueueDepth,
+		Jobs:         cfg.Jobs,
+		SimWorkers:   cfg.SimWorkers,
+		CacheEntries: cfg.CacheEntries,
+	}, exec)
+	return &Service{cfg: cfg, sched: sched, life: life, srv: NewServer(sched, life)}
+}
+
+// Handler returns the API handler (httptest servers mount this).
+func (s *Service) Handler() http.Handler { return s.srv.Handler() }
+
+// Scheduler exposes the scheduler (tests, diagnostics).
+func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// Lifecycle exposes the lifecycle tracker.
+func (s *Service) Lifecycle() *Lifecycle { return s.life }
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Run binds the listener, serves until a signal arrives on stop, then
+// executes the graceful-drain sequence: flip readiness (load balancers
+// stop routing), stop admission and give in-flight jobs cfg.Grace to
+// finish, cancel stragglers, and shut the HTTP server down. A clean
+// drain returns nil.
+func (s *Service) Run(stop <-chan os.Signal) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	s.life.to(StateReady)
+	s.logf("coherenced: serving on %s", ln.Addr())
+
+	select {
+	case sig := <-stop:
+		s.logf("coherenced: received %v, draining (grace %s)", sig, s.cfg.Grace)
+	case err := <-serveErr:
+		s.life.to(StateStopped)
+		return err
+	}
+
+	s.life.to(StateDraining)
+	if s.sched.Drain(s.cfg.Grace) {
+		s.logf("coherenced: all jobs finished within grace period")
+	} else {
+		s.logf("coherenced: grace period expired, cancelled remaining jobs")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	s.life.to(StateStopped)
+	s.logf("coherenced: stopped")
+	return nil
+}

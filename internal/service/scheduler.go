@@ -1,0 +1,434 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coherencesim/internal/runner"
+)
+
+// Admission classifies how Submit handled a request.
+type Admission int
+
+const (
+	// Admitted: a fresh job was queued.
+	Admitted Admission = iota
+	// Deduped: an identical job was already queued or running; the
+	// caller shares it (singleflight — the simulation runs once).
+	Deduped
+	// CacheHit: an identical job already completed; the stored document
+	// is returned without re-simulating.
+	CacheHit
+)
+
+// Admission errors surfaced to the API layer.
+var (
+	ErrQueueFull = errors.New("job queue full")
+	ErrDraining  = errors.New("service is draining")
+)
+
+// SchedulerConfig bounds the scheduler.
+type SchedulerConfig struct {
+	QueueDepth   int // admission bound per priority class (default 64)
+	Jobs         int // concurrently executing jobs (default 2)
+	SimWorkers   int // per-job simulation pool width (default GOMAXPROCS)
+	CacheEntries int // result cache size (default 256)
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// task is one submitted job's lifetime state.
+type task struct {
+	id        string
+	spec      JobSpec
+	submitted time.Time
+	events    *broadcaster
+	done      chan struct{} // closed at terminal state
+
+	mu     sync.Mutex
+	status string
+	errMsg string
+	body   []byte             // marshaled terminal JobStatus document
+	cancel context.CancelFunc // set while running
+}
+
+func newTask(id string, spec JobSpec) *task {
+	return &task{
+		id:        id,
+		spec:      spec,
+		submitted: time.Now(),
+		events:    newBroadcaster(),
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+	}
+}
+
+func isTerminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// Status returns the job's current API document. For terminal jobs the
+// stored body is authoritative instead (byte-identical reads).
+func (t *task) Status() JobStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return JobStatus{ID: t.id, Status: t.status, Spec: t.spec, Error: t.errMsg}
+}
+
+// terminalBody returns the marshaled terminal document, or nil while
+// the job is still queued or running.
+func (t *task) terminalBody() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !isTerminal(t.status) {
+		return nil
+	}
+	return t.body
+}
+
+// Counters is a point-in-time snapshot of the scheduler's lifetime
+// counters and gauges, rendered by the /metrics endpoint.
+type Counters struct {
+	Submitted uint64 // jobs admitted to a queue
+	Deduped   uint64 // submissions folded onto an identical in-flight job
+	CacheHits uint64 // submissions served from the result cache
+	Rejected  uint64 // submissions refused with queue-full
+	Completed uint64
+	Failed    uint64
+	Canceled  uint64
+	SimCycles uint64 // simulated cycles executed on behalf of jobs
+	Queued    int    // jobs currently waiting in the queues
+	Running   int    // jobs currently executing
+}
+
+// Scheduler owns job admission, ordering, execution, and teardown. Two
+// priority classes keep the service responsive: quick-scale jobs are
+// always preferred over paper-scale ones, so a burst of heavy sweeps
+// cannot starve interactive requests.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	cache *Cache
+	exec  ExecFunc
+
+	root context.Context // parent of every job context
+	stop context.CancelFunc
+
+	quick chan *task // priority class: quick-scale (and single-run) jobs
+	paper chan *task // paper-scale jobs
+
+	workerWG sync.WaitGroup // worker goroutines
+	jobWG    sync.WaitGroup // admitted, not-yet-terminal jobs
+
+	mu       sync.Mutex
+	inflight map[string]*task // id -> queued or running job
+	draining bool
+
+	submitted, deduped, cacheHits, rejected atomic.Uint64
+	completed, failed, canceled, simCycles  atomic.Uint64
+	running                                 atomic.Int64
+}
+
+// NewScheduler builds and starts a scheduler executing jobs with exec
+// (Execute in production; tests substitute stubs).
+func NewScheduler(cfg SchedulerConfig, exec ExecFunc) *Scheduler {
+	cfg = cfg.withDefaults()
+	root, stop := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries),
+		exec:     exec,
+		root:     root,
+		stop:     stop,
+		quick:    make(chan *task, cfg.QueueDepth),
+		paper:    make(chan *task, cfg.QueueDepth),
+		inflight: make(map[string]*task),
+	}
+	s.workerWG.Add(cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the result cache (the server reads terminal documents
+// from it).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// queueFor picks the priority class: everything except paper-scale
+// experiment sweeps goes on the quick queue.
+func (s *Scheduler) queueFor(spec JobSpec) chan *task {
+	if spec.Kind == "experiment" && spec.Scale == "paper" {
+		return s.paper
+	}
+	return s.quick
+}
+
+// Submit admits one canonical spec (callers must Canonicalize first).
+// Exactly one of the returns is meaningful per admission class: the
+// live task for Admitted/Deduped, the stored document for CacheHit.
+func (s *Scheduler) Submit(spec JobSpec) (*task, []byte, Admission, error) {
+	id := Hash(spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, nil, 0, ErrDraining
+	}
+	if t, ok := s.inflight[id]; ok {
+		s.deduped.Add(1)
+		return t, nil, Deduped, nil
+	}
+	if body, status, ok := s.cache.Get(id); ok && status == StatusDone {
+		s.cacheHits.Add(1)
+		return nil, body, CacheHit, nil
+	}
+	t := newTask(id, spec)
+	select {
+	case s.queueFor(spec) <- t:
+	default:
+		s.rejected.Add(1)
+		return nil, nil, 0, ErrQueueFull
+	}
+	s.inflight[id] = t
+	s.jobWG.Add(1)
+	s.submitted.Add(1)
+	return t, nil, Admitted, nil
+}
+
+// Get returns the queued or running job with this id. Terminal jobs
+// are found in the cache instead.
+func (s *Scheduler) Get(id string) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.inflight[id]
+	return t, ok
+}
+
+// Cancel cancels a queued or running job. It returns false when no
+// such job is in flight (it may have already finished).
+func (s *Scheduler) Cancel(id string) (*task, bool) {
+	t, ok := s.Get(id)
+	if !ok {
+		return nil, false
+	}
+	t.mu.Lock()
+	if t.status == StatusQueued {
+		t.mu.Unlock()
+		// Finalize immediately; the worker that later drains the queue
+		// entry sees the terminal state and skips it.
+		s.finalize(t, nil, context.Canceled)
+		return t, true
+	}
+	cancel := t.cancel
+	t.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return t, true
+}
+
+// RetryAfter estimates (in whole seconds, >= 1) when a rejected client
+// should retry, scaled by the current queue depth.
+func (s *Scheduler) RetryAfter() int {
+	depth := len(s.quick) + len(s.paper)
+	if depth < 1 {
+		return 1
+	}
+	return depth
+}
+
+// Counters snapshots the scheduler's lifetime counters.
+func (s *Scheduler) Counters() Counters {
+	return Counters{
+		Submitted: s.submitted.Load(),
+		Deduped:   s.deduped.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Canceled:  s.canceled.Load(),
+		SimCycles: s.simCycles.Load(),
+		Queued:    len(s.quick) + len(s.paper),
+		Running:   int(s.running.Load()),
+	}
+}
+
+// worker executes jobs, always draining the quick queue before taking
+// paper-scale work.
+func (s *Scheduler) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case t := <-s.quick:
+			s.run(t)
+		default:
+			select {
+			case t := <-s.quick:
+				s.run(t)
+			case t := <-s.paper:
+				s.run(t)
+			case <-s.root.Done():
+				return
+			}
+		}
+	}
+}
+
+// run executes one dequeued job under its own cancellable (and
+// optionally deadlined) context.
+func (s *Scheduler) run(t *task) {
+	t.mu.Lock()
+	if t.status != StatusQueued {
+		// Cancelled while queued; already finalized.
+		t.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.root)
+	if t.spec.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(s.root, time.Duration(t.spec.TimeoutSec)*time.Second)
+	}
+	t.status = StatusRunning
+	t.cancel = cancel
+	t.mu.Unlock()
+	s.running.Add(1)
+	t.events.publish(Event{Type: "status", Data: t.Status()})
+
+	// The progress hook runs serially under the job pool's lock, so the
+	// previous-cycles accumulator needs no further synchronization.
+	var prevCycles uint64
+	progress := func(sn runner.Snapshot) {
+		s.simCycles.Add(sn.SimCycles - prevCycles)
+		prevCycles = sn.SimCycles
+		t.events.publish(Event{Type: "progress", Data: ProgressEvent{
+			JobsDone:  sn.JobsDone,
+			JobsTotal: sn.JobsTotal,
+			SimCycles: sn.SimCycles,
+			ETAMillis: sn.ETA().Milliseconds(),
+			Label:     sn.Label,
+		}})
+	}
+	res, err := s.exec(ctx, t.spec, s.cfg.SimWorkers, progress)
+	cancel()
+	s.running.Add(-1)
+	s.finalize(t, res, err)
+}
+
+// finalize moves a job to its terminal state exactly once: builds and
+// stores the immutable terminal document, updates counters, releases
+// waiters, and removes the job from the in-flight set.
+func (s *Scheduler) finalize(t *task, res *JobResult, err error) {
+	status, msg := StatusDone, ""
+	var raw json.RawMessage
+	switch {
+	case err == nil:
+		if b, merr := json.Marshal(res); merr == nil {
+			raw = b
+		} else {
+			status, msg = StatusFailed, "marshaling result: "+merr.Error()
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		status, msg = StatusFailed, "job deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		status, msg = StatusCanceled, "job cancelled"
+	default:
+		status, msg = StatusFailed, err.Error()
+	}
+	doc := JobStatus{ID: t.id, Status: status, Spec: t.spec, Error: msg, Result: raw}
+	body, merr := json.Marshal(doc)
+	if merr != nil {
+		// Unreachable for these types; keep the job record consistent.
+		doc = JobStatus{ID: t.id, Status: StatusFailed, Spec: t.spec, Error: merr.Error()}
+		status = StatusFailed
+		body, _ = json.Marshal(doc)
+	}
+
+	t.mu.Lock()
+	if isTerminal(t.status) {
+		// Lost a finalize race (e.g. two concurrent cancels).
+		t.mu.Unlock()
+		return
+	}
+	t.status = status
+	t.errMsg = doc.Error
+	t.body = body
+	t.cancel = nil
+	t.mu.Unlock()
+
+	switch status {
+	case StatusDone:
+		s.completed.Add(1)
+	case StatusFailed:
+		s.failed.Add(1)
+	case StatusCanceled:
+		s.canceled.Add(1)
+	}
+	s.cache.Put(t.id, status, body)
+	s.mu.Lock()
+	delete(s.inflight, t.id)
+	s.mu.Unlock()
+	t.events.close()
+	close(t.done)
+	s.jobWG.Done()
+}
+
+// Drain is the SIGTERM path: stop admitting, give in-flight jobs grace
+// to finish, then cancel whatever remains and stop the workers. Safe to
+// call once; returns true when every job finished within the grace
+// period (false means stragglers were cancelled).
+func (s *Scheduler) Drain(grace time.Duration) bool {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(finished)
+	}()
+	clean := true
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case <-finished:
+	case <-timer.C:
+		clean = false
+		s.stop()
+		s.sweepQueues()
+		<-finished
+	}
+	s.stop()
+	s.workerWG.Wait()
+	return clean
+}
+
+// sweepQueues finalizes still-queued jobs as cancelled once the root
+// context is stopped, so Drain never waits on work no worker will take.
+func (s *Scheduler) sweepQueues() {
+	for {
+		select {
+		case t := <-s.quick:
+			s.finalize(t, nil, context.Canceled)
+		case t := <-s.paper:
+			s.finalize(t, nil, context.Canceled)
+		default:
+			return
+		}
+	}
+}
+
+// Close tears the scheduler down immediately (a zero-grace Drain).
+func (s *Scheduler) Close() { s.Drain(0) }

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coherencesim/internal/runner"
+)
+
+// stubExec returns an ExecFunc that counts executions and, when block
+// is non-nil, parks until block closes or the job context ends.
+func stubExec(execs *atomic.Int32, block chan struct{}) ExecFunc {
+	return func(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot)) (*JobResult, error) {
+		if execs != nil {
+			execs.Add(1)
+		}
+		if block != nil {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &JobResult{Output: "stub output for " + spec.Experiment}, nil
+	}
+}
+
+func canonical(t *testing.T, s JobSpec) JobSpec {
+	t.Helper()
+	c, err := Canonicalize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// waitRunning polls until n jobs are executing.
+func waitRunning(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Counters().Running < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d running jobs (have %d)", n, s.Counters().Running)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDedupRunsSimulationExactlyOnce is the singleflight guarantee:
+// identical specs submitted concurrently share one execution, and every
+// waiter sees the same result.
+func TestDedupRunsSimulationExactlyOnce(t *testing.T) {
+	var execs atomic.Int32
+	block := make(chan struct{})
+	s := NewScheduler(SchedulerConfig{Jobs: 4, QueueDepth: 16}, stubExec(&execs, block))
+	defer s.Close()
+
+	spec := canonical(t, JobSpec{Experiment: "fig8"})
+	const submitters = 8
+	tasks := make([]*task, submitters)
+	admissions := make([]Admission, submitters)
+	var wg sync.WaitGroup
+	wg.Add(submitters)
+	for i := 0; i < submitters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			tk, _, adm, err := s.Submit(spec)
+			if err != nil {
+				t.Errorf("submitter %d: %v", i, err)
+				return
+			}
+			tasks[i], admissions[i] = tk, adm
+		}(i)
+	}
+	wg.Wait()
+	close(block)
+
+	var admitted, deduped int
+	var shared *task
+	for i := range tasks {
+		if tasks[i] == nil {
+			t.Fatalf("submitter %d got no task", i)
+		}
+		if shared == nil {
+			shared = tasks[i]
+		} else if tasks[i] != shared {
+			t.Error("concurrent identical submissions returned different tasks")
+		}
+		switch admissions[i] {
+		case Admitted:
+			admitted++
+		case Deduped:
+			deduped++
+		}
+	}
+	if admitted != 1 || deduped != submitters-1 {
+		t.Errorf("admissions = %d admitted / %d deduped, want 1 / %d", admitted, deduped, submitters-1)
+	}
+	<-shared.done
+	if got := execs.Load(); got != 1 {
+		t.Errorf("simulation executed %d times, want exactly 1", got)
+	}
+
+	// After completion the spec is a cache hit carrying the stored
+	// terminal document.
+	_, body, adm, err := s.Submit(spec)
+	if err != nil || adm != CacheHit {
+		t.Fatalf("resubmit = %v admission %v, want cache hit", err, adm)
+	}
+	var doc JobStatus
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != StatusDone || doc.ID != shared.id {
+		t.Errorf("cached doc = %s/%s, want done/%s", doc.Status, doc.ID, shared.id)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("cache hit re-ran the simulation (%d executions)", got)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	block := make(chan struct{})
+	s := NewScheduler(SchedulerConfig{Jobs: 1, QueueDepth: 1}, stubExec(nil, block))
+	defer func() { close(block); s.Close() }()
+
+	// First job occupies the single worker...
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"})); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	// ...second fills the queue...
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"})); err != nil {
+		t.Fatal(err)
+	}
+	// ...third must be refused.
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig14"})); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if s.Counters().Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", s.Counters().Rejected)
+	}
+	if s.RetryAfter() < 1 {
+		t.Errorf("RetryAfter = %d, want >= 1", s.RetryAfter())
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	s := NewScheduler(SchedulerConfig{Jobs: 1, QueueDepth: 4}, stubExec(nil, block))
+	defer s.Close()
+
+	running, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	queued, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelling a queued job finalizes it immediately.
+	if _, ok := s.Cancel(queued.id); !ok {
+		t.Fatal("queued job not found for cancel")
+	}
+	<-queued.done
+	if st := queued.Status().Status; st != StatusCanceled {
+		t.Errorf("queued job status = %s, want canceled", st)
+	}
+
+	// Cancelling a running job cancels its context; the executor
+	// returns and the job finalizes as cancelled.
+	if _, ok := s.Cancel(running.id); !ok {
+		t.Fatal("running job not found for cancel")
+	}
+	<-running.done
+	if st := running.Status().Status; st != StatusCanceled {
+		t.Errorf("running job status = %s, want canceled", st)
+	}
+	// A cancelled result must never satisfy later identical requests.
+	_, _, adm, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}))
+	if err != nil || adm == CacheHit {
+		t.Errorf("resubmit after cancel = admission %v err %v, want fresh admission", adm, err)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	s := NewScheduler(SchedulerConfig{Jobs: 1}, stubExec(nil, block))
+	defer s.Close()
+	tk, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8", TimeoutSec: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	st := tk.Status()
+	if st.Status != StatusFailed || st.Error != "job deadline exceeded" {
+		t.Errorf("deadlined job = %s/%q, want failed/job deadline exceeded", st.Status, st.Error)
+	}
+	if s.Counters().Failed != 1 {
+		t.Errorf("failed counter = %d, want 1 after deadline", s.Counters().Failed)
+	}
+}
+
+func TestDrainFinishesInFlightJobs(t *testing.T) {
+	// Fast executor: drain should complete cleanly within grace.
+	s := NewScheduler(SchedulerConfig{Jobs: 2}, stubExec(nil, nil))
+	tk, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Drain(5 * time.Second) {
+		t.Error("drain reported stragglers for a fast job")
+	}
+	select {
+	case <-tk.done:
+	default:
+		t.Error("job not terminal after drain")
+	}
+	if st := tk.Status().Status; st != StatusDone {
+		t.Errorf("job status after clean drain = %s, want done", st)
+	}
+	// Draining scheduler refuses new work.
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"})); err != ErrDraining {
+		t.Errorf("submit while draining = %v, want ErrDraining", err)
+	}
+}
+
+func TestDrainCancelsStragglers(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	s := NewScheduler(SchedulerConfig{Jobs: 1, QueueDepth: 4}, stubExec(nil, block))
+	running, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	queued, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Drain(20 * time.Millisecond) {
+		t.Error("drain reported clean for a blocked job")
+	}
+	for _, tk := range []*task{running, queued} {
+		if st := tk.Status().Status; st != StatusCanceled {
+			t.Errorf("straggler status = %s, want canceled", st)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+
+	"coherencesim/internal/buildinfo"
+	"coherencesim/internal/experiments"
+)
+
+// Server routes the versioned REST/SSE API onto the scheduler.
+type Server struct {
+	sched *Scheduler
+	life  *Lifecycle
+	mux   *http.ServeMux
+}
+
+// NewServer wires the API routes.
+func NewServer(sched *Scheduler, life *Lifecycle) *Server {
+	s := &Server{sched: sched, life: life, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON marshals v as the response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, code, b)
+}
+
+// writeRaw writes pre-marshaled JSON verbatim — the cached-result path,
+// where byte-identical replay is the point.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/jobs: canonicalize, then admit, dedup, or
+// serve from the content-addressed cache.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var raw JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	spec, err := Canonicalize(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	t, cached, adm, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+Hash(spec))
+	switch adm {
+	case CacheHit:
+		w.Header().Set("X-Cache", "hit")
+		writeRaw(w, http.StatusOK, cached)
+	case Deduped:
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("X-Deduplicated", "true")
+		if body := t.terminalBody(); body != nil {
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, t.Status())
+	default:
+		w.Header().Set("X-Cache", "miss")
+		writeJSON(w, http.StatusAccepted, t.Status())
+	}
+}
+
+// handleGet is GET /v1/jobs/{id}: live jobs report their state; terminal
+// jobs replay the stored document byte-identically.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if t, ok := s.sched.Get(id); ok {
+		if body := t.terminalBody(); body != nil {
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
+		writeJSON(w, http.StatusOK, t.Status())
+		return
+	}
+	if body, _, ok := s.sched.Cache().Get(id); ok {
+		writeRaw(w, http.StatusOK, body)
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if t, ok := s.sched.Cancel(id); ok {
+		if body := t.terminalBody(); body != nil {
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, t.Status())
+		return
+	}
+	if _, _, ok := s.sched.Cache().Get(id); ok {
+		writeError(w, http.StatusConflict, "job %q already finished", id)
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a server-sent-event stream
+// of the job's status transitions and per-simulation progress
+// snapshots, ending with the terminal document.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	t, live := s.sched.Get(id)
+	if !live {
+		body, _, ok := s.sched.Cache().Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		sseHeaders(w)
+		writeSSERaw(w, "status", body)
+		flusher.Flush()
+		return
+	}
+	ch, unsub := t.events.subscribe()
+	defer unsub()
+	sseHeaders(w)
+	writeSSE(w, "status", t.Status())
+	flusher.Flush()
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				// Terminal: the stored document is authoritative and can
+				// never be dropped the way buffered events can.
+				if body := t.terminalBody(); body != nil {
+					writeSSERaw(w, "status", body)
+					flusher.Flush()
+				}
+				return
+			}
+			writeSSE(w, e.Type, e.Data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func sseHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+}
+
+func writeSSE(w io.Writer, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	writeSSERaw(w, event, b)
+}
+
+func writeSSERaw(w io.Writer, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// handleExperiments is GET /v1/experiments: everything the service can
+// run, straight from the experiments catalog the CLI renders from.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	doc := ExperimentList{Scales: []string{"quick", "paper"}}
+	for _, e := range experiments.Catalog() {
+		formats := []string{"table"}
+		if e.HasCSV() {
+			formats = append(formats, "csv")
+		}
+		doc.Experiments = append(doc.Experiments, ExperimentInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			Formats:     formats,
+		})
+	}
+	for _, run := range []string{"lock", "barrier", "reduction"} {
+		algos := make([]string, 0, len(algoAliases[run]))
+		seen := map[string]bool{}
+		for _, canon := range algoAliases[run] {
+			if !seen[canon] {
+				seen[canon] = true
+				algos = append(algos, canon)
+			}
+		}
+		sort.Strings(algos)
+		doc.Runs = append(doc.Runs, RunInfo{
+			Run:       run,
+			Algos:     algos,
+			Protocols: []string{"WI", "PU", "CU"},
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleHealthz reports liveness and build identity.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":   "ok",
+		"service":  "coherenced",
+		"version":  buildinfo.Version,
+		"revision": buildinfo.Revision(),
+		"go":       runtime.Version(),
+	})
+}
+
+// handleReadyz reports readiness: 503 once draining starts, so load
+// balancers stop routing before the listener goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.life.State()
+	if st == StateReady {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": st.String()})
+}
+
+// handleMetrics renders the service counters in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.sched.Counters()
+	hits, misses, evictions := s.sched.Cache().Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	write := func(name, help, kind string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, kind, name, v)
+	}
+	write("coherenced_jobs_submitted_total", "Jobs admitted to the queue.", "counter", c.Submitted)
+	write("coherenced_jobs_deduplicated_total", "Submissions folded onto an identical in-flight job.", "counter", c.Deduped)
+	write("coherenced_jobs_cache_hits_total", "Submissions served from the content-addressed result cache.", "counter", c.CacheHits)
+	write("coherenced_jobs_rejected_total", "Submissions rejected with queue-full.", "counter", c.Rejected)
+	write("coherenced_jobs_completed_total", "Jobs that finished successfully.", "counter", c.Completed)
+	write("coherenced_jobs_failed_total", "Jobs that finished in error.", "counter", c.Failed)
+	write("coherenced_jobs_canceled_total", "Jobs cancelled before completing.", "counter", c.Canceled)
+	write("coherenced_sim_cycles_total", "Simulated cycles executed on behalf of jobs.", "counter", c.SimCycles)
+	write("coherenced_jobs_queued", "Jobs currently waiting in the queues.", "gauge", uint64(c.Queued))
+	write("coherenced_jobs_running", "Jobs currently executing.", "gauge", uint64(c.Running))
+	write("coherenced_result_cache_entries", "Entries in the result cache.", "gauge", uint64(s.sched.Cache().Len()))
+	write("coherenced_result_cache_lookup_hits_total", "Result-cache lookup hits.", "counter", hits)
+	write("coherenced_result_cache_lookup_misses_total", "Result-cache lookup misses.", "counter", misses)
+	write("coherenced_result_cache_evictions_total", "Result-cache evictions.", "counter", evictions)
+}
