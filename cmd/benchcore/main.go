@@ -6,12 +6,19 @@
 //	benchcore                         # run, write BENCH_core.json
 //	benchcore -benchtime 200ms        # quick smoke run (CI)
 //	benchcore -compare BENCH_core.json -out /tmp/new.json
+//	benchcore -compare BENCH_core.json -gate   # CI gate: fail on regression
 //
 // With -compare, a benchstat-style old-vs-new table is printed after the
-// run (suitable for a CI job summary). Benchmarks cover the engine event
-// core (scheduling, stall fast path, park/unpark) and machine-level
-// workloads (event throughput, read-hit issue, a full lock run); events
-// per second is reported where a run exposes its processed-event count.
+// run (suitable for a CI job summary). Adding -gate turns the comparison
+// into a pass/fail check: a >15% ns/op regression or any allocs/op
+// increase against the baseline exits non-zero (set BENCH_GATE=off to
+// override, e.g. when intentionally rebasing the committed baseline).
+// Benchmarks cover the engine event core (scheduling, stall fast path,
+// park/unpark), the memory-system data path (block fetch, cache
+// install/evict), and machine-level workloads (event throughput on
+// pooled machines, read-hit issue, reset/reuse cycling, a full lock
+// run); events per second is reported where a run exposes its
+// processed-event count.
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 	"testing"
 
 	core "coherencesim"
+	"coherencesim/internal/cache"
+	"coherencesim/internal/mem"
 	"coherencesim/internal/sim"
 )
 
@@ -116,7 +125,7 @@ func machineEventThroughput(b *testing.B) uint64 {
 	b.ReportAllocs()
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		m := core.NewMachine(core.DefaultConfig(core.CU, 32))
+		m := core.AcquireMachine(core.DefaultConfig(core.CU, 32))
 		ctr := m.Alloc("ctr", 4, 0)
 		res := m.Run(func(p *core.Proc) {
 			for k := 0; k < 50; k++ {
@@ -124,6 +133,82 @@ func machineEventThroughput(b *testing.B) uint64 {
 			}
 		})
 		events += res.SimEvents
+		m.Release()
+	}
+	return events
+}
+
+// memBlockFetch measures the raw memory-module block-read path: borrow a
+// frame once, then issue back-to-back block reads into it, draining the
+// engine after each. Steady state must be allocation-free.
+func memBlockFetch(b *testing.B) uint64 {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	mcfg := mem.DefaultConfig()
+	st := mem.NewStore(mcfg.WordsBlock)
+	m := mem.NewModuleWithStore(e, 0, mcfg, st)
+	frame := st.BorrowFrame()
+	done := func() {}
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		m.ReadBlockInto(uint32(i&63), frame, done)
+		e.Run()
+	}
+	return e.Processed()
+}
+
+// cacheInstallEvict measures the cache line install/evict cycle: two
+// blocks conflicting on one frame, so every install evicts the other.
+func cacheInstallEvict(b *testing.B) uint64 {
+	b.ReportAllocs()
+	c := cache.New(0, 64*1024)
+	var data [16]uint32
+	b0, b1 := uint32(0), uint32(c.NumLines())
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		blk := b0
+		if i&1 == 1 {
+			blk = b1
+		}
+		c.Install(blk, data[:], cache.Shared)
+	}
+	return 0
+}
+
+// machineResetReuse measures the sweep-point cycle on one pooled
+// machine: Reset, re-allocate, run the event-throughput workload. The
+// delta against MachineEventThroughput's first-iteration cost is what
+// machine reuse saves per sweep point.
+func machineResetReuse(b *testing.B) uint64 {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig(core.CU, 32)
+	m := core.NewMachine(cfg)
+	cycle := func() uint64 {
+		if !m.Reset(cfg) {
+			panic("benchcore: machine Reset refused")
+		}
+		ctr := m.Alloc("ctr", 4, 0)
+		res := m.Run(func(p *core.Proc) {
+			for k := 0; k < 50; k++ {
+				p.FetchAdd(ctr, 1)
+			}
+		})
+		return res.SimEvents
+	}
+	// Untimed warmup: the first cycles grow free lists, the event arena,
+	// and message pools. Without it those one-time allocations amortize
+	// over a benchtime-dependent b.N and allocs/op stops being a stable
+	// (gateable) number.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	var events uint64
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		events += cycle()
 	}
 	return events
 }
@@ -162,6 +247,9 @@ var benches = []bench{
 	{"EngineParkUnpark", engineParkUnpark},
 	{"MachineEventThroughput", machineEventThroughput},
 	{"MachineReadHitIssue", machineReadHitIssue},
+	{"MemBlockFetch", memBlockFetch},
+	{"CacheInstallEvict", cacheInstallEvict},
+	{"MachineResetReuse", machineResetReuse},
 	{"SingleLockRun", singleLockRun},
 }
 
@@ -197,20 +285,28 @@ func run(benchtime string) (File, error) {
 	return f, nil
 }
 
-// compare prints a benchstat-style old-vs-new table.
-func compare(oldPath string, cur File) error {
+// gateNsSlack is the allowed ns/op regression before the -gate check
+// fails. Timing on shared CI runners is noisy, so the bound is
+// generous; allocs/op is deterministic and gets no slack at all.
+const gateNsSlack = 1.15
+
+// compare prints a benchstat-style old-vs-new table and returns the
+// gate violations (ns/op regressions beyond the slack, or any allocs/op
+// increase) for the caller to enforce under -gate.
+func compare(oldPath string, cur File) ([]string, error) {
 	raw, err := os.ReadFile(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var old File
 	if err := json.Unmarshal(raw, &old); err != nil {
-		return fmt.Errorf("parse %s: %w", oldPath, err)
+		return nil, fmt.Errorf("parse %s: %w", oldPath, err)
 	}
 	prev := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
 		prev[r.Name] = r
 	}
+	var violations []string
 	fmt.Printf("\n%-24s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
 	for _, r := range cur.Results {
 		o, ok := prev[r.Name]
@@ -224,8 +320,18 @@ func compare(oldPath string, cur File) error {
 		}
 		fmt.Printf("%-24s %14.1f %14.1f %8s %10d→%d\n",
 			r.Name, o.NsPerOp, r.NsPerOp, delta, o.AllocsPerOp, r.AllocsPerOp)
+		if o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*gateNsSlack {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (>%.0f%% regression)",
+				r.Name, r.NsPerOp, o.NsPerOp, (gateNsSlack-1)*100))
+		}
+		if r.AllocsPerOp > o.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (allocation regression)",
+				r.Name, r.AllocsPerOp, o.AllocsPerOp))
+		}
 	}
-	return nil
+	return violations, nil
 }
 
 func main() {
@@ -233,6 +339,7 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "output path for the JSON results")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (accepts 200ms, 100x, ...)")
 	comparePath := flag.String("compare", "", "existing BENCH_core.json to print an old-vs-new table against")
+	gate := flag.Bool("gate", false, "with -compare: exit 1 on a >15% ns/op regression or any allocs/op increase (BENCH_GATE=off overrides)")
 	flag.Parse()
 
 	f, err := run(*benchtime)
@@ -252,8 +359,21 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	if *comparePath != "" {
-		if err := compare(*comparePath, f); err != nil {
+		violations, err := compare(*comparePath, f)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchcore: compare:", err)
+			os.Exit(1)
+		}
+		if *gate && len(violations) > 0 {
+			if os.Getenv("BENCH_GATE") == "off" {
+				fmt.Fprintf(os.Stderr, "benchcore: gate overridden (BENCH_GATE=off); %d violation(s) ignored\n", len(violations))
+				return
+			}
+			fmt.Fprintln(os.Stderr, "benchcore: performance gate failed:")
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			fmt.Fprintln(os.Stderr, "benchcore: refresh BENCH_core.json if intentional, or set BENCH_GATE=off / apply the bench-baseline-bump label to override")
 			os.Exit(1)
 		}
 	}

@@ -46,6 +46,7 @@ func run() int {
 		simWorkers = flag.Int("sim-workers", 0, "simulation worker pool width per job: 0 = NumCPU")
 		cacheSize  = flag.Int("cache", 256, "content-addressed result cache entries")
 		grace      = flag.Duration("grace", 30*time.Second, "graceful-drain window for in-flight jobs on SIGTERM")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 		version    = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -62,6 +63,7 @@ func run() int {
 		SimWorkers:   *simWorkers,
 		CacheEntries: *cacheSize,
 		Grace:        *grace,
+		PprofAddr:    *pprofAddr,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -70,6 +70,17 @@ type (
 // NewMachine builds a simulated machine.
 func NewMachine(cfg Config) *Machine { return machine.New(cfg) }
 
+// AcquireMachine returns a machine configured per cfg from the shared
+// reuse pool — a structurally compatible idle machine reset to cfg when
+// one is available, else a fresh one. Pair with Machine.Release when
+// the run's results have been read; pooled runs are byte-identical to
+// fresh-machine runs. SetMachineReuse toggles pooling globally (it is
+// on by default) and returns the previous setting.
+var (
+	AcquireMachine  = machine.Acquire
+	SetMachineReuse = machine.SetReuse
+)
+
 // DefaultConfig returns the paper's machine parameters for a protocol
 // and processor count.
 func DefaultConfig(p Protocol, procs int) Config {

@@ -102,7 +102,8 @@ type WorkQueueParams struct {
 // the next index from a shared cursor under the lock and execute the
 // task. Correctness: every task executed exactly once.
 func WorkQueue(p WorkQueueParams) Result {
-	m := machine.New(machine.DefaultConfig(p.Protocol, p.Procs))
+	m := machine.Acquire(machine.DefaultConfig(p.Protocol, p.Procs))
+	defer m.Release()
 	l := buildLock(m, p.Lock, "qlock")
 	cursor := m.Alloc("cursor", 4, 0)
 	// done[t] counts executions of task t (one block per counter group
@@ -150,7 +151,8 @@ type JacobiParams struct {
 // strip using its neighbours' edge cells, then crosses the barrier.
 // Correctness: the computation matches a sequential replay.
 func Jacobi(p JacobiParams) Result {
-	m := machine.New(machine.DefaultConfig(p.Protocol, p.Procs))
+	m := machine.Acquire(machine.DefaultConfig(p.Protocol, p.Procs))
+	defer m.Release()
 	b := buildBarrier(m, p.Barrier, "jb")
 	strips := make([]machine.Addr, p.Procs)
 	for i := range strips {
@@ -224,7 +226,8 @@ type NBodyParams struct {
 // time step. Correctness: all processors observe the true maximum each
 // step.
 func NBodyMax(p NBodyParams) Result {
-	m := machine.New(machine.DefaultConfig(p.Protocol, p.Procs))
+	m := machine.Acquire(machine.DefaultConfig(p.Protocol, p.Procs))
+	defer m.Release()
 	var red constructs.Reducer
 	switch p.Reduction {
 	case workload.Parallel:

@@ -84,12 +84,27 @@ type Stats struct {
 
 // Cache is one node's direct-mapped data cache.
 type Cache struct {
-	node     int
-	lines    []Line
-	mask     uint32 // len(lines)-1 when a power of two, else 0 (use modulo)
-	watchers map[uint32][]func()
-	versions map[uint32]uint64
-	stats    Stats
+	node  int
+	lines []Line
+	mask  uint32 // len(lines)-1 when a power of two, else 0 (use modulo)
+
+	// watchers is frame-indexed: a watcher is only ever registered on a
+	// block the registering processor just accessed, so the watched block
+	// occupies its frame at registration time, and every occupancy change
+	// (install, invalidate) fires and clears the frame's list. watchBlock
+	// records which block the frame's watchers belong to, so events on a
+	// later occupant of the same frame cannot wake them (a flushed
+	// block's watchers could otherwise linger — flush does not fire).
+	watchers   [][]func()
+	watchBlock []uint32
+
+	// versions is block-indexed (grown on demand — the simulated address
+	// space is dense): visibility events on a block must not advance the
+	// version of an unrelated block that happens to share its frame, or
+	// multi-word spin re-read detection would spuriously trigger.
+	versions []uint64
+
+	stats Stats
 
 	// Optional sampled observability counters, shared across all caches
 	// of a machine; now supplies the simulated clock.
@@ -116,15 +131,42 @@ func New(node, sizeBytes int) *Cache {
 	}
 	n := sizeBytes / BlockBytes
 	c := &Cache{
-		node:     node,
-		lines:    make([]Line, n),
-		watchers: make(map[uint32][]func()),
-		versions: make(map[uint32]uint64),
+		node:       node,
+		lines:      make([]Line, n),
+		watchers:   make([][]func(), n),
+		watchBlock: make([]uint32, n),
 	}
 	if n > 1 && n&(n-1) == 0 {
 		c.mask = uint32(n - 1)
 	}
 	return c
+}
+
+// Reset returns the cache to its post-New state (all lines invalid, no
+// watchers, versions zeroed, counters cleared) while keeping every
+// backing array for reuse. Instrumentation is detached; a reusing
+// machine re-attaches its own.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	for i := range c.watchers {
+		ws := c.watchers[i]
+		for j := range ws {
+			ws[j] = nil
+		}
+		c.watchers[i] = ws[:0]
+	}
+	clear(c.watchBlock)
+	clear(c.versions)
+	c.stats = Stats{}
+	c.mHits, c.mMisses, c.now = nil, nil, nil
+}
+
+// frameIndex returns the direct-mapped frame number for a block.
+func (c *Cache) frameIndex(block uint32) int {
+	if c.mask != 0 {
+		return int(block & c.mask)
+	}
+	return int(block) % len(c.lines)
 }
 
 // NumLines returns the number of frames.
@@ -137,10 +179,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // power-of-two frame count indexes with a mask instead of the integer
 // division a modulo costs on this hot path.
 func (c *Cache) frame(block uint32) *Line {
-	if c.mask != 0 {
-		return &c.lines[block&c.mask]
-	}
-	return &c.lines[int(block)%len(c.lines)]
+	return &c.lines[c.frameIndex(block)]
 }
 
 // Lookup returns the line holding block, or nil on miss. It does not
@@ -233,21 +272,36 @@ func (c *Cache) ApplyUpdate(block uint32, word int, v uint32) bool {
 // Watch registers a one-shot callback invoked the next time block is
 // invalidated, updated, or evicted. Used for spin-wait compression.
 func (c *Cache) Watch(block uint32, fn func()) {
-	c.watchers[block] = append(c.watchers[block], fn)
+	idx := c.frameIndex(block)
+	if len(c.watchers[idx]) > 0 && c.watchBlock[idx] != block {
+		// Cannot happen: watchers only register on the frame's current
+		// occupant, and occupancy changes fire-and-clear the list.
+		panic(fmt.Sprintf("cache: frame %d watched for block %d and %d simultaneously", idx, c.watchBlock[idx], block))
+	}
+	c.watchBlock[idx] = block
+	c.watchers[idx] = append(c.watchers[idx], fn)
 }
 
 // Watched reports whether a spinner is parked on the block. A watched
 // block is being continuously referenced by the (compressed) spin loop,
 // which protocol code must treat as reference activity — e.g. the
 // competitive-update counter of a watched block does not accumulate.
-func (c *Cache) Watched(block uint32) bool { return len(c.watchers[block]) > 0 }
+func (c *Cache) Watched(block uint32) bool {
+	idx := c.frameIndex(block)
+	return len(c.watchers[idx]) > 0 && c.watchBlock[idx] == block
+}
 
 // Version returns the block's visibility-event counter: it advances on
 // every invalidation, update delivery, eviction, or explicit
 // notification. Spin loops that read several words of a block use it to
 // detect that the block changed mid-sequence (and must re-read) before
 // parking on a watcher.
-func (c *Cache) Version(block uint32) uint64 { return c.versions[block] }
+func (c *Cache) Version(block uint32) uint64 {
+	if int(block) < len(c.versions) {
+		return c.versions[block]
+	}
+	return 0
+}
 
 // fire advances the block's version and invokes (then clears) its
 // watchers. The watcher list and a fire-time scratch copy both keep
@@ -258,9 +312,15 @@ func (c *Cache) Version(block uint32) uint64 { return c.versions[block] }
 // watchers itself finds fireScratch checked out and allocates a fresh
 // scratch — rare, and the deepest scratch is simply dropped.
 func (c *Cache) fire(block uint32) {
+	if int(block) >= len(c.versions) {
+		grown := make([]uint64, int(block)+64)
+		copy(grown, c.versions)
+		c.versions = grown
+	}
 	c.versions[block]++
-	ws := c.watchers[block]
-	if len(ws) == 0 {
+	idx := c.frameIndex(block)
+	ws := c.watchers[idx]
+	if len(ws) == 0 || c.watchBlock[idx] != block {
 		return
 	}
 	scratch := c.fireScratch
@@ -269,7 +329,7 @@ func (c *Cache) fire(block uint32) {
 	for i := range ws {
 		ws[i] = nil
 	}
-	c.watchers[block] = ws[:0]
+	c.watchers[idx] = ws[:0]
 	for _, fn := range scratch {
 		fn()
 	}

@@ -196,6 +196,32 @@ func New(procs int) *Classifier {
 	}
 }
 
+// Reset clears all accumulated classification state for machine reuse.
+// Shadow-state map entries are kept and zeroed in place (the next run's
+// working set is typically identical), which is order-safe: each entry's
+// reset is independent of every other, so map iteration order cannot
+// influence the result.
+func (c *Classifier) Reset() {
+	for _, h := range c.history {
+		h.words = [16]wordVersion{}
+	}
+	for p := range c.state {
+		for _, s := range c.state[p] {
+			s.everCached = false
+			s.cached = false
+			s.lossReason = 0
+			s.lostVer = [16]uint64{}
+			clear(s.pending)
+		}
+	}
+	c.misses = MissCounts{}
+	c.updates = UpdateCounts{}
+	c.refs = 0
+	for i := range c.perProcMisses {
+		c.perProcMisses[i] = MissCounts{}
+	}
+}
+
 func (c *Classifier) hist(block uint32) *blockHistory {
 	h, ok := c.history[block]
 	if !ok {

@@ -99,7 +99,8 @@ func AblatePURetention(o Options) *RetentionAblation {
 	run := func(disable bool) machine.Result {
 		cfg := machine.DefaultConfig(proto.PU, procs)
 		cfg.DisableRetention = disable
-		m := machine.New(cfg)
+		m := machine.Acquire(cfg)
+		defer m.Release()
 		own := make([]machine.Addr, procs)
 		for i := range own {
 			own[i] = m.Alloc(fmt.Sprintf("priv%d", i), 64, i)

@@ -53,7 +53,8 @@ func AnalyzeLockContentions(o Options, prs []proto.Protocol) []*ContentionReport
 // the construct's communication is.
 func AnalyzeLockContention(o Options, pr proto.Protocol) *ContentionReport {
 	procs := o.TrafficProcs
-	m := machine.New(machine.DefaultConfig(pr, procs))
+	m := machine.Acquire(machine.DefaultConfig(pr, procs))
+	defer m.Release()
 	l := constructs.NewTicketLock(m, "lock")
 	iters := o.LockIterations / procs
 	res := m.Run(func(p *machine.Proc) {

@@ -47,7 +47,8 @@ func ExtendedLockSweep(o Options) *LatencySweep {
 // arbitrary lock implementation.
 func runCustomLock(pr proto.Protocol, procs, iterations int, mk mkLock) latencyPoint {
 	const hold = sim.Time(50)
-	m := machine.New(machine.DefaultConfig(pr, procs))
+	m := machine.Acquire(machine.DefaultConfig(pr, procs))
+	defer m.Release()
 	l := mk(m)
 	iters := iterations / procs
 	res := m.Run(func(p *machine.Proc) {

@@ -123,12 +123,28 @@ type Machine struct {
 	cfg Config
 	met machMetrics
 
+	// blockHome is the home node of every allocated block, indexed by
+	// block number. The allocator hands out blocks contiguously from 0,
+	// so len(blockHome) == nextBlock always; blocks beyond it (never
+	// allocated) interleave by block number.
 	nextBlock uint32
-	blockHome map[uint32]int
-	allocs    map[string]Addr
+	blockHome []int8
+	allocs    []allocEntry
 
+	// body is the workload for the current Run; each processor's
+	// once-built coroutine entry function reads it through the machine,
+	// so reused processors need no fresh closures.
+	body  func(p *Proc)
 	procs []*Proc
 	ran   bool
+}
+
+// allocEntry records one named allocation. Allocations number in the
+// tens at most, so a linear scan beats a map and leaves nothing to
+// rebuild on Reset.
+type allocEntry struct {
+	name string
+	base Addr
 }
 
 // machMetrics caches the machine-level observability handles. All
@@ -172,30 +188,79 @@ func New(cfg Config) *Machine {
 		panic("machine: WBEntries must be positive")
 	}
 	m := &Machine{
-		e:         sim.NewEngine(),
-		cl:        classify.New(cfg.Procs),
-		cfg:       cfg,
-		met:       newMachMetrics(cfg.Metrics),
-		blockHome: make(map[uint32]int),
-		allocs:    make(map[string]Addr),
+		e:   sim.NewEngine(),
+		cl:  classify.New(cfg.Procs),
+		cfg: cfg,
+		met: newMachMetrics(cfg.Metrics),
 	}
-	pcfg := proto.Config{
-		Protocol:         cfg.Protocol,
-		CUThreshold:      cfg.CUThreshold,
-		CacheBytes:       cfg.CacheBytes,
-		DisableRetention: cfg.DisableRetention,
-		Mesh:             cfg.Mesh,
-		Mem:              cfg.Mem,
-		Metrics:          cfg.Metrics,
-		HomeOf: func(block uint32) int {
-			if h, ok := m.blockHome[block]; ok {
-				return h
-			}
-			return int(block) % cfg.Procs
-		},
-	}
-	m.sys = proto.NewSystem(m.e, cfg.Procs, pcfg, m.cl)
+	m.sys = proto.NewSystem(m.e, cfg.Procs, m.protoConfig(), m.cl)
 	return m
+}
+
+// homeOf implements the paper's data placement over the flat allocation
+// table: allocated blocks use their recorded home, anything else
+// interleaves by block number.
+func (m *Machine) homeOf(block uint32) int {
+	if int(block) < len(m.blockHome) {
+		return int(m.blockHome[block])
+	}
+	return int(block) % m.cfg.Procs
+}
+
+// protoConfig derives the coherence system's configuration from the
+// machine's current one (also used when Reset re-arms the system).
+func (m *Machine) protoConfig() proto.Config {
+	return proto.Config{
+		Protocol:         m.cfg.Protocol,
+		CUThreshold:      m.cfg.CUThreshold,
+		CacheBytes:       m.cfg.CacheBytes,
+		DisableRetention: m.cfg.DisableRetention,
+		Mesh:             m.cfg.Mesh,
+		Mem:              m.cfg.Mem,
+		Metrics:          m.cfg.Metrics,
+		HomeOf:           m.homeOf,
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Reset returns the machine to its post-New state under cfg, reusing
+// every internal structure — engine, mesh, memory arena, caches,
+// directory, pooled protocol objects, processors — so sweeps can run
+// many points without reconstructing a machine. It reports false (and
+// changes nothing) when cfg is structurally incompatible with the
+// machine as built: the processor count, cache and write-buffer
+// geometry, mesh, and memory parameters are fixed at construction.
+// Protocol selection, thresholds, ablation switches, and observability
+// sinks may change freely between runs. A reset machine is
+// indistinguishable from a fresh one: allocations, Pokes, and Run
+// produce byte-identical results.
+func (m *Machine) Reset(cfg Config) bool {
+	if cfg.Procs != m.cfg.Procs || cfg.CacheBytes != m.cfg.CacheBytes ||
+		cfg.WBEntries != m.cfg.WBEntries || cfg.Mesh != m.cfg.Mesh ||
+		cfg.Mem != m.cfg.Mem {
+		return false
+	}
+	if !m.e.Reset() {
+		return false
+	}
+	m.cfg = cfg
+	m.met = newMachMetrics(cfg.Metrics)
+	m.cl.Reset()
+	m.nextBlock = 0
+	m.blockHome = m.blockHome[:0]
+	for i := range m.allocs {
+		m.allocs[i] = allocEntry{}
+	}
+	m.allocs = m.allocs[:0]
+	m.sys.Reset(m.protoConfig())
+	m.body = nil
+	for _, p := range m.procs {
+		p.reset()
+	}
+	m.ran = false
+	return true
 }
 
 // Procs returns the processor count.
@@ -239,31 +304,33 @@ func (m *Machine) Alloc(name string, size, home int) Addr {
 	if home < -1 || home >= m.cfg.Procs {
 		panic(fmt.Sprintf("machine: Alloc home %d out of range", home))
 	}
-	if _, dup := m.allocs[name]; dup {
-		panic(fmt.Sprintf("machine: duplicate allocation %q", name))
+	for _, e := range m.allocs {
+		if e.name == name {
+			panic(fmt.Sprintf("machine: duplicate allocation %q", name))
+		}
 	}
 	blocks := (size + cache.BlockBytes - 1) / cache.BlockBytes
 	base := cache.BlockBase(m.nextBlock)
 	for i := 0; i < blocks; i++ {
-		b := m.nextBlock + uint32(i)
-		if home >= 0 {
-			m.blockHome[b] = home
-		} else {
-			m.blockHome[b] = i % m.cfg.Procs
+		h := home
+		if h < 0 {
+			h = i % m.cfg.Procs
 		}
+		m.blockHome = append(m.blockHome, int8(h))
 	}
 	m.nextBlock += uint32(blocks)
-	m.allocs[name] = base
+	m.allocs = append(m.allocs, allocEntry{name, base})
 	return base
 }
 
 // Base returns the address of a named allocation.
 func (m *Machine) Base(name string) Addr {
-	a, ok := m.allocs[name]
-	if !ok {
-		panic(fmt.Sprintf("machine: unknown allocation %q", name))
+	for _, e := range m.allocs {
+		if e.name == name {
+			return e.base
+		}
 	}
-	return a
+	panic(fmt.Sprintf("machine: unknown allocation %q", name))
 }
 
 // Poke initializes a shared word in memory without simulated time or
@@ -287,17 +354,19 @@ func (m *Machine) Peek(a Addr) uint32 {
 // through a processor; it is kept for fidelity).
 func (m *Machine) Run(body func(p *Proc)) Result {
 	if m.ran {
-		panic("machine: Run called twice; build a fresh Machine per run")
+		panic("machine: Run called twice; Reset the machine or build a fresh one per run")
 	}
 	m.ran = true
 	m.sys.FlushAll(0)
-	m.procs = make([]*Proc, m.cfg.Procs)
-	for i := 0; i < m.cfg.Procs; i++ {
-		m.procs[i] = newProc(m, i)
+	if m.procs == nil {
+		m.procs = make([]*Proc, m.cfg.Procs)
+		for i := 0; i < m.cfg.Procs; i++ {
+			m.procs[i] = newProc(m, i)
+		}
 	}
+	m.body = body
 	for _, p := range m.procs {
-		p := p
-		p.co = m.e.Go(fmt.Sprintf("proc%d", p.id), func() { body(p) })
+		p.co = m.e.Go(p.name, p.runFn)
 	}
 	m.e.Run()
 	m.cl.Finish()

@@ -73,9 +73,14 @@ func (s ProcStats) Total() sim.Time {
 // Proc is one simulated processor. All methods must be called from the
 // processor's own workload body (they suspend the underlying coroutine).
 type Proc struct {
-	m  *Machine
-	id int
-	co *sim.Coroutine
+	m    *Machine
+	id   int
+	co   *sim.Coroutine
+	name string // coroutine label, built once
+	// runFn is the coroutine entry point, built once; it reads the
+	// current workload body through the machine so reusing the
+	// processor across runs allocates no fresh closures.
+	runFn func()
 
 	wb      *cache.WriteBuffer
 	waiting waitReason
@@ -106,11 +111,13 @@ type Proc struct {
 
 func newProc(m *Machine, id int) *Proc {
 	p := &Proc{
-		m:   m,
-		id:  id,
-		wb:  cache.NewWriteBuffer(m.cfg.WBEntries),
-		rng: rand.New(rand.NewSource(int64(id)*2654435761 + 12345)),
+		m:    m,
+		id:   id,
+		name: fmt.Sprintf("proc%d", id),
+		wb:   cache.NewWriteBuffer(m.cfg.WBEntries),
+		rng:  rand.New(rand.NewSource(procSeed(id))),
 	}
+	p.runFn = func() { p.m.body(p) }
 	p.readDone = func(v uint32) {
 		p.opVal = v
 		p.opDone = true
@@ -143,6 +150,25 @@ func newProc(m *Machine, id int) *Proc {
 	}
 	p.spinWake = func() { p.unblock(waitSpin) }
 	return p
+}
+
+// procSeed is the deterministic seed of processor id's private random
+// source; reset re-seeds with the same value so a reused processor's
+// random stream is identical to a fresh one's.
+func procSeed(id int) int64 { return int64(id)*2654435761 + 12345 }
+
+// reset returns the processor to its post-newProc state for machine
+// reuse. The once-built callbacks and write buffer are kept; only the
+// mutable run state is cleared.
+func (p *Proc) reset() {
+	p.co = nil
+	p.wb.Reset()
+	p.waiting = waitNone
+	p.rng.Seed(procSeed(p.id))
+	p.stats = ProcStats{}
+	p.pending = 0
+	p.opDone = false
+	p.opVal = 0
 }
 
 // ID returns the processor number (0-based).

@@ -7,6 +7,13 @@
 // Shared data are interleaved across the modules at the cache-block level
 // (the allocator in internal/machine decides block homes; this package
 // only provides timing and backing storage).
+//
+// Backing storage is a flat arena indexed by block number (Store): the
+// simulated address space is dense and bounded, so block data lives at
+// words[block*WordsBlock:...] in one slice that grows on demand and is
+// reused across runs. The Store also lends out fixed-size block frames —
+// scratch buffers the coherence protocols use as message payloads — so
+// the steady-state data path performs no allocation.
 package mem
 
 import (
@@ -38,32 +45,140 @@ type Stats struct {
 	BusyCycles uint64
 }
 
-// Module is one node's memory bank plus its slice of the physical address
-// space. Storage is allocated lazily per block.
+// Store is the flat, arena-backed block store shared by a machine's
+// memory modules. Block b's words live at words[b*wordsBlock : (b+1)*
+// wordsBlock]; the arena grows on demand (the simulated address space is
+// dense — the machine allocator hands out blocks contiguously from 0).
+//
+// The Store also manages a free list of block-sized frames. Frames are
+// the payload buffers of coherence messages and cache installs: a
+// protocol transaction borrows a frame, fills it completely, carries it
+// through the message chain, and the final consumer releases it.
+// Because every borrower overwrites the frame in full before any read,
+// frames are never zeroed on release, and free-list order cannot affect
+// simulated behaviour.
+type Store struct {
+	wordsBlock int
+	words      []uint32
+	frames     [][]uint32
+}
+
+// NewStore creates an empty arena for blocks of wordsBlock words.
+func NewStore(wordsBlock int) *Store {
+	if wordsBlock <= 0 {
+		panic("mem: WordsBlock must be positive")
+	}
+	return &Store{wordsBlock: wordsBlock}
+}
+
+// WordsBlock returns the configured block size in words.
+func (st *Store) WordsBlock() int { return st.wordsBlock }
+
+// Block returns the backing storage for a block, growing the arena as
+// needed. The slice is full-capacity-bounded, so appends through it are
+// impossible; mutations are immediate and untimed.
+func (st *Store) Block(block uint32) []uint32 {
+	lo := int(block) * st.wordsBlock
+	hi := lo + st.wordsBlock
+	if hi > len(st.words) {
+		st.ensure(hi)
+	}
+	return st.words[lo:hi:hi]
+}
+
+// ensure grows the arena to at least hi words. The arena never shrinks,
+// so any spare capacity is still in its original zeroed state and can be
+// resliced into directly.
+func (st *Store) ensure(hi int) {
+	if hi <= cap(st.words) {
+		st.words = st.words[:hi]
+		return
+	}
+	newCap := cap(st.words) * 2
+	if newCap < hi {
+		newCap = hi
+	}
+	if newCap < 1024 {
+		newCap = 1024
+	}
+	nw := make([]uint32, hi, newCap)
+	copy(nw, st.words)
+	st.words = nw
+}
+
+// BorrowFrame returns a block-sized scratch buffer from the free list
+// (allocating only when the list is empty). The caller must overwrite it
+// completely before reading and hand it back with ReleaseFrame.
+func (st *Store) BorrowFrame() []uint32 {
+	if n := len(st.frames); n > 0 {
+		f := st.frames[n-1]
+		st.frames[n-1] = nil
+		st.frames = st.frames[:n-1]
+		return f
+	}
+	return make([]uint32, st.wordsBlock)
+}
+
+// ReleaseFrame returns a borrowed frame to the free list. Releasing nil
+// is a no-op so callers need not guard optional payloads.
+func (st *Store) ReleaseFrame(f []uint32) {
+	if f != nil {
+		st.frames = append(st.frames, f)
+	}
+}
+
+// Reset zeroes the arena contents for a fresh run while keeping the
+// arena and the frame free list for reuse.
+func (st *Store) Reset() {
+	clear(st.words)
+}
+
+// Module is one node's memory bank: the timing/contention model layered
+// over its slice of the shared Store.
 type Module struct {
 	e    *sim.Engine
 	cfg  Config
 	node int
 
 	nextFree sim.Time
-	data     map[uint32][]uint32 // block number -> word values
+	store    *Store
 
 	stats Stats
 }
 
-// NewModule creates the memory module for the given node.
+// NewModule creates the memory module for the given node with its own
+// private Store (convenient for tests; machines share one Store across
+// modules via NewModuleWithStore).
 func NewModule(e *sim.Engine, node int, cfg Config) *Module {
+	return NewModuleWithStore(e, node, cfg, NewStore(cfg.WordsBlock))
+}
+
+// NewModuleWithStore creates a module backed by an existing arena.
+func NewModuleWithStore(e *sim.Engine, node int, cfg Config, st *Store) *Module {
 	if cfg.WordsBlock <= 0 {
 		panic("mem: WordsBlock must be positive")
 	}
-	return &Module{e: e, node: node, cfg: cfg, data: make(map[uint32][]uint32)}
+	if st.wordsBlock != cfg.WordsBlock {
+		panic(fmt.Sprintf("mem: store block size %d != config %d", st.wordsBlock, cfg.WordsBlock))
+	}
+	return &Module{e: e, node: node, cfg: cfg, store: st}
 }
 
 // Node returns the owning node id.
 func (m *Module) Node() int { return m.node }
 
+// Store returns the backing arena (shared across a machine's modules).
+func (m *Module) Store() *Store { return m.store }
+
 // Stats returns a copy of the activity counters.
 func (m *Module) Stats() Stats { return m.stats }
+
+// Reset clears the timing state and counters for machine reuse. The
+// backing Store is shared across modules and reset separately.
+func (m *Module) Reset() {
+	m.nextFree = 0
+	m.stats = Stats{}
+}
 
 // reserve books the module for dur cycles starting no earlier than now and
 // returns the completion time.
@@ -83,24 +198,35 @@ func (m *Module) blockReadCycles() sim.Time {
 	return m.cfg.DirLookup + m.cfg.FirstWord + sim.Time(m.cfg.WordsBlock-1)*m.cfg.PerWord
 }
 
-// ReadBlock fetches the 16-word block and schedules done(data) at the time
-// the last word is available, modeling FIFO module contention.
-func (m *Module) ReadBlock(block uint32, done func(data []uint32)) {
+// ReadBlockInto fetches the block into the caller-provided buffer
+// (typically a borrowed frame) and schedules done at the time the last
+// word is available, modeling FIFO module contention. The buffer is
+// filled at issue time — the value delivered is the memory content at
+// the instant the module accepted the request, exactly as the
+// snapshotting ReadBlock behaved.
+func (m *Module) ReadBlockInto(block uint32, dst []uint32, done func()) {
 	m.stats.BlockReads++
 	t := m.reserve(m.blockReadCycles())
-	data := m.Block(block)
-	snapshot := make([]uint32, len(data))
-	copy(snapshot, data)
-	m.e.At(t, func() { done(snapshot) })
+	copy(dst, m.Block(block))
+	m.e.At(t, done)
+}
+
+// ReadBlock fetches the 16-word block and schedules done(data) at the
+// time the last word is available. Retained for callers that want an
+// owned snapshot; the protocol hot path uses ReadBlockInto with a
+// borrowed frame instead.
+func (m *Module) ReadBlock(block uint32, done func(data []uint32)) {
+	snapshot := make([]uint32, m.cfg.WordsBlock)
+	m.ReadBlockInto(block, snapshot, func() { done(snapshot) })
 }
 
 // WriteBlock stores a full block (e.g. a write-back) and schedules done at
-// completion.
+// completion. The data slice is consumed at call time and may be reused
+// immediately after WriteBlock returns.
 func (m *Module) WriteBlock(block uint32, data []uint32, done func()) {
 	m.stats.BlockWrites++
 	t := m.reserve(m.blockReadCycles())
-	stored := m.Block(block)
-	copy(stored, data)
+	copy(m.Block(block), data)
 	if done != nil {
 		m.e.At(t, done)
 	}
@@ -118,32 +244,41 @@ func (m *Module) WriteWord(block uint32, word int, v uint32, done func()) {
 	}
 }
 
-// Atomic performs op on the word in-memory (the update-based protocols
-// place the computational power of atomic instructions at the memory) and
-// schedules done(old, new) at completion.
-func (m *Module) Atomic(block uint32, word int, op func(old uint32) (new uint32), done func(old, new uint32)) {
+// AtomicOp performs op on the word in-memory (the update-based protocols
+// place the computational power of atomic instructions at the memory),
+// returning the old and new values immediately and scheduling done at
+// completion time. The protocol layer carries (old, new) through its
+// pooled transaction state instead of a per-op closure.
+func (m *Module) AtomicOp(block uint32, word int, op func(old uint32) (new uint32), done func()) (old, newV uint32) {
 	m.checkWord(word)
 	m.stats.AtomicOps++
 	t := m.reserve(m.cfg.DirLookup + m.cfg.FirstWord)
 	data := m.Block(block)
-	old := data[word]
-	newV := op(old)
+	old = data[word]
+	newV = op(old)
 	data[word] = newV
 	if done != nil {
-		m.e.At(t, func() { done(old, newV) })
+		m.e.At(t, done)
 	}
+	return old, newV
 }
 
-// Block returns the backing storage for a block, allocating zeroed words
-// on first touch. Mutations through the returned slice are immediate and
-// untimed; protocol code must pair them with reserve-based calls above.
-func (m *Module) Block(block uint32) []uint32 {
-	d, ok := m.data[block]
-	if !ok {
-		d = make([]uint32, m.cfg.WordsBlock)
-		m.data[block] = d
+// Atomic performs op on the word in-memory and schedules done(old, new)
+// at completion. Retained for tests; protocol code uses AtomicOp.
+func (m *Module) Atomic(block uint32, word int, op func(old uint32) (new uint32), done func(old, new uint32)) {
+	if done == nil {
+		m.AtomicOp(block, word, op, nil)
+		return
 	}
-	return d
+	var old, newV uint32
+	old, newV = m.AtomicOp(block, word, op, func() { done(old, newV) })
+}
+
+// Block returns the backing storage for a block. Mutations through the
+// returned slice are immediate and untimed; protocol code must pair them
+// with reserve-based calls above.
+func (m *Module) Block(block uint32) []uint32 {
+	return m.store.Block(block)
 }
 
 // Peek returns the current value of a word without timing side effects.

@@ -91,6 +91,17 @@ func New(e *sim.Engine, n int, cfg Config) *Network {
 	}
 }
 
+// Reset clears NI occupancy and traffic counters for machine reuse and
+// detaches instrumentation (a reusing machine re-attaches its own).
+func (nw *Network) Reset() {
+	clear(nw.outFree)
+	clear(nw.inFree)
+	clear(nw.outFlits)
+	clear(nw.inFlits)
+	nw.stats = Stats{}
+	nw.mMsgs, nw.mFlits = nil, nil
+}
+
 // Nodes returns the number of nodes.
 func (nw *Network) Nodes() int { return nw.n }
 

@@ -22,8 +22,137 @@ func (s *System) Read(p int, a cache.Addr, done func(v uint32)) {
 	c.CountMiss()
 	s.cl.Miss(p, block, word)
 	s.ctr.Reads++
-	home := s.HomeOf(block)
-	s.send(p, home, szControl, func() { s.homeRead(p, block, word, done) })
+	m := s.newReadMsg(p, block, word, done)
+	s.send(p, s.HomeOf(block), szControl, m.homeFn)
+}
+
+// homeRead starts read-miss servicing for callers already at the home
+// (the update protocols' write-allocate fetch); the request message has
+// already been charged by the caller.
+func (s *System) homeRead(p int, block uint32, word int, done func(uint32)) {
+	s.newReadMsg(p, block, word, done).home()
+}
+
+// readMsg carries one read-miss transaction along its message chain —
+// request to the home, directory serialization, memory or owner fetch,
+// data reply, install at the requester — with the stage continuations
+// built once per pooled object. The block payload travels in a borrowed
+// frame released when the requester has installed it.
+type readMsg struct {
+	s     *System
+	p     int
+	word  int
+	owner int
+	block uint32
+	data  []uint32 // borrowed frame
+	done  func(uint32)
+	next  *readMsg
+
+	homeFn       func() // at the home: serialize on the directory entry
+	lockedFn     func() // entry free: fetch from memory or the owner
+	gotFn        func() // memory read complete: book reply, release entry
+	ownerFetchFn func() // at the owner: extract data, forward home
+	ownerBackFn  func() // data back at the home: refresh memory
+	ownerWroteFn func() // memory refreshed: book reply, release entry
+	installFn    func() // at the requester: install and deliver
+}
+
+func (s *System) newReadMsg(p int, block uint32, word int, done func(uint32)) *readMsg {
+	m := s.rdFree
+	if m == nil {
+		m = &readMsg{s: s}
+		m.homeFn = m.home
+		m.lockedFn = m.locked
+		m.gotFn = m.got
+		m.ownerFetchFn = m.ownerFetch
+		m.ownerBackFn = m.ownerBack
+		m.ownerWroteFn = m.ownerWrote
+		m.installFn = m.install
+	} else {
+		s.rdFree = m.next
+		m.next = nil
+	}
+	m.p, m.block, m.word, m.done = p, block, word, done
+	return m
+}
+
+// home serializes the read request through the block's directory entry.
+func (m *readMsg) home() {
+	m.s.whenFree(m.s.entry(m.block), m.lockedFn)
+}
+
+// locked services the read at the home once the entry is free. The
+// snapshot semantics match the former ReadBlock closure chain exactly:
+// the frame is filled at memory-issue time.
+func (m *readMsg) locked() {
+	s := m.s
+	d := s.entry(m.block)
+	switch d.state {
+	case dirUncached, dirShared:
+		d.busy = true
+		m.data = s.store.BorrowFrame()
+		s.mems[s.HomeOf(m.block)].ReadBlockInto(m.block, m.data, m.gotFn)
+	case dirOwned:
+		d.busy = true
+		m.owner = d.owner
+		s.send(s.HomeOf(m.block), m.owner, szControl, m.ownerFetchFn)
+	}
+}
+
+// got books the data reply once memory has produced the block. The reply
+// is booked before releasing the entry: a queued invalidating
+// transaction must not reach the requester first (mesh FIFO).
+func (m *readMsg) got() {
+	s := m.s
+	d := s.entry(m.block)
+	d.state = dirShared
+	d.add(m.p)
+	s.send(s.HomeOf(m.block), m.p, szData, m.installFn)
+	s.release(d)
+}
+
+// ownerFetch runs at the owning node: take its data (demoting the line
+// to Shared) and forward it home.
+func (m *readMsg) ownerFetch() {
+	s := m.s
+	m.data = s.takeOwnerData(m.owner, m.block, true /* demote to shared */)
+	s.send(m.owner, s.HomeOf(m.block), szData, m.ownerBackFn)
+}
+
+// ownerBack refreshes memory with the owner's data.
+func (m *readMsg) ownerBack() {
+	s := m.s
+	s.mems[s.HomeOf(m.block)].WriteBlock(m.block, m.data, m.ownerWroteFn)
+}
+
+// ownerWrote rebuilds the sharer set and books the data reply.
+func (m *readMsg) ownerWrote() {
+	s := m.s
+	d := s.entry(m.block)
+	d.state = dirShared
+	d.sharers = 0
+	if s.caches[m.owner].Present(m.block) {
+		d.add(m.owner)
+	}
+	d.add(m.p)
+	s.send(s.HomeOf(m.block), m.p, szData, m.installFn)
+	s.release(d)
+}
+
+// install runs at the requester: install the block, deliver the value.
+// The message recycles before the callback runs (fields copied out
+// first), so reads issued from within done may reuse it.
+func (m *readMsg) install() {
+	s := m.s
+	p, block, word, data, done := m.p, m.block, m.word, m.data, m.done
+	m.data, m.done = nil, nil
+	m.next = s.rdFree
+	s.rdFree = m
+	ln := s.install(p, block, data, cache.Shared)
+	s.store.ReleaseFrame(data)
+	ln.Counter = 0
+	s.cl.Reference(p, block, word)
+	done(ln.Data[word])
 }
 
 // Write performs the protocol transaction for one drained write-buffer
@@ -69,15 +198,10 @@ func (s *System) FlushBlock(p int, a cache.Addr, done func()) {
 	}
 	s.ctr.Flushes++
 	s.cl.LostCopy(p, block, classify.LossFlush)
-	home := s.HomeOf(block)
 	if old.Dirty || old.State == cache.Exclusive {
-		data := make([]uint32, len(old.Data))
-		copy(data, old.Data[:])
-		s.ctr.Writebacks++
-		s.procs[p].pendingWB[block] = data
-		s.send(p, home, szData, func() { s.queueWriteback(p, block, data) })
+		s.sendWriteback(p, block, old.Data[:])
 	} else {
-		s.send(p, home, szControl, func() { s.homeRelinquish(p, block) })
+		s.sendNote(p, block, true /* relinquish */)
 	}
 	done()
 }
@@ -94,67 +218,17 @@ func (s *System) homeRelinquish(p int, block uint32) {
 	s.homeDropSharer(p, block)
 }
 
-// homeRead serializes a read request through the block's directory entry.
-func (s *System) homeRead(p int, block uint32, word int, done func(uint32)) {
-	d := s.entry(block)
-	s.whenFree(d, func() { s.homeReadLocked(p, block, word, done) })
-}
-
-// homeReadLocked services a read at the home once the entry is free.
-func (s *System) homeReadLocked(p int, block uint32, word int, done func(uint32)) {
-	d := s.entry(block)
-	home := s.HomeOf(block)
-	switch d.state {
-	case dirUncached, dirShared:
-		d.busy = true
-		s.mems[home].ReadBlock(block, func(data []uint32) {
-			d.state = dirShared
-			d.add(p)
-			// Book the reply before releasing: a queued invalidating
-			// transaction must not reach the requester first (mesh FIFO).
-			s.send(home, p, szData, func() { s.finishRead(p, block, word, data, done) })
-			s.release(d)
-		})
-	case dirOwned:
-		d.busy = true
-		owner := d.owner
-		s.send(home, owner, szControl, func() {
-			data := s.takeOwnerData(owner, block, true /* demote to shared */)
-			s.send(owner, home, szData, func() {
-				s.mems[home].WriteBlock(block, data, func() {
-					d.state = dirShared
-					d.sharers = 0
-					if s.caches[owner].Present(block) {
-						d.add(owner)
-					}
-					d.add(p)
-					s.send(home, p, szData, func() { s.finishRead(p, block, word, data, done) })
-					s.release(d)
-				})
-			})
-		})
-	}
-}
-
-// finishRead installs the fetched block at the requester and delivers the
-// value.
-func (s *System) finishRead(p int, block uint32, word int, data []uint32, done func(uint32)) {
-	ln := s.install(p, block, data, cache.Shared)
-	ln.Counter = 0
-	s.cl.Reference(p, block, word)
-	done(ln.Data[word])
-}
-
 // takeOwnerData extracts the current data for block from the owning node:
 // its live cache line, or — if the line was just evicted/flushed and the
 // write-back is still in flight — the pending write-back buffer, in which
 // case the in-flight write-back is cancelled (the caller is about to
 // refresh memory itself). When demote is true a live line is downgraded
 // to Shared; when false it is invalidated (write-invalidate ownership
-// transfer).
+// transfer). The returned slice is a borrowed frame the caller's
+// transaction must release once consumed.
 func (s *System) takeOwnerData(owner int, block uint32, demote bool) []uint32 {
 	if ln := s.caches[owner].Lookup(block); ln != nil {
-		data := make([]uint32, len(ln.Data))
+		data := s.store.BorrowFrame()
 		copy(data, ln.Data[:])
 		if demote {
 			ln.State = cache.Shared
@@ -167,9 +241,11 @@ func (s *System) takeOwnerData(owner int, block uint32, demote bool) []uint32 {
 	}
 	if data, ok := s.procs[owner].pendingWB[block]; ok {
 		// Supersede the in-flight write-back: we are servicing it now.
+		// The pending frame stays with the in-flight wbMsg, which will
+		// release it on (discarded) arrival; copy into a fresh frame.
 		delete(s.procs[owner].pendingWB, block)
 		s.procs[owner].cancelledWB[block]++
-		out := make([]uint32, len(data))
+		out := s.store.BorrowFrame()
 		copy(out, data)
 		return out
 	}

@@ -39,12 +39,14 @@ func (s *System) CheckCoherence() []error {
 	for _, c := range s.caches {
 		c.ForEachValid(func(ln *cache.Line) { blocks[ln.Block] = true })
 	}
-	for b := range s.dir {
-		blocks[b] = true
+	for b, d := range s.dir {
+		if d != nil {
+			blocks[uint32(b)] = true
+		}
 	}
 
 	for b := range blocks {
-		d := s.dir[b]
+		d := s.dirEntryAt(b)
 		home := s.HomeOf(b)
 		memData := s.mems[home].Block(b)
 

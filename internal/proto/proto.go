@@ -204,12 +204,18 @@ type procState struct {
 type System struct {
 	e      *sim.Engine
 	nw     *mesh.Network
+	store  *mem.Store // block arena + payload frame free list, shared by all modules
 	mems   []*mem.Module
 	caches []*cache.Cache
 	procs  []procState
-	dir    map[uint32]*dirEntry
-	cl     *classify.Classifier
-	cfg    Config
+	// dir is the full-map directory, indexed by block number. The
+	// simulated address space is dense (the machine allocator hands out
+	// blocks contiguously from 0), so a grow-on-demand slice replaces the
+	// former map. Entries are pointers: transactions capture *dirEntry
+	// across asynchronous hops, so growth must never move an entry.
+	dir []*dirEntry
+	cl  *classify.Classifier
+	cfg Config
 
 	ctr Counters
 
@@ -220,12 +226,25 @@ type System struct {
 	// sharerScratch backs sharerList so enumerating a directory entry's
 	// sharers does not allocate; see sharerList for the aliasing rule.
 	sharerScratch [64]int
-	// updFree recycles update-delivery messages (see updMsg), wrFree
-	// write-through transactions (see wrMsg), txFree finished
-	// write/atomic completion trackers (see newUpdTx).
-	updFree *updMsg
-	wrFree  *wrMsg
-	txFree  *updTx
+	// flushScratch backs FlushAll's block enumeration.
+	flushScratch []uint32
+
+	// Free lists of pooled transaction/message objects. Each object
+	// carries its stage continuations built once for its lifetime, so the
+	// steady-state protocol paths allocate nothing: updMsg update
+	// deliveries, wrMsg write-throughs, updTx completion trackers, rdMsg
+	// read misses, atMsg update-protocol atomics, wiOp WI ownership
+	// acquisitions, invMsg WI invalidations, noteMsg drop/replacement/
+	// relinquish notices, wbMsg dirty write-backs.
+	updFree  *updMsg
+	wrFree   *wrMsg
+	txFree   *updTx
+	rdFree   *readMsg
+	atFree   *atomMsg
+	wiFree   *wiOp
+	invFree  *invMsg
+	noteFree *noteMsg
+	wbFree   *wbMsg
 }
 
 // sharerList returns the sharers of d other than except, in ascending
@@ -253,29 +272,83 @@ func NewSystem(e *sim.Engine, n int, cfg Config, cl *classify.Classifier) *Syste
 	s := &System{
 		e:      e,
 		nw:     mesh.New(e, n, cfg.Mesh),
+		store:  mem.NewStore(cfg.Mem.WordsBlock),
 		mems:   make([]*mem.Module, n),
 		caches: make([]*cache.Cache, n),
 		procs:  make([]procState, n),
-		dir:    make(map[uint32]*dirEntry),
 		cl:     cl,
 		cfg:    cfg,
 	}
 	for i := 0; i < n; i++ {
-		s.mems[i] = mem.NewModule(e, i, cfg.Mem)
+		s.mems[i] = mem.NewModuleWithStore(e, i, cfg.Mem, s.store)
 		s.caches[i] = cache.New(i, cfg.CacheBytes)
 		s.procs[i].pendingWB = make(map[uint32][]uint32)
 		s.procs[i].cancelledWB = make(map[uint32]int)
 	}
-	if reg := cfg.Metrics; reg != nil {
-		s.mUpdFan = reg.Histogram("fanout.update")
-		s.mInvFan = reg.Histogram("fanout.invalidate")
-		s.nw.Instrument(reg.Counter("net.msgs"), reg.Counter("net.flits"))
-		hits, misses := reg.Counter("cache.hits"), reg.Counter("cache.misses")
-		for i := 0; i < n; i++ {
-			s.caches[i].Instrument(hits, misses, e.Now)
-		}
-	}
+	s.instrument()
 	return s
+}
+
+// instrument attaches observability handles per the current config.
+func (s *System) instrument() {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	s.mUpdFan = reg.Histogram("fanout.update")
+	s.mInvFan = reg.Histogram("fanout.invalidate")
+	s.nw.Instrument(reg.Counter("net.msgs"), reg.Counter("net.flits"))
+	hits, misses := reg.Counter("cache.hits"), reg.Counter("cache.misses")
+	for i := range s.caches {
+		s.caches[i].Instrument(hits, misses, s.e.Now)
+	}
+}
+
+// Reset returns the system to its post-NewSystem state under cfg, so the
+// machine layer can reuse a fully constructed system across runs. The
+// node count, cache geometry, and memory block size are fixed at
+// construction (machine.Reset gates on them); protocol selection,
+// thresholds, and observability may change freely between runs.
+func (s *System) Reset(cfg Config) {
+	if cfg.HomeOf == nil {
+		panic("proto: Config.HomeOf is required")
+	}
+	s.cfg = cfg
+	s.ctr = Counters{}
+	for _, d := range s.dir {
+		if d == nil {
+			continue
+		}
+		d.state = dirUncached
+		d.owner = 0
+		d.sharers = 0
+		d.busy = false
+		for i := range d.waitq {
+			d.waitq[i] = nil
+		}
+		d.waitq = d.waitq[:0]
+	}
+	for i := range s.procs {
+		ps := &s.procs[i]
+		ps.outstanding = 0
+		ps.drainWaiters = nil
+		// Frame release order follows map order, which is fine: frames
+		// are interchangeable scratch buffers never read before being
+		// fully overwritten, so free-list order cannot affect behaviour.
+		for b, data := range ps.pendingWB {
+			s.store.ReleaseFrame(data)
+			delete(ps.pendingWB, b)
+		}
+		clear(ps.cancelledWB)
+	}
+	s.store.Reset()
+	for i := range s.caches {
+		s.mems[i].Reset()
+		s.caches[i].Reset()
+	}
+	s.nw.Reset()
+	s.mUpdFan, s.mInvFan = nil, nil
+	s.instrument()
 }
 
 // Nodes returns the node count.
@@ -302,12 +375,25 @@ func (s *System) HomeOf(block uint32) int { return s.cfg.HomeOf(block) }
 
 // entry returns (creating if needed) the directory entry for block.
 func (s *System) entry(block uint32) *dirEntry {
-	d, ok := s.dir[block]
-	if !ok {
+	if int(block) >= len(s.dir) {
+		grown := make([]*dirEntry, int(block)+64)
+		copy(grown, s.dir)
+		s.dir = grown
+	}
+	d := s.dir[block]
+	if d == nil {
 		d = &dirEntry{}
 		s.dir[block] = d
 	}
 	return d
+}
+
+// dirEntryAt returns the directory entry for block without creating one.
+func (s *System) dirEntryAt(block uint32) *dirEntry {
+	if int(block) < len(s.dir) {
+		return s.dir[block]
+	}
+	return nil
 }
 
 // whenFree runs fn when the directory entry is not busy, queueing it
@@ -395,31 +481,65 @@ func (s *System) install(p int, block uint32, data []uint32, st cache.State) *ca
 // path), or a replacement hint keeping the directory exact.
 func (s *System) evictVictim(p int, v cache.Line) {
 	s.cl.LostCopy(p, v.Block, classify.LossEviction)
-	home := s.HomeOf(v.Block)
 	if v.Dirty || v.State == cache.Exclusive {
-		s.ctr.Writebacks++
-		data := make([]uint32, len(v.Data))
-		copy(data, v.Data[:])
-		s.procs[p].pendingWB[v.Block] = data
-		block := v.Block
-		s.send(p, home, szData, func() { s.queueWriteback(p, block, data) })
+		s.sendWriteback(p, v.Block, v.Data[:])
 		return
 	}
 	// Clean copy: replacement hint so homes stop updating/invalidating us.
-	block := v.Block
-	s.send(p, home, szControl, func() { s.homeDropSharer(p, block) })
+	s.sendNote(p, v.Block, false)
 }
 
-// queueWriteback serializes write-back processing behind any in-flight
-// transaction for the block: a fetch already on its way to the evicting
-// node must find (and cancel) the pending write-back buffer before the
-// home consumes the write-back message.
-func (s *System) queueWriteback(p int, block uint32, data []uint32) {
-	d := s.entry(block)
-	s.whenFree(d, func() { s.homeWriteback(p, block, data) })
+// sendWriteback books a dirty/owned line's data into a pending
+// write-back buffer (a borrowed frame, so forwarded requests can still
+// be served while the message is in flight) and sends it home.
+func (s *System) sendWriteback(p int, block uint32, src []uint32) {
+	s.ctr.Writebacks++
+	data := s.store.BorrowFrame()
+	copy(data, src)
+	s.procs[p].pendingWB[block] = data
+	m := s.wbFree
+	if m == nil {
+		m = &wbMsg{s: s}
+		m.arriveFn = m.arrive
+		m.lockedFn = m.locked
+	} else {
+		s.wbFree = m.next
+		m.next = nil
+	}
+	m.p, m.block, m.data = p, block, data
+	s.send(p, s.HomeOf(block), szData, m.arriveFn)
 }
 
-// homeWriteback applies dirty evicted/flushed data at the home.
+// wbMsg carries one dirty write-back home. Processing serializes behind
+// any in-flight transaction for the block: a fetch already on its way to
+// the evicting node must find (and cancel) the pending write-back buffer
+// before the home consumes the write-back message. The frame is released
+// when the home has consumed (or discarded) the data.
+type wbMsg struct {
+	s        *System
+	p        int
+	block    uint32
+	data     []uint32 // borrowed frame, also registered in pendingWB
+	next     *wbMsg
+	arriveFn func() // delivery at the home: serialize on the entry
+	lockedFn func() // entry free: apply or discard
+}
+
+func (m *wbMsg) arrive() {
+	m.s.whenFree(m.s.entry(m.block), m.lockedFn)
+}
+
+func (m *wbMsg) locked() {
+	s, p, block, data := m.s, m.p, m.block, m.data
+	m.data = nil
+	m.next = s.wbFree
+	s.wbFree = m
+	s.homeWriteback(p, block, data)
+	s.store.ReleaseFrame(data)
+}
+
+// homeWriteback applies dirty evicted/flushed data at the home. The data
+// slice is consumed before returning; the caller owns (and releases) it.
 func (s *System) homeWriteback(p int, block uint32, data []uint32) {
 	if n := s.procs[p].cancelledWB[block]; n > 0 {
 		// A forwarded request already consumed this write-back.
@@ -444,6 +564,42 @@ func (s *System) homeWriteback(p int, block uint32, data []uint32) {
 	}
 }
 
+// sendNote sends a pooled control notice home: a replacement hint / CU
+// drop notice (relinquish false) or a clean-flush relinquish.
+func (s *System) sendNote(p int, block uint32, relinquish bool) {
+	m := s.noteFree
+	if m == nil {
+		m = &noteMsg{s: s}
+		m.fn = m.deliver
+	} else {
+		s.noteFree = m.next
+		m.next = nil
+	}
+	m.p, m.block, m.relinquish = p, block, relinquish
+	s.send(p, s.HomeOf(block), szControl, m.fn)
+}
+
+// noteMsg is a pooled sharer-set maintenance notice.
+type noteMsg struct {
+	s          *System
+	p          int
+	block      uint32
+	relinquish bool
+	next       *noteMsg
+	fn         func()
+}
+
+func (m *noteMsg) deliver() {
+	s, p, block, relinquish := m.s, m.p, m.block, m.relinquish
+	m.next = s.noteFree
+	s.noteFree = m
+	if relinquish {
+		s.homeRelinquish(p, block)
+		return
+	}
+	s.homeDropSharer(p, block)
+}
+
 // homeDropSharer removes p from a block's sharer set (replacement hint or
 // CU drop notice).
 func (s *System) homeDropSharer(p int, block uint32) {
@@ -454,29 +610,12 @@ func (s *System) homeDropSharer(p int, block uint32) {
 	}
 }
 
-// ownerData fetches block data from node p's cache or its pending
-// write-back buffer. ok is false if neither holds the block (a protocol
-// invariant violation for callers that expect ownership).
-func (s *System) ownerData(p int, block uint32) (data []uint32, ok bool) {
-	if ln := s.caches[p].Lookup(block); ln != nil {
-		d := make([]uint32, len(ln.Data))
-		copy(d, ln.Data[:])
-		return d, true
-	}
-	if d, okWB := s.procs[p].pendingWB[block]; okWB {
-		out := make([]uint32, len(d))
-		copy(out, d)
-		return out, true
-	}
-	return nil, false
-}
-
 // FlushAll silently empties p's cache and fixes the directory, modeling
 // the paper's fork-time flush of the parent's cache. It is untimed and
 // generates no traffic; call it only before the timed region.
 func (s *System) FlushAll(p int) {
 	c := s.caches[p]
-	var blocks []uint32
+	blocks := s.flushScratch[:0]
 	c.ForEachValid(func(ln *cache.Line) { blocks = append(blocks, ln.Block) })
 	for _, b := range blocks {
 		old, _ := c.Flush(b)
@@ -494,4 +633,5 @@ func (s *System) FlushAll(p int) {
 			}
 		}
 	}
+	s.flushScratch = blocks[:0]
 }

@@ -90,61 +90,26 @@ func (t *updTx) check() {
 func (s *System) updWrite(p int, a cache.Addr, v uint32, retire func()) {
 	block, word := cache.BlockOf(a), cache.WordOf(a)
 	c := s.caches[p]
+	m := s.newWrMsg(p, block, word, v, retire)
 	if c.Lookup(block) == nil {
 		c.CountMiss()
 		s.cl.Miss(p, block, word)
 		s.ctr.WriteMisses++
-		home := s.HomeOf(block)
-		s.send(p, home, szControl, func() {
-			s.homeRead(p, block, word, func(uint32) {
-				s.updWriteLocal(p, block, word, v, retire)
-			})
-		})
+		s.send(p, s.HomeOf(block), szControl, m.missFn)
 		return
 	}
 	c.CountHit()
-	s.updWriteLocal(p, block, word, v, retire)
-}
-
-// updWriteLocal issues the write-through for a store whose block is (or
-// was, before a racing drop) cached locally.
-//
-// The writer's own cached copy is NOT updated here: the home serializes
-// all writes to the block, and a racing write by another node may be
-// ordered after this one — its update message would then overwrite the
-// newer value in this cache. Instead the home's reply (which travels the
-// same FIFO home-to-writer channel as other writers' update messages,
-// and therefore arrives in serialization order) applies the value; until
-// the write-buffer entry retires on that reply, the processor's own
-// loads are satisfied by write-buffer forwarding.
-func (s *System) updWriteLocal(p int, block uint32, word int, v uint32, retire func()) {
-	c := s.caches[p]
-	s.cl.Reference(p, block, word)
-	if ln := c.Lookup(block); ln != nil {
-		ln.Counter = 0
-		if ln.State == cache.Exclusive {
-			// Retained-private block (PU): the write is entirely local.
-			ln.Data[word] = v
-			ln.Dirty = true
-			s.cl.GlobalWrite(p, block, word)
-			c.FireWatchers(block)
-			retire()
-			return
-		}
-	}
-	s.ctr.WriteThrough++
-	tx := newUpdTx(s, p)
-	home := s.HomeOf(block)
-	s.send(p, home, szWord, s.newWrMsg(p, block, word, v, tx, retire).reqFn)
+	m.local()
 }
 
 // wrMsg carries one write-through transaction along its fixed message
-// chain — request to the home, directory serialization, memory write,
-// reply to the writer — with the stage continuations built once per
-// pooled object, so the per-write closure chain does not allocate in
-// steady state. The object is recycled when the reply retires the
-// write; its fields are copied out (and references cleared) first, so
-// writes triggered from within the reply handler may reuse it.
+// chain — optional write-allocate fetch, request to the home, directory
+// serialization, memory write, reply to the writer — with the stage
+// continuations built once per pooled object, so the per-write closure
+// chain does not allocate in steady state. The object is recycled when
+// the write completes locally (retention) or when the reply retires it;
+// its fields are copied out (and references cleared) first, so writes
+// triggered from within the completion handler may reuse it.
 type wrMsg struct {
 	s        *System
 	p        int
@@ -155,15 +120,19 @@ type wrMsg struct {
 	tx       *updTx
 	retire   func()
 	next     *wrMsg
-	reqFn    func() // req: serialize at the home directory
-	wroteFn  func() // wrote: memory write done, multicast + reply
-	replyFn  func() // reply: apply at writer, retire
+	missFn   func()       // miss: fetch the block shared, then continue locally
+	fetchFn  func(uint32) // write-allocate fetch delivered
+	reqFn    func()       // req: serialize at the home directory
+	wroteFn  func()       // wrote: memory write done, multicast + reply
+	replyFn  func()       // reply: apply at writer, retire
 }
 
-func (s *System) newWrMsg(p int, block uint32, word int, v uint32, tx *updTx, retire func()) *wrMsg {
+func (s *System) newWrMsg(p int, block uint32, word int, v uint32, retire func()) *wrMsg {
 	m := s.wrFree
 	if m == nil {
 		m = &wrMsg{s: s}
+		m.missFn = m.miss
+		m.fetchFn = func(uint32) { m.local() }
 		m.reqFn = m.req
 		m.wroteFn = m.wrote
 		m.replyFn = m.reply
@@ -171,8 +140,56 @@ func (s *System) newWrMsg(p int, block uint32, word int, v uint32, tx *updTx, re
 		s.wrFree = m.next
 		m.next = nil
 	}
-	m.p, m.block, m.word, m.v, m.tx, m.retire = p, block, word, v, tx, retire
+	m.p, m.block, m.word, m.v, m.retire = p, block, word, v, retire
 	return m
+}
+
+func (m *wrMsg) recycle() {
+	m.tx, m.retire = nil, nil
+	m.next = m.s.wrFree
+	m.s.wrFree = m
+}
+
+// miss runs at the home for a write-allocate miss: fetch the block
+// shared first; the delivered value re-enters the local write-through
+// path at the writer.
+func (m *wrMsg) miss() {
+	m.s.homeRead(m.p, m.block, m.word, m.fetchFn)
+}
+
+// local issues the write-through for a store whose block is (or was,
+// before a racing drop) cached locally.
+//
+// The writer's own cached copy is NOT updated here: the home serializes
+// all writes to the block, and a racing write by another node may be
+// ordered after this one — its update message would then overwrite the
+// newer value in this cache. Instead the home's reply (which travels the
+// same FIFO home-to-writer channel as other writers' update messages,
+// and therefore arrives in serialization order) applies the value; until
+// the write-buffer entry retires on that reply, the processor's own
+// loads are satisfied by write-buffer forwarding.
+func (m *wrMsg) local() {
+	s := m.s
+	p, block, word, v := m.p, m.block, m.word, m.v
+	c := s.caches[p]
+	s.cl.Reference(p, block, word)
+	if ln := c.Lookup(block); ln != nil {
+		ln.Counter = 0
+		if ln.State == cache.Exclusive {
+			// Retained-private block (PU): the write is entirely local.
+			retire := m.retire
+			m.recycle()
+			ln.Data[word] = v
+			ln.Dirty = true
+			s.cl.GlobalWrite(p, block, word)
+			c.FireWatchers(block)
+			retire()
+			return
+		}
+	}
+	s.ctr.WriteThrough++
+	m.tx = newUpdTx(s, p)
+	s.send(p, s.HomeOf(block), szWord, m.reqFn)
 }
 
 // req serializes the write-through at the directory: it waits out a
@@ -194,6 +211,8 @@ func (m *wrMsg) req() {
 
 // demoteOwner fetches a retained-private block back from its owner,
 // refreshes memory, downgrades the owner to Shared, and then continues.
+// This path is rare (another node touching a retained block); it keeps
+// plain closures rather than a pooled object.
 func (s *System) demoteOwner(d *dirEntry, block uint32, then func()) {
 	d.busy = true
 	home := s.HomeOf(block)
@@ -213,6 +232,8 @@ func (s *System) demoteOwner(d *dirEntry, block uint32, then func()) {
 				s.release(d)
 				then()
 			})
+			// WriteBlock consumed the data at call time.
+			s.store.ReleaseFrame(data)
 		})
 	})
 }
@@ -265,12 +286,10 @@ func (m *wrMsg) reply() {
 	s := m.s
 	p, block, word, v := m.p, m.block, m.word, m.v
 	tx, retire, expected := m.tx, m.retire, m.expected
-	m.tx, m.retire = nil, nil
-	m.next = s.wrFree
-	s.wrFree = m
-	// Apply the serialized value to the writer's own copy (see
-	// updWriteLocal: the reply is FIFO-ordered with other writers'
-	// update messages on the home-to-writer channel).
+	m.recycle()
+	// Apply the serialized value to the writer's own copy (see local:
+	// the reply is FIFO-ordered with other writers' update messages on
+	// the home-to-writer channel).
 	if ln := s.caches[p].Lookup(block); ln != nil && ln.State != cache.Exclusive {
 		ln.Data[word] = v
 		s.caches[p].FireWatchers(block)
@@ -312,8 +331,7 @@ func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer i
 			s.cl.LostCopy(q, block, classify.LossDrop)
 			c.Invalidate(block) // wakes spinners, who will re-miss (drop miss)
 			s.ctr.DropNotices++
-			home := s.HomeOf(block)
-			s.send(q, home, szControl, func() { s.homeDropSharer(q, block) })
+			s.sendNote(q, block, false /* drop notice */)
 			s.sendAck(q, tx)
 			return
 		}
@@ -384,68 +402,125 @@ func (s *System) updAtomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32
 	} else {
 		c.CountHit()
 	}
-	tx := newUpdTx(s, p)
-	home := s.HomeOf(block)
-	s.send(p, home, szWord, func() { s.homeAtomic(p, block, word, kind, op1, op2, needData, tx, done) })
+	m := s.newAtomMsg(p, block, word)
+	m.kind, m.op1, m.op2 = kind, op1, op2
+	m.needData = needData
+	m.tx = newUpdTx(s, p)
+	m.done = done
+	s.send(p, s.HomeOf(block), szWord, m.homeFn)
 }
 
-// homeAtomic serializes an atomic at the directory, demoting a private
-// owner first.
-func (s *System) homeAtomic(p int, block uint32, word int, kind AtomicKind, op1, op2 uint32, needData bool, tx *updTx, done func(old uint32)) {
-	d := s.entry(block)
-	s.whenFree(d, func() {
-		if d.state == dirOwned {
-			s.demoteOwner(d, block, func() {
-				s.homeAtomic(p, block, word, kind, op1, op2, needData, tx, done)
-			})
-			return
-		}
-		s.homeAtomicReady(p, block, word, kind, op1, op2, needData, tx, done)
-	})
+// atomMsg carries one update-protocol atomic along its message chain —
+// request to the home, directory serialization (demoting a private owner
+// first), the read-modify-write at memory, update multicast, reply to
+// the requester — with stage continuations built once per pooled object.
+// A block payload for a new sharer travels in a borrowed frame.
+type atomMsg struct {
+	s        *System
+	p        int
+	word     int
+	expected int
+	block    uint32
+	op1, op2 uint32
+	old      uint32
+	newV     uint32
+	kind     AtomicKind
+	needData bool
+	data     []uint32 // borrowed frame (new-sharer reply), released at reply
+	tx       *updTx
+	done     func(uint32)
+	next     *atomMsg
+
+	homeFn  func()              // serialize at the directory; also the post-demote re-entry
+	lockFn  func()              // entry free: demote owner or execute
+	opFn    func(uint32) uint32 // the read-modify-write function
+	wroteFn func()              // memory op complete: multicast + reply
+	replyFn func()              // at the requester: install/apply, finish
 }
 
-// homeAtomicReady performs the read-modify-write in the memory module,
-// multicasts the new value to the other sharers, and replies to the
-// requester (with the whole block when it is a new sharer).
-func (s *System) homeAtomicReady(p int, block uint32, word int, kind AtomicKind, op1, op2 uint32, needData bool, tx *updTx, done func(old uint32)) {
-	d := s.entry(block)
-	home := s.HomeOf(block)
-	s.mems[home].Atomic(block, word, func(old uint32) uint32 {
-		return kind.apply(old, op1, op2)
-	}, func(old, newV uint32) {
-		s.cl.GlobalWrite(p, block, word)
-		others := s.sharerList(d, p)
-		s.mUpdFan.Observe(uint64(len(others)))
-		for _, q := range others {
-			s.ctr.UpdatesSent++
-			s.send(home, q, szWord, s.newUpdMsg(q, block, word, newV, p, tx).fn)
+func (s *System) newAtomMsg(p int, block uint32, word int) *atomMsg {
+	m := s.atFree
+	if m == nil {
+		m = &atomMsg{s: s}
+		m.homeFn = m.home
+		m.lockFn = m.locked
+		m.opFn = func(old uint32) uint32 { return m.kind.apply(old, m.op1, m.op2) }
+		m.wroteFn = m.wrote
+		m.replyFn = m.reply
+	} else {
+		s.atFree = m.next
+		m.next = nil
+	}
+	m.p, m.block, m.word = p, block, word
+	return m
+}
+
+// home serializes the atomic at the directory.
+func (m *atomMsg) home() {
+	m.s.whenFree(m.s.entry(m.block), m.lockFn)
+}
+
+// locked demotes a private owner (re-entering home afterwards, which
+// re-examines all state) or executes the operation.
+func (m *atomMsg) locked() {
+	s := m.s
+	d := s.entry(m.block)
+	if d.state == dirOwned {
+		s.demoteOwner(d, m.block, m.homeFn)
+		return
+	}
+	m.old, m.newV = s.mems[s.HomeOf(m.block)].AtomicOp(m.block, m.word, m.opFn, m.wroteFn)
+}
+
+// wrote runs once memory has performed the read-modify-write: multicast
+// the new value to the other sharers and reply to the requester (with
+// the whole block when it is a new sharer).
+func (m *atomMsg) wrote() {
+	s := m.s
+	d := s.entry(m.block)
+	home := s.HomeOf(m.block)
+	s.cl.GlobalWrite(m.p, m.block, m.word)
+	others := s.sharerList(d, m.p)
+	s.mUpdFan.Observe(uint64(len(others)))
+	for _, q := range others {
+		s.ctr.UpdatesSent++
+		s.send(home, q, szWord, s.newUpdMsg(q, m.block, m.word, m.newV, m.p, m.tx).fn)
+	}
+	m.expected = len(others)
+	size := szWord
+	if m.needData {
+		// The requester becomes a sharer; the reply carries the block.
+		m.data = s.store.BorrowFrame()
+		copy(m.data, s.mems[home].Block(m.block))
+		d.add(m.p)
+		if d.state == dirUncached {
+			d.state = dirShared
 		}
-		expected := len(others)
-		var data []uint32
-		size := szWord
-		if needData {
-			// The requester becomes a sharer; the reply carries the block.
-			stored := s.mems[home].Block(block)
-			data = make([]uint32, len(stored))
-			copy(data, stored)
-			d.add(p)
-			if d.state == dirUncached {
-				d.state = dirShared
-			}
-			size = szData
-		}
-		s.send(home, p, size, func() {
-			if data != nil {
-				s.install(p, block, data, cache.Shared)
-			}
-			if ln := s.caches[p].Lookup(block); ln != nil {
-				ln.Data[word] = newV
-				ln.Counter = 0
-				s.caches[p].FireWatchers(block)
-			}
-			s.cl.Reference(p, block, word)
-			tx.reply(expected)
-			done(old)
-		})
-	})
+		size = szData
+	}
+	s.send(home, m.p, size, m.replyFn)
+}
+
+// reply runs at the requester: install the block if it was fetched,
+// apply the new value to the cached copy, and finish the transaction.
+// The message recycles before the callbacks run (fields copied first).
+func (m *atomMsg) reply() {
+	s := m.s
+	p, block, word, newV, old := m.p, m.block, m.word, m.newV, m.old
+	data, tx, done, expected := m.data, m.tx, m.done, m.expected
+	m.data, m.tx, m.done = nil, nil, nil
+	m.next = s.atFree
+	s.atFree = m
+	if data != nil {
+		s.install(p, block, data, cache.Shared)
+		s.store.ReleaseFrame(data)
+	}
+	if ln := s.caches[p].Lookup(block); ln != nil {
+		ln.Data[word] = newV
+		ln.Counter = 0
+		s.caches[p].FireWatchers(block)
+	}
+	s.cl.Reference(p, block, word)
+	tx.reply(expected)
+	done(old)
 }

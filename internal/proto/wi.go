@@ -16,25 +16,122 @@ import (
 // and collecting acknowledgements before granting ownership. The write
 // retires when the grant arrives, at which point all invalidations have
 // been acknowledged, so WI writes never leave residual outstanding state.
+//
+// Each acquisition runs as one pooled wiOp object carrying its stage
+// continuations, built once per object, so the per-write transaction
+// chain does not allocate in steady state. Invalidation deliveries are
+// separate pooled invMsg objects (several are in flight per wiOp).
+
+// wiOp is one exclusive-copy acquisition (store or atomic) under WI.
+type wiOp struct {
+	s        *System
+	p        int
+	word     int
+	owner    int
+	pending  int // invalidation acks still outstanding
+	block    uint32
+	v        uint32 // store value
+	op1, op2 uint32 // atomic operands
+	kind     AtomicKind
+	isAtomic bool
+	needData bool
+	haveData bool
+	data     []uint32     // borrowed frame (fetched block), released at grant
+	retire   func()       // store completion
+	done     func(uint32) // atomic completion
+	next     *wiOp
+
+	homeFn       func() // at the home: serialize on the directory entry
+	lockedFn     func() // entry free: fetch/invalidate per directory state
+	fetchedFn    func() // memory read complete
+	ackFn        func() // one invalidation acknowledged
+	ownerFetchFn func() // at the old owner: extract data, forward home
+	ownerBackFn  func() // data back at the home: refresh memory
+	ownerWroteFn func() // memory refreshed: grant
+	grantFn      func() // at the requester: take ownership, perform
+}
+
+func (s *System) newWiOp(p int, block uint32, word int) *wiOp {
+	op := s.wiFree
+	if op == nil {
+		op = &wiOp{s: s}
+		op.homeFn = op.home
+		op.lockedFn = op.locked
+		op.fetchedFn = op.fetched
+		op.ackFn = op.ack
+		op.ownerFetchFn = op.ownerFetch
+		op.ownerBackFn = op.ownerBack
+		op.ownerWroteFn = op.ownerWrote
+		op.grantFn = op.granted
+	} else {
+		s.wiFree = op.next
+		op.next = nil
+	}
+	op.p, op.block, op.word = p, block, word
+	op.pending = 0
+	op.needData, op.haveData = false, false
+	op.isAtomic = false
+	return op
+}
+
+func (op *wiOp) recycle() {
+	op.retire, op.done, op.data = nil, nil, nil
+	op.next = op.s.wiFree
+	op.s.wiFree = op
+}
 
 // wiWrite drains one write-buffer entry under WI.
 func (s *System) wiWrite(p int, a cache.Addr, v uint32, retire func()) {
-	block, word := cache.BlockOf(a), cache.WordOf(a)
-	s.wiAcquire(p, block, word, func(ln *cache.Line) {
-		ln.Data[word] = v
-		ln.Dirty = true
-		s.cl.Reference(p, block, word)
-		s.cl.GlobalWrite(p, block, word)
-		s.caches[p].FireWatchers(block)
-		retire()
-	})
+	op := s.newWiOp(p, cache.BlockOf(a), cache.WordOf(a))
+	op.v = v
+	op.retire = retire
+	op.start()
 }
 
 // wiAtomic executes an atomic op in the cache controller on an exclusive
 // copy.
 func (s *System) wiAtomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32, done func(old uint32)) {
-	block, word := cache.BlockOf(a), cache.WordOf(a)
-	s.wiAcquire(p, block, word, func(ln *cache.Line) {
+	op := s.newWiOp(p, cache.BlockOf(a), cache.WordOf(a))
+	op.isAtomic = true
+	op.kind, op.op1, op.op2 = kind, op1, op2
+	op.done = done
+	op.start()
+}
+
+// start obtains an exclusive copy of the block in p's cache, classifying
+// the access (hit, upgrade, or write miss) as a side effect, and performs
+// the deferred store/atomic once ownership is held. Retried grants
+// re-enter here.
+func (op *wiOp) start() {
+	s := op.s
+	c := s.caches[op.p]
+	if ln := c.Lookup(op.block); ln != nil {
+		if ln.State == cache.Exclusive {
+			c.CountHit()
+			op.perform(ln)
+			return
+		}
+		// Shared copy: exclusive-request (upgrade) transaction.
+		c.CountHit()
+		s.cl.Upgrade(op.p)
+		s.ctr.Upgrades++
+	} else {
+		c.CountMiss()
+		s.cl.Miss(op.p, op.block, op.word)
+		s.ctr.WriteMisses++
+	}
+	s.send(op.p, s.HomeOf(op.block), szControl, op.homeFn)
+}
+
+// perform runs the deferred store or atomic on the now-exclusive line.
+// The op recycles before the completion callback runs (and before
+// watchers fire, which can resume other processors that issue new
+// operations), its fields copied to locals first.
+func (op *wiOp) perform(ln *cache.Line) {
+	s, p, block, word := op.s, op.p, op.block, op.word
+	if op.isAtomic {
+		kind, op1, op2, done := op.kind, op.op1, op.op2, op.done
+		op.recycle()
 		old := ln.Data[word]
 		ln.Data[word] = kind.apply(old, op1, op2)
 		ln.Dirty = true
@@ -42,138 +139,184 @@ func (s *System) wiAtomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32,
 		s.cl.GlobalWrite(p, block, word)
 		s.caches[p].FireWatchers(block)
 		done(old)
-	})
-}
-
-// wiAcquire obtains an exclusive copy of block in p's cache and calls
-// perform with the line. It classifies the access (hit, upgrade, or
-// write miss) as a side effect.
-func (s *System) wiAcquire(p int, block uint32, word int, perform func(*cache.Line)) {
-	c := s.caches[p]
-	if ln := c.Lookup(block); ln != nil {
-		if ln.State == cache.Exclusive {
-			c.CountHit()
-			perform(ln)
-			return
-		}
-		// Shared copy: exclusive-request (upgrade) transaction.
-		c.CountHit()
-		s.cl.Upgrade(p)
-		s.ctr.Upgrades++
-	} else {
-		c.CountMiss()
-		s.cl.Miss(p, block, word)
-		s.ctr.WriteMisses++
+		return
 	}
-	home := s.HomeOf(block)
-	s.send(p, home, szControl, func() { s.wiHomeAcquire(p, block, word, perform) })
+	v, retire := op.v, op.retire
+	op.recycle()
+	ln.Data[word] = v
+	ln.Dirty = true
+	s.cl.Reference(p, block, word)
+	s.cl.GlobalWrite(p, block, word)
+	s.caches[p].FireWatchers(block)
+	retire()
 }
 
-// wiHomeAcquire serializes an ownership request through the directory.
-func (s *System) wiHomeAcquire(p int, block uint32, word int, perform func(*cache.Line)) {
-	d := s.entry(block)
-	s.whenFree(d, func() { s.wiHomeAcquireLocked(p, block, word, perform) })
+// home serializes the ownership request through the directory.
+func (op *wiOp) home() {
+	op.s.whenFree(op.s.entry(op.block), op.lockedFn)
 }
 
-// wiHomeAcquireLocked services an ownership request once the entry is
-// free. Exactly one of three cases applies: no other copies (fetch from
-// memory), shared copies (invalidate them, collecting acks at the home),
-// or a dirty owner (fetch-and-invalidate the owner).
-func (s *System) wiHomeAcquireLocked(p int, block uint32, word int, perform func(*cache.Line)) {
-	d := s.entry(block)
-	home := s.HomeOf(block)
+// locked services the ownership request once the entry is free. Exactly
+// one of three cases applies: no other copies (fetch from memory), shared
+// copies (invalidate them, collecting acks at the home), or a dirty owner
+// (fetch-and-invalidate the owner).
+func (op *wiOp) locked() {
+	s := op.s
+	d := s.entry(op.block)
+	home := s.HomeOf(op.block)
 	d.busy = true
-
-	grantOwnership := func(data []uint32) {
-		d.state = dirOwned
-		d.owner = p
-		d.sharers = 0
-		size := szControl
-		if data != nil {
-			size = szData
-		}
-		// Book the grant before releasing the entry: the next queued
-		// transaction may immediately send a fetch/invalidate to the new
-		// owner, and same-pair mesh FIFO then guarantees the grant
-		// arrives first.
-		s.send(home, p, size, func() { s.wiGrant(p, block, word, data, perform) })
-		s.release(d)
-	}
 
 	switch d.state {
 	case dirUncached:
-		s.mems[home].ReadBlock(block, func(data []uint32) { grantOwnership(data) })
+		op.needData = true
+		op.data = s.store.BorrowFrame()
+		s.mems[home].ReadBlockInto(op.block, op.data, op.fetchedFn)
 
 	case dirShared:
-		needData := !d.has(p)
-		others := s.sharerList(d, p)
+		op.needData = !d.has(op.p)
+		others := s.sharerList(d, op.p)
 		s.mInvFan.Observe(uint64(len(others)))
-		pending := len(others)
-		var data []uint32
-		haveData := !needData
-		maybeGrant := func() {
-			if pending == 0 && haveData {
-				if needData {
-					grantOwnership(data)
-				} else {
-					grantOwnership(nil)
-				}
-			}
-		}
-		if needData {
-			s.mems[home].ReadBlock(block, func(dd []uint32) {
-				data = dd
-				haveData = true
-				maybeGrant()
-			})
+		op.pending = len(others)
+		op.haveData = !op.needData
+		if op.needData {
+			op.data = s.store.BorrowFrame()
+			s.mems[home].ReadBlockInto(op.block, op.data, op.fetchedFn)
 		}
 		for _, q := range others {
-			q := q
 			s.ctr.Invals++
-			s.send(home, q, szControl, func() {
-				if s.caches[q].Present(block) {
-					s.cl.LostCopy(q, block, classify.LossInvalidation)
-					s.caches[q].Invalidate(block)
-				}
-				s.ctr.Acks++
-				s.send(q, home, szAck, func() {
-					pending--
-					maybeGrant()
-				})
-			})
+			s.send(home, q, szControl, s.newInvMsg(q, op).fn)
 		}
-		maybeGrant() // covers the no-other-sharers upgrade
+		op.maybeGrant() // covers the no-other-sharers upgrade
 
 	case dirOwned:
-		owner := d.owner
-		s.send(home, owner, szControl, func() {
-			data := s.takeOwnerData(owner, block, false /* invalidate */)
-			s.send(owner, home, szData, func() {
-				s.mems[home].WriteBlock(block, data, func() { grantOwnership(data) })
-			})
-		})
+		op.owner = d.owner
+		s.send(home, op.owner, szControl, op.ownerFetchFn)
 	}
 }
 
-// wiGrant applies ownership at the requester and runs the deferred
-// store/atomic. If the requester's shared copy vanished while an
-// upgrade was in flight (possible only through a conflict eviction by an
+// fetched marks the memory data available.
+func (op *wiOp) fetched() {
+	op.haveData = true
+	op.maybeGrant()
+}
+
+// ack retires one invalidation acknowledgement.
+func (op *wiOp) ack() {
+	op.pending--
+	op.maybeGrant()
+}
+
+// maybeGrant books the ownership grant once all acknowledgements are in
+// and any needed data has arrived.
+func (op *wiOp) maybeGrant() {
+	if op.pending == 0 && op.haveData {
+		op.grant()
+	}
+}
+
+// grant transfers directory ownership and books the grant message. The
+// grant is booked before releasing the entry: the next queued transaction
+// may immediately send a fetch/invalidate to the new owner, and same-pair
+// mesh FIFO then guarantees the grant arrives first.
+func (op *wiOp) grant() {
+	s := op.s
+	d := s.entry(op.block)
+	d.state = dirOwned
+	d.owner = op.p
+	d.sharers = 0
+	size := szControl
+	if op.data != nil {
+		size = szData
+	}
+	s.send(s.HomeOf(op.block), op.p, size, op.grantFn)
+	s.release(d)
+}
+
+// ownerFetch runs at the old owner: take its data (invalidating the
+// line) and forward it home.
+func (op *wiOp) ownerFetch() {
+	s := op.s
+	op.data = s.takeOwnerData(op.owner, op.block, false /* invalidate */)
+	s.send(op.owner, s.HomeOf(op.block), szData, op.ownerBackFn)
+}
+
+// ownerBack refreshes memory with the old owner's data.
+func (op *wiOp) ownerBack() {
+	s := op.s
+	s.mems[s.HomeOf(op.block)].WriteBlock(op.block, op.data, op.ownerWroteFn)
+}
+
+// ownerWrote grants ownership with the fetched data.
+func (op *wiOp) ownerWrote() {
+	op.haveData = true
+	op.grant()
+}
+
+// granted applies ownership at the requester and runs the deferred
+// store/atomic. If the requester's shared copy vanished while an upgrade
+// was in flight (possible only through a conflict eviction by an
 // unrelated access), the transaction is retried as a full write miss.
-func (s *System) wiGrant(p int, block uint32, word int, data []uint32, perform func(*cache.Line)) {
-	c := s.caches[p]
-	ln := c.Lookup(block)
+func (op *wiOp) granted() {
+	s := op.s
+	c := s.caches[op.p]
+	ln := c.Lookup(op.block)
 	switch {
 	case ln != nil:
 		ln.State = cache.Exclusive
-		if data != nil {
-			copy(ln.Data[:], data)
+		if op.data != nil {
+			copy(ln.Data[:], op.data)
+			s.store.ReleaseFrame(op.data)
+			op.data = nil
 		}
-	case data != nil:
-		ln = s.install(p, block, data, cache.Exclusive)
+	case op.data != nil:
+		ln = s.install(op.p, op.block, op.data, cache.Exclusive)
+		s.store.ReleaseFrame(op.data)
+		op.data = nil
 	default:
 		// Upgrade grant raced with losing the line: retry from scratch.
-		s.wiAcquire(p, block, word, perform)
+		op.pending = 0
+		op.needData, op.haveData = false, false
+		op.start()
 		return
 	}
-	perform(ln)
+	op.perform(ln)
+}
+
+// invMsg is one pooled invalidation delivery; several are in flight per
+// wiOp during a multicast. It recycles before the invalidation applies
+// (fields copied out first) — the invalidation wakes watchers, which can
+// start new WI transactions that multicast invalidations of their own.
+type invMsg struct {
+	s     *System
+	q     int
+	block uint32
+	op    *wiOp
+	next  *invMsg
+	fn    func()
+}
+
+func (s *System) newInvMsg(q int, op *wiOp) *invMsg {
+	m := s.invFree
+	if m == nil {
+		m = &invMsg{s: s}
+		m.fn = m.deliver
+	} else {
+		s.invFree = m.next
+		m.next = nil
+	}
+	m.q, m.block, m.op = q, op.block, op
+	return m
+}
+
+func (m *invMsg) deliver() {
+	s, q, block, op := m.s, m.q, m.block, m.op
+	m.op = nil
+	m.next = s.invFree
+	s.invFree = m
+	if s.caches[q].Present(block) {
+		s.cl.LostCopy(q, block, classify.LossInvalidation)
+		s.caches[q].Invalidate(block)
+	}
+	s.ctr.Acks++
+	s.send(q, s.HomeOf(block), szAck, op.ackFn)
 }

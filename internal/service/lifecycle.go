@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync/atomic"
 	"time"
@@ -57,7 +58,12 @@ type Config struct {
 	SimWorkers   int           // per-job simulation pool width (0 = GOMAXPROCS)
 	CacheEntries int           // result cache size
 	Grace        time.Duration // drain grace period (default 30s)
-	Logf         func(format string, args ...any)
+	// PprofAddr, when non-empty, serves the net/http/pprof profiling
+	// endpoints on a separate listener at this address (conventionally
+	// localhost-only), keeping the debug surface off the public API
+	// port. Empty disables profiling entirely.
+	PprofAddr string
+	Logf      func(format string, args ...any)
 }
 
 // Service is the assembled daemon: scheduler + API server + lifecycle.
@@ -113,6 +119,25 @@ func (s *Service) Run(stop <-chan os.Signal) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
+	}
+	if s.cfg.PprofAddr != "" {
+		pln, err := net.Listen("tcp", s.cfg.PprofAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		// An explicit mux rather than http.DefaultServeMux: only the
+		// profiling endpoints are exposed, and only on this listener.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Handler: mux}
+		go pprofSrv.Serve(pln)
+		defer pprofSrv.Close()
+		s.logf("coherenced: pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 	httpSrv := &http.Server{Handler: s.srv.Handler()}
 	serveErr := make(chan error, 1)

@@ -168,3 +168,24 @@ func (e *Engine) Step() bool {
 
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// Reset returns the engine to its initial state — time zero, an empty
+// queue, and zeroed (seq, processed) event numbering — so a fully built
+// simulation can be rerun without constructing a new engine. The heap's
+// backing array is kept as the event arena for the next run. Reset
+// refuses (returning false, leaving the engine untouched) while the
+// engine is running or while any coroutine is live or blocked: their
+// goroutines still reference engine state and could resume into it.
+func (e *Engine) Reset() bool {
+	if e.running || e.live != 0 || e.blocked != 0 {
+		return false
+	}
+	// pop zeroes vacated slots, so leftover events (possible after
+	// RunUntil/Step) do not retain callbacks in the arena.
+	for e.pq.len() > 0 {
+		e.pq.pop()
+	}
+	e.now, e.seq, e.processed = 0, 0, 0
+	e.tail = nil
+	return true
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"coherencesim/internal/machine"
+	"coherencesim/internal/proto"
+)
+
+// TestLockRunSteadyStateAllocs bounds the allocation cost of one full
+// quick-scale lock run on a pooled machine. With machine construction
+// amortized away by reuse and the protocol data path allocation-free,
+// what remains is per-run scaffolding: the processor coroutines, the
+// lock construct, and result assembly — around 850 objects at this
+// scale, where a fresh-machine run costs ~16000. The bound has ~75%
+// headroom; a regression that reintroduces per-operation allocation
+// blows through it immediately (800 iterations x even one object each
+// would roughly double the figure).
+func TestLockRunSteadyStateAllocs(t *testing.T) {
+	prev := machine.SetReuse(true)
+	defer machine.SetReuse(prev)
+	p := Params{Procs: 8, Protocol: proto.CU, Iterations: 800, HoldCycles: 50}
+	for i := 0; i < 2; i++ {
+		LockLoop(p, MCS) // warm the machine pool and every free list
+	}
+	if avg := testing.AllocsPerRun(5, func() { LockLoop(p, MCS) }); avg > 1500 {
+		t.Fatalf("pooled quick-scale lock run allocates %.0f objects, want <= 1500", avg)
+	}
+}
+
+// TestWorkloadsIdenticalWithAndWithoutReuse pins the sweep-level
+// guarantee: running the synthetic programs through pooled machines
+// produces byte-identical results to fresh-machine runs.
+func TestWorkloadsIdenticalWithAndWithoutReuse(t *testing.T) {
+	p := Params{Procs: 6, Protocol: proto.CU, Iterations: 600, HoldCycles: 50}
+	runAll := func() []any {
+		var out []any
+		for _, k := range []LockKind{Ticket, MCS, UpdateConsciousMCS} {
+			out = append(out, LockLoop(p, k))
+		}
+		out = append(out, BarrierLoop(Params{Procs: 6, Protocol: proto.PU, Iterations: 40}, Tree))
+		out = append(out, ReductionLoop(Params{Procs: 6, Protocol: proto.WI, Iterations: 40}, Parallel))
+		return out
+	}
+
+	prev := machine.SetReuse(false)
+	defer machine.SetReuse(prev)
+	fresh := runAll()
+
+	machine.SetReuse(true)
+	pooled := runAll()  // populates the pool, may or may not hit it
+	pooled2 := runAll() // guaranteed to run on recycled machines
+
+	for i := range fresh {
+		if !reflect.DeepEqual(fresh[i], pooled[i]) || !reflect.DeepEqual(fresh[i], pooled2[i]) {
+			t.Fatalf("workload %d diverged between fresh and pooled machines", i)
+		}
+	}
+}

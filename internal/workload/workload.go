@@ -108,7 +108,9 @@ type Params struct {
 	Tune func(*machine.Config)
 }
 
-// newMachine builds the machine for a run, applying any tuning hook.
+// newMachine obtains the machine for a run, applying any tuning hook.
+// Machines come from the shared reuse pool (machine.Acquire); every
+// workload releases its machine once the run's result is assembled.
 func (p Params) newMachine() *machine.Machine {
 	cfg := machine.DefaultConfig(p.Protocol, p.Procs)
 	if p.MetricsInterval > 0 {
@@ -117,7 +119,7 @@ func (p Params) newMachine() *machine.Machine {
 	if p.Tune != nil {
 		p.Tune(&cfg)
 	}
-	return machine.New(cfg)
+	return machine.Acquire(cfg)
 }
 
 // DefaultLockParams returns the paper's figure 8 parameters.
@@ -177,6 +179,7 @@ func lockLatency(res machine.Result, acquires int, hold sim.Time) LockResult {
 // LockLoop runs the paper's lock synthetic program.
 func LockLoop(p Params, kind LockKind) LockResult {
 	m := p.newMachine()
+	defer m.Release()
 	l := newLock(m, kind)
 	iters := p.Iterations / p.Procs
 	res := m.Run(func(proc *machine.Proc) {
@@ -194,6 +197,7 @@ func LockLoop(p Params, kind LockKind) LockResult {
 // times) before trying again.
 func LockLoopRandomPause(p Params, kind LockKind) LockResult {
 	m := p.newMachine()
+	defer m.Release()
 	l := newLock(m, kind)
 	iters := p.Iterations / p.Procs
 	res := m.Run(func(proc *machine.Proc) {
@@ -211,6 +215,7 @@ func LockLoopRandomPause(p Params, kind LockKind) LockResult {
 // critical section is P times the work inside, within ±10%.
 func LockLoopWorkRatio(p Params, kind LockKind) LockResult {
 	m := p.newMachine()
+	defer m.Release()
 	l := newLock(m, kind)
 	iters := p.Iterations / p.Procs
 	res := m.Run(func(proc *machine.Proc) {
@@ -237,6 +242,7 @@ type BarrierResult struct {
 // BarrierLoop runs the paper's barrier synthetic program.
 func BarrierLoop(p Params, kind BarrierKind) BarrierResult {
 	m := p.newMachine()
+	defer m.Release()
 	b := newBarrier(m, kind)
 	res := m.Run(func(proc *machine.Proc) {
 		for i := 0; i < p.Iterations; i++ {
@@ -271,6 +277,7 @@ func localValue(ep, id, procs int) uint32 {
 // "code that uses max").
 func ReductionLoop(p Params, kind ReductionKind) ReductionResult {
 	m := p.newMachine()
+	defer m.Release()
 	red := newReducer(m, kind)
 	res := m.Run(func(proc *machine.Proc) {
 		for i := 0; i < p.Iterations; i++ {
@@ -290,6 +297,7 @@ func ReductionLoop(p Params, kind ReductionKind) ReductionResult {
 // contention in the parallel strategy.
 func ReductionLoopImbalanced(p Params, kind ReductionKind) ReductionResult {
 	m := p.newMachine()
+	defer m.Release()
 	red := newReducer(m, kind)
 	res := m.Run(func(proc *machine.Proc) {
 		for i := 0; i < p.Iterations; i++ {
