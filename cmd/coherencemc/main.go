@@ -1,0 +1,323 @@
+// Command coherencemc runs the bounded exhaustive protocol model checker
+// (internal/mc) over a configuration matrix and reports reachable-state
+// counts and any invariant violations.
+//
+// Usage:
+//
+//	coherencemc                                   # default CI matrix
+//	coherencemc -protocol WI -procs 2 -blocks 1   # one configuration
+//	coherencemc -protocol WI,PU,CU -procs 2,3 -blocks 1,2 -depth 2
+//	coherencemc -json report.json                 # machine-readable report
+//	coherencemc -baseline mc_baseline.json        # fail on state-count regression
+//	coherencemc -replay trace.json                # re-execute a counterexample
+//	coherencemc -fault skip-inv-ack -protocol WI  # checker self-test demo
+//
+// Exit status: 0 on a clean exhaustive run, 1 on any invariant violation
+// or baseline regression, 2 on usage/configuration errors. Violations
+// print (and with -json, serialize) replayable counterexample traces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"coherencesim/internal/mc"
+	"coherencesim/internal/proto"
+)
+
+// reportEntry is one configuration's result in the JSON report.
+type reportEntry struct {
+	Protocol    string      `json:"protocol"`
+	Procs       int         `json:"procs"`
+	Blocks      int         `json:"blocks"`
+	Words       int         `json:"words"`
+	Depth       int         `json:"depth"` // ops per processor
+	States      int         `json:"states"`
+	Transitions int         `json:"transitions"`
+	Quiescent   int         `json:"quiescent"`
+	MaxDepth    int         `json:"max_depth"`
+	Violations  []violation `json:"violations,omitempty"`
+	Millis      int64       `json:"ms"`
+}
+
+type violation struct {
+	Kind   string   `json:"kind"`
+	Detail string   `json:"detail"`
+	Trace  mc.Trace `json:"trace"`
+}
+
+type report struct {
+	Entries []reportEntry `json:"entries"`
+}
+
+// key identifies a configuration in baseline comparisons.
+func (e *reportEntry) key() string {
+	return fmt.Sprintf("%s/p%d/b%d/w%d/d%d", e.Protocol, e.Procs, e.Blocks, e.Words, e.Depth)
+}
+
+func parseProtocols(s string) ([]proto.Protocol, error) {
+	var out []proto.Protocol
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.ToUpper(strings.TrimSpace(tok)) {
+		case "WI":
+			out = append(out, proto.WI)
+		case "PU":
+			out = append(out, proto.PU)
+		case "CU":
+			out = append(out, proto.CU)
+		default:
+			return nil, fmt.Errorf("unknown protocol %q", tok)
+		}
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFaults(s string) (mc.Faults, error) {
+	var f mc.Faults
+	if s == "" {
+		return f, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "skip-inv-ack":
+			f.SkipInvAck = true
+		case "grant-before-acks":
+			f.GrantBeforeAcks = true
+		case "skip-drop-notice":
+			f.SkipDropNotice = true
+		case "phantom-retention":
+			f.PhantomRetention = true
+		case "stale-update-value":
+			f.StaleUpdateValue = true
+		default:
+			return f, fmt.Errorf("unknown fault %q (skip-inv-ack, grant-before-acks, skip-drop-notice, phantom-retention, stale-update-value)", tok)
+		}
+	}
+	return f, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("coherencemc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		protocols = fs.String("protocol", "WI,PU,CU", "comma list of protocols to check")
+		procs     = fs.String("procs", "2,3", "comma list of processor counts (2-4)")
+		blocks    = fs.String("blocks", "1,2", "comma list of block counts (1-2)")
+		words     = fs.Int("words", 1, "words per block (1-2)")
+		depth     = fs.Int("depth", 0, "operations per processor (0 = auto: 2 at 2 procs, 1 beyond)")
+		threshold = fs.Int("cu-threshold", 4, "competitive-update counter threshold")
+		maxStates = fs.Int("max-states", 0, "abort beyond this many states (0 = unlimited)")
+		opSet     = fs.String("ops", "", "restrict issue alphabet (comma list of read,write,atomic,flush)")
+		faultList = fs.String("fault", "", "inject protocol faults (checker self-test)")
+		jsonOut   = fs.String("json", "", "write the JSON report to this file")
+		baseline  = fs.String("baseline", "", "compare state counts against this committed report")
+		replay    = fs.String("replay", "", "replay a counterexample trace instead of exploring")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *replay != "" {
+		return runReplay(*replay, stdout, stderr)
+	}
+
+	protos, err := parseProtocols(*protocols)
+	if err == nil && *opSet != "" {
+		_, err = parseOps(*opSet)
+	}
+	var procList, blockList []int
+	if err == nil {
+		procList, err = parseInts(*procs)
+	}
+	if err == nil {
+		blockList, err = parseInts(*blocks)
+	}
+	var faults mc.Faults
+	if err == nil {
+		faults, err = parseFaults(*faultList)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "coherencemc:", err)
+		return 2
+	}
+	ops, _ := parseOps(*opSet)
+
+	var rep report
+	violated := false
+	for _, p := range protos {
+		for _, np := range procList {
+			for _, nb := range blockList {
+				cfg := mc.Config{
+					Protocol:    p,
+					Procs:       np,
+					Blocks:      nb,
+					Words:       *words,
+					OpsPerProc:  *depth,
+					CUThreshold: uint8(*threshold),
+					OpSet:       ops,
+					Faults:      faults,
+					MaxStates:   *maxStates,
+				}
+				if cfg.OpsPerProc == 0 {
+					// Auto depth: exhaustive budget where tractable,
+					// shallower as the processor axis widens.
+					cfg.OpsPerProc = 2
+					if np > 2 {
+						cfg.OpsPerProc = 1
+					}
+				}
+				start := time.Now()
+				res, err := mc.Explore(cfg)
+				if err != nil {
+					fmt.Fprintf(stderr, "coherencemc: %v/p%d/b%d: %v\n", p, np, nb, err)
+					return 2
+				}
+				e := reportEntry{
+					Protocol: p.String(), Procs: np, Blocks: nb, Words: cfg.Words,
+					Depth: cfg.OpsPerProc, States: res.States, Transitions: res.Transitions,
+					Quiescent: res.Quiescent, MaxDepth: res.MaxDepth,
+					Millis: time.Since(start).Milliseconds(),
+				}
+				for _, v := range res.Violations {
+					violated = true
+					e.Violations = append(e.Violations, violation{Kind: string(v.Kind), Detail: v.Detail, Trace: v.Trace})
+				}
+				rep.Entries = append(rep.Entries, e)
+				status := "ok"
+				if len(e.Violations) > 0 {
+					status = "VIOLATION"
+				}
+				fmt.Fprintf(stdout, "%-3s procs=%d blocks=%d words=%d depth=%d  states=%-8d transitions=%-8d quiescent=%-6d %6dms  %s\n",
+					e.Protocol, e.Procs, e.Blocks, e.Words, e.Depth, e.States, e.Transitions, e.Quiescent, e.Millis, status)
+				for _, v := range e.Violations {
+					fmt.Fprintf(stdout, "    %s: %s\n    replay: coherencemc -replay <trace.json> (trace in JSON report)\n", v.Kind, v.Detail)
+					if *jsonOut == "" {
+						fmt.Fprintf(stdout, "%s\n", v.Trace.JSON())
+					}
+				}
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(&rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "coherencemc: writing report:", err)
+			return 2
+		}
+	}
+
+	if *baseline != "" {
+		regressed, err := compareBaseline(&rep, *baseline, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "coherencemc:", err)
+			return 2
+		}
+		if regressed {
+			return 1
+		}
+	}
+	if violated {
+		fmt.Fprintln(stdout, "FAIL: invariant violations found")
+		return 1
+	}
+	fmt.Fprintln(stdout, "OK: all configurations explored exhaustively, no violations")
+	return 0
+}
+
+func parseOps(s string) ([]mc.OpKind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []mc.OpKind
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(tok) {
+		case "read":
+			out = append(out, mc.OpRead)
+		case "write":
+			out = append(out, mc.OpWrite)
+		case "atomic":
+			out = append(out, mc.OpAtomic)
+		case "flush":
+			out = append(out, mc.OpFlush)
+		default:
+			return nil, fmt.Errorf("unknown op kind %q", tok)
+		}
+	}
+	return out, nil
+}
+
+// compareBaseline fails configurations whose reachable-state count fell
+// below the committed baseline: the model silently exploring less space
+// is as dangerous as a violation (coverage regression).
+func compareBaseline(rep *report, path string, stdout *os.File) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("bad baseline %s: %v", path, err)
+	}
+	baseBy := make(map[string]int, len(base.Entries))
+	for i := range base.Entries {
+		baseBy[base.Entries[i].key()] = base.Entries[i].States
+	}
+	regressed := false
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		want, ok := baseBy[e.key()]
+		if !ok {
+			continue // new configuration, no baseline yet
+		}
+		if e.States < want {
+			regressed = true
+			fmt.Fprintf(stdout, "REGRESSION: %s explores %d states, baseline %d\n", e.key(), e.States, want)
+		}
+	}
+	return regressed, nil
+}
+
+// runReplay re-executes a committed counterexample trace.
+func runReplay(path string, stdout, stderr *os.File) int {
+	t, err := mc.LoadTrace(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "coherencemc:", err)
+		return 2
+	}
+	v, err := mc.Replay(t)
+	if err != nil {
+		fmt.Fprintln(stderr, "coherencemc:", err)
+		return 2
+	}
+	if v == nil {
+		fmt.Fprintln(stdout, "trace replays cleanly (the bug it witnessed is fixed)")
+		return 0
+	}
+	fmt.Fprintf(stdout, "reproduced %s after %d actions: %s\n", v.Kind, len(v.Trace.Actions), v.Detail)
+	return 1
+}

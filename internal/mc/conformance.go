@@ -1,0 +1,326 @@
+package mc
+
+import (
+	"fmt"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/classify"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+)
+
+// The conformance driver is the bridge that keeps the model honest: it
+// replays operation schedules through BOTH the model and the live
+// proto.System on the real simulation engine, drains each operation to
+// quiescence, and cross-checks the full stable state (directory, cache
+// lines, memory, and the values reads/atomics returned) after every
+// operation. Schedules are sequential — one operation completes before
+// the next issues — so both sides process exactly one transaction at a
+// time and their stable states must agree field for field; any
+// divergence means the model has drifted from the code it vouches for.
+
+// ScheduleOp is one operation of a sequential conformance schedule.
+type ScheduleOp struct {
+	P           int
+	Kind        OpKind
+	Block, Word int
+}
+
+func (o ScheduleOp) String() string {
+	return fmt.Sprintf("p%d %v b%d.w%d", o.P, o.Kind, o.Block, o.Word)
+}
+
+// Schedule is a sequential operation schedule.
+type Schedule []ScheduleOp
+
+func (s Schedule) String() string {
+	out := ""
+	for i, o := range s {
+		if i > 0 {
+			out += "; "
+		}
+		out += o.String()
+	}
+	return out
+}
+
+// runModelSchedule executes a schedule sequentially on the model:
+// each operation issues and then every message drains in deterministic
+// (src, dst)-ascending order before the next issues. Returns the final
+// state and the observed read/atomic results.
+func runModelSchedule(cfg Config, sched Schedule) (*state, *observer, error) {
+	st := newState(cfg)
+	obs := &observer{}
+	for i, op := range sched {
+		x := &stepCtx{cfg: cfg, st: st, obs: obs}
+		x.apply(action{issue: true, p: uint8(op.P), kind: op.Kind, block: uint8(op.Block), word: uint8(op.Word)})
+		if x.err != "" {
+			return nil, nil, fmt.Errorf("op %d (%v): %s", i, op, x.err)
+		}
+		for st.inFlight(cfg) > 0 {
+			delivered := false
+			for s := 0; s < cfg.Procs && !delivered; s++ {
+				for d := 0; d < cfg.Procs && !delivered; d++ {
+					if len(st.chans[s][d]) > 0 {
+						x.deliver(uint8(s), uint8(d))
+						delivered = true
+					}
+				}
+			}
+			if x.err != "" {
+				return nil, nil, fmt.Errorf("op %d (%v) drain: %s", i, op, x.err)
+			}
+		}
+		if !st.quiescent(cfg) {
+			return nil, nil, fmt.Errorf("op %d (%v): drained but not quiescent", i, op)
+		}
+		if why := checkEvery(cfg, st); why != "" {
+			return nil, nil, fmt.Errorf("op %d (%v): %s", i, op, why)
+		}
+		if why := checkQuiescent(cfg, st); why != "" {
+			return nil, nil, fmt.Errorf("op %d (%v): %s", i, op, why)
+		}
+	}
+	return st, obs, nil
+}
+
+// liveRunner drives a real proto.System one sequential operation at a
+// time, reusing the engine and system across schedules via Reset.
+type liveRunner struct {
+	cfg Config
+	e   *sim.Engine
+	s   *proto.System
+	// issued mirrors the model's per-processor issue counters so write
+	// values match writeValue().
+	issued [MaxProcs]uint8
+	obs    observer
+}
+
+func newLiveRunner(cfg Config) *liveRunner {
+	r := &liveRunner{cfg: cfg}
+	r.e = sim.NewEngine()
+	r.s = proto.NewSystem(r.e, cfg.Procs, r.protoConfig(), classify.New(cfg.Procs))
+	return r
+}
+
+func (r *liveRunner) protoConfig() proto.Config {
+	pc := proto.DefaultConfig(r.cfg.Protocol, r.cfg.Procs)
+	pc.CUThreshold = r.cfg.CUThreshold
+	pc.DisableRetention = r.cfg.DisableRetention
+	return pc
+}
+
+// reset returns the runner to the initial state for the next schedule.
+func (r *liveRunner) reset() error {
+	if !r.e.Reset() {
+		return fmt.Errorf("mc: engine refused reset (live coroutines)")
+	}
+	r.s.Reset(r.protoConfig())
+	r.issued = [MaxProcs]uint8{}
+	r.obs = observer{}
+	return nil
+}
+
+// step runs one operation to full quiescence on the real engine.
+func (r *liveRunner) step(op ScheduleOp) error {
+	addr := cache.Addr(uint32(op.Block)*cache.BlockBytes + uint32(op.Word)*cache.WordBytes)
+	p := op.P
+	switch op.Kind {
+	case OpRead:
+		r.e.Schedule(0, func() {
+			r.s.Read(p, addr, func(v uint32) { r.obs.readVals = append(r.obs.readVals, uint8(v)) })
+		})
+	case OpWrite:
+		v := uint32(writeValue(r.cfg, uint8(p), r.issued[p]))
+		r.e.Schedule(0, func() { r.s.Write(p, addr, v, func() {}) })
+	case OpAtomic:
+		r.e.Schedule(0, func() {
+			r.s.Atomic(p, addr, proto.FetchAdd, 1, 0, func(old uint32) {
+				r.obs.atomOlds = append(r.obs.atomOlds, uint8(old))
+			})
+		})
+	case OpFlush:
+		r.e.Schedule(0, func() { r.s.FlushBlock(p, addr, func() {}) })
+	default:
+		return fmt.Errorf("mc: unknown schedule op kind %v", op.Kind)
+	}
+	r.issued[p]++
+	r.e.Run() // drains every message before the next operation issues
+	return nil
+}
+
+// compareStable cross-checks the model state against the live system at
+// quiescence, returning a description of the first divergence or "".
+func compareStable(cfg Config, st *state, s *proto.System) string {
+	for b := 0; b < cfg.Blocks; b++ {
+		bd := s.DumpBlock(uint32(b))
+		d := &st.dirs[b]
+		wantDir := map[dState]proto.DirState{dUncached: proto.DirUncached, dShared: proto.DirShared, dOwned: proto.DirOwned}[d.state]
+		if bd.Dir.State != wantDir {
+			return fmt.Sprintf("block %d: dir state impl=%v model=%v", b, bd.Dir.State, wantDir)
+		}
+		if bd.Dir.Busy || bd.Dir.Queued != 0 {
+			return fmt.Sprintf("block %d: impl dir busy/queued at quiescence", b)
+		}
+		if d.state == dOwned && bd.Dir.Owner != int(d.owner) {
+			return fmt.Sprintf("block %d: owner impl=p%d model=p%d", b, bd.Dir.Owner, d.owner)
+		}
+		if uint8(bd.Dir.Sharers) != d.sharers || bd.Dir.Sharers>>uint(cfg.Procs) != 0 {
+			return fmt.Sprintf("block %d: sharers impl=%#x model=%#x", b, bd.Dir.Sharers, d.sharers)
+		}
+		for w := 0; w < cfg.Words; w++ {
+			if uint8(bd.Memory[w]) != st.mem[b][w] || bd.Memory[w] >= 64 {
+				return fmt.Sprintf("block %d word %d: memory impl=%d model=%d", b, w, bd.Memory[w], st.mem[b][w])
+			}
+		}
+		for p := 0; p < cfg.Procs; p++ {
+			ld := bd.Lines[p]
+			ln := &st.lines[p][b]
+			if ld.Present != (ln.state != lInvalid) {
+				return fmt.Sprintf("block %d p%d: present impl=%v model=%v", b, p, ld.Present, ln.state != lInvalid)
+			}
+			if !ld.Present {
+				continue
+			}
+			wantState := map[lineState]cache.State{lShared: cache.Shared, lExclusive: cache.Exclusive}[ln.state]
+			if ld.State != wantState {
+				return fmt.Sprintf("block %d p%d: line state impl=%v model=%v", b, p, ld.State, wantState)
+			}
+			if ld.Dirty != ln.dirty {
+				return fmt.Sprintf("block %d p%d: dirty impl=%v model=%v", b, p, ld.Dirty, ln.dirty)
+			}
+			if ld.Counter != ln.ctr {
+				return fmt.Sprintf("block %d p%d: CU counter impl=%d model=%d", b, p, ld.Counter, ln.ctr)
+			}
+			for w := 0; w < cfg.Words; w++ {
+				if uint8(ld.Data[w]) != ln.data[w] || ld.Data[w] >= 64 {
+					return fmt.Sprintf("block %d p%d word %d: data impl=%d model=%d", b, p, w, ld.Data[w], ln.data[w])
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// compareObs cross-checks observed read/atomic results.
+func compareObs(model, impl *observer) string {
+	if len(model.readVals) != len(impl.readVals) {
+		return fmt.Sprintf("read count model=%d impl=%d", len(model.readVals), len(impl.readVals))
+	}
+	for i := range model.readVals {
+		if model.readVals[i] != impl.readVals[i] {
+			return fmt.Sprintf("read %d returned impl=%d model=%d", i, impl.readVals[i], model.readVals[i])
+		}
+	}
+	if len(model.atomOlds) != len(impl.atomOlds) {
+		return fmt.Sprintf("atomic count model=%d impl=%d", len(model.atomOlds), len(impl.atomOlds))
+	}
+	for i := range model.atomOlds {
+		if model.atomOlds[i] != impl.atomOlds[i] {
+			return fmt.Sprintf("atomic %d returned impl=%d model=%d", i, impl.atomOlds[i], model.atomOlds[i])
+		}
+	}
+	return ""
+}
+
+// RunConformance replays every schedule through both the model and the
+// live implementation, comparing stable states after each operation.
+// Returns the number of schedules checked; the error identifies the
+// first diverging schedule.
+func RunConformance(cfg Config, scheds []Schedule) (int, error) {
+	if cfg.CUThreshold == 0 {
+		cfg.CUThreshold = 4
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	runner := newLiveRunner(cfg)
+	for i, sched := range scheds {
+		if i > 0 {
+			if err := runner.reset(); err != nil {
+				return i, err
+			}
+		}
+		st := newState(cfg)
+		obs := &observer{}
+		for j, op := range sched {
+			// Model side: issue, then deterministic drain.
+			x := &stepCtx{cfg: cfg, st: st, obs: obs}
+			x.apply(action{issue: true, p: uint8(op.P), kind: op.Kind, block: uint8(op.Block), word: uint8(op.Word)})
+			for x.err == "" && st.inFlight(cfg) > 0 {
+				delivered := false
+				for s := 0; s < cfg.Procs && !delivered; s++ {
+					for d := 0; d < cfg.Procs && !delivered; d++ {
+						if len(st.chans[s][d]) > 0 {
+							x.deliver(uint8(s), uint8(d))
+							delivered = true
+						}
+					}
+				}
+			}
+			if x.err != "" {
+				return i, fmt.Errorf("schedule %d (%v) op %d: model error: %s", i, sched, j, x.err)
+			}
+			// Live side: same operation, engine drained.
+			if err := runner.step(op); err != nil {
+				return i, fmt.Errorf("schedule %d (%v) op %d: %v", i, sched, j, err)
+			}
+			if why := compareStable(cfg, st, runner.s); why != "" {
+				return i, fmt.Errorf("schedule %d (%v) op %d (%v): %s", i, sched, j, op, why)
+			}
+		}
+		if why := compareObs(obs, &runner.obs); why != "" {
+			return i, fmt.Errorf("schedule %d (%v): %s", i, sched, why)
+		}
+		if errs := runner.s.CheckCoherence(); len(errs) > 0 {
+			return i, fmt.Errorf("schedule %d (%v): impl coherence check: %v", i, sched, errs[0])
+		}
+	}
+	return len(scheds), nil
+}
+
+// GenerateSchedules enumerates sequential schedules over the config's
+// operation alphabet: every length-1 and length-2 schedule, then
+// length-3 schedules strided deterministically until at least target
+// schedules exist. Exhaustive short prefixes catch pairwise
+// interactions; the strided tail adds three-op chains (e.g. populate,
+// race, verify) without exploding the count.
+func GenerateSchedules(cfg Config, target int) []Schedule {
+	var alphabet []ScheduleOp
+	for p := 0; p < cfg.Procs; p++ {
+		for _, k := range cfg.opSet() {
+			for b := 0; b < cfg.Blocks; b++ {
+				if k == OpFlush {
+					alphabet = append(alphabet, ScheduleOp{P: p, Kind: k, Block: b})
+					continue
+				}
+				for w := 0; w < cfg.Words; w++ {
+					alphabet = append(alphabet, ScheduleOp{P: p, Kind: k, Block: b, Word: w})
+				}
+			}
+		}
+	}
+	n := len(alphabet)
+	var out []Schedule
+	for i := 0; i < n; i++ {
+		out = append(out, Schedule{alphabet[i]})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out = append(out, Schedule{alphabet[i], alphabet[j]})
+		}
+	}
+	total3 := n * n * n
+	stride := 1
+	if missing := target - len(out); missing > 0 {
+		stride = total3 / missing
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	for idx := 0; idx < total3 && len(out) < target; idx += stride {
+		i, rest := idx/(n*n), idx%(n*n)
+		out = append(out, Schedule{alphabet[i], alphabet[rest/n], alphabet[rest%n]})
+	}
+	return out
+}

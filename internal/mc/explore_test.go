@@ -1,0 +1,241 @@
+package mc
+
+import (
+	"testing"
+
+	"coherencesim/internal/proto"
+)
+
+func allProtocols() []proto.Protocol { return []proto.Protocol{proto.WI, proto.PU, proto.CU} }
+
+// TestExploreSmoke is the tier-1 smoke slice: every protocol at the
+// smallest interesting bounds must explore cleanly.
+func TestExploreSmoke(t *testing.T) {
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(p)
+			res, err := Explore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %v\ntrace:\n%s", v, v.Trace.JSON())
+			}
+			if res.States < 100 {
+				t.Errorf("suspiciously small state space: %d states", res.States)
+			}
+			if res.Quiescent < 2 {
+				t.Errorf("expected multiple quiescent states, got %d", res.Quiescent)
+			}
+			t.Logf("%v: %d states, %d transitions, %d quiescent, depth %d",
+				p, res.States, res.Transitions, res.Quiescent, res.MaxDepth)
+		})
+	}
+}
+
+// TestExploreTwoBlocks widens the smoke slice to two blocks and two
+// words so cross-block races (write-back vs read, per-word updates) are
+// in scope.
+func TestExploreTwoBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-block exploration is not short")
+	}
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(p)
+			cfg.Blocks = 2
+			cfg.Words = 2
+			cfg.OpsPerProc = 2
+			res, err := Explore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %v\ntrace:\n%s", v, v.Trace.JSON())
+			}
+			t.Logf("%v: %d states, %d transitions, %d quiescent",
+				p, res.States, res.Transitions, res.Quiescent)
+		})
+	}
+}
+
+// TestExploreThreeProcs runs the three-processor slice used by the CI
+// matrix at reduced depth.
+func TestExploreThreeProcs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-processor exploration is not short")
+	}
+	for _, p := range allProtocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(p)
+			cfg.Procs = 3
+			cfg.OpsPerProc = 1
+			res, err := Explore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %v\ntrace:\n%s", v, v.Trace.JSON())
+			}
+		})
+	}
+}
+
+// seededFaults enumerates every injected fault with the protocol it
+// applies to and the violation kind it must produce.
+var seededFaults = []struct {
+	name  string
+	proto proto.Protocol
+	set   func(*Faults)
+	kinds []ViolationKind // acceptable detections
+}{
+	{"skip-inv-ack", proto.WI, func(f *Faults) { f.SkipInvAck = true }, []ViolationKind{VDeadlock}},
+	{"grant-before-acks", proto.WI, func(f *Faults) { f.GrantBeforeAcks = true }, []ViolationKind{VInvariant}},
+	{"skip-drop-notice", proto.CU, func(f *Faults) { f.SkipDropNotice = true }, []ViolationKind{VQuiescent}},
+	{"phantom-retention", proto.PU, func(f *Faults) { f.PhantomRetention = true }, []ViolationKind{VInvariant, VQuiescent}},
+	{"stale-update-value", proto.PU, func(f *Faults) { f.StaleUpdateValue = true }, []ViolationKind{VQuiescent, VInvariant}},
+}
+
+// TestSeededFaultsProduceCounterexamples is the checker's self-test:
+// each deliberately broken protocol variant must yield a counterexample,
+// and the emitted trace must replay (through the same broken variant) to
+// the same violation — while the faithful model replays it cleanly.
+func TestSeededFaultsProduceCounterexamples(t *testing.T) {
+	for _, tc := range seededFaults {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(tc.proto)
+			cfg.Procs = 3 // faults on sharer fan-out need a third party
+			if tc.proto == proto.CU {
+				cfg.CUThreshold = 1 // reach the drop edge within budget
+			}
+			tc.set(&cfg.Faults)
+			res, err := Explore(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) == 0 {
+				t.Fatalf("fault %s produced no counterexample over %d states", tc.name, res.States)
+			}
+			v := res.Violations[0]
+			ok := false
+			for _, k := range tc.kinds {
+				if v.Kind == k {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("fault %s detected as %v (%s), want one of %v", tc.name, v.Kind, v.Detail, tc.kinds)
+			}
+
+			// The trace must replay to a violation under the same faults.
+			rv, err := Replay(&v.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rv == nil {
+				t.Fatalf("counterexample for %s replays cleanly", tc.name)
+			}
+
+			// The faithful model must NOT fail on the same schedule — the
+			// bug is in the fault, not the schedule. (Deadlock traces are
+			// exempt: dropping the fault changes message flow, so the
+			// schedule may no longer be executable; guard-validation only.)
+			clean := v.Trace
+			clean.Faults = Faults{}
+			cv, err := Replay(&clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cv != nil && cv.Kind != VInternal {
+				t.Fatalf("faithful model fails the %s schedule too: %v", tc.name, cv)
+			}
+		})
+	}
+}
+
+// TestFaithfulReplayRoundTrip: an explored violation-free config's
+// schedules replay exactly (spot check via a synthetic trace).
+func TestFaithfulReplayRoundTrip(t *testing.T) {
+	trace := &Trace{
+		Protocol: "WI", Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 2, CUThreshold: 4,
+		Actions: []string{
+			"p0 write b0.w0", // issue
+			"0>0",            // WI request to home (self)
+			"0>0",            // grant back
+			"p1 read b0.w0",  // issue read
+			"1>0",            // read request
+			"0>1",            // owner fetch? (home is p0; owner is p0 -> local)
+		},
+	}
+	// The exact message flow depends on the model; just require that
+	// replay either completes cleanly or reports a guard violation —
+	// never panics — and that a malformed action errors.
+	if _, err := Replay(trace); err != nil {
+		t.Logf("replay reported: %v", err)
+	}
+	if _, err := Replay(&Trace{Protocol: "XX", Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 1, CUThreshold: 4}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	bad := &Trace{Protocol: "WI", Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 1, CUThreshold: 4, Actions: []string{"garbage"}}
+	if _, err := Replay(bad); err == nil {
+		t.Fatal("garbage action accepted")
+	}
+}
+
+// TestTraceJSONRoundTrip pins the serialization format.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(proto.WI)
+	cfg.Faults.SkipInvAck = true
+	cfg.Procs = 3
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("no violation to serialize")
+	}
+	raw := res.Violations[0].Trace.JSON()
+	back, err := ParseTrace(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Actions) != len(res.Violations[0].Trace.Actions) {
+		t.Fatalf("round trip lost actions: %d != %d", len(back.Actions), len(res.Violations[0].Trace.Actions))
+	}
+	rv, err := Replay(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv == nil {
+		t.Fatal("deserialized counterexample replays cleanly")
+	}
+}
+
+// TestExploreMaxStates pins the explicit-abort behaviour: bounded
+// exploration must fail loudly, never silently truncate.
+func TestExploreMaxStates(t *testing.T) {
+	cfg := DefaultConfig(proto.WI)
+	cfg.MaxStates = 10
+	if _, err := Explore(cfg); err == nil {
+		t.Fatal("MaxStates=10 exploration succeeded; want explicit abort")
+	}
+}
+
+// TestExploreMatrixOrder pins deterministic matrix ordering.
+func TestExploreMatrixOrder(t *testing.T) {
+	res, err := ExploreMatrix(DefaultConfig(proto.WI), []int{3, 2}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Config.Procs != 2 || res[1].Config.Procs != 3 {
+		t.Fatalf("matrix order not ascending: %+v", res)
+	}
+}

@@ -1,0 +1,247 @@
+package mc
+
+import (
+	"fmt"
+
+	"coherencesim/internal/proto"
+)
+
+// The invariant suite, stratified by when each property must hold:
+//
+//   - every-state invariants hold on every reachable state, including
+//     mid-transaction (single-writer, dirty-implies-exclusive,
+//     protocol-specific line discipline, data-value containment,
+//     directory structural sanity);
+//   - quiescent invariants hold whenever no message is in flight and no
+//     operation is pending — the model analogue of proto.CheckCoherence
+//     (copies match memory, sharer sets are exact, no transient
+//     residue); and
+//   - deadlock is diagnosed on terminal states (no enabled action) that
+//     still carry unfinished work, livelock on cycles reachable along
+//     the search path (explore.go).
+
+// checkEvery returns a description of the first every-state invariant
+// violation in st, or "".
+func checkEvery(cfg Config, st *state) string {
+	for b := 0; b < cfg.Blocks; b++ {
+		d := &st.dirs[b]
+		var holders, exclusives []int
+		for p := 0; p < cfg.Procs; p++ {
+			ln := &st.lines[p][b]
+			switch ln.state {
+			case lInvalid:
+				continue
+			case lExclusive:
+				exclusives = append(exclusives, p)
+			}
+			holders = append(holders, p)
+			if ln.dirty && ln.state != lExclusive {
+				return fmt.Sprintf("block %d: dirty non-exclusive copy at p%d", b, p)
+			}
+			switch cfg.Protocol {
+			case proto.CU:
+				if ln.ctr >= cfg.CUThreshold {
+					return fmt.Sprintf("block %d: p%d counter %d at/above threshold %d", b, p, ln.ctr, cfg.CUThreshold)
+				}
+			default:
+				if ln.ctr != 0 {
+					return fmt.Sprintf("block %d: nonzero update counter at p%d under %v", b, p, cfg.Protocol)
+				}
+			}
+			for w := 0; w < cfg.Words; w++ {
+				if !st.valueLegal(uint8(b), uint8(w), ln.data[w]) {
+					return fmt.Sprintf("block %d word %d: p%d caches value %d that never legitimately existed", b, w, p, ln.data[w])
+				}
+			}
+		}
+		if len(exclusives) > 1 {
+			return fmt.Sprintf("block %d: %d exclusive copies (single-writer violated)", b, len(exclusives))
+		}
+		if len(exclusives) == 1 {
+			e := exclusives[0]
+			if len(holders) > 1 {
+				return fmt.Sprintf("block %d: exclusive copy at p%d alongside %d other copies", b, e, len(holders)-1)
+			}
+			if cfg.Protocol == proto.CU {
+				return fmt.Sprintf("block %d: exclusive copy at p%d under CU (never retains)", b, e)
+			}
+			if d.state != dOwned || int(d.owner) != e {
+				return fmt.Sprintf("block %d: exclusive copy at p%d but directory does not record p%d as owner", b, e, e)
+			}
+		}
+		if cfg.Protocol == proto.CU {
+			if d.state == dOwned {
+				return fmt.Sprintf("block %d: directory owned under CU", b)
+			}
+			for p := 0; p < cfg.Procs; p++ {
+				if st.lines[p][b].dirty {
+					return fmt.Sprintf("block %d: dirty copy at p%d under CU (write-through)", b, p)
+				}
+			}
+		}
+		// Directory structural sanity.
+		if int(d.owner) >= cfg.Procs {
+			return fmt.Sprintf("block %d: directory owner p%d out of range", b, d.owner)
+		}
+		if d.sharers>>uint(cfg.Procs) != 0 {
+			return fmt.Sprintf("block %d: sharer bitmap %#x names nonexistent nodes", b, d.sharers)
+		}
+		if d.state == dOwned && d.sharers != 0 {
+			return fmt.Sprintf("block %d: owned directory entry with sharer bitmap %#x", b, d.sharers)
+		}
+		if !d.busy && (len(d.waitq) > 0 || d.pend.kind != pendNone) {
+			return fmt.Sprintf("block %d: idle directory entry with queued/pending transactions", b)
+		}
+		for w := 0; w < cfg.Words; w++ {
+			if !st.valueLegal(uint8(b), uint8(w), st.mem[b][w]) {
+				return fmt.Sprintf("block %d word %d: memory holds value %d that never legitimately existed", b, w, st.mem[b][w])
+			}
+		}
+	}
+	// In-flight payloads must also be contained: a corrupted value is a
+	// bug the instant it exists, not only once it lands in a cache.
+	for s := 0; s < cfg.Procs; s++ {
+		for dd := 0; dd < cfg.Procs; dd++ {
+			for i := range st.chans[s][dd] {
+				if why := checkMsgValues(cfg, st, &st.chans[s][dd][i]); why != "" {
+					return why
+				}
+			}
+		}
+	}
+	// Cancellation accounting: every cancelled write-back must have a
+	// matching message still in flight to absorb the cancellation.
+	for p := 0; p < cfg.Procs; p++ {
+		for b := 0; b < cfg.Blocks; b++ {
+			if c := st.procs[p].cancelled[b]; c > 0 {
+				n := 0
+				for _, m := range st.chans[p][cfg.homeOf(uint8(b))] {
+					if m.kind == mWB && m.block == uint8(b) {
+						n++
+					}
+				}
+				// A cancelled write-back may also be parked behind a busy
+				// directory entry rather than in a channel.
+				for _, m := range st.dirs[b].waitq {
+					if m.kind == mWB && m.src == uint8(p) {
+						n++
+					}
+				}
+				if int(c) > n {
+					return fmt.Sprintf("p%d block %d: %d cancelled write-backs but only %d in flight", p, b, c, n)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkMsgValues checks data-value containment for one in-flight message.
+func checkMsgValues(cfg Config, st *state, m *msg) string {
+	if m.hasData {
+		for w := 0; w < cfg.Words; w++ {
+			if !st.valueLegal(m.block, uint8(w), m.data[w]) {
+				return fmt.Sprintf("in-flight %v carries value %d for block %d word %d that never legitimately existed", m.kind, m.data[w], m.block, w)
+			}
+		}
+	}
+	switch m.kind {
+	case mWTReq, mUpd, mWTReply:
+		if !st.valueLegal(m.block, m.word, m.val) {
+			return fmt.Sprintf("in-flight %v carries value %d for block %d word %d that never legitimately existed", m.kind, m.val, m.block, m.word)
+		}
+	case mAtomReply:
+		if !st.valueLegal(m.block, m.word, m.val2) {
+			return fmt.Sprintf("in-flight atomic reply carries result %d for block %d word %d that never legitimately existed", m.val2, m.block, m.word)
+		}
+	}
+	return ""
+}
+
+// checkQuiescent returns a description of the first quiescent-state
+// invariant violation, or "". Call only when st.quiescent(cfg).
+func checkQuiescent(cfg Config, st *state) string {
+	for b := 0; b < cfg.Blocks; b++ {
+		d := &st.dirs[b]
+		if d.busy || len(d.waitq) > 0 {
+			return fmt.Sprintf("block %d: directory busy/queued at quiescence", b)
+		}
+		holders := uint8(0)
+		for p := 0; p < cfg.Procs; p++ {
+			if st.lines[p][b].state != lInvalid {
+				holders |= 1 << p
+			}
+		}
+		switch d.state {
+		case dUncached:
+			if d.sharers != 0 || holders != 0 {
+				return fmt.Sprintf("block %d: uncached at home but cached at nodes %#x (sharers %#x)", b, holders, d.sharers)
+			}
+		case dShared:
+			if d.sharers != holders {
+				return fmt.Sprintf("block %d: directory sharers %#x != actual holders %#x", b, d.sharers, holders)
+			}
+			if d.sharers == 0 {
+				return fmt.Sprintf("block %d: shared directory entry with no sharers", b)
+			}
+		case dOwned:
+			if holders != 1<<d.owner {
+				return fmt.Sprintf("block %d: owned by p%d but cached at nodes %#x", b, d.owner, holders)
+			}
+			if st.lines[d.owner][b].state != lExclusive {
+				return fmt.Sprintf("block %d: owner p%d holds a non-exclusive copy", b, d.owner)
+			}
+		}
+		// Every non-owned copy must match memory word for word.
+		for p := 0; p < cfg.Procs; p++ {
+			ln := &st.lines[p][b]
+			if ln.state != lShared {
+				continue
+			}
+			for w := 0; w < cfg.Words; w++ {
+				if ln.data[w] != st.mem[b][w] {
+					return fmt.Sprintf("block %d word %d: p%d caches %d but memory holds %d", b, w, p, ln.data[w], st.mem[b][w])
+				}
+			}
+		}
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		pr := &st.procs[p]
+		for b := 0; b < cfg.Blocks; b++ {
+			if pr.pwbValid[b] {
+				return fmt.Sprintf("p%d block %d: pending write-back with nothing in flight", p, b)
+			}
+			if pr.cancelled[b] > 0 {
+				return fmt.Sprintf("p%d block %d: dangling write-back cancellation", p, b)
+			}
+		}
+	}
+	return ""
+}
+
+// checkDeadlock diagnoses a terminal state (no enabled action) that
+// still carries unfinished work. With every issue budget spent and no
+// message deliverable, all transactions must have fully completed.
+func checkDeadlock(cfg Config, st *state) string {
+	for p := 0; p < cfg.Procs; p++ {
+		if st.procs[p].op.active {
+			return fmt.Sprintf("deadlock: p%d's %v never completes", p, st.procs[p].op.kind)
+		}
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		if st.dirs[b].busy {
+			return fmt.Sprintf("deadlock: block %d directory entry busy forever", b)
+		}
+		if len(st.dirs[b].waitq) > 0 {
+			return fmt.Sprintf("deadlock: block %d has transactions queued forever", b)
+		}
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		for b := 0; b < cfg.Blocks; b++ {
+			if st.procs[p].pwbValid[b] || st.procs[p].cancelled[b] > 0 {
+				return fmt.Sprintf("deadlock: p%d block %d write-back bookkeeping never drains", p, b)
+			}
+		}
+	}
+	return ""
+}

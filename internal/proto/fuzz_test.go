@@ -4,8 +4,6 @@ import (
 	"testing"
 
 	"coherencesim/internal/cache"
-	"coherencesim/internal/classify"
-	"coherencesim/internal/sim"
 )
 
 // FuzzProtocolAgainstInvariants drives every protocol with the same
@@ -72,9 +70,7 @@ func decodeFuzzOps(data []byte) []fuzzOp {
 // newFuzzSystem is newTest without the *testing.T, usable from the fuzz
 // function's per-input body.
 func newFuzzSystem(pr Protocol) *testSystem {
-	e := sim.NewEngine()
-	cl := classify.New(fuzzProcs)
-	return &testSystem{e: e, s: NewSystem(e, fuzzProcs, DefaultConfig(pr, fuzzProcs), cl), cl: cl}
+	return newTestSystem(pr, fuzzProcs)
 }
 
 // runFuzzProgram executes the ops on a fresh system, then reads back the

@@ -59,11 +59,8 @@ func TestInvariantsHoldAfterRandomStress(t *testing.T) {
 
 func TestInvariantsHoldUnderConflictEvictions(t *testing.T) {
 	for _, pr := range allProtocols() {
-		e := newTest(t, pr, 4)
 		// Shrink caches to 2 lines so conflicts are constant.
-		cfg := DefaultConfig(pr, 4)
-		cfg.CacheBytes = 2 * cache.BlockBytes
-		e.s = NewSystem(e.e, 4, cfg, e.cl)
+		e := newTest(t, pr, 4, withCacheBytes(2*cache.BlockBytes))
 		rng := rand.New(rand.NewSource(7))
 		sc := e.script()
 		for i := 0; i < 200; i++ {

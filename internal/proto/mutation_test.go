@@ -1,0 +1,126 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+
+	"coherencesim/internal/cache"
+)
+
+// Mutation-hardening for CheckCoherence: each case corrupts one aspect
+// of a live, quiescent, known-clean system and asserts the checker
+// reports it with the expected diagnostic. A silently weakened checker
+// (e.g. a refactor dropping one invariant) fails here, not in the field.
+func TestCheckerMutationHardening(t *testing.T) {
+	cases := []struct {
+		name string
+		// build prepares a clean quiescent system.
+		build func(t *testing.T) *testSystem
+		// corrupt plants exactly one violation.
+		corrupt func(ts *testSystem)
+		// want is a substring of at least one reported error.
+		want string
+	}{
+		{
+			name:  "double-exclusive",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, WI, 4); ts.script().write(0, 64, 1).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				ts.s.Cache(1).Install(1, make([]uint32, cache.WordsPerBlock), cache.Exclusive)
+			},
+			want: "exclusive copies",
+		},
+		{
+			name:  "phantom-sharer",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, PU, 4); ts.script().read(2, 64, nil).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				ts.s.Cache(2).Invalidate(1) // copy gone, directory still lists node 2
+			},
+			want: "as sharer without a copy",
+		},
+		{
+			name:  "unrecorded-holder",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, WI, 4); ts.script().read(0, 64, nil).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				// Node 3 conjures a copy the directory never granted.
+				ts.s.Cache(3).Install(1, append([]uint32(nil), ts.s.Memory(1).Block(1)...), cache.Shared)
+			},
+			want: "not a recorded sharer",
+		},
+		{
+			name:  "stale-word",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, PU, 4); ts.script().read(2, 64, nil).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				ts.s.Cache(2).Lookup(1).Data[3] = 0xbad // clean copy diverges from memory
+			},
+			want: "memory has",
+		},
+		{
+			name:  "dropped-owner",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, WI, 4); ts.script().write(0, 64, 9).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				// Owned directory entry, but the owner holds nothing and no
+				// write-back is pending: the dirty data evaporated.
+				ts.s.Cache(0).Invalidate(1)
+			},
+			want: "holds no copy",
+		},
+		{
+			name:  "exclusive-without-ownership",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, WI, 4); ts.script().read(2, 64, nil).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				ts.s.Cache(2).Lookup(1).State = cache.Exclusive // directory still says shared
+			},
+			want: "but directory",
+		},
+		{
+			name:  "busy-at-quiescence",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, WI, 4); ts.script().write(0, 64, 1).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				ts.s.dirEntryAt(1).busy = true
+			},
+			want: "directory busy",
+		},
+		{
+			name:  "queued-at-quiescence",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, CU, 4); ts.script().read(1, 64, nil).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				d := ts.s.dirEntryAt(1)
+				d.waitq = append(d.waitq, func() {})
+			},
+			want: "queued=1",
+		},
+		{
+			name:  "cached-without-directory",
+			build: func(t *testing.T) *testSystem { ts := newTest(t, WI, 4); ts.script().read(0, 64, nil).run(); return ts },
+			corrupt: func(ts *testSystem) {
+				// A block no directory entry was ever created for.
+				ts.s.Cache(2).Install(40, make([]uint32, cache.WordsPerBlock), cache.Shared)
+			},
+			want: "no directory entry",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ts := tc.build(t)
+			if errs := ts.s.CheckCoherence(); len(errs) > 0 {
+				t.Fatalf("system dirty before mutation: %v", errs[0])
+			}
+			tc.corrupt(ts)
+			errs := ts.s.CheckCoherence()
+			if len(errs) == 0 {
+				t.Fatalf("checker missed the %s corruption entirely", tc.name)
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no reported error mentions %q; got %v", tc.want, errs)
+			}
+		})
+	}
+}

@@ -8,88 +8,6 @@ import (
 	"coherencesim/internal/sim"
 )
 
-// testSystem bundles a System with its engine and classifier.
-type testSystem struct {
-	e  *sim.Engine
-	s  *System
-	cl *classify.Classifier
-}
-
-func newTest(t *testing.T, protocol Protocol, procs int) *testSystem {
-	t.Helper()
-	e := sim.NewEngine()
-	cl := classify.New(procs)
-	cfg := DefaultConfig(protocol, procs)
-	s := NewSystem(e, procs, cfg, cl)
-	return &testSystem{e: e, s: s, cl: cl}
-}
-
-// script sequences asynchronous protocol operations: each step receives a
-// done callback that triggers the next step.
-type script struct {
-	ts    *testSystem
-	steps []func(done func())
-}
-
-func (ts *testSystem) script() *script { return &script{ts: ts} }
-
-func (sc *script) add(f func(done func())) *script {
-	sc.steps = append(sc.steps, f)
-	return sc
-}
-
-// read appends a load and stores the value into *out.
-func (sc *script) read(p int, a cache.Addr, out *uint32) *script {
-	return sc.add(func(done func()) {
-		sc.ts.s.Read(p, a, func(v uint32) {
-			if out != nil {
-				*out = v
-			}
-			done()
-		})
-	})
-}
-
-// write appends a store, then waits for both retirement and full drain.
-func (sc *script) write(p int, a cache.Addr, v uint32) *script {
-	return sc.add(func(done func()) {
-		sc.ts.s.Write(p, a, v, func() {
-			sc.ts.s.WhenDrained(p, done)
-		})
-	})
-}
-
-// atomic appends an atomic op, storing old into *out.
-func (sc *script) atomic(p int, a cache.Addr, k AtomicKind, o1, o2 uint32, out *uint32) *script {
-	return sc.add(func(done func()) {
-		sc.ts.s.Atomic(p, a, k, o1, o2, func(old uint32) {
-			if out != nil {
-				*out = old
-			}
-			sc.ts.s.WhenDrained(p, done)
-		})
-	})
-}
-
-func (sc *script) flush(p int, a cache.Addr) *script {
-	return sc.add(func(done func()) { sc.ts.s.FlushBlock(p, a, done) })
-}
-
-// run executes the steps in order and drains the engine.
-func (sc *script) run() {
-	var next func(i int)
-	next = func(i int) {
-		if i >= len(sc.steps) {
-			return
-		}
-		sc.steps[i](func() { next(i + 1) })
-	}
-	sc.ts.e.Schedule(0, func() { next(0) })
-	sc.ts.e.Run()
-}
-
-func allProtocols() []Protocol { return []Protocol{WI, PU, CU} }
-
 func TestProtocolStrings(t *testing.T) {
 	if WI.String() != "WI" || PU.Short() != "u" || CU.Short() != "c" {
 		t.Error("protocol strings wrong")
@@ -458,12 +376,8 @@ func TestOutstandingDrainsAfterAcks(t *testing.T) {
 
 func TestEvictionWritebackPreservesData(t *testing.T) {
 	// Tiny cache (2 lines) so blocks 0 and 2 conflict.
-	e := sim.NewEngine()
-	cl := classify.New(2)
-	cfg := DefaultConfig(WI, 2)
-	cfg.CacheBytes = 2 * cache.BlockBytes
-	s := NewSystem(e, 2, cfg, cl)
-	ts := &testSystem{e: e, s: s, cl: cl}
+	ts := newTest(t, WI, 2, withCacheBytes(2*cache.BlockBytes))
+	s, cl := ts.s, ts.cl
 	var v uint32
 	ts.script().
 		write(0, 0, 55).                  // block 0 dirty

@@ -4,8 +4,6 @@ import (
 	"testing"
 
 	"coherencesim/internal/cache"
-	"coherencesim/internal/classify"
-	"coherencesim/internal/sim"
 )
 
 // Edge-case coverage for the update-based protocols.
@@ -74,12 +72,8 @@ func TestAtomicOnRetainedBlockDemotesOwner(t *testing.T) {
 }
 
 func TestRetentionDisabled(t *testing.T) {
-	e := sim.NewEngine()
-	cl := classify.New(4)
-	cfg := DefaultConfig(PU, 4)
-	cfg.DisableRetention = true
-	s := NewSystem(e, 4, cfg, cl)
-	ts := &testSystem{e: e, s: s, cl: cl}
+	ts := newTest(t, PU, 4, withoutRetention())
+	s := ts.s
 	ts.script().
 		read(0, 64, nil).
 		write(0, 64, 1).
@@ -96,12 +90,8 @@ func TestRetentionDisabled(t *testing.T) {
 
 func TestCUThresholdConfigurable(t *testing.T) {
 	run := func(threshold uint8) bool {
-		e := sim.NewEngine()
-		cl := classify.New(4)
-		cfg := DefaultConfig(CU, 4)
-		cfg.CUThreshold = threshold
-		s := NewSystem(e, 4, cfg, cl)
-		ts := &testSystem{e: e, s: s, cl: cl}
+		ts := newTest(t, CU, 4, withCUThreshold(threshold))
+		s := ts.s
 		sc := ts.script().read(1, 64, nil)
 		for i := 0; i < 2; i++ {
 			sc.write(0, 64, uint32(i))
