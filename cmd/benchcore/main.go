@@ -27,12 +27,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	core "coherencesim"
 	"coherencesim/internal/cache"
 	"coherencesim/internal/mem"
 	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
 )
 
 // Result is one benchmark's measurement in BENCH_core.json.
@@ -134,6 +136,38 @@ func machineEventThroughput(b *testing.B) uint64 {
 		})
 		events += res.SimEvents
 		m.Release()
+	}
+	return events
+}
+
+// machineEventThroughputTraced is machineEventThroughput with the
+// transaction tracer attached: the all-in cost of causal transaction
+// tracing on the hottest machine-level path. Its untraced twin is what
+// the tight tracing gate protects; this one documents the tracing tax.
+func machineEventThroughputTraced(b *testing.B) uint64 {
+	b.ReportAllocs()
+	cycle := func() uint64 {
+		cfg := core.DefaultConfig(core.CU, 32)
+		cfg.Txn = trace.NewTracer(cfg.Procs, 0)
+		m := core.AcquireMachine(cfg)
+		ctr := m.Alloc("ctr", 4, 0)
+		res := m.Run(func(p *core.Proc) {
+			for k := 0; k < 50; k++ {
+				p.FetchAdd(ctr, 1)
+			}
+		})
+		m.Release()
+		return res.SimEvents
+	}
+	// Untimed warmup (see machineResetReuse): one-time pool and arena
+	// growth must not amortize over a benchtime-dependent b.N, or
+	// allocs/op rounds differently between runs and the gate misfires.
+	cycle()
+	var events uint64
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		events += cycle()
 	}
 	return events
 }
@@ -241,16 +275,36 @@ func singleLockRun(b *testing.B) uint64 {
 	return events
 }
 
+func singleLockRunTraced(b *testing.B) uint64 {
+	b.ReportAllocs()
+	cycle := func() uint64 {
+		p := core.DefaultLockParams(core.CU, 32)
+		p.Iterations = 1600
+		p.Breakdown = true
+		return core.LockLoop(p, core.MCS).SimEvents
+	}
+	cycle() // untimed warmup (see machineEventThroughputTraced)
+	var events uint64
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		events += cycle()
+	}
+	return events
+}
+
 var benches = []bench{
 	{"EngineScheduleRun", engineScheduleRun},
 	{"EngineStallForFastPath", engineStallFastPath},
 	{"EngineParkUnpark", engineParkUnpark},
 	{"MachineEventThroughput", machineEventThroughput},
+	{"MachineEventThroughputTraced", machineEventThroughputTraced},
 	{"MachineReadHitIssue", machineReadHitIssue},
 	{"MemBlockFetch", memBlockFetch},
 	{"CacheInstallEvict", cacheInstallEvict},
 	{"MachineResetReuse", machineResetReuse},
 	{"SingleLockRun", singleLockRun},
+	{"SingleLockRunTraced", singleLockRunTraced},
 }
 
 func run(benchtime string) (File, error) {
@@ -278,7 +332,7 @@ func run(benchtime string) (File, error) {
 		if events > 0 && r.T > 0 {
 			res.EventsPerSec = float64(events) / r.T.Seconds()
 		}
-		fmt.Printf("%-24s %12d iters %14.1f ns/op %8d allocs/op %10.0f events/s\n",
+		fmt.Printf("%-28s %12d iters %14.1f ns/op %8d allocs/op %10.0f events/s\n",
 			bm.name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
 		f.Results = append(f.Results, res)
 	}
@@ -289,6 +343,28 @@ func run(benchtime string) (File, error) {
 // fails. Timing on shared CI runners is noisy, so the bound is
 // generous; allocs/op is deterministic and gets no slack at all.
 const gateNsSlack = 1.15
+
+// tracingGated names the benchmarks that exercise hot paths with the
+// transaction tracer disabled. Tracing must be free when off, so these
+// carry a much tighter ns/op bound than the general gate (their traced
+// twins measure the opt-in cost and get only the general bound).
+var tracingGated = map[string]bool{
+	"MachineEventThroughput": true,
+	"SingleLockRun":          true,
+}
+
+// tracingNsSlack bounds the tracing-disabled benchmarks: 2% ns/op
+// drift against baseline. Allocs/op increases already fail globally.
+const tracingNsSlack = 1.02
+
+// tracedAllocSlack is the absolute allocs/op tolerance for the traced
+// documentation benches (the "...Traced" twins). They allocate
+// thousands of objects per op, so a handful of stray runtime
+// allocations landing in the timed window shifts the rounded per-op
+// average by one between otherwise identical runs. The tracing-off
+// benchmarks keep the zero-slack rule — their per-op counts are small
+// and have proven exactly stable.
+const tracedAllocSlack = 2
 
 // compare prints a benchstat-style old-vs-new table and returns the
 // gate violations (ns/op regressions beyond the slack, or any allocs/op
@@ -307,25 +383,33 @@ func compare(oldPath string, cur File) ([]string, error) {
 		prev[r.Name] = r
 	}
 	var violations []string
-	fmt.Printf("\n%-24s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	fmt.Printf("\n%-28s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
 	for _, r := range cur.Results {
 		o, ok := prev[r.Name]
 		if !ok {
-			fmt.Printf("%-24s %14s %14.1f %8s %16d\n", r.Name, "-", r.NsPerOp, "new", r.AllocsPerOp)
+			fmt.Printf("%-28s %14s %14.1f %8s %16d\n", r.Name, "-", r.NsPerOp, "new", r.AllocsPerOp)
 			continue
 		}
 		delta := "~"
 		if o.NsPerOp > 0 {
 			delta = fmt.Sprintf("%+.1f%%", (r.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
 		}
-		fmt.Printf("%-24s %14.1f %14.1f %8s %10d→%d\n",
+		fmt.Printf("%-28s %14.1f %14.1f %8s %10d→%d\n",
 			r.Name, o.NsPerOp, r.NsPerOp, delta, o.AllocsPerOp, r.AllocsPerOp)
-		if o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*gateNsSlack {
+		slack := gateNsSlack
+		if tracingGated[r.Name] {
+			slack = tracingNsSlack
+		}
+		if o.NsPerOp > 0 && r.NsPerOp > o.NsPerOp*slack {
 			violations = append(violations, fmt.Sprintf(
 				"%s: %.1f ns/op vs baseline %.1f (>%.0f%% regression)",
-				r.Name, r.NsPerOp, o.NsPerOp, (gateNsSlack-1)*100))
+				r.Name, r.NsPerOp, o.NsPerOp, (slack-1)*100))
 		}
-		if r.AllocsPerOp > o.AllocsPerOp {
+		allocSlack := int64(0)
+		if strings.HasSuffix(r.Name, "Traced") {
+			allocSlack = tracedAllocSlack
+		}
+		if r.AllocsPerOp > o.AllocsPerOp+allocSlack {
 			violations = append(violations, fmt.Sprintf(
 				"%s: %d allocs/op vs baseline %d (allocation regression)",
 				r.Name, r.AllocsPerOp, o.AllocsPerOp))

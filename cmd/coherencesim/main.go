@@ -51,18 +51,26 @@ import (
 
 // obsOptions carries the CLI's observability settings into the run paths.
 type obsOptions struct {
-	metricsOut  string   // JSON metrics report destination
-	metricsCSV  string   // CSV time-series destination
-	interval    sim.Time // sampling interval (simulated cycles)
-	wallclock   bool     // include the nondeterministic wall-clock section
-	timelineOut string   // Chrome trace-event / Perfetto destination (-run only)
-	traceN      int      // operation-trace ring capacity (-run only)
-	traceOut    string   // operation-trace dump destination (default stderr)
+	metricsOut   string   // JSON metrics report destination
+	metricsCSV   string   // CSV time-series destination
+	interval     sim.Time // sampling interval (simulated cycles)
+	wallclock    bool     // include the nondeterministic wall-clock section
+	timelineOut  string   // Chrome trace-event / Perfetto destination (-run only)
+	traceN       int      // operation-trace ring capacity (-run only)
+	traceOut     string   // operation-trace dump destination (default stderr)
+	breakdown    bool     // print the stall-attribution breakdown table
+	breakdownOut string   // JSON breakdown report destination
+	traceTxnOut  string   // flow-linked transaction timeline destination (-run only)
 }
 
 // metricsEnabled reports whether any metrics export was requested.
 func (ob obsOptions) metricsEnabled() bool {
 	return ob.metricsOut != "" || ob.metricsCSV != ""
+}
+
+// breakdownEnabled reports whether a transaction tracer must be attached.
+func (ob obsOptions) breakdownEnabled() bool {
+	return ob.breakdown || ob.breakdownOut != "" || ob.traceTxnOut != ""
 }
 
 func main() {
@@ -90,6 +98,9 @@ func run() int {
 		metricsCSV       = flag.String("metrics-csv", "", "write the sampled counter time series as CSV (one row per run, frame, counter) to this file")
 		metricsInterval  = flag.Uint64("metrics-interval", 10000, "metrics sampling interval in simulated cycles")
 		metricsWallclock = flag.Bool("metrics-wallclock", false, "include the (nondeterministic) wall-clock self-observability section in -metrics-out")
+		breakdown        = flag.Bool("breakdown", false, "print the per-run stall-attribution breakdown (compute, read-miss, write-ownership, invalidation-wait, update-traffic, lock-wait, barrier-wait)")
+		breakdownOut     = flag.String("breakdown-out", "", "write the deterministic JSON breakdown report to this file")
+		traceTxnOut      = flag.String("trace-txn", "", "write a flow-linked Chrome trace-event / Perfetto timeline of coherence transactions and the stalls they release to this file (-run mode)")
 		timelineOut      = flag.String("timeline-out", "", "write a Chrome trace-event / Perfetto timeline of per-processor states to this file (-run mode)")
 		traceN           = flag.Int("trace", 0, "record the last N processor operations in a ring buffer and dump them after the run (-run mode)")
 		traceOut         = flag.String("trace-out", "", "file for the -trace dump (default stderr)")
@@ -143,6 +154,10 @@ func run() int {
 		timelineOut: *timelineOut,
 		traceN:      *traceN,
 		traceOut:    *traceOut,
+
+		breakdown:    *breakdown,
+		breakdownOut: *breakdownOut,
+		traceTxnOut:  *traceTxnOut,
 	}
 	if ob.metricsEnabled() && ob.interval == 0 {
 		fmt.Fprintln(os.Stderr, "coherencesim: -metrics-interval must be positive")
@@ -175,6 +190,9 @@ func run() int {
 			o.Metrics = metrics.NewCollector(ob.interval)
 			phases = metrics.NewPhaseTimer()
 		}
+		if ob.breakdown || ob.breakdownOut != "" {
+			o.Breakdown = trace.NewBreakdownCollector()
+		}
 		var err error
 		if *format == "csv" {
 			err = runExperimentsCSV(*experiment, o)
@@ -183,6 +201,9 @@ func run() int {
 		}
 		if err == nil {
 			err = writeExperimentMetrics(o, phases, ob)
+		}
+		if err == nil {
+			err = writeExperimentBreakdown(o, ob)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "coherencesim:", err)
@@ -227,6 +248,35 @@ func writeExperimentMetrics(o experiments.Options, phases *metrics.PhaseTimer, o
 		}
 	}
 	return writeReport(rep, ob)
+}
+
+// writeExperimentBreakdown prints and/or writes the collected
+// stall-attribution breakdowns after an experiment run.
+func writeExperimentBreakdown(o experiments.Options, ob obsOptions) error {
+	if o.Breakdown == nil {
+		return nil
+	}
+	rep := o.Breakdown.Report()
+	if ob.breakdown {
+		fmt.Print(rep.Table())
+	}
+	if ob.breakdownOut != "" {
+		return writeBreakdownJSON(rep, ob.breakdownOut)
+	}
+	return nil
+}
+
+// writeBreakdownJSON writes one breakdown report as JSON.
+func writeBreakdownJSON(rep *trace.BreakdownReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeReport writes the report to the JSON and/or CSV destinations.
@@ -314,36 +364,44 @@ func runExperiments(name string, o experiments.Options, timings io.Writer, phase
 // instrument applies the observability options to a single run's
 // parameters, returning the timeline and trace handles to export after
 // the run (nil when the corresponding flag is off).
-func instrument(p *workload.Params, ob obsOptions) (*metrics.Timeline, *trace.Log) {
+func instrument(p *workload.Params, ob obsOptions) (*metrics.Timeline, *trace.Log, *trace.Tracer) {
 	if ob.metricsEnabled() {
 		p.MetricsInterval = ob.interval
 	}
 	var tl *metrics.Timeline
 	var tr *trace.Log
+	var txn *trace.Tracer
 	if ob.timelineOut != "" {
 		tl = metrics.NewTimeline(0)
 	}
 	if ob.traceN > 0 {
 		tr = trace.NewLog(ob.traceN)
 	}
-	if tl != nil || tr != nil {
+	if ob.breakdownEnabled() {
+		// The CLI builds the tracer itself (rather than via
+		// Params.Breakdown) so it keeps the handle for the flow-linked
+		// transaction timeline export.
+		txn = trace.NewTracer(p.Procs, 0)
+	}
+	if tl != nil || tr != nil || txn != nil {
 		prev := p.Tune
 		p.Tune = func(cfg *machine.Config) {
 			cfg.Timeline = tl
 			cfg.Trace = tr
+			cfg.Txn = txn
 			if prev != nil {
 				prev(cfg)
 			}
 		}
 	}
-	return tl, tr
+	return tl, tr, txn
 }
 
 // writeRunOutputs exports a single run's requested observability
 // artifacts: the operation-trace dump, the Perfetto timeline (with trace
 // events folded in as instants when both are enabled), and the metrics
 // report.
-func writeRunOutputs(label string, res machine.Result, tl *metrics.Timeline, tr *trace.Log, ob obsOptions) error {
+func writeRunOutputs(label, protocol string, res machine.Result, tl *metrics.Timeline, tr *trace.Log, txn *trace.Tracer, ob obsOptions) error {
 	if tr != nil {
 		w := io.Writer(os.Stderr)
 		if ob.traceOut != "" {
@@ -383,6 +441,35 @@ func writeRunOutputs(label string, res machine.Result, tl *metrics.Timeline, tr 
 			return err
 		}
 	}
+	if txn != nil {
+		if ob.breakdown || ob.breakdownOut != "" {
+			coll := trace.NewBreakdownCollector()
+			coll.Add(label, res.Breakdown)
+			rep := coll.Report()
+			rep.Protocol = protocol
+			if ob.breakdown {
+				fmt.Print(rep.Table())
+			}
+			if ob.breakdownOut != "" {
+				if err := writeBreakdownJSON(rep, ob.breakdownOut); err != nil {
+					return err
+				}
+			}
+		}
+		if ob.traceTxnOut != "" {
+			f, err := os.Create(ob.traceTxnOut)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteTxnChromeTrace(f, txn, protocol); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
 	if ob.metricsEnabled() {
 		coll := metrics.NewCollector(ob.interval)
 		coll.Add(label, res.Metrics)
@@ -413,14 +500,14 @@ func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters 
 		if iters > 0 {
 			p.Iterations = iters
 		}
-		tl, tr := instrument(&p, ob)
+		tl, tr, txn := instrument(&p, ob)
 		res := workload.LockLoop(p, lk)
 		fmt.Printf("%v lock, %v, P=%d: %d acquires\n", lk, pr, procs, res.Acquires)
 		fmt.Printf("  avg acquire-release latency: %.1f cycles\n", res.AvgLatency)
 		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Result.Net.Messages)
 		fmt.Print(missBar(res))
 		return writeRunOutputs(fmt.Sprintf("run/lock/%v-%s/P=%d", lk, pr.Short(), procs),
-			res.Result, tl, tr, ob)
+			pr.String(), res.Result, tl, tr, txn, ob)
 	case "barrier":
 		var bk workload.BarrierKind
 		switch strings.ToLower(barKind) {
@@ -437,13 +524,13 @@ func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters 
 		if iters > 0 {
 			p.Iterations = iters
 		}
-		tl, tr := instrument(&p, ob)
+		tl, tr, txn := instrument(&p, ob)
 		res := workload.BarrierLoop(p, bk)
 		fmt.Printf("%v barrier, %v, P=%d: %d episodes\n", bk, pr, procs, res.Episodes)
 		fmt.Printf("  avg episode latency: %.1f cycles\n", res.AvgLatency)
 		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Net.Messages)
 		return writeRunOutputs(fmt.Sprintf("run/barrier/%v-%s/P=%d", bk, pr.Short(), procs),
-			res.Result, tl, tr, ob)
+			pr.String(), res.Result, tl, tr, txn, ob)
 	case "reduction":
 		var rk workload.ReductionKind
 		switch strings.ToLower(redKind) {
@@ -458,13 +545,13 @@ func singleRun(kind, lockKind, barKind, redKind, protoName string, procs, iters 
 		if iters > 0 {
 			p.Iterations = iters
 		}
-		tl, tr := instrument(&p, ob)
+		tl, tr, txn := instrument(&p, ob)
 		res := workload.ReductionLoop(p, rk)
 		fmt.Printf("%v reduction, %v, P=%d: %d reductions\n", rk, pr, procs, res.Reductions)
 		fmt.Printf("  avg reduction latency: %.1f cycles\n", res.AvgLatency)
 		printTraffic(res.Misses.Total(), res.Updates.Total(), res.Net.Messages)
 		return writeRunOutputs(fmt.Sprintf("run/reduction/%v-%s/P=%d", rk, pr.Short(), procs),
-			res.Result, tl, tr, ob)
+			pr.String(), res.Result, tl, tr, txn, ob)
 	default:
 		return fmt.Errorf("unknown run kind %q (want lock, barrier, or reduction)", kind)
 	}

@@ -39,6 +39,8 @@ func NewCentralBarrier(m *machine.Machine, name string) *CentralBarrier {
 func (b *CentralBarrier) Wait(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { b.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseBarrier)
+	defer p.EndPhase()
 	p.Fence() // release: writes before the barrier
 	ls := b.localSense[p.ID()]
 	b.localSense[p.ID()] = 1 - ls // toggle private sense (register-resident)
@@ -92,6 +94,8 @@ func (b *DisseminationBarrier) flagAddr(node, parity, round int) machine.Addr {
 func (b *DisseminationBarrier) Wait(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { b.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseBarrier)
+	defer p.EndPhase()
 	p.Fence()
 	p.Compute(1) // parity/sense bookkeeping instructions
 	id := p.ID()
@@ -166,6 +170,8 @@ func (b *TreeBarrier) parentSlot(id int) machine.Addr {
 func (b *TreeBarrier) Wait(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { b.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseBarrier)
+	defer p.EndPhase()
 	p.Fence()
 	id := p.ID()
 	sense := b.sense[id]

@@ -75,6 +75,8 @@ func NewTicketLock(m *machine.Machine, name string) *TicketLock {
 func (l *TicketLock) Acquire(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { l.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	my := p.FetchAdd(l.ticket, 1)
 	l.myTick[p.ID()] = my
 	for {
@@ -89,6 +91,8 @@ func (l *TicketLock) Acquire(p *machine.Proc) {
 // Release serves the next ticket. The store is a release: it first waits
 // for the holder's outstanding writes.
 func (l *TicketLock) Release(p *machine.Proc) {
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	p.Fence()
 	p.Write(l.now, l.myTick[p.ID()]+1)
 }
@@ -147,6 +151,8 @@ func (l *MCSLock) ownerOf(node machine.Addr) int {
 func (l *MCSLock) Acquire(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { l.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	i := l.node(p.ID())
 	p.Write(i+qnodeNext, 0)
 	pred := machine.Addr(p.FetchStore(l.tail, uint32(i)))
@@ -166,6 +172,8 @@ func (l *MCSLock) Acquire(p *machine.Proc) {
 
 // Release hands the lock to the successor, or empties the queue.
 func (l *MCSLock) Release(p *machine.Proc) {
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	i := l.node(p.ID())
 	p.Fence() // release: the critical section's writes
 	next := machine.Addr(p.Read(i + qnodeNext))

@@ -49,6 +49,8 @@ func (l *TASLock) SetBackoff(min, max sim.Time) {
 func (l *TASLock) Acquire(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { l.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	pause := l.minBackoff
 	for p.FetchStore(l.word, 1) != 0 {
 		p.Compute(sim.Time(p.Rand().Int63n(int64(pause))) + 1)
@@ -60,6 +62,8 @@ func (l *TASLock) Acquire(p *machine.Proc) {
 
 // Release clears the lock word (a release: fences first).
 func (l *TASLock) Release(p *machine.Proc) {
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	p.Fence()
 	p.Write(l.word, 0)
 }
@@ -86,6 +90,8 @@ func NewTTASLock(m *machine.Machine, name string) *TTASLock {
 func (l *TTASLock) Acquire(p *machine.Proc) {
 	t0 := p.Now()
 	defer func() { l.lat.Observe(p.Now() - t0) }()
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	for {
 		p.SpinUntil(l.word, func(v uint32) bool { return v == 0 })
 		if p.FetchStore(l.word, 1) == 0 {
@@ -96,6 +102,8 @@ func (l *TTASLock) Acquire(p *machine.Proc) {
 
 // Release clears the lock word (a release: fences first).
 func (l *TTASLock) Release(p *machine.Proc) {
+	p.BeginPhase(machine.PhaseLock)
+	defer p.EndPhase()
 	p.Fence()
 	p.Write(l.word, 0)
 }

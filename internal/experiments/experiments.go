@@ -16,6 +16,7 @@ import (
 	"coherencesim/internal/proto"
 	"coherencesim/internal/runner"
 	"coherencesim/internal/stats"
+	"coherencesim/internal/trace"
 	"coherencesim/internal/workload"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// loops, so the collected report is byte-identical at any worker
 	// count.
 	Metrics *metrics.Collector
+	// Breakdown, when non-nil, attaches a coherence-transaction tracer to
+	// every simulation and collects the labeled stall-attribution
+	// breakdowns. Like Metrics, snapshots are fed from the
+	// submission-ordered assembly loops, so the report is byte-identical
+	// at any worker count.
+	Breakdown *trace.BreakdownCollector
 }
 
 // Defaults returns the paper's experiment parameters.
@@ -81,6 +88,7 @@ func comboName(alg fmt.Stringer, pr proto.Protocol) string {
 // parameters, attaching a per-machine registry when collection is on.
 func (o Options) withMetrics(p workload.Params) workload.Params {
 	p.MetricsInterval = o.Metrics.Interval()
+	p.Breakdown = o.Breakdown.Enabled()
 	return p
 }
 
@@ -126,6 +134,7 @@ func latencySweep[K fmt.Stringer](o Options, figure, metric string, kinds []K,
 	for i, res := range runner.Map(o.Runner, jobs) {
 		s.Latency[points[i].name][points[i].procs] = res.Latency
 		o.Metrics.Add(jobs[i].Label, res.Metrics)
+		o.Breakdown.Add(jobs[i].Label, res.Breakdown)
 	}
 	return s
 }
@@ -157,6 +166,7 @@ func trafficSweep[K fmt.Stringer](o Options, figure string, kinds []K,
 		misses[names[i]] = res.Misses
 		updates[names[i]] = res.Updates
 		o.Metrics.Add(jobs[i].Label, res.Metrics)
+		o.Breakdown.Add(jobs[i].Label, res.Breakdown)
 	}
 	return misses, updates, allCombos, updCombos
 }

@@ -67,8 +67,15 @@ type Config struct {
 	// (stalls, spins, sync waits) for Chrome trace-event / Perfetto
 	// export.
 	Timeline *metrics.Timeline
-	Mesh     mesh.Config
-	Mem      mem.Config
+	// Txn, when non-nil, traces every coherence transaction end to end
+	// (issue, directory serialization, fan-out, acknowledgements) and
+	// attributes processor stall intervals to the transaction that
+	// released them. Keyed purely to simulated time: enabling it never
+	// perturbs the simulation, and Result.Breakdown is byte-identical at
+	// any experiment worker count and across machine reuse.
+	Txn  *trace.Tracer
+	Mesh mesh.Config
+	Mem  mem.Config
 }
 
 // DefaultConfig returns the paper's machine parameters.
@@ -107,6 +114,9 @@ type Result struct {
 	// Metrics is the observability snapshot of the run, non-nil only
 	// when Config.Metrics was set.
 	Metrics *metrics.Snapshot
+	// Breakdown is the stall-attribution breakdown of the run, non-nil
+	// only when Config.Txn was set.
+	Breakdown *trace.BreakdownSnapshot
 }
 
 // SimulatedCycles reports the run's simulated execution time for
@@ -218,6 +228,7 @@ func (m *Machine) protoConfig() proto.Config {
 		Mesh:             m.cfg.Mesh,
 		Mem:              m.cfg.Mem,
 		Metrics:          m.cfg.Metrics,
+		Txn:              m.cfg.Txn,
 		HomeOf:           m.homeOf,
 	}
 }
@@ -373,6 +384,7 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 	per := make([]ProcStats, len(m.procs))
 	for i, p := range m.procs {
 		per[i] = p.stats
+		m.cfg.Txn.AddCompute(i, p.stats.Busy)
 	}
 	return Result{
 		Cycles:     m.e.Now(),
@@ -385,5 +397,6 @@ func (m *Machine) Run(body func(p *Proc)) Result {
 		SimEvents:  m.e.Processed(),
 		PerProc:    per,
 		Metrics:    m.cfg.Metrics.Snapshot(m.e.Now()),
+		Breakdown:  m.cfg.Txn.Snapshot(m.e.Now()),
 	}
 }

@@ -40,6 +40,8 @@ func (m *Machine) NewMagicLock() *MagicLock {
 
 // Acquire obtains the lock, queueing FIFO behind the current holder.
 func (l *MagicLock) Acquire(p *Proc) {
+	p.BeginPhase(PhaseLock)
+	defer p.EndPhase()
 	p.Compute(l.cycles)
 	if !l.held {
 		l.held = true
@@ -54,6 +56,8 @@ func (l *MagicLock) Release(p *Proc) {
 	if !l.held {
 		panic("machine: MagicLock.Release without holder")
 	}
+	p.BeginPhase(PhaseLock)
+	defer p.EndPhase()
 	p.Fence() // release consistency: wait for the holder's write acks
 	p.Compute(l.cycles)
 	if len(l.queue) == 0 {
@@ -87,6 +91,8 @@ func (m *Machine) NewMagicBarrier() *MagicBarrier {
 // writes to be fully acknowledged, so data written before the barrier is
 // visible to every processor after it.
 func (b *MagicBarrier) Wait(p *Proc) {
+	p.BeginPhase(PhaseBarrier)
+	defer p.EndPhase()
 	p.Fence()
 	b.arrived++
 	if b.arrived < b.n {

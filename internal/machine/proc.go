@@ -25,6 +25,20 @@ const (
 	waitFlushWB
 )
 
+// Phase tags the synchronization construct a processor is currently
+// executing, so stall attribution can separate lock waits from barrier
+// waits in the paper-style overhead breakdowns. Constructs bracket
+// their acquire/release/wait bodies with BeginPhase/EndPhase; phases
+// nest (an unlock's fence inside a barrier episode attributes to the
+// innermost tag).
+type Phase int
+
+const (
+	PhaseNone    Phase = iota
+	PhaseLock          // inside a lock acquire/release
+	PhaseBarrier       // inside a barrier episode
+)
+
 // timelineName labels a stall interval for the exported timeline.
 func (r waitReason) timelineName() string {
 	switch r {
@@ -86,6 +100,12 @@ type Proc struct {
 	waiting waitReason
 	rng     *rand.Rand
 	stats   ProcStats
+
+	// phase is the synchronization-phase tag stack (see Phase); relBy is
+	// the transaction that released the most recent wake, captured at the
+	// release instant so stall attribution survives the resume hop.
+	phase []Phase
+	relBy trace.ReleaseInfo
 
 	// pending accumulates locally charged cycles (instruction issue,
 	// Compute) that have not yet been realized on the simulated clock.
@@ -169,6 +189,65 @@ func (p *Proc) reset() {
 	p.pending = 0
 	p.opDone = false
 	p.opVal = 0
+	p.phase = p.phase[:0]
+	p.relBy = trace.ReleaseInfo{}
+}
+
+// BeginPhase pushes a synchronization-phase tag; EndPhase pops it. The
+// stack is kept even with tracing off (its steady-state cost is an
+// in-place append) so constructs need not know whether a tracer is
+// attached.
+func (p *Proc) BeginPhase(ph Phase) { p.phase = append(p.phase, ph) }
+
+// EndPhase pops the innermost synchronization-phase tag.
+func (p *Proc) EndPhase() {
+	if len(p.phase) == 0 {
+		panic("machine: EndPhase without BeginPhase")
+	}
+	p.phase = p.phase[:len(p.phase)-1]
+}
+
+// phaseCategory maps the innermost phase tag to a stall category.
+func (p *Proc) phaseCategory() trace.Category {
+	if n := len(p.phase); n > 0 {
+		switch p.phase[n-1] {
+		case PhaseLock:
+			return trace.CatLockWait
+		case PhaseBarrier:
+			return trace.CatBarrierWait
+		}
+	}
+	return trace.CatOtherSync
+}
+
+// stallCategory maps a completed stall to its paper-style overhead
+// category, consulting the releasing transaction for the
+// protocol-dependent write-path cases: the same fence stall is
+// invalidation-wait under WI (the release waits on invalidation acks)
+// and update-traffic under PU/CU (it waits on update acks).
+func (p *Proc) stallCategory(r waitReason) (trace.Category, trace.TxnID) {
+	switch r {
+	case waitRead:
+		return trace.CatReadMiss, p.relBy.ID
+	case waitSpin:
+		return p.phaseCategory(), p.relBy.ID
+	case waitSync:
+		return p.phaseCategory(), 0
+	}
+	// Write-path stalls: buffer space, forced drains, fences, atomics.
+	rel := p.relBy
+	switch {
+	case rel.ID == 0:
+		return trace.CatOtherSync, 0
+	case rel.Kind == trace.TxnRead:
+		return trace.CatReadMiss, rel.ID
+	case rel.Fan == trace.FanInv && rel.Targets > 0:
+		return trace.CatInvalidationWait, rel.ID
+	case rel.Fan == trace.FanUpd && rel.Targets > 0:
+		return trace.CatUpdateTraffic, rel.ID
+	default:
+		return trace.CatWriteOwnership, rel.ID
+	}
 }
 
 // ID returns the processor number (0-based).
@@ -247,12 +326,20 @@ func (p *Proc) block(r waitReason) {
 	p.m.met.stall[r].Add(now, dt)
 	if dt > 0 {
 		p.m.cfg.Timeline.AddSlice(p.id, r.timelineName(), t0, now)
+		if tr := p.m.cfg.Txn; tr != nil {
+			cat, by := p.stallCategory(r)
+			tr.AddStall(p.id, cat, t0, now, by)
+		}
 	}
 }
 
-// unblock wakes the processor if it is parked for the given reason.
+// unblock wakes the processor if it is parked for the given reason,
+// capturing the releasing transaction at the release instant.
 func (p *Proc) unblock(r waitReason) {
 	if p.waiting == r {
+		if tr := p.m.cfg.Txn; tr != nil {
+			p.relBy = tr.LastRelease(p.id)
+		}
 		p.waiting = waitNone
 		p.co.Wake()
 	}
@@ -397,7 +484,11 @@ func (p *Proc) spinPoll(poll sim.Time) {
 	p.stats.SpinWait += poll
 	p.m.met.stall[waitSpin].Add(t0, poll)
 	p.co.StallFor(poll)
-	p.m.cfg.Timeline.AddSlice(p.id, waitSpin.timelineName(), t0, p.m.e.Now())
+	now := p.m.e.Now()
+	p.m.cfg.Timeline.AddSlice(p.id, waitSpin.timelineName(), t0, now)
+	if tr := p.m.cfg.Txn; tr != nil {
+		tr.AddStall(p.id, p.phaseCategory(), t0, now, 0)
+	}
 }
 
 // SpinUntil spins reading the word at a until pred is satisfied and

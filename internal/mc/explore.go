@@ -3,6 +3,8 @@ package mc
 import (
 	"fmt"
 	"sort"
+
+	"coherencesim/internal/trace"
 )
 
 // ViolationKind classifies what an exploration found.
@@ -179,7 +181,11 @@ func Explore(cfg Config) (*Result, error) {
 // traceOf serializes the schedule along the current DFS stack.
 func traceOf(cfg Config, stack []*frame) Trace {
 	t := Trace{
-		Protocol:         cfg.Protocol.String(),
+		Envelope: trace.Envelope{
+			Schema:   trace.TraceSchemaVersion,
+			Kind:     "counterexample",
+			Protocol: cfg.Protocol.String(),
+		},
 		Procs:            cfg.Procs,
 		Blocks:           cfg.Blocks,
 		Words:            cfg.Words,

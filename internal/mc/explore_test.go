@@ -164,8 +164,8 @@ func TestSeededFaultsProduceCounterexamples(t *testing.T) {
 // TestFaithfulReplayRoundTrip: an explored violation-free config's
 // schedules replay exactly (spot check via a synthetic trace).
 func TestFaithfulReplayRoundTrip(t *testing.T) {
-	trace := &Trace{
-		Protocol: "WI", Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 2, CUThreshold: 4,
+	syn := &Trace{
+		Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 2, CUThreshold: 4,
 		Actions: []string{
 			"p0 write b0.w0", // issue
 			"0>0",            // WI request to home (self)
@@ -175,16 +175,20 @@ func TestFaithfulReplayRoundTrip(t *testing.T) {
 			"0>1",            // owner fetch? (home is p0; owner is p0 -> local)
 		},
 	}
+	syn.Protocol = "WI"
 	// The exact message flow depends on the model; just require that
 	// replay either completes cleanly or reports a guard violation —
 	// never panics — and that a malformed action errors.
-	if _, err := Replay(trace); err != nil {
+	if _, err := Replay(syn); err != nil {
 		t.Logf("replay reported: %v", err)
 	}
-	if _, err := Replay(&Trace{Protocol: "XX", Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 1, CUThreshold: 4}); err == nil {
+	badProto := &Trace{Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 1, CUThreshold: 4}
+	badProto.Protocol = "XX"
+	if _, err := Replay(badProto); err == nil {
 		t.Fatal("bad protocol accepted")
 	}
-	bad := &Trace{Protocol: "WI", Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 1, CUThreshold: 4, Actions: []string{"garbage"}}
+	bad := &Trace{Procs: 2, Blocks: 1, Words: 1, OpsPerProc: 1, CUThreshold: 4, Actions: []string{"garbage"}}
+	bad.Protocol = "WI"
 	if _, err := Replay(bad); err == nil {
 		t.Fatal("garbage action accepted")
 	}

@@ -7,15 +7,19 @@ import (
 	"strings"
 
 	"coherencesim/internal/proto"
+	"coherencesim/internal/trace"
 )
 
 // Trace is a compact, replayable counterexample: the configuration plus
 // the exact action schedule from the initial state to the violation.
 // It serializes as JSON so a failing coherencemc run can be committed
 // verbatim as a go test regression fixture (see TestReplay* in
-// trace_test.go for the idiom).
+// trace_test.go for the idiom). The header is the shared trace.Envelope
+// (schema, kind "counterexample", protocol) every simulator-emitted
+// trace document carries; pre-envelope documents (schema 0, no kind)
+// are still accepted by ParseTrace.
 type Trace struct {
-	Protocol         string   `json:"protocol"`
+	trace.Envelope
 	Procs            int      `json:"procs"`
 	Blocks           int      `json:"blocks"`
 	Words            int      `json:"words"`
@@ -124,11 +128,24 @@ func LoadTrace(path string) (*Trace, error) {
 	return ParseTrace(raw)
 }
 
-// ParseTrace decodes a JSON trace.
+// ParseTrace decodes a JSON trace. Schema 0 (documents written before
+// the shared envelope existed) is normalized to the current version.
 func ParseTrace(raw []byte) (*Trace, error) {
 	var t Trace
 	if err := json.Unmarshal(raw, &t); err != nil {
 		return nil, fmt.Errorf("mc: bad trace: %v", err)
+	}
+	switch t.Schema {
+	case 0:
+		t.Schema = trace.TraceSchemaVersion
+	case trace.TraceSchemaVersion:
+	default:
+		return nil, fmt.Errorf("mc: unsupported trace schema %d (this build reads <= %d)", t.Schema, trace.TraceSchemaVersion)
+	}
+	if t.Kind == "" {
+		t.Kind = "counterexample"
+	} else if t.Kind != "counterexample" {
+		return nil, fmt.Errorf("mc: trace kind %q is not a counterexample", t.Kind)
 	}
 	return &t, nil
 }
@@ -162,7 +179,8 @@ func Replay(t *Trace) (*Violation, error) {
 		x := &stepCtx{cfg: cfg, st: st}
 		x.apply(a)
 		prefix := Trace{
-			Protocol: t.Protocol, Procs: t.Procs, Blocks: t.Blocks, Words: t.Words,
+			Envelope: t.Envelope,
+			Procs:    t.Procs, Blocks: t.Blocks, Words: t.Words,
 			OpsPerProc: t.OpsPerProc, CUThreshold: t.CUThreshold,
 			DisableRetention: t.DisableRetention, OpSet: t.OpSet, Faults: t.Faults,
 			Actions: t.Actions[:i+1],

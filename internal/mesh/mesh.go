@@ -138,13 +138,15 @@ func (nw *Network) Flits(bytes int) int {
 // Timing: the source NI serializes the flits (contention with other
 // outgoing messages), the header then pipelines through the mesh at
 // SwitchDelay per hop, and the destination NI serializes arrival
-// (contention with other incoming messages).
-func (nw *Network) Send(src, dst, bytes int, deliver func()) {
+// (contention with other incoming messages). The returned time is the
+// delivery instant (when deliver runs) — the transaction tracer uses it
+// to bound per-hop and fan-out spans without a second lookup.
+func (nw *Network) Send(src, dst, bytes int, deliver func()) sim.Time {
 	now := nw.e.Now()
 	if src == dst {
 		nw.stats.Loopback++
 		nw.e.Schedule(nw.cfg.LocalDelay, deliver)
-		return
+		return now + nw.cfg.LocalDelay
 	}
 	flits := sim.Time(nw.Flits(bytes))
 	hops := sim.Time(nw.Hops(src, dst))
@@ -168,6 +170,7 @@ func (nw *Network) Send(src, dst, bytes int, deliver func()) {
 	}
 
 	nw.e.At(done, deliver)
+	return done
 }
 
 // NodeFlits returns node id's injected (out) and received (in) flit

@@ -3,6 +3,7 @@ package proto
 import (
 	"coherencesim/internal/cache"
 	"coherencesim/internal/classify"
+	"coherencesim/internal/trace"
 )
 
 // Read performs processor p's load from address a. done(value) is
@@ -23,7 +24,10 @@ func (s *System) Read(p int, a cache.Addr, done func(v uint32)) {
 	s.cl.Miss(p, block, word)
 	s.ctr.Reads++
 	m := s.newReadMsg(p, block, word, done)
-	s.send(p, s.HomeOf(block), szControl, m.homeFn)
+	if s.tr != nil {
+		m.txn = s.tr.Begin(p, trace.TxnRead, block, s.e.Now())
+	}
+	s.sendT(m.txn, p, s.HomeOf(block), szControl, m.homeFn)
 }
 
 // homeRead starts read-miss servicing for callers already at the home
@@ -44,6 +48,7 @@ type readMsg struct {
 	word  int
 	owner int
 	block uint32
+	txn   trace.TxnID
 	data  []uint32 // borrowed frame
 	done  func(uint32)
 	next  *readMsg
@@ -73,11 +78,15 @@ func (s *System) newReadMsg(p int, block uint32, word int, done func(uint32)) *r
 		m.next = nil
 	}
 	m.p, m.block, m.word, m.done = p, block, word, done
+	m.txn = 0
 	return m
 }
 
 // home serializes the read request through the block's directory entry.
 func (m *readMsg) home() {
+	if s := m.s; s.tr != nil {
+		s.tr.HomeArrive(m.txn, s.e.Now())
+	}
 	m.s.whenFree(m.s.entry(m.block), m.lockedFn)
 }
 
@@ -86,6 +95,9 @@ func (m *readMsg) home() {
 // the frame is filled at memory-issue time.
 func (m *readMsg) locked() {
 	s := m.s
+	if s.tr != nil {
+		s.tr.DirStart(m.txn, s.e.Now())
+	}
 	d := s.entry(m.block)
 	switch d.state {
 	case dirUncached, dirShared:
@@ -95,7 +107,7 @@ func (m *readMsg) locked() {
 	case dirOwned:
 		d.busy = true
 		m.owner = d.owner
-		s.send(s.HomeOf(m.block), m.owner, szControl, m.ownerFetchFn)
+		s.sendT(m.txn, s.HomeOf(m.block), m.owner, szControl, m.ownerFetchFn)
 	}
 }
 
@@ -107,7 +119,7 @@ func (m *readMsg) got() {
 	d := s.entry(m.block)
 	d.state = dirShared
 	d.add(m.p)
-	s.send(s.HomeOf(m.block), m.p, szData, m.installFn)
+	s.sendT(m.txn, s.HomeOf(m.block), m.p, szData, m.installFn)
 	s.release(d)
 }
 
@@ -116,7 +128,7 @@ func (m *readMsg) got() {
 func (m *readMsg) ownerFetch() {
 	s := m.s
 	m.data = s.takeOwnerData(m.owner, m.block, true /* demote to shared */)
-	s.send(m.owner, s.HomeOf(m.block), szData, m.ownerBackFn)
+	s.sendT(m.txn, m.owner, s.HomeOf(m.block), szData, m.ownerBackFn)
 }
 
 // ownerBack refreshes memory with the owner's data.
@@ -135,23 +147,29 @@ func (m *readMsg) ownerWrote() {
 		d.add(m.owner)
 	}
 	d.add(m.p)
-	s.send(s.HomeOf(m.block), m.p, szData, m.installFn)
+	s.sendT(m.txn, s.HomeOf(m.block), m.p, szData, m.installFn)
 	s.release(d)
 }
 
 // install runs at the requester: install the block, deliver the value.
 // The message recycles before the callback runs (fields copied out
-// first), so reads issued from within done may reuse it.
+// first), so reads issued from within done may reuse it. The trace span
+// ends before done runs, so a stall released by this read attributes to
+// the completed transaction.
 func (m *readMsg) install() {
 	s := m.s
-	p, block, word, data, done := m.p, m.block, m.word, m.data, m.done
+	p, block, word, data, done, txn := m.p, m.block, m.word, m.data, m.done, m.txn
 	m.data, m.done = nil, nil
+	m.txn = 0
 	m.next = s.rdFree
 	s.rdFree = m
 	ln := s.install(p, block, data, cache.Shared)
 	s.store.ReleaseFrame(data)
 	ln.Counter = 0
 	s.cl.Reference(p, block, word)
+	if s.tr != nil {
+		s.tr.End(txn, s.e.Now())
+	}
 	done(ln.Data[word])
 }
 

@@ -39,6 +39,7 @@ import (
 	"coherencesim/internal/mesh"
 	"coherencesim/internal/metrics"
 	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
 )
 
 // Protocol selects the coherence protocol.
@@ -131,6 +132,13 @@ type Config struct {
 	// cache counters. Keyed entirely to simulated time, so enabling it
 	// never perturbs determinism.
 	Metrics *metrics.Registry
+	// Txn, when non-nil, receives causal transaction traces: every
+	// memory operation leaving a processor gets an ID and lifecycle
+	// spans (issue, home arrival, directory service, fan-out legs,
+	// completion). Like Metrics it is keyed purely to simulated time
+	// and never perturbs the simulation; a nil tracer costs one pointer
+	// check per hook.
+	Txn *trace.Tracer
 }
 
 // DefaultConfig returns the paper's machine parameters for the given
@@ -217,6 +225,10 @@ type System struct {
 	cl  *classify.Classifier
 	cfg Config
 
+	// tr is the optional transaction tracer (nil = tracing off; every
+	// hook is gated on this single pointer check).
+	tr *trace.Tracer
+
 	ctr Counters
 
 	// Cached observability handles (nil-safe no-ops without a registry).
@@ -278,6 +290,7 @@ func NewSystem(e *sim.Engine, n int, cfg Config, cl *classify.Classifier) *Syste
 		procs:  make([]procState, n),
 		cl:     cl,
 		cfg:    cfg,
+		tr:     cfg.Txn,
 	}
 	for i := 0; i < n; i++ {
 		s.mems[i] = mem.NewModuleWithStore(e, i, cfg.Mem, s.store)
@@ -314,6 +327,7 @@ func (s *System) Reset(cfg Config) {
 		panic("proto: Config.HomeOf is required")
 	}
 	s.cfg = cfg
+	s.tr = cfg.Txn
 	s.ctr = Counters{}
 	for _, d := range s.dir {
 		if d == nil {
@@ -418,9 +432,21 @@ func (s *System) release(d *dirEntry) {
 	}
 }
 
-// send is a convenience wrapper over the mesh.
-func (s *System) send(src, dst, bytes int, deliver func()) {
-	s.nw.Send(src, dst, bytes, deliver)
+// send is a convenience wrapper over the mesh, returning the delivery
+// instant.
+func (s *System) send(src, dst, bytes int, deliver func()) sim.Time {
+	return s.nw.Send(src, dst, bytes, deliver)
+}
+
+// sendT sends on behalf of a traced transaction, accounting the hop's
+// flit payload against it. With tracing off (or an untraced message) it
+// is exactly send.
+func (s *System) sendT(txn trace.TxnID, src, dst, bytes int, deliver func()) sim.Time {
+	at := s.nw.Send(src, dst, bytes, deliver)
+	if s.tr != nil && txn != 0 {
+		s.tr.Hop(txn, s.nw.Flits(bytes))
+	}
+	return at
 }
 
 // addOutstanding notes n not-yet-complete write components for p.
@@ -507,7 +533,11 @@ func (s *System) sendWriteback(p int, block uint32, src []uint32) {
 		m.next = nil
 	}
 	m.p, m.block, m.data = p, block, data
-	s.send(p, s.HomeOf(block), szData, m.arriveFn)
+	m.txn = 0
+	if s.tr != nil {
+		m.txn = s.tr.Begin(p, trace.TxnWriteback, block, s.e.Now())
+	}
+	s.sendT(m.txn, p, s.HomeOf(block), szData, m.arriveFn)
 }
 
 // wbMsg carries one dirty write-back home. Processing serializes behind
@@ -520,22 +550,33 @@ type wbMsg struct {
 	p        int
 	block    uint32
 	data     []uint32 // borrowed frame, also registered in pendingWB
+	txn      trace.TxnID
 	next     *wbMsg
 	arriveFn func() // delivery at the home: serialize on the entry
 	lockedFn func() // entry free: apply or discard
 }
 
 func (m *wbMsg) arrive() {
+	if s := m.s; s.tr != nil {
+		s.tr.HomeArrive(m.txn, s.e.Now())
+	}
 	m.s.whenFree(m.s.entry(m.block), m.lockedFn)
 }
 
 func (m *wbMsg) locked() {
-	s, p, block, data := m.s, m.p, m.block, m.data
+	s, p, block, data, txn := m.s, m.p, m.block, m.data, m.txn
 	m.data = nil
+	m.txn = 0
 	m.next = s.wbFree
 	s.wbFree = m
+	if s.tr != nil {
+		s.tr.DirStart(txn, s.e.Now())
+	}
 	s.homeWriteback(p, block, data)
 	s.store.ReleaseFrame(data)
+	if s.tr != nil {
+		s.tr.End(txn, s.e.Now())
+	}
 }
 
 // homeWriteback applies dirty evicted/flushed data at the home. The data

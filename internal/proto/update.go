@@ -3,6 +3,8 @@ package proto
 import (
 	"coherencesim/internal/cache"
 	"coherencesim/internal/classify"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
 )
 
 // This file implements the update-based protocols (PU and CU).
@@ -35,8 +37,9 @@ type updTx struct {
 	got      int
 	replied  bool
 	finished bool
-	ackFn    func() // cached t.ack closure, shared by every ack message
-	next     *updTx // free list link (see newUpdTx)
+	txn      trace.TxnID // owning transaction (0 = untraced)
+	ackFn    func()      // cached t.ack closure, shared by every ack message
+	next     *updTx      // free list link (see newUpdTx)
 }
 
 // newUpdTx takes a transaction from the System's free list, or builds
@@ -59,6 +62,7 @@ func newUpdTx(s *System, p int) *updTx {
 	t.got = 0
 	t.replied = false
 	t.finished = false
+	t.txn = 0
 	return t
 }
 
@@ -76,6 +80,12 @@ func (t *updTx) reply(expected int) {
 func (t *updTx) check() {
 	if !t.finished && t.replied && t.got == t.expected {
 		t.finished = true
+		// Final completion is recorded before drain waiters can fire, so
+		// a fence stall released by this transaction attributes to it.
+		if t.s.tr != nil {
+			t.s.tr.AcksDrained(t.txn, t.s.e.Now())
+		}
+		t.txn = 0
 		t.s.completeOutstanding(t.p)
 		t.next = t.s.txFree
 		t.s.txFree = t
@@ -95,7 +105,10 @@ func (s *System) updWrite(p int, a cache.Addr, v uint32, retire func()) {
 		c.CountMiss()
 		s.cl.Miss(p, block, word)
 		s.ctr.WriteMisses++
-		s.send(p, s.HomeOf(block), szControl, m.missFn)
+		if s.tr != nil {
+			m.txn = s.tr.Begin(p, trace.TxnWriteThrough, block, s.e.Now())
+		}
+		s.sendT(m.txn, p, s.HomeOf(block), szControl, m.missFn)
 		return
 	}
 	c.CountHit()
@@ -117,6 +130,7 @@ type wrMsg struct {
 	expected int
 	block    uint32
 	v        uint32
+	txn      trace.TxnID
 	tx       *updTx
 	retire   func()
 	next     *wrMsg
@@ -141,6 +155,7 @@ func (s *System) newWrMsg(p int, block uint32, word int, v uint32, retire func()
 		m.next = nil
 	}
 	m.p, m.block, m.word, m.v, m.retire = p, block, word, v, retire
+	m.txn = 0
 	return m
 }
 
@@ -177,19 +192,28 @@ func (m *wrMsg) local() {
 		ln.Counter = 0
 		if ln.State == cache.Exclusive {
 			// Retained-private block (PU): the write is entirely local.
-			retire := m.retire
+			// (A miss-path transaction that raced into retention ends
+			// here; the common hit never opened one.)
+			retire, txn := m.retire, m.txn
 			m.recycle()
 			ln.Data[word] = v
 			ln.Dirty = true
 			s.cl.GlobalWrite(p, block, word)
+			if s.tr != nil {
+				s.tr.End(txn, s.e.Now())
+			}
 			c.FireWatchers(block)
 			retire()
 			return
 		}
 	}
 	s.ctr.WriteThrough++
+	if s.tr != nil && m.txn == 0 {
+		m.txn = s.tr.Begin(p, trace.TxnWriteThrough, block, s.e.Now())
+	}
 	m.tx = newUpdTx(s, p)
-	s.send(p, s.HomeOf(block), szWord, m.reqFn)
+	m.tx.txn = m.txn
+	s.sendT(m.txn, p, s.HomeOf(block), szWord, m.reqFn)
 }
 
 // req serializes the write-through at the directory: it waits out a
@@ -197,6 +221,9 @@ func (m *wrMsg) local() {
 // state on each retry (reqFn re-enters here).
 func (m *wrMsg) req() {
 	s := m.s
+	if s.tr != nil {
+		s.tr.HomeArrive(m.txn, s.e.Now()) // set-if-zero: retries keep the first arrival
+	}
 	d := s.entry(m.block)
 	if d.busy {
 		d.waitq = append(d.waitq, m.reqFn)
@@ -205,6 +232,9 @@ func (m *wrMsg) req() {
 	if d.state == dirOwned {
 		s.demoteOwner(d, m.block, m.reqFn)
 		return
+	}
+	if s.tr != nil {
+		s.tr.DirStart(m.txn, s.e.Now())
 	}
 	s.mems[s.HomeOf(m.block)].WriteWord(m.block, m.word, m.v, m.wroteFn)
 }
@@ -272,20 +302,28 @@ func (m *wrMsg) wrote() {
 		}
 	}
 	s.mUpdFan.Observe(uint64(len(others)))
+	if s.tr != nil && m.txn != 0 && len(others) > 0 {
+		s.tr.Fanout(m.txn, trace.FanUpd, len(others), s.e.Now())
+	}
 	for _, q := range others {
 		s.ctr.UpdatesSent++
-		s.send(home, q, szWord, s.newUpdMsg(q, block, word, v, p, tx).fn)
+		um := s.newUpdMsg(q, block, word, v, p, tx)
+		um.sentAt = s.e.Now()
+		s.sendT(m.txn, home, q, szWord, um.fn)
 	}
 	m.expected = len(others)
-	s.send(home, p, szControl, m.replyFn)
+	s.sendT(m.txn, home, p, szControl, m.replyFn)
 }
 
 // reply runs at the writer: it applies the serialized value, accounts
 // the acknowledgement expectation, and retires the write-buffer entry.
+// The transaction's requester-visible retirement is recorded before
+// tx.reply — a zero-ack transaction drains (and may release a fence)
+// synchronously inside that call.
 func (m *wrMsg) reply() {
 	s := m.s
 	p, block, word, v := m.p, m.block, m.word, m.v
-	tx, retire, expected := m.tx, m.retire, m.expected
+	tx, retire, expected, txn := m.tx, m.retire, m.expected, m.txn
 	m.recycle()
 	// Apply the serialized value to the writer's own copy (see local:
 	// the reply is FIFO-ordered with other writers' update messages on
@@ -294,6 +332,9 @@ func (m *wrMsg) reply() {
 		ln.Data[word] = v
 		s.caches[p].FireWatchers(block)
 	}
+	if s.tr != nil {
+		s.tr.Retired(txn, s.e.Now())
+	}
 	tx.reply(expected)
 	retire()
 }
@@ -301,13 +342,13 @@ func (m *wrMsg) reply() {
 // deliverUpdate applies an update message at sharer q: plain application
 // under PU, counter-gated application or self-invalidation under CU.
 // Every recipient acknowledges to the writer.
-func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer int, tx *updTx) {
+func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer int, tx *updTx, sentAt sim.Time) {
 	c := s.caches[q]
 	ln := c.Lookup(block)
 	if ln == nil {
 		// Stale sharer: our drop notice / replacement hint is in flight.
 		s.cl.StrayUpdate()
-		s.sendAck(q, tx)
+		s.sendAck(q, tx, sentAt)
 		return
 	}
 	if ln.State == cache.Exclusive {
@@ -315,7 +356,7 @@ func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer i
 		// serialized: the owner's value is newer, so the update is
 		// stale and must not be applied.
 		s.cl.StrayUpdate()
-		s.sendAck(q, tx)
+		s.sendAck(q, tx, sentAt)
 		return
 	}
 	if s.cfg.Protocol == CU {
@@ -327,24 +368,34 @@ func (s *System) deliverUpdate(q int, block uint32, word int, v uint32, writer i
 		}
 		ln.Counter++
 		if ln.Counter >= s.cfg.CUThreshold {
+			if s.tr != nil {
+				s.tr.CacheTouch(q, tx.txn)
+			}
 			s.cl.DropDelivered(q, block, word)
 			s.cl.LostCopy(q, block, classify.LossDrop)
 			c.Invalidate(block) // wakes spinners, who will re-miss (drop miss)
 			s.ctr.DropNotices++
 			s.sendNote(q, block, false /* drop notice */)
-			s.sendAck(q, tx)
+			s.sendAck(q, tx, sentAt)
 			return
 		}
 	}
+	if s.tr != nil {
+		s.tr.CacheTouch(q, tx.txn)
+	}
 	s.cl.UpdateDelivered(q, block, word, writer)
 	c.ApplyUpdate(block, word, v) // wakes spinners
-	s.sendAck(q, tx)
+	s.sendAck(q, tx, sentAt)
 }
 
-// sendAck sends a sharer acknowledgement to the transaction's writer.
-func (s *System) sendAck(from int, tx *updTx) {
+// sendAck sends a sharer acknowledgement to the transaction's writer,
+// closing the per-target fan-out span.
+func (s *System) sendAck(from int, tx *updTx, sentAt sim.Time) {
 	s.ctr.Acks++
-	s.send(from, tx.p, szAck, tx.ackFn)
+	at := s.sendT(tx.txn, from, tx.p, szAck, tx.ackFn)
+	if s.tr != nil && tx.txn != 0 {
+		s.tr.TargetAck(tx.txn, from, sentAt, at)
+	}
 }
 
 // updMsg carries one update delivery to a sharer. Messages recycle
@@ -361,6 +412,7 @@ type updMsg struct {
 	block  uint32
 	v      uint32
 	word   int
+	sentAt sim.Time // fan-out dispatch time (trace per-target span start)
 	tx     *updTx
 	next   *updMsg
 	fn     func()
@@ -380,11 +432,11 @@ func (s *System) newUpdMsg(q int, block uint32, word int, v uint32, writer int, 
 
 func (m *updMsg) deliver() {
 	s := m.s
-	q, block, word, v, writer, tx := m.q, m.block, m.word, m.v, m.writer, m.tx
+	q, block, word, v, writer, tx, sentAt := m.q, m.block, m.word, m.v, m.writer, m.tx, m.sentAt
 	m.tx = nil
 	m.next = s.updFree
 	s.updFree = m
-	s.deliverUpdate(q, block, word, v, writer, tx)
+	s.deliverUpdate(q, block, word, v, writer, tx, sentAt)
 }
 
 // updAtomic executes an atomic op at the home memory under PU/CU. The
@@ -407,7 +459,11 @@ func (s *System) updAtomic(p int, a cache.Addr, kind AtomicKind, op1, op2 uint32
 	m.needData = needData
 	m.tx = newUpdTx(s, p)
 	m.done = done
-	s.send(p, s.HomeOf(block), szWord, m.homeFn)
+	if s.tr != nil {
+		m.txn = s.tr.Begin(p, trace.TxnAtomic, block, s.e.Now())
+		m.tx.txn = m.txn
+	}
+	s.sendT(m.txn, p, s.HomeOf(block), szWord, m.homeFn)
 }
 
 // atomMsg carries one update-protocol atomic along its message chain —
@@ -424,6 +480,7 @@ type atomMsg struct {
 	op1, op2 uint32
 	old      uint32
 	newV     uint32
+	txn      trace.TxnID
 	kind     AtomicKind
 	needData bool
 	data     []uint32 // borrowed frame (new-sharer reply), released at reply
@@ -452,11 +509,16 @@ func (s *System) newAtomMsg(p int, block uint32, word int) *atomMsg {
 		m.next = nil
 	}
 	m.p, m.block, m.word = p, block, word
+	m.txn = 0
 	return m
 }
 
-// home serializes the atomic at the directory.
+// home serializes the atomic at the directory. A post-demote re-entry
+// keeps its original home-arrival time (set-if-zero).
 func (m *atomMsg) home() {
+	if s := m.s; s.tr != nil {
+		s.tr.HomeArrive(m.txn, s.e.Now())
+	}
 	m.s.whenFree(m.s.entry(m.block), m.lockFn)
 }
 
@@ -468,6 +530,9 @@ func (m *atomMsg) locked() {
 	if d.state == dirOwned {
 		s.demoteOwner(d, m.block, m.homeFn)
 		return
+	}
+	if s.tr != nil {
+		s.tr.DirStart(m.txn, s.e.Now())
 	}
 	m.old, m.newV = s.mems[s.HomeOf(m.block)].AtomicOp(m.block, m.word, m.opFn, m.wroteFn)
 }
@@ -482,9 +547,14 @@ func (m *atomMsg) wrote() {
 	s.cl.GlobalWrite(m.p, m.block, m.word)
 	others := s.sharerList(d, m.p)
 	s.mUpdFan.Observe(uint64(len(others)))
+	if s.tr != nil && m.txn != 0 && len(others) > 0 {
+		s.tr.Fanout(m.txn, trace.FanUpd, len(others), s.e.Now())
+	}
 	for _, q := range others {
 		s.ctr.UpdatesSent++
-		s.send(home, q, szWord, s.newUpdMsg(q, m.block, m.word, m.newV, m.p, m.tx).fn)
+		um := s.newUpdMsg(q, m.block, m.word, m.newV, m.p, m.tx)
+		um.sentAt = s.e.Now()
+		s.sendT(m.txn, home, q, szWord, um.fn)
 	}
 	m.expected = len(others)
 	size := szWord
@@ -498,7 +568,7 @@ func (m *atomMsg) wrote() {
 		}
 		size = szData
 	}
-	s.send(home, m.p, size, m.replyFn)
+	s.sendT(m.txn, home, m.p, size, m.replyFn)
 }
 
 // reply runs at the requester: install the block if it was fetched,
@@ -507,7 +577,7 @@ func (m *atomMsg) wrote() {
 func (m *atomMsg) reply() {
 	s := m.s
 	p, block, word, newV, old := m.p, m.block, m.word, m.newV, m.old
-	data, tx, done, expected := m.data, m.tx, m.done, m.expected
+	data, tx, done, expected, txn := m.data, m.tx, m.done, m.expected, m.txn
 	m.data, m.tx, m.done = nil, nil, nil
 	m.next = s.atFree
 	s.atFree = m
@@ -521,6 +591,11 @@ func (m *atomMsg) reply() {
 		s.caches[p].FireWatchers(block)
 	}
 	s.cl.Reference(p, block, word)
+	// Retire the span before tx.reply: with zero expected acks the
+	// reply drains synchronously and fires AcksDrained immediately.
+	if s.tr != nil {
+		s.tr.Retired(txn, s.e.Now())
+	}
 	tx.reply(expected)
 	done(old)
 }

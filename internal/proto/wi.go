@@ -3,6 +3,8 @@ package proto
 import (
 	"coherencesim/internal/cache"
 	"coherencesim/internal/classify"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
 )
 
 // This file implements the write-invalidate protocol's write and atomic
@@ -30,6 +32,7 @@ type wiOp struct {
 	owner    int
 	pending  int // invalidation acks still outstanding
 	block    uint32
+	txn      trace.TxnID
 	v        uint32 // store value
 	op1, op2 uint32 // atomic operands
 	kind     AtomicKind
@@ -71,6 +74,7 @@ func (s *System) newWiOp(p int, block uint32, word int) *wiOp {
 	op.pending = 0
 	op.needData, op.haveData = false, false
 	op.isAtomic = false
+	op.txn = 0
 	return op
 }
 
@@ -120,7 +124,15 @@ func (op *wiOp) start() {
 		s.cl.Miss(op.p, op.block, op.word)
 		s.ctr.WriteMisses++
 	}
-	s.send(op.p, s.HomeOf(op.block), szControl, op.homeFn)
+	// A granted-retry re-entry keeps its original transaction ID.
+	if s.tr != nil && op.txn == 0 {
+		kind := trace.TxnWrite
+		if op.isAtomic {
+			kind = trace.TxnAtomic
+		}
+		op.txn = s.tr.Begin(op.p, kind, op.block, s.e.Now())
+	}
+	s.sendT(op.txn, op.p, s.HomeOf(op.block), szControl, op.homeFn)
 }
 
 // perform runs the deferred store or atomic on the now-exclusive line.
@@ -128,7 +140,7 @@ func (op *wiOp) start() {
 // watchers fire, which can resume other processors that issue new
 // operations), its fields copied to locals first.
 func (op *wiOp) perform(ln *cache.Line) {
-	s, p, block, word := op.s, op.p, op.block, op.word
+	s, p, block, word, txn := op.s, op.p, op.block, op.word, op.txn
 	if op.isAtomic {
 		kind, op1, op2, done := op.kind, op.op1, op.op2, op.done
 		op.recycle()
@@ -137,6 +149,9 @@ func (op *wiOp) perform(ln *cache.Line) {
 		ln.Dirty = true
 		s.cl.Reference(p, block, word)
 		s.cl.GlobalWrite(p, block, word)
+		if s.tr != nil {
+			s.tr.End(txn, s.e.Now())
+		}
 		s.caches[p].FireWatchers(block)
 		done(old)
 		return
@@ -147,12 +162,18 @@ func (op *wiOp) perform(ln *cache.Line) {
 	ln.Dirty = true
 	s.cl.Reference(p, block, word)
 	s.cl.GlobalWrite(p, block, word)
+	if s.tr != nil {
+		s.tr.End(txn, s.e.Now())
+	}
 	s.caches[p].FireWatchers(block)
 	retire()
 }
 
 // home serializes the ownership request through the directory.
 func (op *wiOp) home() {
+	if s := op.s; s.tr != nil {
+		s.tr.HomeArrive(op.txn, s.e.Now())
+	}
 	op.s.whenFree(op.s.entry(op.block), op.lockedFn)
 }
 
@@ -162,6 +183,9 @@ func (op *wiOp) home() {
 // (fetch-and-invalidate the owner).
 func (op *wiOp) locked() {
 	s := op.s
+	if s.tr != nil {
+		s.tr.DirStart(op.txn, s.e.Now())
+	}
 	d := s.entry(op.block)
 	home := s.HomeOf(op.block)
 	d.busy = true
@@ -176,6 +200,9 @@ func (op *wiOp) locked() {
 		op.needData = !d.has(op.p)
 		others := s.sharerList(d, op.p)
 		s.mInvFan.Observe(uint64(len(others)))
+		if s.tr != nil && op.txn != 0 && len(others) > 0 {
+			s.tr.Fanout(op.txn, trace.FanInv, len(others), s.e.Now())
+		}
 		op.pending = len(others)
 		op.haveData = !op.needData
 		if op.needData {
@@ -184,13 +211,15 @@ func (op *wiOp) locked() {
 		}
 		for _, q := range others {
 			s.ctr.Invals++
-			s.send(home, q, szControl, s.newInvMsg(q, op).fn)
+			m := s.newInvMsg(q, op)
+			m.sentAt = s.e.Now()
+			s.sendT(op.txn, home, q, szControl, m.fn)
 		}
 		op.maybeGrant() // covers the no-other-sharers upgrade
 
 	case dirOwned:
 		op.owner = d.owner
-		s.send(home, op.owner, szControl, op.ownerFetchFn)
+		s.sendT(op.txn, home, op.owner, szControl, op.ownerFetchFn)
 	}
 }
 
@@ -228,7 +257,7 @@ func (op *wiOp) grant() {
 	if op.data != nil {
 		size = szData
 	}
-	s.send(s.HomeOf(op.block), op.p, size, op.grantFn)
+	s.sendT(op.txn, s.HomeOf(op.block), op.p, size, op.grantFn)
 	s.release(d)
 }
 
@@ -237,7 +266,7 @@ func (op *wiOp) grant() {
 func (op *wiOp) ownerFetch() {
 	s := op.s
 	op.data = s.takeOwnerData(op.owner, op.block, false /* invalidate */)
-	s.send(op.owner, s.HomeOf(op.block), szData, op.ownerBackFn)
+	s.sendT(op.txn, op.owner, s.HomeOf(op.block), szData, op.ownerBackFn)
 }
 
 // ownerBack refreshes memory with the old owner's data.
@@ -287,12 +316,13 @@ func (op *wiOp) granted() {
 // (fields copied out first) — the invalidation wakes watchers, which can
 // start new WI transactions that multicast invalidations of their own.
 type invMsg struct {
-	s     *System
-	q     int
-	block uint32
-	op    *wiOp
-	next  *invMsg
-	fn    func()
+	s      *System
+	q      int
+	block  uint32
+	sentAt sim.Time // fan-out dispatch time (trace per-target span start)
+	op     *wiOp
+	next   *invMsg
+	fn     func()
 }
 
 func (s *System) newInvMsg(q int, op *wiOp) *invMsg {
@@ -309,14 +339,20 @@ func (s *System) newInvMsg(q int, op *wiOp) *invMsg {
 }
 
 func (m *invMsg) deliver() {
-	s, q, block, op := m.s, m.q, m.block, m.op
+	s, q, block, op, sentAt := m.s, m.q, m.block, m.op, m.sentAt
 	m.op = nil
 	m.next = s.invFree
 	s.invFree = m
 	if s.caches[q].Present(block) {
+		if s.tr != nil {
+			s.tr.CacheTouch(q, op.txn)
+		}
 		s.cl.LostCopy(q, block, classify.LossInvalidation)
 		s.caches[q].Invalidate(block)
 	}
 	s.ctr.Acks++
-	s.send(q, s.HomeOf(block), szAck, op.ackFn)
+	at := s.sendT(op.txn, q, s.HomeOf(block), szAck, op.ackFn)
+	if s.tr != nil && op.txn != 0 {
+		s.tr.TargetAck(op.txn, q, sentAt, at)
+	}
 }

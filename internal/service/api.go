@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 
 	"coherencesim/internal/metrics"
+	"coherencesim/internal/trace"
 )
 
 // Job states reported by the API.
@@ -50,6 +51,7 @@ type JobSpec struct {
 	Scale           string `json:"scale,omitempty"`            // quick | paper (kind=experiment)
 	Format          string `json:"format,omitempty"`           // table | csv (kind=experiment)
 	MetricsInterval uint64 `json:"metrics_interval,omitempty"` // sampling interval in simulated cycles
+	Breakdown       bool   `json:"breakdown,omitempty"`        // collect the stall-attribution breakdown
 	TimeoutSec      int    `json:"timeout_sec,omitempty"`      // per-job deadline; excluded from the hash
 }
 
@@ -62,6 +64,11 @@ type JobResult struct {
 	// structurally identical to the CLI's -metrics-out document for the
 	// equivalent invocation.
 	Metrics *metrics.Report `json:"metrics,omitempty"`
+	// Breakdown is the deterministic stall-attribution breakdown report
+	// for the job's runs, present only when the spec set Breakdown —
+	// structurally identical to the CLI's -breakdown-out document for
+	// the equivalent invocation.
+	Breakdown *trace.BreakdownReport `json:"breakdown,omitempty"`
 }
 
 // JobStatus is the API's job document, returned by POST /v1/jobs and
@@ -74,6 +81,14 @@ type JobStatus struct {
 	Spec   JobSpec         `json:"spec"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// HotBlockList is the GET /v1/jobs/{id}/hotblocks response: the job's
+// hottest coherence blocks, merged across its breakdown runs and ranked
+// by attributed transaction cycles.
+type HotBlockList struct {
+	ID     string           `json:"id"`
+	Blocks []trace.HotBlock `json:"blocks"`
 }
 
 // ExperimentInfo is one entry of the GET /v1/experiments listing.

@@ -51,6 +51,7 @@ func Canonicalize(s JobSpec) (JobSpec, error) {
 	c := JobSpec{
 		Kind:            strings.ToLower(strings.TrimSpace(s.Kind)),
 		MetricsInterval: s.MetricsInterval,
+		Breakdown:       s.Breakdown,
 		TimeoutSec:      s.TimeoutSec,
 	}
 	if c.Kind == "" {

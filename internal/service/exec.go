@@ -11,6 +11,7 @@ import (
 	"coherencesim/internal/runner"
 	"coherencesim/internal/sim"
 	"coherencesim/internal/stats"
+	"coherencesim/internal/trace"
 	"coherencesim/internal/workload"
 )
 
@@ -42,6 +43,9 @@ func Execute(ctx context.Context, spec JobSpec, simWorkers int, progress func(ru
 		o.Runner.SetProgress(progress)
 	}
 	o.Metrics = metrics.NewCollector(sim.Time(spec.MetricsInterval))
+	if spec.Breakdown {
+		o.Breakdown = trace.NewBreakdownCollector()
+	}
 
 	res := &JobResult{}
 	if spec.Format == "csv" {
@@ -58,6 +62,9 @@ func Execute(ctx context.Context, spec JobSpec, simWorkers int, progress func(ru
 		return nil, err
 	}
 	res.Metrics = o.Metrics.Report()
+	if o.Breakdown != nil {
+		res.Breakdown = o.Breakdown.Report()
+	}
 	return res, nil
 }
 
@@ -82,6 +89,10 @@ func executeRun(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	interval := sim.Time(spec.MetricsInterval)
 	var b strings.Builder
 	coll := metrics.NewCollector(interval)
+	var bcoll *trace.BreakdownCollector
+	if spec.Breakdown {
+		bcoll = trace.NewBreakdownCollector()
+	}
 	label := fmt.Sprintf("run/%s/%s-%s/P=%d", spec.Run, spec.Algo, strings.ToLower(spec.Protocol), spec.Procs)
 
 	switch spec.Run {
@@ -92,11 +103,13 @@ func executeRun(ctx context.Context, spec JobSpec) (*JobResult, error) {
 			p.Iterations = spec.Iterations
 		}
 		p.MetricsInterval = interval
+		p.Breakdown = spec.Breakdown
 		r := workload.LockLoop(p, kinds[spec.Algo])
 		fmt.Fprintf(&b, "%v lock, %v, P=%d: %d acquires\n", kinds[spec.Algo], pr, spec.Procs, r.Acquires)
 		fmt.Fprintf(&b, "  avg acquire-release latency: %.1f cycles\n", r.AvgLatency)
 		writeTraffic(&b, r.Misses.Total(), r.Updates.Total(), r.Result.Net.Messages)
 		coll.Add(label, r.Result.Metrics)
+		bcoll.Add(label, r.Result.Breakdown)
 	case "barrier":
 		kinds := map[string]workload.BarrierKind{"cb": workload.Central, "db": workload.Dissemination, "tb": workload.Tree}
 		p := workload.DefaultBarrierParams(pr, spec.Procs)
@@ -104,11 +117,13 @@ func executeRun(ctx context.Context, spec JobSpec) (*JobResult, error) {
 			p.Iterations = spec.Iterations
 		}
 		p.MetricsInterval = interval
+		p.Breakdown = spec.Breakdown
 		r := workload.BarrierLoop(p, kinds[spec.Algo])
 		fmt.Fprintf(&b, "%v barrier, %v, P=%d: %d episodes\n", kinds[spec.Algo], pr, spec.Procs, r.Episodes)
 		fmt.Fprintf(&b, "  avg episode latency: %.1f cycles\n", r.AvgLatency)
 		writeTraffic(&b, r.Misses.Total(), r.Updates.Total(), r.Net.Messages)
 		coll.Add(label, r.Result.Metrics)
+		bcoll.Add(label, r.Result.Breakdown)
 	case "reduction":
 		kinds := map[string]workload.ReductionKind{"sr": workload.Sequential, "pr": workload.Parallel}
 		p := workload.DefaultReductionParams(pr, spec.Procs)
@@ -116,18 +131,24 @@ func executeRun(ctx context.Context, spec JobSpec) (*JobResult, error) {
 			p.Iterations = spec.Iterations
 		}
 		p.MetricsInterval = interval
+		p.Breakdown = spec.Breakdown
 		r := workload.ReductionLoop(p, kinds[spec.Algo])
 		fmt.Fprintf(&b, "%v reduction, %v, P=%d: %d reductions\n", kinds[spec.Algo], pr, spec.Procs, r.Reductions)
 		fmt.Fprintf(&b, "  avg reduction latency: %.1f cycles\n", r.AvgLatency)
 		writeTraffic(&b, r.Misses.Total(), r.Updates.Total(), r.Net.Messages)
 		coll.Add(label, r.Result.Metrics)
+		bcoll.Add(label, r.Result.Breakdown)
 	default:
 		return nil, fmt.Errorf("unknown run kind %q", spec.Run)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &JobResult{Output: b.String(), Metrics: coll.Report()}, nil
+	res := &JobResult{Output: b.String(), Metrics: coll.Report()}
+	if bcoll != nil {
+		res.Breakdown = bcoll.Report()
+	}
+	return res, nil
 }
 
 func writeTraffic(b *strings.Builder, misses, updates, messages uint64) {

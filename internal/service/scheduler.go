@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"coherencesim/internal/runner"
+	"coherencesim/internal/trace"
 )
 
 // Admission classifies how Submit handled a request.
@@ -141,6 +142,14 @@ type Scheduler struct {
 	submitted, deduped, cacheHits, rejected atomic.Uint64
 	completed, failed, canceled, simCycles  atomic.Uint64
 	running                                 atomic.Int64
+
+	// Cumulative transaction-latency histogram folded from completed
+	// breakdown jobs, rendered by /metrics. Cache hits do not refold:
+	// the simulation behind them ran (and was counted) exactly once.
+	latMu    sync.Mutex
+	latBkt   [trace.LatencyBucketCount]uint64
+	latSum   uint64
+	latCount uint64
 }
 
 // NewScheduler builds and starts a scheduler executing jobs with exec
@@ -371,6 +380,9 @@ func (s *Scheduler) finalize(t *task, res *JobResult, err error) {
 	switch status {
 	case StatusDone:
 		s.completed.Add(1)
+		if res != nil && res.Breakdown != nil {
+			s.foldLatency(res.Breakdown)
+		}
 	case StatusFailed:
 		s.failed.Add(1)
 	case StatusCanceled:
@@ -383,6 +395,34 @@ func (s *Scheduler) finalize(t *task, res *JobResult, err error) {
 	t.events.close()
 	close(t.done)
 	s.jobWG.Done()
+}
+
+// foldLatency accumulates a completed job's per-run transaction-latency
+// histograms into the scheduler's cumulative histogram.
+func (s *Scheduler) foldLatency(rep *trace.BreakdownReport) {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	for _, run := range rep.Runs {
+		if run.Breakdown == nil {
+			continue
+		}
+		h := run.Breakdown.Latency
+		s.latSum += h.Sum
+		s.latCount += h.Count
+		for _, b := range h.Buckets {
+			if i := trace.BucketIndex(b.Le); i >= 0 {
+				s.latBkt[i] += b.N
+			}
+		}
+	}
+}
+
+// TxnLatency snapshots the cumulative transaction-latency histogram
+// (non-cumulative per-bucket counts, indexed like trace.BucketEdges).
+func (s *Scheduler) TxnLatency() (bkt [trace.LatencyBucketCount]uint64, sum, count uint64) {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	return s.latBkt, s.latSum, s.latCount
 }
 
 // Drain is the SIGTERM path: stop admitting, give in-flight jobs grace

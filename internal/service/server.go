@@ -12,6 +12,7 @@ import (
 
 	"coherencesim/internal/buildinfo"
 	"coherencesim/internal/experiments"
+	"coherencesim/internal/trace"
 )
 
 // Server routes the versioned REST/SSE API onto the scheduler.
@@ -28,6 +29,8 @@ func NewServer(sched *Scheduler, life *Lifecycle) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/breakdown", s.handleBreakdown)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/hotblocks", s.handleHotBlocks)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -125,6 +128,123 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// doneResult loads the stored terminal document for id and returns its
+// result payload. On any failure it writes the API error itself and
+// returns ok=false: 404 for an unknown job, 409 while the job is still
+// queued or running or when it finished without a result.
+func (s *Server) doneResult(w http.ResponseWriter, id string) (json.RawMessage, bool) {
+	var body []byte
+	if t, ok := s.sched.Get(id); ok {
+		body = t.terminalBody()
+	} else if b, _, ok := s.sched.Cache().Get(id); ok {
+		body = b
+	} else {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	if body == nil {
+		writeError(w, http.StatusConflict, "job %q has not finished", id)
+		return nil, false
+	}
+	var doc JobStatus
+	if err := json.Unmarshal(body, &doc); err != nil {
+		writeError(w, http.StatusInternalServerError, "decoding stored job document: %v", err)
+		return nil, false
+	}
+	if doc.Status != StatusDone {
+		writeError(w, http.StatusConflict, "job %q finished %s, no result", id, doc.Status)
+		return nil, false
+	}
+	return doc.Result, true
+}
+
+// handleBreakdown is GET /v1/jobs/{id}/breakdown: the completed job's
+// stall-attribution breakdown document, replayed byte-identically from
+// the stored result (structurally identical to the CLI's -breakdown-out
+// file for the equivalent invocation).
+func (s *Server) handleBreakdown(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	result, ok := s.doneResult(w, id)
+	if !ok {
+		return
+	}
+	var res struct {
+		Breakdown json.RawMessage `json:"breakdown"`
+	}
+	if len(result) > 0 {
+		if err := json.Unmarshal(result, &res); err != nil {
+			writeError(w, http.StatusInternalServerError, "decoding stored job result: %v", err)
+			return
+		}
+	}
+	if len(res.Breakdown) == 0 || string(res.Breakdown) == "null" {
+		writeError(w, http.StatusNotFound, "job %q has no breakdown (submit with \"breakdown\": true)", id)
+		return
+	}
+	writeRaw(w, http.StatusOK, res.Breakdown)
+}
+
+// handleHotBlocks is GET /v1/jobs/{id}/hotblocks?n=10: the completed
+// job's hottest coherence blocks, merged across its breakdown runs and
+// ranked by attributed transaction cycles.
+func (s *Server) handleHotBlocks(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	result, ok := s.doneResult(w, id)
+	if !ok {
+		return
+	}
+	var res JobResult
+	if len(result) > 0 {
+		if err := json.Unmarshal(result, &res); err != nil {
+			writeError(w, http.StatusInternalServerError, "decoding stored job result: %v", err)
+			return
+		}
+	}
+	if res.Breakdown == nil {
+		writeError(w, http.StatusNotFound, "job %q has no breakdown (submit with \"breakdown\": true)", id)
+		return
+	}
+	type agg struct{ txns, cycles uint64 }
+	m := map[uint32]*agg{}
+	for _, run := range res.Breakdown.Runs {
+		if run.Breakdown == nil {
+			continue
+		}
+		for _, hb := range run.Breakdown.HotBlocks {
+			a := m[hb.Block]
+			if a == nil {
+				a = &agg{}
+				m[hb.Block] = a
+			}
+			a.txns += hb.Txns
+			a.cycles += hb.Cycles
+		}
+	}
+	blocks := make([]trace.HotBlock, 0, len(m))
+	for b, a := range m {
+		blocks = append(blocks, trace.HotBlock{Block: b, Txns: a.txns, Cycles: a.cycles})
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].Cycles != blocks[j].Cycles {
+			return blocks[i].Cycles > blocks[j].Cycles
+		}
+		return blocks[i].Block < blocks[j].Block
+	})
+	if len(blocks) > n {
+		blocks = blocks[:n]
+	}
+	writeJSON(w, http.StatusOK, HotBlockList{ID: id, Blocks: blocks})
 }
 
 // handleCancel is DELETE /v1/jobs/{id}.
@@ -290,4 +410,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("coherenced_result_cache_lookup_hits_total", "Result-cache lookup hits.", "counter", hits)
 	write("coherenced_result_cache_lookup_misses_total", "Result-cache lookup misses.", "counter", misses)
 	write("coherenced_result_cache_evictions_total", "Result-cache evictions.", "counter", evictions)
+
+	bkt, sum, count := s.sched.TxnLatency()
+	fmt.Fprintf(w, "# HELP coherenced_txn_latency_cycles Coherence-transaction latency (simulated cycles) from completed breakdown jobs.\n")
+	fmt.Fprintf(w, "# TYPE coherenced_txn_latency_cycles histogram\n")
+	var cum uint64
+	for i, le := range trace.BucketEdges() {
+		cum += bkt[i]
+		if le == 0 {
+			fmt.Fprintf(w, "coherenced_txn_latency_cycles_bucket{le=\"+Inf\"} %d\n", cum)
+		} else {
+			fmt.Fprintf(w, "coherenced_txn_latency_cycles_bucket{le=\"%d\"} %d\n", le, cum)
+		}
+	}
+	fmt.Fprintf(w, "coherenced_txn_latency_cycles_sum %d\n", sum)
+	fmt.Fprintf(w, "coherenced_txn_latency_cycles_count %d\n", count)
 }

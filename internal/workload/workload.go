@@ -24,6 +24,7 @@ import (
 	"coherencesim/internal/metrics"
 	"coherencesim/internal/proto"
 	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
 )
 
 // LockKind selects the lock implementation (paper labels: tk, MCS, uc).
@@ -102,6 +103,11 @@ type Params struct {
 	// Metrics are keyed purely to simulated time, so enabling them never
 	// changes the simulated outcome.
 	MetricsInterval sim.Time
+	// Breakdown attaches a coherence-transaction tracer to the run's
+	// machine; the stall-attribution breakdown comes back in
+	// Result.Breakdown. Like metrics, tracing is keyed purely to
+	// simulated time and never changes the simulated outcome.
+	Breakdown bool
 	// Tune, if set, adjusts the machine configuration before
 	// construction (ablation studies: CU threshold, retention, spin
 	// polling, network parameters).
@@ -115,6 +121,9 @@ func (p Params) newMachine() *machine.Machine {
 	cfg := machine.DefaultConfig(p.Protocol, p.Procs)
 	if p.MetricsInterval > 0 {
 		cfg.Metrics = metrics.New(p.MetricsInterval)
+	}
+	if p.Breakdown {
+		cfg.Txn = trace.NewTracer(p.Procs, 0)
 	}
 	if p.Tune != nil {
 		p.Tune(&cfg)
