@@ -123,18 +123,67 @@ func engineParkUnpark(b *testing.B) uint64 {
 	return e.Processed()
 }
 
+// fetchAddProgram is the event-throughput body compiled to the
+// state-machine model: n fetch-and-adds on one shared counter.
+// Registers: I0 iteration.
+type fetchAddProgram struct {
+	ctr core.Addr
+	n   int
+}
+
+func (g *fetchAddProgram) Step(p *core.Proc, f *core.Frame) core.OpStatus {
+	for f.I0 < g.n {
+		f.I0++
+		f.PC = 0
+		return p.FFetchAdd(g.ctr, 1)
+	}
+	return core.OpDone
+}
+
+// engineResume is EngineParkUnpark's state-machine counterpart: an
+// embedded Task parks on every stall (a ticker denies the StallFor
+// fast path) and is woken by a direct resume call — no goroutines, no
+// channel hand-offs. The gap to EngineParkUnpark is what inline
+// dispatch saves per park/wake pair; the default machine path runs on
+// this mechanism (enforced by the hand-off probe in main).
+func engineResume(b *testing.B) uint64 {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	n := b.N
+	done := false
+	var tick func()
+	tick = func() {
+		if !done {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	var t sim.Task
+	i := 0
+	t.Init(e, "bench", func() {
+		for i < n {
+			i++
+			if !t.StallFor(2) {
+				return
+			}
+		}
+		done = true
+		t.End()
+	})
+	t.Begin()
+	b.ResetTimer()
+	e.Run()
+	return e.Processed()
+}
+
 func machineEventThroughput(b *testing.B) uint64 {
 	b.ReportAllocs()
+	prog := &fetchAddProgram{n: 50}
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		m := core.AcquireMachine(core.DefaultConfig(core.CU, 32))
-		ctr := m.Alloc("ctr", 4, 0)
-		res := m.Run(func(p *core.Proc) {
-			for k := 0; k < 50; k++ {
-				p.FetchAdd(ctr, 1)
-			}
-		})
-		events += res.SimEvents
+		prog.ctr = m.Alloc("ctr", 4, 0)
+		events += m.RunProgram(prog).SimEvents
 		m.Release()
 	}
 	return events
@@ -146,16 +195,13 @@ func machineEventThroughput(b *testing.B) uint64 {
 // the tight tracing gate protects; this one documents the tracing tax.
 func machineEventThroughputTraced(b *testing.B) uint64 {
 	b.ReportAllocs()
+	prog := &fetchAddProgram{n: 50}
 	cycle := func() uint64 {
 		cfg := core.DefaultConfig(core.CU, 32)
 		cfg.Txn = trace.NewTracer(cfg.Procs, 0)
 		m := core.AcquireMachine(cfg)
-		ctr := m.Alloc("ctr", 4, 0)
-		res := m.Run(func(p *core.Proc) {
-			for k := 0; k < 50; k++ {
-				p.FetchAdd(ctr, 1)
-			}
-		})
+		prog.ctr = m.Alloc("ctr", 4, 0)
+		res := m.RunProgram(prog)
 		m.Release()
 		return res.SimEvents
 	}
@@ -214,22 +260,19 @@ func cacheInstallEvict(b *testing.B) uint64 {
 // machineResetReuse measures the sweep-point cycle on one pooled
 // machine: Reset, re-allocate, run the event-throughput workload. The
 // delta against MachineEventThroughput's first-iteration cost is what
-// machine reuse saves per sweep point.
+// machine reuse saves per sweep point; the delta against
+// MachineResetOnly is the run itself.
 func machineResetReuse(b *testing.B) uint64 {
 	b.ReportAllocs()
 	cfg := core.DefaultConfig(core.CU, 32)
 	m := core.NewMachine(cfg)
+	prog := &fetchAddProgram{n: 50}
 	cycle := func() uint64 {
 		if !m.Reset(cfg) {
 			panic("benchcore: machine Reset refused")
 		}
-		ctr := m.Alloc("ctr", 4, 0)
-		res := m.Run(func(p *core.Proc) {
-			for k := 0; k < 50; k++ {
-				p.FetchAdd(ctr, 1)
-			}
-		})
-		return res.SimEvents
+		prog.ctr = m.Alloc("ctr", 4, 0)
+		return m.RunProgram(prog).SimEvents
 	}
 	// Untimed warmup: the first cycles grow free lists, the event arena,
 	// and message pools. Without it those one-time allocations amortize
@@ -238,6 +281,73 @@ func machineResetReuse(b *testing.B) uint64 {
 	for i := 0; i < 3; i++ {
 		cycle()
 	}
+	var events uint64
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		events += cycle()
+	}
+	return events
+}
+
+// machineResetOnly isolates the Reset half of the sweep-point cycle:
+// the run that dirties the machine happens outside the timer, so the
+// measured op is exactly Reset plus the re-allocation. Subtract this
+// from MachineResetReuse to get the pure run cost on a reused machine.
+func machineResetOnly(b *testing.B) uint64 {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig(core.CU, 32)
+	m := core.NewMachine(cfg)
+	prog := &fetchAddProgram{n: 50}
+	dirty := func() {
+		prog.ctr = m.Alloc("ctr", 4, 0)
+		m.RunProgram(prog)
+	}
+	dirty()
+	for i := 0; i < 3; i++ { // untimed warmup (see machineResetReuse)
+		if !m.Reset(cfg) {
+			panic("benchcore: machine Reset refused")
+		}
+		dirty()
+	}
+	n := b.N
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		if !m.Reset(cfg) {
+			panic("benchcore: machine Reset refused")
+		}
+		b.StopTimer()
+		dirty()
+		b.StartTimer()
+	}
+	return 0
+}
+
+// machineSnapshotFork measures the per-sweep-point cycle of the
+// warm-fork drivers: acquire a pooled machine, rebuild the allocation
+// map, restore the shared warm checkpoint, run the measured
+// continuation, release. The checkpoint itself is built once, outside
+// the timer, exactly as a sweep builds it once per warm-up class.
+func machineSnapshotFork(b *testing.B) uint64 {
+	b.ReportAllocs()
+	cfg := core.DefaultConfig(core.CU, 32)
+	warm := core.AcquireMachine(cfg)
+	wprog := &fetchAddProgram{ctr: warm.Alloc("ctr", 4, 0), n: 25}
+	warmEvents := warm.RunProgram(wprog).SimEvents
+	snap := warm.Snapshot()
+	warm.Release()
+	prog := &fetchAddProgram{n: 25}
+	cycle := func() uint64 {
+		m := core.AcquireMachine(cfg)
+		prog.ctr = m.Alloc("ctr", 4, 0)
+		m.RestoreFrom(snap)
+		res := m.RunProgram(prog)
+		m.Release()
+		// SimEvents is cumulative over the restored run; report only the
+		// continuation's share.
+		return res.SimEvents - warmEvents
+	}
+	cycle() // untimed warmup (see machineResetReuse)
 	var events uint64
 	n := b.N
 	b.ResetTimer()
@@ -297,14 +407,51 @@ var benches = []bench{
 	{"EngineScheduleRun", engineScheduleRun},
 	{"EngineStallForFastPath", engineStallFastPath},
 	{"EngineParkUnpark", engineParkUnpark},
+	{"EngineResume", engineResume},
 	{"MachineEventThroughput", machineEventThroughput},
 	{"MachineEventThroughputTraced", machineEventThroughputTraced},
 	{"MachineReadHitIssue", machineReadHitIssue},
 	{"MemBlockFetch", memBlockFetch},
 	{"CacheInstallEvict", cacheInstallEvict},
 	{"MachineResetReuse", machineResetReuse},
+	{"MachineResetOnly", machineResetOnly},
+	{"MachineSnapshotFork", machineSnapshotFork},
 	{"SingleLockRun", singleLockRun},
 	{"SingleLockRunTraced", singleLockRunTraced},
+}
+
+// allocCaps are absolute allocs/op ceilings, checked on every run (no
+// -compare needed): the machine-level steady-state paths are expected
+// to be allocation-free apart from the per-op pool round trip, so a cap
+// far below the old goroutine-era counts catches any slide back toward
+// per-event allocation even when the committed baseline moves.
+var allocCaps = map[string]int64{
+	"EngineScheduleRun":      2,
+	"EngineStallForFastPath": 2,
+	"EngineResume":           2,
+	"MachineEventThroughput": 8,
+	"MachineResetReuse":      8,
+	"MachineSnapshotFork":    16,
+	"SingleLockRun":          2048,
+}
+
+// probeDefaultPathHandoffs runs a default-path machine workload once
+// and fails if the engine performed a single goroutine hand-off. The
+// state-machine dispatch removed EngineParkUnpark-class control
+// transfers from every stock workload (they all run via RunProgram);
+// this probe keeps them from silently reappearing.
+func probeDefaultPathHandoffs() error {
+	m := core.AcquireMachine(core.DefaultConfig(core.CU, 8))
+	defer m.Release()
+	prog := &fetchAddProgram{ctr: m.Alloc("ctr", 4, 0), n: 50}
+	res := m.RunProgram(prog)
+	if res.SimEvents == 0 {
+		return fmt.Errorf("hand-off probe ran no events")
+	}
+	if h := m.Engine().Handoffs(); h != 0 {
+		return fmt.Errorf("default machine path performed %d goroutine hand-offs; the state-machine path must stay hand-off-free", h)
+	}
+	return nil
 }
 
 func run(benchtime string) (File, error) {
@@ -334,6 +481,9 @@ func run(benchtime string) (File, error) {
 		}
 		fmt.Printf("%-28s %12d iters %14.1f ns/op %8d allocs/op %10.0f events/s\n",
 			bm.name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.EventsPerSec)
+		if cap, ok := allocCaps[bm.name]; ok && res.AllocsPerOp > cap {
+			return f, fmt.Errorf("%s: %d allocs/op exceeds the absolute cap of %d", bm.name, res.AllocsPerOp, cap)
+		}
 		f.Results = append(f.Results, res)
 	}
 	return f, nil
@@ -426,6 +576,10 @@ func main() {
 	gate := flag.Bool("gate", false, "with -compare: exit 1 on a >15% ns/op regression or any allocs/op increase (BENCH_GATE=off overrides)")
 	flag.Parse()
 
+	if err := probeDefaultPathHandoffs(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcore:", err)
+		os.Exit(1)
+	}
 	f, err := run(*benchtime)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcore:", err)

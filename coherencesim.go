@@ -87,6 +87,59 @@ func DefaultConfig(p Protocol, procs int) Config {
 	return machine.DefaultConfig(p, procs)
 }
 
+// Resumable workload API: a Program is a workload compiled to the
+// state-machine model, dispatched inline by the event loop (no
+// goroutine per simulated processor). Each processor runs the Program's
+// Step as its root activation; blocking operations return OpBlocked and
+// the processor is re-entered in place when the machine wakes it.
+// Machine.RunProgram runs one; a second RunProgram call on the same
+// machine continues the same simulation where the first left off.
+type (
+	Program  = machine.Program
+	Frame    = machine.Frame
+	StepFunc = machine.StepFunc
+	OpStatus = machine.OpStatus
+)
+
+// Step results (see Program).
+const (
+	OpDone    = machine.OpDone
+	OpBlocked = machine.OpBlocked
+	OpCalled  = machine.OpCalled
+)
+
+// MachineSnapshot is a deep, immutable copy of a quiescent machine
+// taken by Machine.Snapshot after a RunProgram phase; RestoreFrom on a
+// freshly built (never-run) structurally identical machine resumes the
+// simulation from that point. Many machines may fork from one snapshot
+// concurrently — restored continuations are byte-identical to running
+// the original machine onward.
+type MachineSnapshot = machine.Snapshot
+
+// Warm-forked sweep support: the Warm*Loop drivers split a workload
+// into a shared warm-up phase (snapshotted once) plus a measured rest
+// phase forked per run, and WarmForkCache shares those checkpoints
+// across an experiment sweep (attach one to ExperimentOptions.Forks).
+type (
+	LockVariant   = workload.LockVariant
+	WarmForkCache = experiments.WarmForkCache
+)
+
+// Lock-loop body variants accepted by WarmLockLoop.
+const (
+	PlainLock   = workload.PlainLock
+	RandomPause = workload.RandomPause
+	WorkRatio   = workload.WorkRatio
+)
+
+// Warm-fork drivers and the sweep-level checkpoint cache.
+var (
+	WarmLockLoop      = workload.WarmLockLoop
+	WarmBarrierLoop   = workload.WarmBarrierLoop
+	WarmReductionLoop = workload.WarmReductionLoop
+	NewWarmForkCache  = experiments.NewWarmForkCache
+)
+
 // Synchronization construct interfaces and implementations (Section 2 of
 // the paper). MagicLock and MagicBarrier are the zero-traffic primitives
 // used to isolate reduction communication.

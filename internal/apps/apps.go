@@ -64,7 +64,7 @@ func currentValue(m *machine.Machine, a machine.Addr) uint32 {
 }
 
 // buildLock constructs the chosen lock kind on m.
-func buildLock(m *machine.Machine, k workload.LockKind, name string) constructs.Lock {
+func buildLock(m *machine.Machine, k workload.LockKind, name string) constructs.ProgramLock {
 	switch k {
 	case workload.Ticket:
 		return constructs.NewTicketLock(m, name)
@@ -77,7 +77,7 @@ func buildLock(m *machine.Machine, k workload.LockKind, name string) constructs.
 }
 
 // buildBarrier constructs the chosen barrier kind on m.
-func buildBarrier(m *machine.Machine, k workload.BarrierKind, name string) constructs.Barrier {
+func buildBarrier(m *machine.Machine, k workload.BarrierKind, name string) constructs.ProgramBarrier {
 	switch k {
 	case workload.Central:
 		return constructs.NewCentralBarrier(m, name)
@@ -111,19 +111,8 @@ func WorkQueue(p WorkQueueParams) Result {
 	doneWords := (p.Tasks + 15) / 16 * 16
 	done := m.Alloc("done", doneWords*4, -1)
 
-	res := m.Run(func(proc *machine.Proc) {
-		for {
-			l.Acquire(proc)
-			t := proc.Read(cursor)
-			if int(t) >= p.Tasks {
-				l.Release(proc)
-				return
-			}
-			proc.Write(cursor, t+1)
-			l.Release(proc)
-			proc.Compute(p.TaskWork)
-			proc.FetchAdd(done+machine.Addr(4*t), 1)
-		}
+	res := m.RunProgram(&workQueueProgram{
+		l: l, cursor: cursor, done: done, tasks: p.Tasks, work: p.TaskWork,
 	})
 
 	correct := true
@@ -163,21 +152,8 @@ func Jacobi(p JacobiParams) Result {
 	}
 	edge := func(i, c int) machine.Addr { return strips[i] + machine.Addr(4*c) }
 
-	res := m.Run(func(proc *machine.Proc) {
-		id := proc.ID()
-		left := (id + p.Procs - 1) % p.Procs
-		right := (id + 1) % p.Procs
-		for s := 0; s < p.Sweeps; s++ {
-			lv := proc.Read(edge(left, p.CellsPerProc-1))
-			rv := proc.Read(edge(right, 0))
-			proc.Compute(sim.Time(p.CellsPerProc)) // relaxation arithmetic
-			// Update both edges of the own strip from the halos.
-			v0 := proc.Read(edge(id, 0))
-			proc.Write(edge(id, 0), (lv+v0)/2)
-			vn := proc.Read(edge(id, p.CellsPerProc-1))
-			proc.Write(edge(id, p.CellsPerProc-1), (vn+rv)/2)
-			b.Wait(proc)
-		}
+	res := m.RunProgram(&jacobiProgram{
+		b: b, strips: strips, cells: p.CellsPerProc, sweeps: p.Sweeps, procs: p.Procs,
 	})
 
 	// Sequential replay for verification.
@@ -228,7 +204,7 @@ type NBodyParams struct {
 func NBodyMax(p NBodyParams) Result {
 	m := machine.Acquire(machine.DefaultConfig(p.Protocol, p.Procs))
 	defer m.Release()
-	var red constructs.Reducer
+	var red constructs.ProgramReducer
 	switch p.Reduction {
 	case workload.Parallel:
 		red = constructs.NewParallelReducer(m, "red", m.NewMagicLock(), m.NewMagicBarrier())
@@ -239,24 +215,10 @@ func NBodyMax(p NBodyParams) Result {
 	}
 	gate := m.NewMagicBarrier()
 
-	correct := true
-	res := m.Run(func(proc *machine.Proc) {
-		id := proc.ID()
-		for s := 0; s < p.Steps; s++ {
-			proc.Compute(p.BodyWork)
-			local := uint32(s)*uint32(2*p.Procs) + uint32((id*5+s)%p.Procs)
-			want := uint32(0)
-			for q := 0; q < p.Procs; q++ {
-				if v := uint32(s)*uint32(2*p.Procs) + uint32((q*5+s)%p.Procs); v > want {
-					want = v
-				}
-			}
-			red.Reduce(proc, local)
-			if got := proc.Read(red.ResultAddr()); got != want {
-				correct = false
-			}
-			gate.Wait(proc) // keep steps separated
-		}
-	})
-	return finish("nbodymax", res, correct, p.Steps)
+	prog := &nbodyProgram{
+		red: red, gate: gate, steps: p.Steps, procs: p.Procs,
+		work: p.BodyWork, correct: true,
+	}
+	res := m.RunProgram(prog)
+	return finish("nbodymax", res, prog.correct, p.Steps)
 }

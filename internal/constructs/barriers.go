@@ -32,6 +32,7 @@ func NewCentralBarrier(m *machine.Machine, name string) *CentralBarrier {
 	for i := range b.localSense {
 		b.localSense[i] = 1
 	}
+	m.RegisterForkState(name, b)
 	return b
 }
 
@@ -82,6 +83,7 @@ func NewDisseminationBarrier(m *machine.Machine, name string) *DisseminationBarr
 	for i := range b.sense {
 		b.sense[i] = 1
 	}
+	m.RegisterForkState(name, b)
 	return b
 }
 
@@ -152,6 +154,7 @@ func NewTreeBarrier(m *machine.Machine, name string) *TreeBarrier {
 	for i := range b.sense {
 		b.sense[i] = 1
 	}
+	m.RegisterForkState(name, b)
 	return b
 }
 

@@ -1,0 +1,70 @@
+package constructs
+
+// This file implements machine.ForkState for the constructs that keep
+// mutable run state in Go-side fields rather than simulated memory
+// (ticket stubs, sense flags, parity counters). Machine snapshots carry
+// this state alongside the simulated memory image so a forked run's
+// constructs continue exactly where the captured run's left off. The
+// stateless constructs (TAS/TTAS/MCS locks, both reducers) register
+// nothing. Constructors register in their own bodies, so rebuilding a
+// machine with the same builder reproduces the registry order snapshots
+// pair entries by.
+
+// ticketLockState is TicketLock's snapshot payload: each processor's
+// outstanding ticket (register-resident in the paper's pseudocode).
+type ticketLockState struct {
+	myTick [64]uint32
+}
+
+// SnapshotState implements machine.ForkState.
+func (l *TicketLock) SnapshotState() any { return ticketLockState{myTick: l.myTick} }
+
+// RestoreState implements machine.ForkState.
+func (l *TicketLock) RestoreState(st any) { l.myTick = st.(ticketLockState).myTick }
+
+// centralBarrierState is CentralBarrier's snapshot payload: the private
+// sense flags.
+type centralBarrierState struct {
+	localSense [64]uint32
+}
+
+// SnapshotState implements machine.ForkState.
+func (b *CentralBarrier) SnapshotState() any {
+	return centralBarrierState{localSense: b.localSense}
+}
+
+// RestoreState implements machine.ForkState.
+func (b *CentralBarrier) RestoreState(st any) {
+	b.localSense = st.(centralBarrierState).localSense
+}
+
+// dissemBarrierState is DisseminationBarrier's snapshot payload: the
+// per-processor parity and sense bookkeeping.
+type dissemBarrierState struct {
+	parity [64]int
+	sense  [64]uint32
+}
+
+// SnapshotState implements machine.ForkState.
+func (b *DisseminationBarrier) SnapshotState() any {
+	return dissemBarrierState{parity: b.parity, sense: b.sense}
+}
+
+// RestoreState implements machine.ForkState.
+func (b *DisseminationBarrier) RestoreState(st any) {
+	s := st.(dissemBarrierState)
+	b.parity = s.parity
+	b.sense = s.sense
+}
+
+// treeBarrierState is TreeBarrier's snapshot payload: the private sense
+// flags (the arrival flags live in simulated memory).
+type treeBarrierState struct {
+	sense [64]uint32
+}
+
+// SnapshotState implements machine.ForkState.
+func (b *TreeBarrier) SnapshotState() any { return treeBarrierState{sense: b.sense} }
+
+// RestoreState implements machine.ForkState.
+func (b *TreeBarrier) RestoreState(st any) { b.sense = st.(treeBarrierState).sense }

@@ -62,12 +62,14 @@ type TicketLock struct {
 
 // NewTicketLock allocates a ticket lock. name must be unique per machine.
 func NewTicketLock(m *machine.Machine, name string) *TicketLock {
-	return &TicketLock{
+	l := &TicketLock{
 		ticket:  m.Alloc(name+".ticket", 4, 0),
 		now:     m.Alloc(name+".now", 4, 0),
 		backoff: 50, // roughly one critical section per ticket ahead
 		lat:     m.MetricsHistogram(HistLockAcquire),
 	}
+	m.RegisterForkState(name, l)
+	return l
 }
 
 // Acquire takes a ticket and probes (with proportional backoff) until it

@@ -45,6 +45,13 @@ type Options struct {
 	// submission-ordered assembly loops, so the report is byte-identical
 	// at any worker count.
 	Breakdown *trace.BreakdownCollector
+	// Forks, when non-nil, memoizes workload warm-up checkpoints so each
+	// distinct (construct, protocol, size) prefix simulates once and every
+	// run needing it forks from the snapshot. Opt-in: forked figures are
+	// deterministic at any worker count but differ slightly from the
+	// default single-phase figures (the checkpoint boundary re-
+	// synchronizes processors), so nil keeps the classic execution.
+	Forks *WarmForkCache
 }
 
 // Defaults returns the paper's experiment parameters.
@@ -281,7 +288,10 @@ func lockSweep(o Options, figure, metric string, run lockRun) *LatencySweep {
 // Figure8 reproduces the lock latency sweep: average acquire-release
 // latency (cycles) for each lock/protocol combination and machine size.
 func Figure8(o Options) *LatencySweep {
-	return lockSweep(o, "Figure 8", "avg acquire-release latency (cycles)", workload.LockLoop)
+	return lockSweep(o, "Figure 8", "avg acquire-release latency (cycles)",
+		func(p workload.Params, k workload.LockKind) workload.LockResult {
+			return o.Forks.LockLoop(p, k, workload.PlainLock)
+		})
 }
 
 // lockTraffic runs the traffic-size lock workload for every combo,
@@ -291,7 +301,7 @@ func lockTraffic(o Options) (map[string]classify.MissCounts, map[string]classify
 		func(kind workload.LockKind, pr proto.Protocol) machine.Result {
 			p := o.withMetrics(workload.DefaultLockParams(pr, o.TrafficProcs))
 			p.Iterations = o.LockIterations
-			return workload.LockLoop(p, kind).Result
+			return o.Forks.LockLoop(p, kind, workload.PlainLock).Result
 		})
 }
 
@@ -314,7 +324,7 @@ func Figure11(o Options) *LatencySweep {
 		func(kind workload.BarrierKind, pr proto.Protocol, procs int) latencyPoint {
 			p := o.withMetrics(workload.DefaultBarrierParams(pr, procs))
 			p.Iterations = o.BarrierEpisodes
-			r := workload.BarrierLoop(p, kind)
+			r := o.Forks.BarrierLoop(p, kind)
 			return latencyPoint{r.Result, r.AvgLatency}
 		})
 }
@@ -325,7 +335,7 @@ func barrierTraffic(o Options) (map[string]classify.MissCounts, map[string]class
 		func(kind workload.BarrierKind, pr proto.Protocol) machine.Result {
 			p := o.withMetrics(workload.DefaultBarrierParams(pr, o.TrafficProcs))
 			p.Iterations = o.BarrierEpisodes
-			return workload.BarrierLoop(p, kind).Result
+			return o.Forks.BarrierLoop(p, kind).Result
 		})
 }
 
@@ -359,7 +369,10 @@ func reductionSweep(o Options, figure, metric string, run reductionRun) *Latency
 // latency (cycles) for each strategy/protocol combination and machine
 // size, with zero-traffic synchronization.
 func Figure14(o Options) *LatencySweep {
-	return reductionSweep(o, "Figure 14", "avg reduction latency (cycles)", workload.ReductionLoop)
+	return reductionSweep(o, "Figure 14", "avg reduction latency (cycles)",
+		func(p workload.Params, k workload.ReductionKind) workload.ReductionResult {
+			return o.Forks.ReductionLoop(p, k, false)
+		})
 }
 
 // reductionTraffic mirrors lockTraffic for reductions.
@@ -368,7 +381,7 @@ func reductionTraffic(o Options) (map[string]classify.MissCounts, map[string]cla
 		func(kind workload.ReductionKind, pr proto.Protocol) machine.Result {
 			p := o.withMetrics(workload.DefaultReductionParams(pr, o.TrafficProcs))
 			p.Iterations = o.ReductionEpisodes
-			return workload.ReductionLoop(p, kind).Result
+			return o.Forks.ReductionLoop(p, kind, false).Result
 		})
 }
 
@@ -390,19 +403,28 @@ func Figure16(o Options) *UpdateBreakdown {
 // variant (bounded pseudo-random pause after each release).
 func LockVariantRandomPause(o Options) *LatencySweep {
 	return lockSweep(o, "Locks, random-pause variant",
-		"avg acquire-release latency (cycles)", workload.LockLoopRandomPause)
+		"avg acquire-release latency (cycles)",
+		func(p workload.Params, k workload.LockKind) workload.LockResult {
+			return o.Forks.LockLoop(p, k, workload.RandomPause)
+		})
 }
 
 // LockVariantWorkRatio reproduces the Section 4.1 controlled-contention
 // variant (outside/inside work ratio = P ± 10%).
 func LockVariantWorkRatio(o Options) *LatencySweep {
 	return lockSweep(o, "Locks, work-ratio variant",
-		"avg acquire-release latency (cycles)", workload.LockLoopWorkRatio)
+		"avg acquire-release latency (cycles)",
+		func(p workload.Params, k workload.LockKind) workload.LockResult {
+			return o.Forks.LockLoop(p, k, workload.WorkRatio)
+		})
 }
 
 // ReductionVariantImbalanced reproduces the Section 4.3 load-imbalance
 // variant.
 func ReductionVariantImbalanced(o Options) *LatencySweep {
 	return reductionSweep(o, "Reductions, load-imbalance variant",
-		"avg reduction latency (cycles)", workload.ReductionLoopImbalanced)
+		"avg reduction latency (cycles)",
+		func(p workload.Params, k workload.ReductionKind) workload.ReductionResult {
+			return o.Forks.ReductionLoop(p, k, true)
+		})
 }

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"sync"
+
+	"coherencesim/internal/sim"
+	"coherencesim/internal/workload"
+
+	"coherencesim/internal/proto"
+)
+
+// WarmForkCache memoizes workload warm-start checkpoints
+// (workload.Warm*) across an experiment batch. Many figures rerun the
+// same (construct, protocol, size) simulation — figures 9 and 10 share
+// every lock-traffic point, figure 8's largest size repeats them — and
+// every run spends half its iterations warming caches. With a cache
+// attached (Options.Forks), each distinct warm-up prefix executes once;
+// every run needing it forks from the checkpoint and simulates only the
+// measurement phase.
+//
+// Forked runs are deterministic at any worker count but not
+// byte-identical to default single-phase runs (the phase boundary
+// re-synchronizes processors), so the cache is strictly opt-in and
+// golden outputs of the default path are unaffected. Runs with a Tune
+// hook bypass the cache: the hook is not comparable, so two tuned runs
+// can never be proven to share a checkpoint.
+type WarmForkCache struct {
+	mu         sync.Mutex
+	locks      map[warmKey]*lockEntry
+	barriers   map[warmKey]*barrierEntry
+	reductions map[warmKey]*reductionEntry
+}
+
+// NewWarmForkCache returns an empty checkpoint cache.
+func NewWarmForkCache() *WarmForkCache {
+	return &WarmForkCache{
+		locks:      make(map[warmKey]*lockEntry),
+		barriers:   make(map[warmKey]*barrierEntry),
+		reductions: make(map[warmKey]*reductionEntry),
+	}
+}
+
+// warmKey identifies one warm-up prefix: every Params field that shapes
+// the simulation (Tune excepted — tuned runs bypass the cache) plus the
+// construct selector. kind and variant are family-scoped ints; each
+// family has its own map, so overlapping values cannot collide.
+type warmKey struct {
+	procs   int
+	pr      proto.Protocol
+	iters   int
+	hold    sim.Time
+	metrics sim.Time
+	brk     bool
+	kind    int
+	variant int
+}
+
+func keyFor(p workload.Params, kind, variant int) warmKey {
+	return warmKey{
+		procs: p.Procs, pr: p.Protocol, iters: p.Iterations, hold: p.HoldCycles,
+		metrics: p.MetricsInterval, brk: p.Breakdown, kind: kind, variant: variant,
+	}
+}
+
+// Each entry carries a sync.Once so concurrent jobs needing the same
+// checkpoint build it exactly once; the losers block on the Once and
+// then fork from the winner's snapshot.
+type lockEntry struct {
+	once sync.Once
+	w    *workload.WarmLock
+}
+
+type barrierEntry struct {
+	once sync.Once
+	w    *workload.WarmBarrier
+}
+
+type reductionEntry struct {
+	once sync.Once
+	w    *workload.WarmReduction
+}
+
+// LockLoop runs the lock-loop variant v, forking from a (possibly
+// freshly built) warm checkpoint. A nil cache or a Tune hook falls back
+// to the plain single-phase entry points.
+func (c *WarmForkCache) LockLoop(p workload.Params, kind workload.LockKind, v workload.LockVariant) workload.LockResult {
+	if c == nil || p.Tune != nil {
+		switch v {
+		case workload.RandomPause:
+			return workload.LockLoopRandomPause(p, kind)
+		case workload.WorkRatio:
+			return workload.LockLoopWorkRatio(p, kind)
+		default:
+			return workload.LockLoop(p, kind)
+		}
+	}
+	k := keyFor(p, int(kind), int(v))
+	c.mu.Lock()
+	e := c.locks[k]
+	if e == nil {
+		e = &lockEntry{}
+		c.locks[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.w = workload.WarmLockLoop(p, kind, v) })
+	return e.w.Run()
+}
+
+// BarrierLoop runs the barrier loop, forking from a warm checkpoint
+// (plain path when the cache is nil or the run is tuned).
+func (c *WarmForkCache) BarrierLoop(p workload.Params, kind workload.BarrierKind) workload.BarrierResult {
+	if c == nil || p.Tune != nil {
+		return workload.BarrierLoop(p, kind)
+	}
+	k := keyFor(p, int(kind), 0)
+	c.mu.Lock()
+	e := c.barriers[k]
+	if e == nil {
+		e = &barrierEntry{}
+		c.barriers[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.w = workload.WarmBarrierLoop(p, kind) })
+	return e.w.Run()
+}
+
+// ReductionLoop runs the (im)balanced reduction loop, forking from a
+// warm checkpoint (plain path when the cache is nil or the run is
+// tuned).
+func (c *WarmForkCache) ReductionLoop(p workload.Params, kind workload.ReductionKind, imbalanced bool) workload.ReductionResult {
+	if c == nil || p.Tune != nil {
+		if imbalanced {
+			return workload.ReductionLoopImbalanced(p, kind)
+		}
+		return workload.ReductionLoop(p, kind)
+	}
+	variant := 0
+	if imbalanced {
+		variant = 1
+	}
+	k := keyFor(p, int(kind), variant)
+	c.mu.Lock()
+	e := c.reductions[k]
+	if e == nil {
+		e = &reductionEntry{}
+		c.reductions[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.w = workload.WarmReductionLoop(p, kind, imbalanced) })
+	return e.w.Run()
+}
+
+// Checkpoints reports how many distinct warm-up prefixes the cache has
+// built (diagnostics and tests).
+func (c *WarmForkCache) Checkpoints() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.locks) + len(c.barriers) + len(c.reductions)
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
+	"coherencesim/internal/runner"
+	"coherencesim/internal/workload"
+)
+
+func warmForkOptions(workers int) Options {
+	o := Options{
+		Procs:             []int{1, 2, 8},
+		TrafficProcs:      8,
+		LockIterations:    320,
+		BarrierEpisodes:   40,
+		ReductionEpisodes: 40,
+		Forks:             NewWarmForkCache(),
+	}
+	if workers > 0 {
+		o.Runner = runner.New(workers)
+	}
+	return o
+}
+
+// TestWarmForkSweepDeterministicAcrossWorkers runs warm-forked figures
+// at several worker counts: the cache's build-once races must never
+// leak into results, so every sweep (and the collected metrics report)
+// is byte-identical to the serial warm-forked run.
+func TestWarmForkSweepDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (*LatencySweep, *LatencySweep, *MissBreakdown, []byte) {
+		o := warmForkOptions(workers)
+		o.Metrics = metrics.NewCollector(2000)
+		f8 := Figure8(o)
+		f11 := Figure11(o)
+		f9 := Figure9(o)
+		var buf bytes.Buffer
+		if err := o.Metrics.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return f8, f11, f9, buf.Bytes()
+	}
+	base8, base11, base9, baseRep := run(0)
+	for _, workers := range []int{1, 2, 8} {
+		f8, f11, f9, rep := run(workers)
+		if !reflect.DeepEqual(base8, f8) {
+			t.Errorf("Figure 8 at %d workers differs from serial warm-forked run", workers)
+		}
+		if !reflect.DeepEqual(base11, f11) {
+			t.Errorf("Figure 11 at %d workers differs from serial warm-forked run", workers)
+		}
+		if !reflect.DeepEqual(base9, f9) {
+			t.Errorf("Figure 9 at %d workers differs from serial warm-forked run", workers)
+		}
+		if !bytes.Equal(baseRep, rep) {
+			t.Errorf("metrics report at %d workers differs from serial warm-forked run", workers)
+		}
+	}
+}
+
+// TestWarmForkMatchesFreshTwoPhase pins the cache's semantics to the
+// workload layer's: a figure point produced through the cache equals
+// the workload's warm-fork entry, which the workload tests prove equals
+// a fresh machine running both phases.
+func TestWarmForkMatchesFreshTwoPhase(t *testing.T) {
+	o := warmForkOptions(0)
+	p := o.withMetrics(workload.DefaultLockParams(protocols[2], 8))
+	p.Iterations = o.LockIterations
+	direct := workload.WarmLockLoop(p, workload.MCS, workload.PlainLock).Run()
+	cached := o.Forks.LockLoop(p, workload.MCS, workload.PlainLock)
+	if !reflect.DeepEqual(direct, cached) {
+		t.Errorf("cached warm-fork run differs from direct warm-fork run\ndirect: %+v\ncached: %+v", direct, cached)
+	}
+}
+
+// TestWarmForkCheckpointsShared checks the cross-figure payoff: figures
+// 9 and 10 request identical lock-traffic points, so running both
+// builds each checkpoint once.
+func TestWarmForkCheckpointsShared(t *testing.T) {
+	o := warmForkOptions(2)
+	Figure9(o)
+	after9 := o.Forks.Checkpoints()
+	if after9 == 0 {
+		t.Fatal("Figure 9 built no checkpoints")
+	}
+	Figure10(o)
+	if got := o.Forks.Checkpoints(); got != after9 {
+		t.Errorf("Figure 10 built %d extra checkpoints; figures 9 and 10 must share all of them", got-after9)
+	}
+}
+
+// TestWarmForkTuneBypassesCache: tuned runs cannot share checkpoints
+// (the hook is not comparable), so they take the plain path and build
+// nothing.
+func TestWarmForkTuneBypassesCache(t *testing.T) {
+	o := warmForkOptions(0)
+	p := workload.DefaultLockParams(protocols[0], 4)
+	p.Iterations = 320
+	p.Tune = func(cfg *machine.Config) { cfg.CUThreshold = 2 }
+	o.Forks.LockLoop(p, workload.Ticket, workload.PlainLock)
+	if got := o.Forks.Checkpoints(); got != 0 {
+		t.Errorf("tuned run built %d checkpoints, want 0", got)
+	}
+}

@@ -147,6 +147,42 @@ type Machine struct {
 	body  func(p *Proc)
 	procs []*Proc
 	ran   bool
+
+	// forkState is the ordered registry of construct objects carrying
+	// mutable Go-side run state (ticket stubs, barrier sense flags, ...)
+	// that must travel with machine snapshots. Constructors register
+	// here, so identical builder code yields an identical registry and
+	// RestoreFrom can pair source and target entries by position.
+	forkState []namedForkState
+
+	// txnBusy records the per-processor busy cycles already folded into
+	// the transaction tracer, so collect can feed the tracer deltas and
+	// a continuation phase's collect does not double-count the prefix.
+	txnBusy []sim.Time
+}
+
+// ForkState is implemented by construct objects that hold mutable
+// Go-side state a machine snapshot must carry (state living outside the
+// simulated memory image). SnapshotState returns a self-contained copy;
+// RestoreState loads one into a freshly built twin of the object.
+type ForkState interface {
+	SnapshotState() any
+	RestoreState(st any)
+}
+
+// namedForkState tags a registered ForkState with the identity under
+// which snapshot and restore pair it.
+type namedForkState struct {
+	name string
+	fs   ForkState
+}
+
+// RegisterForkState records fs in the machine's fork-state registry.
+// Constructors of stateful constructs call it; registration order must
+// be deterministic for a given builder (it is, since builders run
+// sequentially), because RestoreFrom pairs entries by position.
+func (m *Machine) RegisterForkState(name string, fs ForkState) {
+	m.forkState = append(m.forkState, namedForkState{name: name, fs: fs})
 }
 
 // allocEntry records one named allocation. Allocations number in the
@@ -271,6 +307,13 @@ func (m *Machine) Reset(cfg Config) bool {
 		p.reset()
 	}
 	m.ran = false
+	for i := range m.forkState {
+		m.forkState[i] = namedForkState{}
+	}
+	m.forkState = m.forkState[:0]
+	for i := range m.txnBusy {
+		m.txnBusy[i] = 0
+	}
 	return true
 }
 
@@ -358,33 +401,83 @@ func (m *Machine) Peek(a Addr) uint32 {
 	return m.sys.Memory(m.sys.HomeOf(block)).Peek(block, word)
 }
 
-// Run executes body on every simulated processor to completion and
-// returns the run summary. Following the paper's fork-time optimization,
-// processor 0's cache is flushed before the parallel phase (caches are
-// cold in a fresh Machine, so this matters only for machines that Poke
-// through a processor; it is kept for fidelity).
-func (m *Machine) Run(body func(p *Proc)) Result {
-	if m.ran {
-		panic("machine: Run called twice; Reset the machine or build a fresh one per run")
-	}
-	m.ran = true
-	m.sys.FlushAll(0)
+// ensureProcs lazily builds the processor set (kept across Reset).
+func (m *Machine) ensureProcs() {
 	if m.procs == nil {
 		m.procs = make([]*Proc, m.cfg.Procs)
 		for i := 0; i < m.cfg.Procs; i++ {
 			m.procs[i] = newProc(m, i)
 		}
 	}
+}
+
+// Run executes body on every simulated processor to completion and
+// returns the run summary, using the legacy coroutine model: each
+// processor runs body on a dedicated goroutine in strict alternation
+// with the engine. Workloads compiled to the state-machine model run
+// through RunProgram instead — same semantics, no goroutines.
+// Following the paper's fork-time optimization, processor 0's cache is
+// flushed before the parallel phase (caches are cold in a fresh
+// Machine, so this matters only for machines that Poke through a
+// processor; it is kept for fidelity).
+func (m *Machine) Run(body func(p *Proc)) Result {
+	if m.ran {
+		panic("machine: Run called twice; Reset the machine or build a fresh one per run")
+	}
+	m.ran = true
+	m.sys.FlushAll(0)
+	m.ensureProcs()
 	m.body = body
 	for _, p := range m.procs {
+		p.sm = false
 		p.co = m.e.Go(p.name, p.runFn)
 	}
 	m.e.Run()
+	return m.collect()
+}
+
+// RunProgram executes prog on every simulated processor to completion
+// and returns the run summary. Programs are resumable state machines
+// dispatched inline by the event loop: no goroutine or channel
+// hand-offs, but cycle accounting, traces, and event numbering are
+// byte-identical to the equivalent Run workload.
+//
+// Unlike Run, RunProgram may be called again after it returns: a second
+// call is a continuation phase that extends the same simulation —
+// caches stay warm, the clock and event numbering continue, and the
+// returned Result is cumulative. Snapshot/RestoreFrom rely on this to
+// fork measurement phases off a captured warm-up phase. The fork-time
+// cache flush applies to the first phase only.
+func (m *Machine) RunProgram(prog Program) Result {
+	if m.body != nil {
+		panic("machine: RunProgram after Run; Reset the machine or build a fresh one per run")
+	}
+	if !m.ran {
+		m.ran = true
+		m.sys.FlushAll(0)
+	}
+	m.ensureProcs()
+	for _, p := range m.procs {
+		p.startProgram(prog)
+	}
+	m.e.Run()
+	return m.collect()
+}
+
+// collect finalizes classification and assembles the run summary.
+func (m *Machine) collect() Result {
 	m.cl.Finish()
+	if len(m.txnBusy) != len(m.procs) {
+		m.txnBusy = make([]sim.Time, len(m.procs))
+	}
 	per := make([]ProcStats, len(m.procs))
 	for i, p := range m.procs {
 		per[i] = p.stats
-		m.cfg.Txn.AddCompute(i, p.stats.Busy)
+		// Feed the tracer only the busy cycles accrued since the last
+		// collect, so a continuation phase's cumulative ProcStats are
+		// not double-counted.
+		m.cfg.Txn.AddCompute(i, p.stats.Busy-m.txnBusy[i])
+		m.txnBusy[i] = p.stats.Busy
 	}
 	return Result{
 		Cycles:     m.e.Now(),

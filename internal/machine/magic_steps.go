@@ -1,0 +1,120 @@
+package machine
+
+// State-machine compilations of the zero-traffic magic primitives,
+// mirroring MagicLock.Acquire/Release and MagicBarrier.Wait exactly
+// (same phase brackets, same Compute charges, same waitSync parks and
+// zero-latency hand-off events), so Program-mode reduction runs are
+// byte-identical to legacy coroutine runs.
+
+// FAcquire is Acquire compiled to the state-machine model
+// (constructs.ProgramLock).
+func (l *MagicLock) FAcquire(p *Proc) OpStatus {
+	p.Call(magicAcquireStep, l)
+	return OpCalled
+}
+
+// FRelease is Release compiled to the state-machine model.
+func (l *MagicLock) FRelease(p *Proc) OpStatus {
+	p.Call(magicReleaseStep, l)
+	return OpCalled
+}
+
+func magicAcquireStep(p *Proc, f *Frame) OpStatus {
+	l := f.Obj.(*MagicLock)
+	switch f.PC {
+	case 0:
+		p.BeginPhase(PhaseLock)
+		f.PC = 1
+		if !p.FCompute(l.cycles) {
+			return OpBlocked
+		}
+		fallthrough
+	case 1:
+		if !l.held {
+			l.held = true
+			p.EndPhase()
+			return OpDone
+		}
+		l.queue = append(l.queue, p)
+		f.PC = 2
+		return p.smBlock(waitSync)
+	case 2: // woken by a release handing us the lock
+		p.EndPhase()
+		return OpDone
+	}
+	panic("machine: magicAcquireStep bad pc")
+}
+
+func magicReleaseStep(p *Proc, f *Frame) OpStatus {
+	l := f.Obj.(*MagicLock)
+	switch f.PC {
+	case 0:
+		if !l.held {
+			panic("machine: MagicLock.Release without holder")
+		}
+		p.BeginPhase(PhaseLock)
+		f.PC = 1
+		return p.FFence() // release consistency: holder's write acks
+	case 1:
+		f.PC = 2
+		if !p.FCompute(l.cycles) {
+			return OpBlocked
+		}
+		fallthrough
+	case 2:
+		if len(l.queue) == 0 {
+			l.held = false
+		} else {
+			next := l.queue[0]
+			l.queue = l.queue[1:]
+			l.m.e.Schedule(0, func() { next.unblock(waitSync) })
+		}
+		p.EndPhase()
+		return OpDone
+	}
+	panic("machine: magicReleaseStep bad pc")
+}
+
+// FWait is Wait compiled to the state-machine model
+// (constructs.ProgramBarrier).
+func (b *MagicBarrier) FWait(p *Proc) OpStatus {
+	p.Call(magicBarrierWaitStep, b)
+	return OpCalled
+}
+
+func magicBarrierWaitStep(p *Proc, f *Frame) OpStatus {
+	b := f.Obj.(*MagicBarrier)
+	switch f.PC {
+	case 0:
+		p.BeginPhase(PhaseBarrier)
+		f.PC = 1
+		return p.FFence()
+	case 1:
+		b.arrived++
+		if b.arrived < b.n {
+			b.waiters = append(b.waiters, p)
+			f.PC = 3
+			return p.smBlock(waitSync)
+		}
+		// Last arrival: release everyone after the fixed cost.
+		b.arrived = 0
+		ws := b.waiters
+		b.waiters = nil
+		for _, w := range ws {
+			w := w
+			b.m.e.Schedule(b.cycles, func() { w.unblock(waitSync) })
+		}
+		f.PC = 2
+		if !p.FCompute(b.cycles) {
+			return OpBlocked
+		}
+		fallthrough
+	case 2:
+		p.EndPhase()
+		return OpDone
+	case 3: // woken by the last arrival
+		p.EndPhase()
+		return OpDone
+	}
+	panic("machine: magicBarrierWaitStep bad pc")
+}

@@ -84,21 +84,41 @@ func (s ProcStats) Total() sim.Time {
 		s.AtomicStall + s.SpinWait + s.SyncWait
 }
 
-// Proc is one simulated processor. All methods must be called from the
-// processor's own workload body (they suspend the underlying coroutine).
+// Proc is one simulated processor. It executes workloads under one of
+// two models: compiled state-machine Programs re-entered inline by the
+// event engine (Machine.RunProgram, the default path — see program.go),
+// or legacy imperative closures on a dedicated coroutine goroutine
+// (Machine.Run). The imperative methods (Read, Write, ...) must be
+// called only from a coroutine workload body; Programs use their F-
+// prefixed step twins.
 type Proc struct {
 	m    *Machine
 	id   int
 	co   *sim.Coroutine
-	name string // coroutine label, built once
+	name string // task/coroutine label, built once
 	// runFn is the coroutine entry point, built once; it reads the
 	// current workload body through the machine so reusing the
 	// processor across runs allocates no fresh closures.
 	runFn func()
 
+	// State-machine execution state (program.go). task is the engine
+	// dispatch handle; frames/fp the activation stack; ret the child
+	// result register; wokenFrom carries the wait reason from unblock to
+	// smResume so stall accounting runs on the wake side; blockT0 is the
+	// park instant it charges from. smResume is built once.
+	task      sim.Task
+	sm        bool // current run uses the state-machine model
+	frames    [frameStackDepth]Frame
+	fp        int
+	ret       uint32
+	wokenFrom waitReason
+	blockT0   sim.Time
+	smResume  func()
+
 	wb      *cache.WriteBuffer
 	waiting waitReason
 	rng     *rand.Rand
+	rngSrc  *countingSource
 	stats   ProcStats
 
 	// phase is the synchronization-phase tag stack (see Phase); relBy is
@@ -130,14 +150,19 @@ type Proc struct {
 }
 
 func newProc(m *Machine, id int) *Proc {
+	src := &countingSource{src: rand.NewSource(procSeed(id)).(rand.Source64)}
 	p := &Proc{
-		m:    m,
-		id:   id,
-		name: fmt.Sprintf("proc%d", id),
-		wb:   cache.NewWriteBuffer(m.cfg.WBEntries),
-		rng:  rand.New(rand.NewSource(procSeed(id))),
+		m:      m,
+		id:     id,
+		name:   fmt.Sprintf("proc%d", id),
+		wb:     cache.NewWriteBuffer(m.cfg.WBEntries),
+		rng:    rand.New(src),
+		rngSrc: src,
 	}
 	p.runFn = func() { p.m.body(p) }
+	p.fp = -1
+	p.smResume = p.smResumeFn
+	p.task.Init(m.e, p.name, p.smResume)
 	p.readDone = func(v uint32) {
 		p.opVal = v
 		p.opDone = true
@@ -177,6 +202,23 @@ func newProc(m *Machine, id int) *Proc {
 // random stream is identical to a fresh one's.
 func procSeed(id int) int64 { return int64(id)*2654435761 + 12345 }
 
+// countingSource wraps a processor's random source and counts state
+// advances. Machine snapshots record each processor's stream position;
+// restore reproduces it by reseeding and discarding the same number of
+// draws, so a forked run's random stream continues exactly where the
+// captured run's left off. rand.Rand buffers nothing for Int63n-style
+// draws, so source draws fully determine the visible stream.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 { s.draws++; return s.src.Int63() }
+
+func (s *countingSource) Uint64() uint64 { s.draws++; return s.src.Uint64() }
+
+func (s *countingSource) Seed(seed int64) { s.draws = 0; s.src.Seed(seed) }
+
 // reset returns the processor to its post-newProc state for machine
 // reuse. The once-built callbacks and write buffer are kept; only the
 // mutable run state is cleared.
@@ -184,13 +226,27 @@ func (p *Proc) reset() {
 	p.co = nil
 	p.wb.Reset()
 	p.waiting = waitNone
-	p.rng.Seed(procSeed(p.id))
+	if p.rngSrc.draws != 0 {
+		// Reseeding costs several hundred cycles of generator setup;
+		// skip it when the stream was never consumed (most workloads
+		// draw no random numbers), which is behaviourally identical.
+		p.rng.Seed(procSeed(p.id))
+	}
 	p.stats = ProcStats{}
 	p.pending = 0
 	p.opDone = false
 	p.opVal = 0
 	p.phase = p.phase[:0]
 	p.relBy = trace.ReleaseInfo{}
+	p.sm = false
+	for i := 0; i <= p.fp; i++ {
+		p.frames[i] = Frame{}
+	}
+	p.fp = -1
+	p.ret = 0
+	p.wokenFrom = waitNone
+	p.blockT0 = 0
+	p.task.Init(p.m.e, p.name, p.smResume)
 }
 
 // BeginPhase pushes a synchronization-phase tag; EndPhase pops it. The
@@ -334,13 +390,21 @@ func (p *Proc) block(r waitReason) {
 }
 
 // unblock wakes the processor if it is parked for the given reason,
-// capturing the releasing transaction at the release instant.
+// capturing the releasing transaction at the release instant. Under the
+// state-machine model the wake is a direct call back into the step
+// loop (no goroutine hand-off); wokenFrom carries the reason across so
+// smResume applies the stall accounting block() would.
 func (p *Proc) unblock(r waitReason) {
 	if p.waiting == r {
 		if tr := p.m.cfg.Txn; tr != nil {
 			p.relBy = tr.LastRelease(p.id)
 		}
 		p.waiting = waitNone
+		if p.sm {
+			p.wokenFrom = r
+			p.task.Wake()
+			return
+		}
 		p.co.Wake()
 	}
 }

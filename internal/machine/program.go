@@ -1,0 +1,488 @@
+package machine
+
+import (
+	"fmt"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
+)
+
+// This file is the resumable state-machine execution model: workloads
+// compiled into explicit step functions that the event engine re-enters
+// by direct call, replacing the goroutine-per-processor coroutines on
+// the default path. The processor API (Read/Write/FetchAdd/.../Fence)
+// keeps identical cycle accounting, trace records, metrics, and
+// (seq, processed) event numbering in both models — the legacy
+// closure-based Machine.Run path stays available as a compatibility
+// shim and every golden is byte-identical across the two.
+//
+// Model: each processor owns a small stack of Frames. A Frame is one
+// activation of a StepFunc — a resumable function encoding its position
+// in PC and its locals in the fixed register fields. Step functions
+// never block the calling goroutine: an operation that must wait parks
+// the processor's engine Task and returns OpBlocked, unwinding to the
+// event loop; the wake-up calls straight back into the step loop, which
+// re-enters the top frame at its saved PC. Calling a sub-operation
+// (a construct's acquire, a primitive read) pushes a child frame and
+// returns OpCalled; when the child completes, the parent is re-entered
+// at the PC it saved before the call, with the child's result in
+// p.Ret().
+
+// OpStatus is the result of running one step of a frame.
+type OpStatus int
+
+const (
+	// OpDone: the frame's operation completed; its result (if any) is
+	// in p.Ret(). The frame is popped and the parent re-entered.
+	OpDone OpStatus = iota
+	// OpBlocked: the processor parked (or scheduled a timed wake). The
+	// step loop unwinds to the engine; the wake re-enters the same
+	// frame at its current PC.
+	OpBlocked
+	// OpCalled: a child frame was pushed; the step loop runs it next.
+	// The caller must have saved its resume PC first.
+	OpCalled
+)
+
+// StepFunc is one resumable activation. Implementations are
+// package-level functions (bound methods would allocate a closure per
+// call); per-activation state lives in the Frame, shared construct
+// state behind f.Obj.
+type StepFunc func(p *Proc, f *Frame) OpStatus
+
+// Frame is one activation record: a program counter plus a handful of
+// typed registers. The register names carry no meaning — each StepFunc
+// documents its own usage.
+type Frame struct {
+	PC         int
+	I0, I1, I2 int
+	U0, U1, U2 uint32
+	A0, A1     Addr
+	T0         sim.Time
+	Obj        any
+	step       StepFunc
+}
+
+// Program is a workload compiled to the state-machine model: Step is
+// the root StepFunc run by every processor. The Program value is shared
+// by all processors of a run (and must therefore be stateless or
+// read-only during the run); per-processor state lives in the root
+// frame's registers and p.ID()-indexed structures.
+type Program interface {
+	Step(p *Proc, f *Frame) OpStatus
+}
+
+// frameStackDepth bounds nesting: program -> construct -> spin ->
+// primitive is the deepest stock chain (4); apps add one more level.
+const frameStackDepth = 16
+
+// runProgramStep adapts a Program's Step method to a package-level
+// StepFunc for the root frame.
+func runProgramStep(p *Proc, f *Frame) OpStatus {
+	return f.Obj.(Program).Step(p, f)
+}
+
+// Call pushes a child frame for step with the given shared object and
+// returns it so the caller can set argument registers. The caller must
+// have saved its resume PC and must return OpCalled.
+func (p *Proc) Call(step StepFunc, obj any) *Frame {
+	p.fp++
+	if p.fp >= frameStackDepth {
+		panic(fmt.Sprintf("machine: proc %d frame stack overflow", p.id))
+	}
+	f := &p.frames[p.fp]
+	*f = Frame{step: step, Obj: obj}
+	return f
+}
+
+// Ret returns the result register of the last completed child frame.
+func (p *Proc) Ret() uint32 { return p.ret }
+
+// stepLoop drives the frame stack until the processor parks or its
+// program completes. It is the state-machine analogue of the coroutine
+// body goroutine, running entirely on the engine's own stack.
+func (p *Proc) stepLoop() {
+	for p.fp >= 0 {
+		f := &p.frames[p.fp]
+		switch f.step(p, f) {
+		case OpDone:
+			p.frames[p.fp].Obj = nil
+			p.fp--
+		case OpBlocked:
+			return
+		}
+		// OpCalled: the top of stack changed; just keep looping.
+	}
+	p.task.End()
+}
+
+// startProgram arms the processor to run prog and registers its task
+// with the engine, mirroring what Engine.Go does for a coroutine (one
+// live task, one start event at the current time).
+func (p *Proc) startProgram(prog Program) {
+	p.sm = true
+	p.fp = 0
+	p.frames[0] = Frame{step: runProgramStep, Obj: prog}
+	p.task.Begin()
+}
+
+// smResume is the processor's Task resume function (built once in
+// newProc): apply the stall accounting a wake implies, then re-enter
+// the step loop. Timed wakes from StallFor carry no accounting, exactly
+// like the legacy path where StallFor parks outside block().
+func (p *Proc) smResumeFn() {
+	if r := p.wokenFrom; r != waitNone {
+		p.wokenFrom = waitNone
+		p.wakeAccounting(r)
+	}
+	p.stepLoop()
+}
+
+// smFlushPending realizes accumulated local cycles as one stall,
+// exactly like flushPending on the legacy path. It reports true when
+// the processor may proceed (no pending cycles, or the StallFor fast
+// path absorbed them); false means the processor parked and the caller
+// must return OpBlocked after having saved its resume PC.
+func (p *Proc) smFlushPending() bool {
+	if p.pending == 0 {
+		return true
+	}
+	d := p.pending
+	p.pending = 0
+	return p.task.StallFor(d)
+}
+
+// smBlock parks the processor with a reason tag and returns OpBlocked
+// for the caller to propagate. It is block()'s state-machine half:
+// wakeAccounting (run by smResume) is the other half, charging the
+// suspended time when the wake arrives. Every call site has already
+// realized its pending cycles (the legacy path flushes inside block;
+// here the flush stages precede the block stages), which blockT0
+// depends on, so this is asserted.
+func (p *Proc) smBlock(r waitReason) OpStatus {
+	if p.waiting != waitNone {
+		panic(fmt.Sprintf("machine: proc %d blocking while already waiting (%d)", p.id, p.waiting))
+	}
+	if p.pending != 0 {
+		panic(fmt.Sprintf("machine: proc %d blocking with %d pending cycles", p.id, p.pending))
+	}
+	p.blockT0 = p.m.e.Now()
+	p.waiting = r
+	p.task.Park()
+	return OpBlocked
+}
+
+// wakeAccounting charges a completed stall to its category: the same
+// bookkeeping the legacy block() performs after Stall returns, applied
+// on the wake side of the state-machine split.
+func (p *Proc) wakeAccounting(r waitReason) {
+	t0 := p.blockT0
+	now := p.m.e.Now()
+	dt := now - t0
+	switch r {
+	case waitRead:
+		p.stats.ReadStall += dt
+	case waitWBSpace, waitFlushWB:
+		p.stats.WriteStall += dt
+	case waitFence:
+		p.stats.FenceStall += dt
+	case waitAtomic:
+		p.stats.AtomicStall += dt
+	case waitSpin:
+		p.stats.SpinWait += dt
+	case waitSync:
+		p.stats.SyncWait += dt
+	}
+	p.m.met.stall[r].Add(now, dt)
+	if dt > 0 {
+		p.m.cfg.Timeline.AddSlice(p.id, r.timelineName(), t0, now)
+		if tr := p.m.cfg.Txn; tr != nil {
+			cat, by := p.stallCategory(r)
+			tr.AddStall(p.id, cat, t0, now, by)
+		}
+	}
+}
+
+// ---- Primitive operations ----
+//
+// Each primitive mirrors its imperative twin in proc.go line for line:
+// same issue charge, same flush point, same block reasons, same trace
+// records and metrics in the same order. The PC stages are exactly the
+// operation's park points.
+
+// FRead performs a load (Proc.Read). Result in p.Ret().
+func (p *Proc) FRead(a Addr) OpStatus {
+	f := p.Call(readStep, nil)
+	f.A0 = a
+	return OpCalled
+}
+
+// readStep registers: A0 address, T0 issue time of a miss.
+func readStep(p *Proc, f *Frame) OpStatus {
+	switch f.PC {
+	case 0:
+		p.issue(&p.stats.Reads, p.m.met.reads)
+		f.PC = 1
+		if !p.smFlushPending() {
+			return OpBlocked
+		}
+		fallthrough
+	case 1:
+		if v, ok := p.wb.Forward(f.A0); ok {
+			p.ret = v
+			return OpDone
+		}
+		p.opDone = false
+		f.T0 = p.m.e.Now()
+		p.m.sys.Read(p.id, f.A0, p.readDone)
+		if !p.opDone {
+			f.PC = 2
+			return p.smBlock(waitRead)
+		}
+		p.ret = p.opVal
+		p.m.cfg.Trace.Record(p.Now(), p.id, trace.Read, uint32(f.A0), p.ret)
+		return OpDone
+	case 2: // woken with the miss data
+		p.m.met.readMiss.Observe(p.m.e.Now() - f.T0)
+		p.ret = p.opVal
+		p.m.cfg.Trace.Record(p.Now(), p.id, trace.ReadMiss, uint32(f.A0), p.ret)
+		return OpDone
+	}
+	panic("machine: readStep bad pc")
+}
+
+// FWrite performs a store (Proc.Write).
+func (p *Proc) FWrite(a Addr, v uint32) OpStatus {
+	f := p.Call(writeStep, nil)
+	f.A0, f.U0 = a, v
+	return OpCalled
+}
+
+// writeStep registers: A0 address, U0 value.
+func writeStep(p *Proc, f *Frame) OpStatus {
+	switch f.PC {
+	case 0:
+		p.issue(&p.stats.Writes, p.m.met.writes)
+		f.PC = 1
+		if !p.smFlushPending() {
+			return OpBlocked
+		}
+		fallthrough
+	case 1: // re-entered after each buffer-space wake
+		if p.wb.Full() {
+			return p.smBlock(waitWBSpace)
+		}
+		p.wb.Push(f.A0, f.U0)
+		p.m.cfg.Trace.Record(p.Now(), p.id, trace.Write, uint32(f.A0), f.U0)
+		p.drain()
+		return OpDone
+	}
+	panic("machine: writeStep bad pc")
+}
+
+// FFetchAdd / FFetchStore / FCompareSwap / atomic plumbing
+// (Proc.FetchAdd and friends). Old value in p.Ret(); for CompareSwap
+// compare p.Ret() against the expected value.
+func (p *Proc) FFetchAdd(a Addr, delta uint32) OpStatus {
+	return p.fatomic(a, atomicAdd, delta, 0)
+}
+
+func (p *Proc) FFetchStore(a Addr, v uint32) OpStatus {
+	return p.fatomic(a, atomicStore, v, 0)
+}
+
+func (p *Proc) FCompareSwap(a Addr, oldV, newV uint32) OpStatus {
+	return p.fatomic(a, atomicCAS, oldV, newV)
+}
+
+func (p *Proc) fatomic(a Addr, kind atomicKind, op1, op2 uint32) OpStatus {
+	f := p.Call(atomicStep, nil)
+	f.A0, f.U0, f.U1, f.I0 = a, op1, op2, int(kind)
+	return OpCalled
+}
+
+// atomicStep registers: A0 address, U0/U1 operands, I0 atomicKind.
+func atomicStep(p *Proc, f *Frame) OpStatus {
+	switch f.PC {
+	case 0:
+		p.issue(&p.stats.Atomics, p.m.met.atomics)
+		f.PC = 1
+		if !p.smFlushPending() {
+			return OpBlocked
+		}
+		fallthrough
+	case 1: // drainWB loop: atomics force the write buffer empty first
+		if !p.wb.Empty() {
+			return p.smBlock(waitFlushWB)
+		}
+		p.opDone = false
+		p.m.sys.Atomic(p.id, f.A0, atomicKind(f.I0).proto(), f.U0, f.U1, p.atomicDone)
+		if !p.opDone {
+			f.PC = 2
+			return p.smBlock(waitAtomic)
+		}
+		fallthrough
+	case 2: // completed (usually via the waitAtomic wake)
+		p.ret = p.opVal
+		p.m.cfg.Trace.Record(p.Now(), p.id, trace.Atomic, uint32(f.A0), p.ret)
+		return OpDone
+	}
+	panic("machine: atomicStep bad pc")
+}
+
+// FFence is the release-consistency synchronization point (Proc.Fence).
+func (p *Proc) FFence() OpStatus {
+	p.Call(fenceStep, nil)
+	return OpCalled
+}
+
+func fenceStep(p *Proc, f *Frame) OpStatus {
+	switch f.PC {
+	case 0: // wait for the write buffer to drain
+		if !p.wb.Empty() {
+			return p.smBlock(waitFence)
+		}
+		p.opDone = false
+		p.m.sys.WhenDrained(p.id, p.fenceDone)
+		if !p.opDone {
+			f.PC = 1
+			return p.smBlock(waitFence)
+		}
+		fallthrough
+	case 1: // all prior writes acknowledged
+		p.m.cfg.Trace.Record(p.Now(), p.id, trace.Fence, 0, 0)
+		return OpDone
+	}
+	panic("machine: fenceStep bad pc")
+}
+
+// FFlush issues a user-level block flush (Proc.Flush).
+func (p *Proc) FFlush(a Addr) OpStatus {
+	f := p.Call(flushStep, nil)
+	f.A0 = a
+	return OpCalled
+}
+
+// flushStep registers: A0 address.
+func flushStep(p *Proc, f *Frame) OpStatus {
+	switch f.PC {
+	case 0:
+		p.issue(&p.stats.Flushes, p.m.met.flushes)
+		f.PC = 1
+		if !p.smFlushPending() {
+			return OpBlocked
+		}
+		fallthrough
+	case 1: // buffered stores drain first
+		if !p.wb.Empty() {
+			return p.smBlock(waitFlushWB)
+		}
+		p.opDone = false
+		p.m.sys.FlushBlock(p.id, f.A0, p.flushDone)
+		if !p.opDone {
+			f.PC = 2
+			return p.smBlock(waitRead)
+		}
+		fallthrough
+	case 2:
+		p.m.cfg.Trace.Record(p.Now(), p.id, trace.Flush, uint32(f.A0), 0)
+		return OpDone
+	}
+	panic("machine: flushStep bad pc")
+}
+
+// FCompute charges n cycles of local computation (Proc.Compute). It
+// reports true when the caller may proceed; false means the processor
+// parked for the duration and the caller must return OpBlocked after
+// saving the PC of the statement after the compute.
+func (p *Proc) FCompute(n sim.Time) bool {
+	if n == 0 {
+		return true
+	}
+	p.stats.Busy += n
+	p.m.met.busy.Add(p.m.e.Now(), n)
+	p.charge(n)
+	return p.smFlushPending()
+}
+
+// spinPred encodes the two wait conditions the stock constructs spin
+// on, avoiding a predicate closure per spin.
+type spinPred uint8
+
+const (
+	spinUntilEq spinPred = iota // wait until word == arg
+	spinUntilNe                 // wait until word != arg
+)
+
+func (sp spinPred) ok(v, arg uint32) bool {
+	if sp == spinUntilEq {
+		return v == arg
+	}
+	return v != arg
+}
+
+// FSpinUntilEqual spins until the word at a equals v (compressed or
+// polling per SpinPollCycles, as Proc.SpinUntil). Satisfying value in
+// p.Ret().
+func (p *Proc) FSpinUntilEqual(a Addr, v uint32) OpStatus {
+	f := p.Call(spinStep, nil)
+	f.A0, f.U0, f.U1 = a, v, uint32(spinUntilEq)
+	return OpCalled
+}
+
+// FSpinWhileEqual spins until the word at a differs from v.
+func (p *Proc) FSpinWhileEqual(a Addr, v uint32) OpStatus {
+	f := p.Call(spinStep, nil)
+	f.A0, f.U0, f.U1 = a, v, uint32(spinUntilNe)
+	return OpCalled
+}
+
+// spinStep registers: A0 address, U0 predicate argument, U1 spinPred,
+// T0 poll-interval start. It is a real frame (not collapsed into its
+// caller) because it nests full FRead activations.
+func spinStep(p *Proc, f *Frame) OpStatus {
+	for {
+		switch f.PC {
+		case 0: // check: read the word (charges like any read)
+			f.PC = 1
+			return p.FRead(f.A0)
+		case 1:
+			v := p.ret
+			if spinPred(f.U1).ok(v, f.U0) {
+				p.ret = v
+				return OpDone
+			}
+			if poll := p.m.cfg.SpinPollCycles; poll > 0 {
+				// Uncompressed polling loop (ablation), as spinPoll.
+				f.T0 = p.m.e.Now()
+				p.stats.SpinWait += poll
+				p.m.met.stall[waitSpin].Add(f.T0, poll)
+				f.PC = 2
+				if !p.task.StallFor(poll) {
+					return OpBlocked
+				}
+				continue
+			}
+			// Compressed spin: park until a coherence event touches the
+			// watched block (watchAndWait).
+			block := cache.BlockOf(f.A0)
+			p.m.cfg.Trace.Record(p.Now(), p.id, trace.SpinPark, block*cache.BlockBytes, 0)
+			p.m.sys.Cache(p.id).Watch(block, p.spinWake)
+			f.PC = 3
+			return p.smBlock(waitSpin)
+		case 2: // poll interval elapsed
+			now := p.m.e.Now()
+			p.m.cfg.Timeline.AddSlice(p.id, waitSpin.timelineName(), f.T0, now)
+			if tr := p.m.cfg.Txn; tr != nil {
+				tr.AddStall(p.id, p.phaseCategory(), f.T0, now, 0)
+			}
+			f.PC = 0
+		case 3: // woken by a coherence event on the watched block
+			p.m.cfg.Trace.Record(p.Now(), p.id, trace.SpinWake, cache.BlockOf(f.A0)*cache.BlockBytes, 0)
+			f.PC = 0
+		default:
+			panic("machine: spinStep bad pc")
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package machine
+
+import (
+	"fmt"
+
+	"coherencesim/internal/classify"
+	"coherencesim/internal/metrics"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
+)
+
+// Snapshot is a deep copy of a machine's complete simulation state at
+// quiescence: everything needed to continue the run on a different
+// Machine as if it had executed the captured prefix itself. Snapshots
+// are immutable once taken — RestoreFrom never writes through one — so
+// a single snapshot can seed any number of concurrent forks.
+//
+// Sweeps use this to run a shared warm-up phase once, snapshot, and
+// fork each measurement point from the checkpoint instead of replaying
+// the warm-up per point.
+type Snapshot struct {
+	cfg       Config
+	nextBlock uint32
+	blockHome []int8
+	allocs    []allocEntry
+	engine    sim.EngineState
+	cl        classify.State
+	sys       *proto.SystemState
+	met       *metrics.RegistryState
+	tl        *metrics.TimelineState
+	txn       *trace.TracerState
+	txnBusy   []sim.Time
+	procs     []procSnap
+	fork      []forkSnap
+}
+
+// Cycles returns the simulated time at which the snapshot was taken.
+func (s *Snapshot) Cycles() sim.Time { return s.engine.Now }
+
+// procSnap is one processor's durable register state. Everything else a
+// Proc holds is either built-once plumbing (callbacks, task identity)
+// or transient execution state asserted empty at quiescence.
+type procSnap struct {
+	stats    ProcStats
+	relBy    trace.ReleaseInfo
+	rngDraws uint64
+	opDone   bool
+	opVal    uint32
+	ret      uint32
+	sm       bool
+}
+
+// forkSnap is one registered construct's captured Go-side state.
+type forkSnap struct {
+	name string
+	st   any
+}
+
+// assertQuiescent panics unless the processor is fully between
+// operations: nothing buffered, nothing pending, no frame live.
+func (p *Proc) assertQuiescent(op string) {
+	switch {
+	case p.co != nil:
+		panic(fmt.Sprintf("machine: %s with proc %d on the legacy coroutine model", op, p.id))
+	case !p.wb.Empty():
+		panic(fmt.Sprintf("machine: %s with proc %d write buffer non-empty", op, p.id))
+	case p.waiting != waitNone:
+		panic(fmt.Sprintf("machine: %s with proc %d waiting (%d)", op, p.id, p.waiting))
+	case p.pending != 0:
+		panic(fmt.Sprintf("machine: %s with proc %d holding %d pending cycles", op, p.id, p.pending))
+	case len(p.phase) != 0:
+		panic(fmt.Sprintf("machine: %s with proc %d inside a synchronization phase", op, p.id))
+	case p.fp != -1:
+		panic(fmt.Sprintf("machine: %s with proc %d frame stack live (fp=%d)", op, p.id, p.fp))
+	case p.wokenFrom != waitNone:
+		panic(fmt.Sprintf("machine: %s with proc %d carrying a wake reason", op, p.id))
+	}
+}
+
+// snapshotState captures the processor's durable registers.
+func (p *Proc) snapshotState() procSnap {
+	p.assertQuiescent("Snapshot")
+	return procSnap{
+		stats:    p.stats,
+		relBy:    p.relBy,
+		rngDraws: p.rngSrc.draws,
+		opDone:   p.opDone,
+		opVal:    p.opVal,
+		ret:      p.ret,
+		sm:       p.sm,
+	}
+}
+
+// restoreState loads a processor snapshot. The random stream is
+// repositioned by reseeding and discarding the captured number of
+// source draws, so a fork's stream continues exactly where the captured
+// run's left off.
+func (p *Proc) restoreState(st *procSnap) {
+	p.assertQuiescent("RestoreFrom")
+	p.stats = st.stats
+	p.relBy = st.relBy
+	p.opDone = st.opDone
+	p.opVal = st.opVal
+	p.ret = st.ret
+	p.sm = st.sm
+	p.rng.Seed(procSeed(p.id))
+	for i := uint64(0); i < st.rngDraws; i++ {
+		p.rngSrc.src.Uint64()
+	}
+	p.rngSrc.draws = st.rngDraws
+}
+
+// Snapshot captures the machine's complete state. The machine must have
+// completed at least one RunProgram phase (snapshots are taken between
+// phases, at quiescence) and must be on the state-machine execution
+// model — legacy Run workloads hold suspended goroutine stacks that
+// cannot be copied. Machines with an operation trace log attached
+// cannot be snapshotted (the ring is not captured).
+func (m *Machine) Snapshot() *Snapshot {
+	if !m.ran {
+		panic("machine: Snapshot before any run; execute the warm-up phase first")
+	}
+	if m.body != nil {
+		panic("machine: Snapshot of a legacy Run machine is unsupported; use RunProgram workloads")
+	}
+	if m.cfg.Trace != nil {
+		panic("machine: Snapshot with an operation trace log attached is unsupported")
+	}
+	s := &Snapshot{
+		cfg:       m.cfg,
+		nextBlock: m.nextBlock,
+		blockHome: append([]int8(nil), m.blockHome...),
+		allocs:    append([]allocEntry(nil), m.allocs...),
+		engine:    m.e.SnapshotState(),
+		cl:        m.cl.SnapshotState(),
+		sys:       m.sys.SnapshotState(),
+		met:       m.cfg.Metrics.SnapshotState(),
+		tl:        m.cfg.Timeline.SnapshotState(),
+		txn:       m.cfg.Txn.SnapshotState(),
+		txnBusy:   append([]sim.Time(nil), m.txnBusy...),
+		procs:     make([]procSnap, len(m.procs)),
+		fork:      make([]forkSnap, len(m.forkState)),
+	}
+	for i, p := range m.procs {
+		s.procs[i] = p.snapshotState()
+	}
+	for i, nf := range m.forkState {
+		s.fork[i] = forkSnap{name: nf.name, st: nf.fs.SnapshotState()}
+	}
+	return s
+}
+
+// RestoreFrom loads a snapshot into m, which must be freshly built (or
+// Reset) with the snapshot source's structural configuration, the same
+// behavioural parameters, the same observability shape, the same
+// allocation table, and the same constructs registered in the same
+// order — i.e. the caller reruns the builder code that produced the
+// source, then restores. After RestoreFrom the machine is mid-run:
+// RunProgram continues the simulation from the captured point. The
+// snapshot itself is never written through, so concurrent forks may
+// share one.
+func (m *Machine) RestoreFrom(s *Snapshot) {
+	if m.ran {
+		panic("machine: RestoreFrom on a machine that already ran; Reset it first")
+	}
+	if keyOf(m.cfg) != keyOf(s.cfg) {
+		panic("machine: RestoreFrom structural config mismatch")
+	}
+	if m.cfg.Protocol != s.cfg.Protocol || m.cfg.CUThreshold != s.cfg.CUThreshold ||
+		m.cfg.DisableRetention != s.cfg.DisableRetention ||
+		m.cfg.SpinPollCycles != s.cfg.SpinPollCycles ||
+		m.cfg.MagicSyncCycles != s.cfg.MagicSyncCycles {
+		panic("machine: RestoreFrom behavioural config mismatch")
+	}
+	if (m.cfg.Metrics == nil) != (s.met == nil) || (m.cfg.Timeline == nil) != (s.tl == nil) ||
+		(m.cfg.Txn == nil) != (s.txn == nil) {
+		panic("machine: RestoreFrom observability shape mismatch")
+	}
+	if m.cfg.Trace != nil {
+		panic("machine: RestoreFrom with an operation trace log attached is unsupported")
+	}
+	if m.nextBlock != s.nextBlock || len(m.allocs) != len(s.allocs) {
+		panic(fmt.Sprintf("machine: RestoreFrom allocation table mismatch (%d/%d blocks, %d/%d allocs)",
+			m.nextBlock, s.nextBlock, len(m.allocs), len(s.allocs)))
+	}
+	for i, e := range m.allocs {
+		if e != s.allocs[i] {
+			panic(fmt.Sprintf("machine: RestoreFrom allocation %d is %q@%d, snapshot has %q@%d",
+				i, e.name, e.base, s.allocs[i].name, s.allocs[i].base))
+		}
+	}
+	for i, h := range m.blockHome {
+		if h != s.blockHome[i] {
+			panic(fmt.Sprintf("machine: RestoreFrom block %d home is %d, snapshot has %d", i, h, s.blockHome[i]))
+		}
+	}
+	if len(m.forkState) != len(s.fork) {
+		panic(fmt.Sprintf("machine: RestoreFrom construct state mismatch (%d registered, snapshot has %d)",
+			len(m.forkState), len(s.fork)))
+	}
+	for i, nf := range m.forkState {
+		if nf.name != s.fork[i].name {
+			panic(fmt.Sprintf("machine: RestoreFrom construct %d is %q, snapshot has %q", i, nf.name, s.fork[i].name))
+		}
+	}
+	m.ensureProcs()
+	m.e.RestoreState(s.engine)
+	m.cl.RestoreState(s.cl)
+	m.sys.RestoreState(s.sys)
+	m.cfg.Metrics.RestoreState(s.met)
+	m.cfg.Timeline.RestoreState(s.tl)
+	m.cfg.Txn.RestoreState(s.txn)
+	m.txnBusy = append(m.txnBusy[:0], s.txnBusy...)
+	for i, p := range m.procs {
+		p.restoreState(&s.procs[i])
+	}
+	for i, nf := range m.forkState {
+		nf.fs.RestoreState(s.fork[i].st)
+	}
+	m.ran = true
+}

@@ -1,0 +1,41 @@
+package mem
+
+import "coherencesim/internal/sim"
+
+// SnapshotWords returns a copy of the arena's contents. The payload
+// frame free list is scratch (every borrower overwrites a frame in full
+// before reading it), so the words are the store's entire restorable
+// state.
+func (st *Store) SnapshotWords() []uint32 {
+	return append([]uint32(nil), st.words...)
+}
+
+// RestoreWords loads an arena snapshot, growing the arena as needed and
+// zeroing any tail beyond the snapshot so the zeroed-spare invariant
+// (grown-but-unwritten words read 0) holds on a target whose arena is
+// larger than the source's was.
+func (st *Store) RestoreWords(words []uint32) {
+	if len(words) > len(st.words) {
+		st.ensure(len(words))
+	}
+	n := copy(st.words, words)
+	clear(st.words[n:])
+}
+
+// ModuleState is one memory module's restorable state: the service-queue
+// position and the access stats.
+type ModuleState struct {
+	NextFree sim.Time
+	Stats    Stats
+}
+
+// SnapshotState captures the module's restorable state.
+func (m *Module) SnapshotState() ModuleState {
+	return ModuleState{NextFree: m.nextFree, Stats: m.stats}
+}
+
+// RestoreState loads a module snapshot.
+func (m *Module) RestoreState(st ModuleState) {
+	m.nextFree = st.NextFree
+	m.stats = st.Stats
+}

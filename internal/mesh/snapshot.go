@@ -1,0 +1,43 @@
+package mesh
+
+import (
+	"fmt"
+
+	"coherencesim/internal/sim"
+)
+
+// NetworkState is a deep copy of the mesh's restorable state: per-node
+// network-interface occupancy, per-node flit counts, and the aggregate
+// traffic stats. The topology (node count, grid width) is construction
+// state and must match between snapshot source and restore target.
+type NetworkState struct {
+	outFree  []sim.Time
+	inFree   []sim.Time
+	outFlits []uint64
+	inFlits  []uint64
+	stats    Stats
+}
+
+// SnapshotState captures the network's restorable state.
+func (nw *Network) SnapshotState() NetworkState {
+	return NetworkState{
+		outFree:  append([]sim.Time(nil), nw.outFree...),
+		inFree:   append([]sim.Time(nil), nw.inFree...),
+		outFlits: append([]uint64(nil), nw.outFlits...),
+		inFlits:  append([]uint64(nil), nw.inFlits...),
+		stats:    nw.stats,
+	}
+}
+
+// RestoreState loads a snapshot into nw. The target must have the same
+// node count as the snapshot's source.
+func (nw *Network) RestoreState(st NetworkState) {
+	if len(st.outFree) != nw.n {
+		panic(fmt.Sprintf("mesh: RestoreState node count mismatch (%d vs %d)", len(st.outFree), nw.n))
+	}
+	copy(nw.outFree, st.outFree)
+	copy(nw.inFree, st.inFree)
+	copy(nw.outFlits, st.outFlits)
+	copy(nw.inFlits, st.inFlits)
+	nw.stats = st.stats
+}

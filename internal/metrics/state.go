@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"fmt"
+
+	"coherencesim/internal/sim"
+)
+
+// counterState is one counter's captured contents.
+type counterState struct {
+	name   string
+	v      uint64
+	series []uint64
+}
+
+// histState is one histogram's captured contents.
+type histState struct {
+	name     string
+	count    uint64
+	sum      uint64
+	min, max uint64
+	buckets  [maxBuckets]uint64
+}
+
+// RegistryState is a deep copy of a registry's accumulated contents.
+// It captures values only — the counter and histogram *identities* are
+// expected to be recreated on the restore target by running the same
+// builder code that created them on the source, in the same order.
+type RegistryState struct {
+	interval sim.Time
+	frameEnd sim.Time
+	frames   int
+	counters []counterState
+	hists    []histState
+}
+
+// SnapshotState captures the registry's accumulated contents. Nil-safe:
+// a nil registry snapshots to nil.
+func (r *Registry) SnapshotState() *RegistryState {
+	if r == nil {
+		return nil
+	}
+	st := &RegistryState{
+		interval: r.interval,
+		frameEnd: r.frameEnd,
+		frames:   r.frames,
+		counters: make([]counterState, len(r.counters)),
+		hists:    make([]histState, len(r.hists)),
+	}
+	for i, c := range r.counters {
+		st.counters[i] = counterState{name: c.name, v: c.v, series: append([]uint64(nil), c.series...)}
+	}
+	for i, h := range r.hists {
+		st.hists[i] = histState{name: h.name, count: h.count, sum: h.sum, min: h.min, max: h.max, buckets: h.buckets}
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into r. The registry must have been
+// built exactly like the snapshot's source: same sampling interval and
+// the same counters and histograms registered in the same order (the
+// machine builder code is deterministic, so rebuilding a machine and
+// its constructs reproduces the registration sequence). Name mismatches
+// panic rather than silently misattribute.
+func (r *Registry) RestoreState(st *RegistryState) {
+	if r == nil {
+		if st != nil {
+			panic("metrics: RestoreState on a nil registry")
+		}
+		return
+	}
+	if st == nil {
+		panic("metrics: RestoreState with nil state on a live registry")
+	}
+	if r.interval != st.interval {
+		panic(fmt.Sprintf("metrics: RestoreState interval mismatch (%d vs %d)", r.interval, st.interval))
+	}
+	if len(r.counters) != len(st.counters) || len(r.hists) != len(st.hists) {
+		panic(fmt.Sprintf("metrics: RestoreState shape mismatch (%d/%d counters, %d/%d histograms)",
+			len(r.counters), len(st.counters), len(r.hists), len(st.hists)))
+	}
+	for i, c := range r.counters {
+		cs := &st.counters[i]
+		if c.name != cs.name {
+			panic(fmt.Sprintf("metrics: RestoreState counter %d is %q, snapshot has %q", i, c.name, cs.name))
+		}
+		c.v = cs.v
+		c.series = append(c.series[:0], cs.series...)
+	}
+	for i, h := range r.hists {
+		hs := &st.hists[i]
+		if h.name != hs.name {
+			panic(fmt.Sprintf("metrics: RestoreState histogram %d is %q, snapshot has %q", i, h.name, hs.name))
+		}
+		h.count, h.sum, h.min, h.max = hs.count, hs.sum, hs.min, hs.max
+		h.buckets = hs.buckets
+	}
+	r.frameEnd = st.frameEnd
+	r.frames = st.frames
+}
+
+// TimelineState is a deep copy of a timeline's recorded events.
+type TimelineState struct {
+	slices   []TimelineSlice
+	instants []TimelineInstant
+	dropped  uint64
+}
+
+// SnapshotState captures the timeline's recorded events. Nil-safe: a
+// nil timeline snapshots to nil.
+func (t *Timeline) SnapshotState() *TimelineState {
+	if t == nil {
+		return nil
+	}
+	return &TimelineState{
+		slices:   append([]TimelineSlice(nil), t.slices...),
+		instants: append([]TimelineInstant(nil), t.instants...),
+		dropped:  t.dropped,
+	}
+}
+
+// RestoreState loads a snapshot into t. The target's event cap must
+// match the source's so capping behaviour continues identically.
+func (t *Timeline) RestoreState(st *TimelineState) {
+	if t == nil {
+		if st != nil {
+			panic("metrics: Timeline.RestoreState on a nil timeline")
+		}
+		return
+	}
+	if st == nil {
+		panic("metrics: Timeline.RestoreState with nil state on a live timeline")
+	}
+	t.slices = append(t.slices[:0], st.slices...)
+	t.instants = append(t.instants[:0], st.instants...)
+	t.dropped = st.dropped
+}

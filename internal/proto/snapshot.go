@@ -1,0 +1,122 @@
+package proto
+
+import (
+	"fmt"
+
+	"coherencesim/internal/cache"
+	"coherencesim/internal/mem"
+	"coherencesim/internal/mesh"
+)
+
+// dirEntrySnap is one directory entry's stable state (busy servicing
+// state and wait queues are transient and asserted empty at snapshot
+// time).
+type dirEntrySnap struct {
+	state   dirState
+	owner   int
+	sharers uint64
+	// touched records whether the source had materialized this slot, so
+	// restore reproduces the directory's exact materialization pattern
+	// (FlushAll and diagnostics enumerate materialized entries).
+	touched bool
+}
+
+// SystemState is a deep copy of the coherence system's restorable
+// state: protocol counters, the full-map directory, the memory arena,
+// per-module service state, every cache, and the mesh. The pooled
+// message free lists are scratch (each message is fully re-initialized
+// when borrowed) and per-node in-flight write state is asserted empty,
+// so neither is captured.
+type SystemState struct {
+	ctr    Counters
+	dir    []dirEntrySnap
+	words  []uint32
+	mods   []mem.ModuleState
+	caches []cache.CacheState
+	net    mesh.NetworkState
+}
+
+// assertQuiescent panics unless the system has no transaction in any
+// stage: no outstanding writes, no drain waiters, no write-backs in
+// flight, and no directory entry busy or queued. Snapshots are only
+// taken between runs, when the engine has drained, so any violation is
+// a protocol accounting bug.
+func (s *System) assertQuiescent(op string) {
+	for i := range s.procs {
+		ps := &s.procs[i]
+		if ps.outstanding != 0 || len(ps.drainWaiters) != 0 || len(ps.pendingWB) != 0 || len(ps.cancelledWB) != 0 {
+			panic(fmt.Sprintf("proto: %s with in-flight write state on node %d (outstanding=%d waiters=%d pendingWB=%d cancelledWB=%d)",
+				op, i, ps.outstanding, len(ps.drainWaiters), len(ps.pendingWB), len(ps.cancelledWB)))
+		}
+	}
+	for b, d := range s.dir {
+		if d != nil && (d.busy || len(d.waitq) != 0) {
+			panic(fmt.Sprintf("proto: %s with busy directory entry for block %d", op, b))
+		}
+	}
+}
+
+// SnapshotState captures the system's restorable state. The system must
+// be quiescent (between runs).
+func (s *System) SnapshotState() *SystemState {
+	s.assertQuiescent("SnapshotState")
+	st := &SystemState{
+		ctr:    s.ctr,
+		dir:    make([]dirEntrySnap, len(s.dir)),
+		words:  s.store.SnapshotWords(),
+		mods:   make([]mem.ModuleState, len(s.mems)),
+		caches: make([]cache.CacheState, len(s.caches)),
+		net:    s.nw.SnapshotState(),
+	}
+	for b, d := range s.dir {
+		if d != nil {
+			st.dir[b] = dirEntrySnap{state: d.state, owner: d.owner, sharers: d.sharers, touched: true}
+		}
+	}
+	for i, m := range s.mems {
+		st.mods[i] = m.SnapshotState()
+	}
+	for i, c := range s.caches {
+		st.caches[i] = c.SnapshotState()
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into s. The target must be quiescent
+// and structurally identical to the snapshot's source (same node count
+// and cache geometry). Directory entries beyond the snapshot's extent
+// are returned to the uncached state.
+func (s *System) RestoreState(st *SystemState) {
+	if len(st.mods) != len(s.mems) {
+		panic(fmt.Sprintf("proto: RestoreState node count mismatch (%d vs %d)", len(st.mods), len(s.mems)))
+	}
+	s.assertQuiescent("RestoreState")
+	s.ctr = st.ctr
+	s.store.RestoreWords(st.words)
+	for b := range st.dir {
+		snap := &st.dir[b]
+		if !snap.touched {
+			// Untouched at the source: reset any materialized target slot
+			// but do not materialize new ones, reproducing the source's
+			// exact directory shape.
+			if b < len(s.dir) {
+				if d := s.dir[b]; d != nil {
+					d.state, d.owner, d.sharers = dirUncached, 0, 0
+				}
+			}
+			continue
+		}
+		d := s.entry(uint32(b))
+		d.state, d.owner, d.sharers = snap.state, snap.owner, snap.sharers
+	}
+	for b := len(st.dir); b < len(s.dir); b++ {
+		if d := s.dir[b]; d != nil {
+			d.state, d.owner, d.sharers = dirUncached, 0, 0
+		}
+	}
+	for i := range s.mems {
+		s.mems[i].RestoreState(st.mods[i])
+		s.caches[i].RestoreState(st.caches[i])
+	}
+	s.nw.RestoreState(st.net)
+}

@@ -101,6 +101,42 @@ func TestCanonicalizeDefaultsAndClearing(t *testing.T) {
 	}
 }
 
+// TestCanonicalizeWarmFork: the warm-fork flag is experiment-only state
+// that changes the produced figures, so it must survive experiment
+// canonicalization (and split the hash space), be cleared for run
+// specs, and — being omitempty — leave legacy hashes untouched when
+// false.
+func TestCanonicalizeWarmFork(t *testing.T) {
+	plain, plainHash, err := CanonicalHash(JobSpec{Experiment: "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, forkedHash, err := CanonicalHash(JobSpec{Experiment: "fig8", WarmFork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forked.WarmFork {
+		t.Error("WarmFork cleared by experiment canonicalization")
+	}
+	if plainHash == forkedHash {
+		t.Error("warm-forked spec hashes identically to the plain spec; forked results would alias cached plain ones")
+	}
+	if plain.WarmFork {
+		t.Error("plain spec canonicalized with WarmFork set")
+	}
+	if plainHash != goldenFig8QuickHash {
+		t.Errorf("plain fig8 hash = %s, want golden %s (warm_fork must be omitempty)", plainHash, goldenFig8QuickHash)
+	}
+
+	c, err := Canonicalize(JobSpec{Run: "lock", WarmFork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WarmFork {
+		t.Error("run spec kept WarmFork; run kind has no sweep to fork")
+	}
+}
+
 func TestCanonicalizeRejections(t *testing.T) {
 	bad := []JobSpec{
 		{},                                     // no kind derivable

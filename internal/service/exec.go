@@ -46,6 +46,9 @@ func Execute(ctx context.Context, spec JobSpec, simWorkers int, progress func(ru
 	if spec.Breakdown {
 		o.Breakdown = trace.NewBreakdownCollector()
 	}
+	if spec.WarmFork {
+		o.Forks = experiments.NewWarmForkCache()
+	}
 
 	res := &JobResult{}
 	if spec.Format == "csv" {

@@ -5,6 +5,8 @@ package sim
 // coroutine body is executing, the engine (and every other coroutine) is
 // parked, and vice versa. This gives sequential, deterministic semantics
 // while letting simulation workloads be written as ordinary imperative Go.
+// It is the legacy execution model; the state-machine Task path reaches the
+// same semantics without goroutines and is what the stock workloads use.
 //
 // A coroutine body calls Stall to suspend itself; some engine event must
 // later call Wake to resume it. StallFor suspends for a fixed number of
@@ -16,23 +18,24 @@ package sim
 // bidirectional use safe — at most one side is ever sending — and one
 // channel (instead of the classic run/done pair) means one hand-off per
 // direction with half the channel state to touch.
+//
+// Engine-visible state (parked/live bookkeeping, the tail-dispatch gate)
+// lives in the embedded Task, so coroutines and state-machine tasks
+// consume identical (seq, processed) event budgets and coexist freely in
+// one simulation.
 type Coroutine struct {
-	e       *Engine
-	name    string
-	swap    chan struct{} // control-transfer token (see type comment)
-	started bool
-	stalled bool
-	ended   bool
+	task  Task
+	swap  chan struct{} // control-transfer token (see type comment)
+	ended bool
 }
 
 // Go starts body as a coroutine. The body begins executing at the engine's
 // current time via a scheduled event, so Go may be called before Run.
 func (e *Engine) Go(name string, body func()) *Coroutine {
 	c := &Coroutine{
-		e:    e,
-		name: name,
 		swap: make(chan struct{}),
 	}
+	c.task.Init(e, name, c.dispatch)
 	e.live++
 	go func() {
 		<-c.swap // wait for first dispatch
@@ -41,62 +44,47 @@ func (e *Engine) Go(name string, body func()) *Coroutine {
 		e.live--
 		c.swap <- struct{}{}
 	}()
-	e.atWake(e.now, c)
+	e.atWake(e.now, &c.task)
 	return c
 }
 
-// resume runs the coroutine's queued event: the first dispatch if the
-// body has not started yet, a wake-up otherwise.
-func (c *Coroutine) resume() {
-	if c.started {
-		c.Wake()
-		return
-	}
-	c.started = true
-	c.dispatch()
-}
-
-// dispatch transfers control to the coroutine and blocks until it parks
-// again (or finishes). Must be called from engine context.
+// dispatch transfers control to the coroutine's goroutine and blocks
+// until it parks again (or finishes). It is the coroutine's Task resume
+// function and must be called from engine context.
 func (c *Coroutine) dispatch() {
 	if c.ended {
-		panic("sim: dispatching finished coroutine " + c.name)
+		panic("sim: dispatching finished coroutine " + c.task.name)
 	}
+	c.task.e.handoffs++
 	c.swap <- struct{}{}
 	<-c.swap
+}
+
+// park yields to the engine and blocks until the next dispatch. Must be
+// called from the coroutine's own body, after the task has been marked
+// parked.
+func (c *Coroutine) park() {
+	c.swap <- struct{}{} // yield to engine
+	<-c.swap             // parked until Wake dispatches us
 }
 
 // Stall suspends the coroutine until Wake is called on it. It must only be
 // called from within the coroutine's own body.
 func (c *Coroutine) Stall() {
-	c.stalled = true
-	c.e.blocked++
-	c.swap <- struct{}{} // yield to engine
-	<-c.swap             // parked until Wake dispatches us
+	c.task.Park()
+	c.park()
 }
 
 // Wake resumes a stalled coroutine at the current simulated time. It must
 // be called from engine context (i.e. from an event callback), not from
 // another coroutine's body. Waking a coroutine that is not stalled panics.
 func (c *Coroutine) Wake() {
-	if !c.stalled {
-		panic("sim: waking non-stalled coroutine " + c.name)
-	}
-	c.stalled = false
-	c.e.blocked--
-	if c.e.tail != c {
-		// Nested dispatch: we are being woken from inside an event
-		// callback or another coroutine's body, so interrupted work is
-		// pending beneath us at the current time. Neither we nor, after
-		// we park, the frames below may use the StallFor fast path.
-		c.e.tail = nil
-	}
-	c.dispatch()
+	c.task.Wake()
 }
 
 // WakeAt schedules the coroutine to resume at absolute time t.
 func (c *Coroutine) WakeAt(t Time) {
-	c.e.atWake(t, c)
+	c.task.WakeAt(t)
 }
 
 // StallFor suspends the coroutine for d cycles of simulated time.
@@ -104,37 +92,32 @@ func (c *Coroutine) WakeAt(t Time) {
 // Fast path: when this coroutine is the run loop's tail dispatch (no
 // interrupted engine callback pending beneath it, see Engine.tail) and
 // no queued event sorts before the wake-up would — the queue is empty
-// or its minimum lies strictly after now+d — no other code can observe
-// the stall, so the engine state is advanced in place (clock to now+d,
-// plus the seq and processed the elided wake event would have consumed,
+// or holds nothing at or before now+d — no other code can observe the
+// stall, so the engine state is advanced in place (clock to now+d, plus
+// the seq and processed the elided wake event would have consumed,
 // keeping event numbering byte-identical) and the coroutine simply
 // keeps running, skipping the schedule, two goroutine hand-offs, and
-// heap traffic. Any event at or before now+d — even one tying at
+// queue traffic. Any event at or before now+d — even one tying at
 // exactly now+d, whose earlier seq must win — forces the full
 // park/unpark path. The fast path is additionally gated on Run
 // (e.running) because RunUntil and Step must observe the wake event to
 // stop at their boundaries.
 func (c *Coroutine) StallFor(d Time) {
-	e := c.e
-	if e.running && e.tail == c && (e.pq.len() == 0 || e.pq.minAt() > e.now+d) {
-		e.seq++
-		e.processed++
-		e.now += d
+	if c.task.StallFor(d) {
 		return
 	}
-	e.atWake(e.now+d, c)
-	c.Stall()
+	c.park()
 }
 
 // Stalled reports whether the coroutine is currently suspended.
-func (c *Coroutine) Stalled() bool { return c.stalled }
+func (c *Coroutine) Stalled() bool { return c.task.stalled }
 
 // Ended reports whether the coroutine body has returned.
 func (c *Coroutine) Ended() bool { return c.ended }
 
 // Name returns the coroutine's diagnostic name.
-func (c *Coroutine) Name() string { return c.name }
+func (c *Coroutine) Name() string { return c.task.name }
 
-// Live reports the number of coroutines that have been started on the
-// engine and have not yet finished.
+// Live reports the number of tasks (coroutine or state-machine) that
+// have been started on the engine and have not yet finished.
 func (e *Engine) Live() int { return e.live }

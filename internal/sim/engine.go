@@ -1,21 +1,23 @@
 // Package sim provides the deterministic discrete-event simulation engine
 // that underlies the multiprocessor model.
 //
-// The engine maintains a priority queue of events ordered by (time, seq),
-// where seq is a monotonically increasing tie-breaker, so simulations are
-// bit-reproducible. Simulated processors run as goroutines that hand
-// control back and forth with the engine: at any instant exactly one
-// goroutine (the engine or a single coroutine) is running, so simulation
-// state needs no locking and executes deterministically.
+// The engine maintains an event queue ordered by (time, seq), where seq
+// is a monotonically increasing tie-breaker, so simulations are
+// bit-reproducible. Simulated processors run as resumable tasks that the
+// run loop re-enters by direct call (see Task); the legacy coroutine
+// model runs each processor as a goroutine handing control back and
+// forth over a channel token (see Coroutine). In either model exactly
+// one thread of control is running at any instant, so simulation state
+// needs no locking and executes deterministically.
 //
-// The event core is built for throughput: events are typed structs in a
-// concrete 4-ary min-heap (no interface boxing, no per-event allocation
-// in steady state — see heap4), coroutine wake-ups are a dedicated event
-// kind carrying the coroutine pointer instead of a heap-allocated
-// closure, and fixed-length stalls bypass the queue entirely when no
-// earlier event could observe them (see Coroutine.StallFor). DESIGN.md
-// ("Engine internals & performance") documents why none of these paths
-// can reorder events.
+// The event core is built for throughput: events are typed 32-byte
+// structs in a two-level timing wheel with a 4-ary-heap overflow (no
+// interface boxing, no per-event allocation in steady state — see
+// eventq and heap4), task wake-ups are a dedicated event kind carrying
+// the task pointer instead of a heap-allocated closure, and
+// fixed-length stalls bypass the queue entirely when no earlier event
+// could observe them (see Task.StallFor). DESIGN.md ("Engine internals
+// & performance") documents why none of these paths can reorder events.
 package sim
 
 import "fmt"
@@ -24,22 +26,22 @@ import "fmt"
 type Time = uint64
 
 // event is a typed queue entry executed by the engine without interface
-// boxing. Exactly one payload field is set: co for the hot fixed-shape
-// edges (coroutine start and wake-up, which would otherwise each
+// boxing. Exactly one payload field is set: task for the hot
+// fixed-shape edges (task start and wake-up, which would otherwise each
 // heap-allocate a closure), fn for callers whose callbacks genuinely
 // carry state. Keeping the struct at 32 bytes (two per cache line)
-// matters: heap sifts move events by value.
+// matters: the queue moves events by value.
 type event struct {
-	at  Time
-	seq uint64
-	co  *Coroutine // wake/start target, nil for closure events
-	fn  func()     // closure callback, nil for coroutine events
+	at   Time
+	seq  uint64
+	task *Task  // wake/start target, nil for closure events
+	fn   func() // closure callback, nil for task events
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // create one with NewEngine.
 type Engine struct {
-	pq      heap4
+	pq      eventq
 	now     Time
 	seq     uint64
 	running bool
@@ -50,24 +52,32 @@ type Engine struct {
 	// event they elide, keeping event numbering byte-identical.
 	processed uint64
 
-	// coroutines that are currently blocked waiting to be woken.
+	// handoffs counts goroutine control transfers performed for
+	// coroutine dispatch. State-machine tasks never increment it, so it
+	// is the regression probe for channel hand-offs reappearing on the
+	// default workload path.
+	handoffs uint64
+
+	// tasks that are currently parked waiting to be woken.
 	blocked int
-	// live coroutines that have been started and have not finished.
+	// live tasks that have been started and have not finished.
 	live int
 
-	// tail is the coroutine the run loop dispatched directly with no
-	// engine callback frame pending beneath it — the only situation in
-	// which StallFor's in-place fast path is sound. It is cleared when a
+	// tail is the task the run loop dispatched directly with no engine
+	// callback frame pending beneath it — the only situation in which
+	// StallFor's in-place fast path is sound. It is cleared when a
 	// closure event runs (arbitrary code may follow a nested dispatch)
-	// and when a coroutine is woken from inside another frame, so any
-	// coroutine with interrupted work beneath it always takes the full
+	// and when a task is woken from inside another frame, so any task
+	// with interrupted work beneath it always takes the full
 	// park/unpark path.
-	tail *Coroutine
+	tail *Task
 }
 
 // NewEngine returns an empty engine at time 0.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.pq.init()
+	return e
 }
 
 // Now returns the current simulated time.
@@ -89,23 +99,23 @@ func (e *Engine) At(t Time, fn func()) {
 	e.pq.push(event{at: t, seq: e.seq, fn: fn})
 }
 
-// atWake schedules a typed wake-up (or first start) of co at absolute
+// atWake schedules a typed wake-up (or first start) of task at absolute
 // time t, avoiding the closure a func() event would allocate.
-func (e *Engine) atWake(t Time, co *Coroutine) {
+func (e *Engine) atWake(t Time, task *Task) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
 	}
 	e.seq++
-	e.pq.push(event{at: t, seq: e.seq, co: co})
+	e.pq.push(event{at: t, seq: e.seq, task: task})
 }
 
 // exec runs one popped event.
 func (e *Engine) exec(ev event) {
 	e.now = ev.at
 	e.processed++
-	if ev.co != nil {
-		e.tail = ev.co
-		ev.co.resume()
+	if ev.task != nil {
+		e.tail = ev.task
+		ev.task.resumeEvent()
 		e.tail = nil
 		return
 	}
@@ -116,13 +126,13 @@ func (e *Engine) exec(ev event) {
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return e.pq.len() }
 
-// deadlocked panics with the blocked-coroutine diagnostic. Called only
-// when the queue is empty.
+// deadlocked panics with the blocked-task diagnostic. Called only when
+// the queue is empty.
 func (e *Engine) deadlocked() {
-	panic(fmt.Sprintf("sim: deadlock at time %d: %d coroutine(s) blocked with no pending events", e.now, e.blocked))
+	panic(fmt.Sprintf("sim: deadlock at time %d: %d task(s) blocked with no pending events", e.now, e.blocked))
 }
 
-// Run executes events until the queue is empty. If coroutines are still
+// Run executes events until the queue is empty. If tasks are still
 // blocked when the queue drains, the simulation has deadlocked and Run
 // panics with a diagnostic.
 func (e *Engine) Run() {
@@ -138,10 +148,10 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time <= t and then stops, setting the
 // clock to t. Events at exactly t do run. Like Run, it panics if the
-// queue drains entirely while coroutines are still blocked — with no
-// pending event, nothing can ever wake them.
+// queue drains entirely while tasks are still blocked — with no pending
+// event, nothing can ever wake them.
 func (e *Engine) RunUntil(t Time) {
-	for e.pq.len() > 0 && e.pq.minAt() <= t {
+	for e.pq.hasEventAtOrBefore(t) {
 		e.exec(e.pq.pop())
 	}
 	if e.pq.len() == 0 && e.blocked > 0 {
@@ -153,8 +163,8 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // Step runs the single earliest event, returning false if none remain.
-// An empty queue with blocked coroutines is the same deadlock Run
-// diagnoses, and panics identically.
+// An empty queue with blocked tasks is the same deadlock Run diagnoses,
+// and panics identically.
 func (e *Engine) Step() bool {
 	if e.pq.len() == 0 {
 		if e.blocked > 0 {
@@ -169,23 +179,28 @@ func (e *Engine) Step() bool {
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// Handoffs returns the number of goroutine control transfers performed
+// for coroutine dispatch so far. A simulation running purely on
+// state-machine tasks reports zero.
+func (e *Engine) Handoffs() uint64 { return e.handoffs }
+
 // Reset returns the engine to its initial state — time zero, an empty
 // queue, and zeroed (seq, processed) event numbering — so a fully built
-// simulation can be rerun without constructing a new engine. The heap's
-// backing array is kept as the event arena for the next run. Reset
-// refuses (returning false, leaving the engine untouched) while the
-// engine is running or while any coroutine is live or blocked: their
-// goroutines still reference engine state and could resume into it.
+// simulation can be rerun without constructing a new engine. The
+// queue's bucket and heap arrays are kept as the event arena for the
+// next run. Reset refuses (returning false, leaving the engine
+// untouched) while the engine is running or while any task is live or
+// blocked: coroutine goroutines still reference engine state and could
+// resume into it, and a parked state machine would be orphaned
+// mid-program.
 func (e *Engine) Reset() bool {
 	if e.running || e.live != 0 || e.blocked != 0 {
 		return false
 	}
-	// pop zeroes vacated slots, so leftover events (possible after
+	// reset zeroes every used slot, so leftover events (possible after
 	// RunUntil/Step) do not retain callbacks in the arena.
-	for e.pq.len() > 0 {
-		e.pq.pop()
-	}
-	e.now, e.seq, e.processed = 0, 0, 0
+	e.pq.reset()
+	e.now, e.seq, e.processed, e.handoffs = 0, 0, 0, 0
 	e.tail = nil
 	return true
 }

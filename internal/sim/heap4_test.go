@@ -139,7 +139,7 @@ func TestHeap4ArenaReuse(t *testing.T) {
 	drain()
 	spare := h.ev[:cap(h.ev)]
 	for i := range spare {
-		if spare[i].fn != nil || spare[i].co != nil {
+		if spare[i].fn != nil || spare[i].task != nil {
 			t.Fatalf("vacated arena slot %d retains payload %+v", i, spare[i])
 		}
 	}

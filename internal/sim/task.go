@@ -1,0 +1,127 @@
+package sim
+
+// Task is the engine's unit of resumable control: something the run
+// loop can hand the simulated instant to and that hands it back by
+// returning. It is the dispatch seam shared by the two execution
+// models:
+//
+//   - State-machine tasks (the default workload path) embed a Task and
+//     set resume to their step-loop re-entry function. Parking is just
+//     Park() + returning out of the resume call; waking is a direct
+//     call back into resume — no goroutines, no channels, no scheduler
+//     hand-off.
+//   - Coroutines (the legacy closure path, see Coroutine) wrap a Task
+//     whose resume transfers control to a dedicated goroutine over a
+//     channel token.
+//
+// Engine bookkeeping (live/blocked counts, the tail-dispatch gate, the
+// (seq, processed) event budget) lives entirely at the Task level, so
+// both models consume identical event numbering and interleave freely
+// in one simulation.
+type Task struct {
+	e       *Engine
+	name    string
+	resume  func()
+	stalled bool
+}
+
+// Init prepares an embedded Task for use on engine e. resume is invoked
+// by the engine — always from engine context — each time the task is
+// started or woken; it must return once the task parks or completes.
+// Init may be called again to re-arm a pooled task after Engine.Reset.
+func (t *Task) Init(e *Engine, name string, resume func()) {
+	t.e = e
+	t.name = name
+	t.resume = resume
+	t.stalled = false
+}
+
+// Begin registers the task as live and schedules its first resume at
+// the current time, mirroring Engine.Go's start event. End must be
+// called when the task's program completes.
+func (t *Task) Begin() {
+	t.e.live++
+	t.e.atWake(t.e.now, t)
+}
+
+// End unregisters a live task. After End the task may be re-armed with
+// Init/Begin.
+func (t *Task) End() {
+	t.e.live--
+}
+
+// Park marks the task as blocked awaiting a Wake. The caller must then
+// return out of its resume invocation: for a state machine, parking is
+// this call plus unwinding, which is what makes the path channel-free.
+func (t *Task) Park() {
+	t.stalled = true
+	t.e.blocked++
+}
+
+// Wake resumes a parked task at the current simulated time by calling
+// straight back into its resume function. It must be called from engine
+// context (an event callback or another task's resume), not reentrantly
+// from the task itself. Waking a task that is not parked panics.
+func (t *Task) Wake() {
+	if !t.stalled {
+		panic("sim: waking non-stalled task " + t.name)
+	}
+	t.stalled = false
+	t.e.blocked--
+	if t.e.tail != t {
+		// Nested dispatch: we are being woken from inside an event
+		// callback or another task's resume, so interrupted work is
+		// pending beneath us at the current time. Neither we nor, after
+		// we park, the frames below may use the StallFor fast path.
+		t.e.tail = nil
+	}
+	t.resume()
+}
+
+// WakeAt schedules the task to resume at absolute time t.
+func (t *Task) WakeAt(at Time) {
+	t.e.atWake(at, t)
+}
+
+// StallFor suspends the task for d cycles. It returns true when the
+// stall completed in place — the fast path described on
+// Coroutine.StallFor: the task is the run loop's tail dispatch and no
+// queued event sorts at or before now+d, so the clock and the elided
+// wake event's (seq, processed) budget are advanced directly and the
+// caller just keeps running. Otherwise the wake is queued, the task is
+// parked, and StallFor returns false: a state-machine caller must
+// unwind (its resume will be re-entered at now+d), while Coroutine
+// additionally parks its goroutine.
+func (t *Task) StallFor(d Time) bool {
+	e := t.e
+	if e.running && e.tail == t && !e.pq.hasEventAtOrBefore(e.now+d) {
+		e.seq++
+		e.processed++
+		e.now += d
+		return true
+	}
+	e.atWake(e.now+d, t)
+	t.Park()
+	return false
+}
+
+// resumeEvent runs the task's queued event from the engine run loop:
+// the first start (not parked) or a scheduled wake-up (parked). The
+// run loop has already made the task the tail dispatch, so no tail
+// fix-up is needed here.
+func (t *Task) resumeEvent() {
+	if t.stalled {
+		t.stalled = false
+		t.e.blocked--
+	}
+	t.resume()
+}
+
+// Stalled reports whether the task is currently parked.
+func (t *Task) Stalled() bool { return t.stalled }
+
+// Name returns the task's diagnostic name.
+func (t *Task) Name() string { return t.name }
+
+// Engine returns the engine the task was initialized on.
+func (t *Task) Engine() *Engine { return t.e }

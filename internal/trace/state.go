@@ -1,0 +1,116 @@
+package trace
+
+import "fmt"
+
+// TracerState is a deep copy of a tracer's accumulated contents. It can
+// only be taken at quiescence — no transaction in flight — so the live
+// map and the record free list (pure scratch) are not part of it.
+type TracerState struct {
+	nextID        TxnID
+	spans         []TxnSpan
+	stalls        []StallRec
+	spanCap       int
+	stallCap      int
+	droppedSpans  uint64
+	droppedStalls uint64
+	agg           [][numCategories]uint64
+	lastRel       []ReleaseInfo
+	kindCount     [numTxnKinds]uint64
+	kindCycles    [numTxnKinds]uint64
+	latCount      uint64
+	latSum        uint64
+	latBkt        [latencyBuckets]uint64
+	blocks        map[uint32]blockAgg
+	hops          uint64
+	flits         uint64
+	ackDrain      uint64
+}
+
+// SnapshotState captures the tracer's accumulated contents. Nil-safe: a
+// nil tracer snapshots to nil. Panics if any transaction is still live.
+func (t *Tracer) SnapshotState() *TracerState {
+	if t == nil {
+		return nil
+	}
+	if len(t.live) != 0 {
+		panic(fmt.Sprintf("trace: SnapshotState with %d live transactions", len(t.live)))
+	}
+	st := &TracerState{
+		nextID:        t.nextID,
+		spans:         make([]TxnSpan, len(t.spans)),
+		stalls:        append([]StallRec(nil), t.stalls...),
+		spanCap:       t.spanCap,
+		stallCap:      t.stallCap,
+		droppedSpans:  t.droppedSpans,
+		droppedStalls: t.droppedStalls,
+		agg:           append([][numCategories]uint64(nil), t.agg...),
+		lastRel:       append([]ReleaseInfo(nil), t.lastRel...),
+		kindCount:     t.kindCount,
+		kindCycles:    t.kindCycles,
+		latCount:      t.latCount,
+		latSum:        t.latSum,
+		latBkt:        t.latBkt,
+		blocks:        make(map[uint32]blockAgg, len(t.blocks)),
+		hops:          t.hops,
+		flits:         t.flits,
+		ackDrain:      t.ackDrain,
+	}
+	for i, s := range t.spans {
+		s.Targets = append([]TargetSpan(nil), s.Targets...)
+		st.spans[i] = s
+	}
+	for b, a := range t.blocks {
+		st.blocks[b] = *a
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into t, replacing all accumulated
+// contents. The target must be built for the snapshot source's
+// processor count and span limit (so retention capping continues
+// identically) and must have no live transactions.
+func (t *Tracer) RestoreState(st *TracerState) {
+	if t == nil {
+		if st != nil {
+			panic("trace: RestoreState on a nil tracer")
+		}
+		return
+	}
+	if st == nil {
+		panic("trace: RestoreState with nil state on a live tracer")
+	}
+	if len(t.live) != 0 {
+		panic(fmt.Sprintf("trace: RestoreState with %d live transactions", len(t.live)))
+	}
+	if len(t.agg) != len(st.agg) {
+		panic(fmt.Sprintf("trace: RestoreState processor count mismatch (%d vs %d)", len(t.agg), len(st.agg)))
+	}
+	if t.spanCap != st.spanCap || t.stallCap != st.stallCap {
+		panic(fmt.Sprintf("trace: RestoreState span-limit mismatch (%d/%d vs %d/%d)",
+			t.spanCap, t.stallCap, st.spanCap, st.stallCap))
+	}
+	t.nextID = st.nextID
+	t.spans = t.spans[:0]
+	for _, s := range st.spans {
+		s.Targets = append([]TargetSpan(nil), s.Targets...)
+		t.spans = append(t.spans, s)
+	}
+	t.stalls = append(t.stalls[:0], st.stalls...)
+	t.droppedSpans = st.droppedSpans
+	t.droppedStalls = st.droppedStalls
+	copy(t.agg, st.agg)
+	copy(t.lastRel, st.lastRel)
+	t.kindCount = st.kindCount
+	t.kindCycles = st.kindCycles
+	t.latCount = st.latCount
+	t.latSum = st.latSum
+	t.latBkt = st.latBkt
+	clear(t.blocks)
+	for b, a := range st.blocks {
+		ba := a
+		t.blocks[b] = &ba
+	}
+	t.hops = st.hops
+	t.flits = st.flits
+	t.ackDrain = st.ackDrain
+}

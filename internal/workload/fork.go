@@ -1,0 +1,175 @@
+package workload
+
+// Warm-start checkpoints. A synthetic run splits naturally into a
+// warm-up prefix (cold caches, directory filling, the constructs'
+// steady state forming) and a measurement-bearing remainder. The Warm*
+// constructors execute the prefix once on a throwaway machine, capture
+// a machine.Snapshot at the phase boundary, and release the machine;
+// each Run() then forks a fresh machine from the checkpoint and
+// executes only the remainder, reporting cumulative figures over both
+// phases. A single checkpoint serves any number of concurrent Run()
+// calls — the snapshot is never written through.
+//
+// A two-phase run is deterministic but not byte-identical to the
+// single-phase equivalent (the phase boundary re-synchronizes all
+// processors and finalizes in-flight classification), so warm-fork
+// execution is strictly opt-in: every forked Run() matches a fresh
+// machine executing the same two phases exactly, and default runs are
+// untouched.
+
+import (
+	"coherencesim/internal/constructs"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/sim"
+)
+
+// LockVariant selects the lock-loop flavour a warm checkpoint covers.
+type LockVariant int
+
+const (
+	PlainLock   LockVariant = iota // LockLoop
+	RandomPause                    // LockLoopRandomPause
+	WorkRatio                      // LockLoopWorkRatio
+)
+
+// lockProgram builds the variant's program for iters per-processor
+// iterations.
+func (v LockVariant) program(p Params, l constructs.ProgramLock, iters int) Program {
+	switch v {
+	case PlainLock:
+		return &lockLoopProgram{l: l, iters: iters, hold: p.HoldCycles}
+	case RandomPause:
+		return &lockLoopPauseProgram{l: l, iters: iters, hold: p.HoldCycles}
+	case WorkRatio:
+		return &lockLoopRatioProgram{
+			l: l, iters: iters, hold: p.HoldCycles,
+			outside: int64(p.HoldCycles) * int64(p.Procs),
+		}
+	}
+	panic("workload: unknown lock variant")
+}
+
+// warmSplit divides a count into the warmed prefix and the remainder.
+func warmSplit(n int) (warm, rest int) {
+	warm = n / 2
+	return warm, n - warm
+}
+
+// WarmLock is a reusable warm-start checkpoint of a lock loop.
+type WarmLock struct {
+	p          Params
+	kind       LockKind
+	v          LockVariant
+	warm, rest int // per-processor iterations
+	snap       *machine.Snapshot
+}
+
+// WarmLockLoop executes the warm-up prefix of the (p, kind, v) lock
+// loop and captures its checkpoint.
+func WarmLockLoop(p Params, kind LockKind, v LockVariant) *WarmLock {
+	warm, rest := warmSplit(p.Iterations / p.Procs)
+	m := p.newMachine()
+	defer m.Release()
+	l := newLock(m, kind)
+	m.RunProgram(v.program(p, l, warm))
+	return &WarmLock{p: p, kind: kind, v: v, warm: warm, rest: rest, snap: m.Snapshot()}
+}
+
+// Run forks one measurement run from the checkpoint, returning the
+// cumulative result over both phases.
+func (w *WarmLock) Run() LockResult {
+	m := w.p.newMachine()
+	defer m.Release()
+	l := newLock(m, w.kind)
+	m.RestoreFrom(w.snap)
+	res := m.RunProgram(w.v.program(w.p, l, w.rest))
+	return lockLatency(res, (w.warm+w.rest)*w.p.Procs, w.p.HoldCycles)
+}
+
+// WarmBarrier is a reusable warm-start checkpoint of a barrier loop.
+type WarmBarrier struct {
+	p          Params
+	kind       BarrierKind
+	warm, rest int // episodes
+	snap       *machine.Snapshot
+}
+
+// WarmBarrierLoop executes the warm-up prefix of the (p, kind) barrier
+// loop and captures its checkpoint.
+func WarmBarrierLoop(p Params, kind BarrierKind) *WarmBarrier {
+	warm, rest := warmSplit(p.Iterations)
+	m := p.newMachine()
+	defer m.Release()
+	b := newBarrier(m, kind)
+	m.RunProgram(&barrierLoopProgram{b: b, iters: warm})
+	return &WarmBarrier{p: p, kind: kind, warm: warm, rest: rest, snap: m.Snapshot()}
+}
+
+// Run forks one measurement run from the checkpoint.
+func (w *WarmBarrier) Run() BarrierResult {
+	m := w.p.newMachine()
+	defer m.Release()
+	b := newBarrier(m, w.kind)
+	m.RestoreFrom(w.snap)
+	res := m.RunProgram(&barrierLoopProgram{b: b, iters: w.rest})
+	total := w.warm + w.rest
+	return BarrierResult{
+		Result:     res,
+		Episodes:   total,
+		AvgLatency: float64(res.Cycles) / float64(total),
+	}
+}
+
+// WarmReduction is a reusable warm-start checkpoint of a reduction
+// loop.
+type WarmReduction struct {
+	p          Params
+	kind       ReductionKind
+	imbalanced bool
+	warm, rest int // episodes
+	snap       *machine.Snapshot
+}
+
+// reductionProgram builds the (im)balanced reduction program starting
+// at episode base.
+func (w *WarmReduction) program(red constructs.ProgramReducer, iters, base int) Program {
+	if w.imbalanced {
+		return &reductionImbalProgram{red: red, iters: iters, procs: w.p.Procs, base: base}
+	}
+	return &reductionLoopProgram{red: red, iters: iters, procs: w.p.Procs, base: base}
+}
+
+// WarmReductionLoop executes the warm-up prefix of the (p, kind) loop —
+// the imbalanced variant when imbalanced is set — and captures its
+// checkpoint.
+func WarmReductionLoop(p Params, kind ReductionKind, imbalanced bool) *WarmReduction {
+	warm, rest := warmSplit(p.Iterations)
+	w := &WarmReduction{p: p, kind: kind, imbalanced: imbalanced, warm: warm, rest: rest}
+	m := p.newMachine()
+	defer m.Release()
+	red := newReducer(m, kind)
+	m.RunProgram(w.program(red, warm, 0))
+	w.snap = m.Snapshot()
+	return w
+}
+
+// Run forks one measurement run from the checkpoint.
+func (w *WarmReduction) Run() ReductionResult {
+	m := w.p.newMachine()
+	defer m.Release()
+	red := newReducer(m, w.kind)
+	m.RestoreFrom(w.snap)
+	res := m.RunProgram(w.program(red, w.rest, w.warm))
+	total := w.warm + w.rest
+	return ReductionResult{
+		Result:     res,
+		Reductions: total,
+		AvgLatency: float64(res.Cycles) / float64(total),
+	}
+}
+
+// WarmCycles reports the simulated time the checkpoint covers
+// (diagnostics).
+func (w *WarmLock) WarmCycles() sim.Time      { return w.snap.Cycles() }
+func (w *WarmBarrier) WarmCycles() sim.Time   { return w.snap.Cycles() }
+func (w *WarmReduction) WarmCycles() sim.Time { return w.snap.Cycles() }

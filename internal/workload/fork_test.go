@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"coherencesim/internal/proto"
+)
+
+// freshTwoPhaseLock runs the warm and measurement phases back to back
+// on one machine — the reference a forked run must match exactly.
+func freshTwoPhaseLock(p Params, kind LockKind, v LockVariant) LockResult {
+	warm, rest := warmSplit(p.Iterations / p.Procs)
+	m := p.newMachine()
+	defer m.Release()
+	l := newLock(m, kind)
+	m.RunProgram(v.program(p, l, warm))
+	res := m.RunProgram(v.program(p, l, rest))
+	return lockLatency(res, (warm+rest)*p.Procs, p.HoldCycles)
+}
+
+func freshTwoPhaseBarrier(p Params, kind BarrierKind) BarrierResult {
+	warm, rest := warmSplit(p.Iterations)
+	m := p.newMachine()
+	defer m.Release()
+	b := newBarrier(m, kind)
+	m.RunProgram(&barrierLoopProgram{b: b, iters: warm})
+	res := m.RunProgram(&barrierLoopProgram{b: b, iters: rest})
+	total := warm + rest
+	return BarrierResult{Result: res, Episodes: total, AvgLatency: float64(res.Cycles) / float64(total)}
+}
+
+func freshTwoPhaseReduction(p Params, kind ReductionKind, imbalanced bool) ReductionResult {
+	warm, rest := warmSplit(p.Iterations)
+	w := &WarmReduction{p: p, kind: kind, imbalanced: imbalanced, warm: warm, rest: rest}
+	m := p.newMachine()
+	defer m.Release()
+	red := newReducer(m, kind)
+	m.RunProgram(w.program(red, warm, 0))
+	res := m.RunProgram(w.program(red, rest, warm))
+	total := warm + rest
+	return ReductionResult{Result: res, Reductions: total, AvgLatency: float64(res.Cycles) / float64(total)}
+}
+
+// requireEqualResults compares two results (including metrics snapshots,
+// breakdowns, and per-processor stats) field for field.
+func requireEqualResults(t *testing.T, label string, fresh, forked any) {
+	t.Helper()
+	if !reflect.DeepEqual(fresh, forked) {
+		t.Errorf("%s: forked run differs from fresh two-phase run\nfresh:  %+v\nforked: %+v", label, fresh, forked)
+	}
+}
+
+// observedParams enables every observability sink so the comparison
+// covers metrics series, histograms, and stall-attribution breakdowns.
+func observedParams(pr proto.Protocol, procs, iters int) Params {
+	return Params{
+		Procs: procs, Protocol: pr, Iterations: iters, HoldCycles: 50,
+		MetricsInterval: 5000, Breakdown: true,
+	}
+}
+
+// TestWarmForkLockMatchesFresh forks every lock kind and variant from a
+// warm checkpoint and requires byte-identical results to a fresh
+// machine executing the same two phases, across protocols and sizes.
+func TestWarmForkLockMatchesFresh(t *testing.T) {
+	for _, pr := range []proto.Protocol{proto.WI, proto.PU, proto.CU} {
+		for _, procs := range []int{4, 16} {
+			for _, kind := range []LockKind{Ticket, MCS, UpdateConsciousMCS} {
+				for _, v := range []LockVariant{PlainLock, RandomPause, WorkRatio} {
+					label := fmt.Sprintf("%v/P%d/%v/variant%d", pr, procs, kind, v)
+					p := observedParams(pr, procs, 1600)
+					fresh := freshTwoPhaseLock(p, kind, v)
+					w := WarmLockLoop(p, kind, v)
+					requireEqualResults(t, label, fresh, w.Run())
+				}
+			}
+		}
+	}
+}
+
+// TestWarmForkBarrierMatchesFresh does the same for every barrier kind.
+func TestWarmForkBarrierMatchesFresh(t *testing.T) {
+	for _, pr := range []proto.Protocol{proto.WI, proto.CU} {
+		for _, procs := range []int{4, 16} {
+			for _, kind := range []BarrierKind{Central, Dissemination, Tree} {
+				label := fmt.Sprintf("%v/P%d/%v", pr, procs, kind)
+				p := observedParams(pr, procs, 200)
+				fresh := freshTwoPhaseBarrier(p, kind)
+				w := WarmBarrierLoop(p, kind)
+				requireEqualResults(t, label, fresh, w.Run())
+			}
+		}
+	}
+}
+
+// TestWarmForkReductionMatchesFresh does the same for both reduction
+// strategies, balanced and imbalanced (the imbalanced variant draws
+// from the per-processor random streams, exercising stream
+// repositioning).
+func TestWarmForkReductionMatchesFresh(t *testing.T) {
+	for _, pr := range []proto.Protocol{proto.WI, proto.PU} {
+		for _, kind := range []ReductionKind{Sequential, Parallel} {
+			for _, imbal := range []bool{false, true} {
+				label := fmt.Sprintf("%v/%v/imbal=%v", pr, kind, imbal)
+				p := observedParams(pr, 8, 200)
+				fresh := freshTwoPhaseReduction(p, kind, imbal)
+				w := WarmReductionLoop(p, kind, imbal)
+				requireEqualResults(t, label, fresh, w.Run())
+			}
+		}
+	}
+}
+
+// TestWarmForkConcurrentRuns forks many measurement runs concurrently
+// from a single shared checkpoint: the snapshot must be read-only under
+// RestoreFrom, so every fork reports the identical result.
+func TestWarmForkConcurrentRuns(t *testing.T) {
+	p := observedParams(proto.CU, 8, 1600)
+	w := WarmLockLoop(p, MCS, RandomPause)
+	want := w.Run()
+	const forks = 8
+	got := make([]LockResult, forks)
+	var wg sync.WaitGroup
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = w.Run()
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		requireEqualResults(t, fmt.Sprintf("fork %d", i), want, got[i])
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"coherencesim/internal/constructs"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/sim"
+)
+
+// Program re-exports the machine's state-machine workload interface:
+// a resumable step function dispatched inline by the event loop. The
+// six synthetic programs below are the closure bodies of workload.go
+// compiled to this model; the entry points run them through
+// Machine.RunProgram, which produces byte-identical results to the
+// legacy coroutine path without any goroutine hand-offs.
+type Program = machine.Program
+
+// lockLoopProgram is LockLoop's body: acquire, hold, release, repeat.
+// Registers: I0 iteration.
+type lockLoopProgram struct {
+	l     constructs.ProgramLock
+	iters int
+	hold  sim.Time
+}
+
+func (g *lockLoopProgram) Step(p *machine.Proc, f *machine.Frame) machine.OpStatus {
+	for {
+		switch f.PC {
+		case 0:
+			if f.I0 >= g.iters {
+				return machine.OpDone
+			}
+			f.PC = 1
+			return g.l.FAcquire(p)
+		case 1: // critical section
+			f.PC = 2
+			if !p.FCompute(g.hold) {
+				return machine.OpBlocked
+			}
+			fallthrough
+		case 2:
+			f.I0++
+			f.PC = 0
+			return g.l.FRelease(p)
+		default:
+			panic("workload: lockLoopProgram bad pc")
+		}
+	}
+}
+
+// lockLoopPauseProgram is LockLoopRandomPause's body: a bounded
+// pseudo-random pause follows each release. Registers: I0 iteration.
+type lockLoopPauseProgram struct {
+	l     constructs.ProgramLock
+	iters int
+	hold  sim.Time
+}
+
+func (g *lockLoopPauseProgram) Step(p *machine.Proc, f *machine.Frame) machine.OpStatus {
+	for {
+		switch f.PC {
+		case 0:
+			if f.I0 >= g.iters {
+				return machine.OpDone
+			}
+			f.PC = 1
+			return g.l.FAcquire(p)
+		case 1:
+			f.PC = 2
+			if !p.FCompute(g.hold) {
+				return machine.OpBlocked
+			}
+			fallthrough
+		case 2:
+			f.PC = 3
+			return g.l.FRelease(p)
+		case 3:
+			f.I0++
+			f.PC = 0
+			if !p.FCompute(sim.Time(p.Rand().Int63n(int64(4*g.hold) + 1))) {
+				return machine.OpBlocked
+			}
+		default:
+			panic("workload: lockLoopPauseProgram bad pc")
+		}
+	}
+}
+
+// lockLoopRatioProgram is LockLoopWorkRatio's body: outside work is P
+// times the hold time, within ±10%. Registers: I0 iteration.
+type lockLoopRatioProgram struct {
+	l       constructs.ProgramLock
+	iters   int
+	hold    sim.Time
+	outside int64
+}
+
+func (g *lockLoopRatioProgram) Step(p *machine.Proc, f *machine.Frame) machine.OpStatus {
+	for {
+		switch f.PC {
+		case 0:
+			if f.I0 >= g.iters {
+				return machine.OpDone
+			}
+			f.PC = 1
+			return g.l.FAcquire(p)
+		case 1:
+			f.PC = 2
+			if !p.FCompute(g.hold) {
+				return machine.OpBlocked
+			}
+			fallthrough
+		case 2:
+			f.PC = 3
+			return g.l.FRelease(p)
+		case 3:
+			f.I0++
+			f.PC = 0
+			jitter := p.Rand().Int63n(g.outside/5+1) - g.outside/10
+			if !p.FCompute(sim.Time(g.outside + jitter)) {
+				return machine.OpBlocked
+			}
+		default:
+			panic("workload: lockLoopRatioProgram bad pc")
+		}
+	}
+}
+
+// barrierLoopProgram is BarrierLoop's body. Registers: I0 episode.
+type barrierLoopProgram struct {
+	b     constructs.ProgramBarrier
+	iters int
+}
+
+func (g *barrierLoopProgram) Step(p *machine.Proc, f *machine.Frame) machine.OpStatus {
+	if f.I0 >= g.iters {
+		return machine.OpDone
+	}
+	f.I0++
+	return g.b.FWait(p)
+}
+
+// reductionLoopProgram is ReductionLoop's body: reduce, then read the
+// global result. Registers: I0 episode. base offsets the episode index
+// for continuation phases (warm-fork runs), so local values stay
+// strictly increasing across the phase boundary.
+type reductionLoopProgram struct {
+	red   constructs.ProgramReducer
+	iters int
+	procs int
+	base  int
+}
+
+func (g *reductionLoopProgram) Step(p *machine.Proc, f *machine.Frame) machine.OpStatus {
+	switch f.PC {
+	case 0:
+		if f.I0 >= g.iters {
+			return machine.OpDone
+		}
+		f.PC = 1
+		return g.red.FReduce(p, localValue(g.base+f.I0, p.ID(), g.procs))
+	case 1: // the figures' "code that uses max"
+		f.I0++
+		f.PC = 0
+		return p.FRead(g.red.ResultAddr())
+	}
+	panic("workload: reductionLoopProgram bad pc")
+}
+
+// reductionImbalProgram is ReductionLoopImbalanced's body: a
+// pseudo-random production delay precedes each episode. Registers: I0
+// episode. base offsets the episode index as in reductionLoopProgram.
+type reductionImbalProgram struct {
+	red   constructs.ProgramReducer
+	iters int
+	procs int
+	base  int
+}
+
+func (g *reductionImbalProgram) Step(p *machine.Proc, f *machine.Frame) machine.OpStatus {
+	switch f.PC {
+	case 0:
+		if f.I0 >= g.iters {
+			return machine.OpDone
+		}
+		f.PC = 1
+		if !p.FCompute(sim.Time(p.Rand().Int63n(400) + 1)) {
+			return machine.OpBlocked
+		}
+		fallthrough
+	case 1:
+		f.PC = 2
+		return g.red.FReduce(p, localValue(g.base+f.I0, p.ID(), g.procs))
+	case 2:
+		f.I0++
+		f.PC = 0
+		return p.FRead(g.red.ResultAddr())
+	}
+	panic("workload: reductionImbalProgram bad pc")
+}

@@ -147,7 +147,7 @@ func DefaultReductionParams(pr proto.Protocol, procs int) Params {
 }
 
 // newLock builds the lock under test on m.
-func newLock(m *machine.Machine, k LockKind) constructs.Lock {
+func newLock(m *machine.Machine, k LockKind) constructs.ProgramLock {
 	switch k {
 	case Ticket:
 		return constructs.NewTicketLock(m, "lock")
@@ -160,7 +160,7 @@ func newLock(m *machine.Machine, k LockKind) constructs.Lock {
 }
 
 // newBarrier builds the barrier under test on m.
-func newBarrier(m *machine.Machine, k BarrierKind) constructs.Barrier {
+func newBarrier(m *machine.Machine, k BarrierKind) constructs.ProgramBarrier {
 	switch k {
 	case Central:
 		return constructs.NewCentralBarrier(m, "barrier")
@@ -191,13 +191,7 @@ func LockLoop(p Params, kind LockKind) LockResult {
 	defer m.Release()
 	l := newLock(m, kind)
 	iters := p.Iterations / p.Procs
-	res := m.Run(func(proc *machine.Proc) {
-		for i := 0; i < iters; i++ {
-			l.Acquire(proc)
-			proc.Compute(p.HoldCycles)
-			l.Release(proc)
-		}
-	})
+	res := m.RunProgram(&lockLoopProgram{l: l, iters: iters, hold: p.HoldCycles})
 	return lockLatency(res, iters*p.Procs, p.HoldCycles)
 }
 
@@ -209,14 +203,7 @@ func LockLoopRandomPause(p Params, kind LockKind) LockResult {
 	defer m.Release()
 	l := newLock(m, kind)
 	iters := p.Iterations / p.Procs
-	res := m.Run(func(proc *machine.Proc) {
-		for i := 0; i < iters; i++ {
-			l.Acquire(proc)
-			proc.Compute(p.HoldCycles)
-			l.Release(proc)
-			proc.Compute(sim.Time(proc.Rand().Int63n(int64(4*p.HoldCycles) + 1)))
-		}
-	})
+	res := m.RunProgram(&lockLoopPauseProgram{l: l, iters: iters, hold: p.HoldCycles})
 	return lockLatency(res, iters*p.Procs, p.HoldCycles)
 }
 
@@ -227,15 +214,9 @@ func LockLoopWorkRatio(p Params, kind LockKind) LockResult {
 	defer m.Release()
 	l := newLock(m, kind)
 	iters := p.Iterations / p.Procs
-	res := m.Run(func(proc *machine.Proc) {
-		outside := int64(p.HoldCycles) * int64(p.Procs)
-		for i := 0; i < iters; i++ {
-			l.Acquire(proc)
-			proc.Compute(p.HoldCycles)
-			l.Release(proc)
-			jitter := proc.Rand().Int63n(outside/5+1) - outside/10
-			proc.Compute(sim.Time(outside + jitter))
-		}
+	res := m.RunProgram(&lockLoopRatioProgram{
+		l: l, iters: iters, hold: p.HoldCycles,
+		outside: int64(p.HoldCycles) * int64(p.Procs),
 	})
 	return lockLatency(res, iters*p.Procs, p.HoldCycles)
 }
@@ -253,11 +234,7 @@ func BarrierLoop(p Params, kind BarrierKind) BarrierResult {
 	m := p.newMachine()
 	defer m.Release()
 	b := newBarrier(m, kind)
-	res := m.Run(func(proc *machine.Proc) {
-		for i := 0; i < p.Iterations; i++ {
-			b.Wait(proc)
-		}
-	})
+	res := m.RunProgram(&barrierLoopProgram{b: b, iters: p.Iterations})
 	return BarrierResult{
 		Result:     res,
 		Episodes:   p.Iterations,
@@ -288,12 +265,7 @@ func ReductionLoop(p Params, kind ReductionKind) ReductionResult {
 	m := p.newMachine()
 	defer m.Release()
 	red := newReducer(m, kind)
-	res := m.Run(func(proc *machine.Proc) {
-		for i := 0; i < p.Iterations; i++ {
-			red.Reduce(proc, localValue(i, proc.ID(), p.Procs))
-			proc.Read(red.ResultAddr())
-		}
-	})
+	res := m.RunProgram(&reductionLoopProgram{red: red, iters: p.Iterations, procs: p.Procs})
 	return ReductionResult{
 		Result:     res,
 		Reductions: p.Iterations,
@@ -308,13 +280,7 @@ func ReductionLoopImbalanced(p Params, kind ReductionKind) ReductionResult {
 	m := p.newMachine()
 	defer m.Release()
 	red := newReducer(m, kind)
-	res := m.Run(func(proc *machine.Proc) {
-		for i := 0; i < p.Iterations; i++ {
-			proc.Compute(sim.Time(proc.Rand().Int63n(400) + 1))
-			red.Reduce(proc, localValue(i, proc.ID(), p.Procs))
-			proc.Read(red.ResultAddr())
-		}
-	})
+	res := m.RunProgram(&reductionImbalProgram{red: red, iters: p.Iterations, procs: p.Procs})
 	return ReductionResult{
 		Result:     res,
 		Reductions: p.Iterations,
@@ -322,7 +288,7 @@ func ReductionLoopImbalanced(p Params, kind ReductionKind) ReductionResult {
 	}
 }
 
-func newReducer(m *machine.Machine, k ReductionKind) constructs.Reducer {
+func newReducer(m *machine.Machine, k ReductionKind) constructs.ProgramReducer {
 	switch k {
 	case Parallel:
 		return constructs.NewParallelReducer(m, "red", m.NewMagicLock(), m.NewMagicBarrier())
