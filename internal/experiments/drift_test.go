@@ -19,10 +19,10 @@ func TestQuickCoversDefaults(t *testing.T) {
 	for i := 0; i < dv.NumField(); i++ {
 		name := dv.Type().Field(i).Name
 		switch name {
-		case "Procs", "Runner", "Metrics", "Breakdown", "Forks":
+		case "Procs", "Runner", "Metrics", "Breakdown", "Forks", "Dispatch":
 			// Procs is checked structurally below; Runner, Metrics,
-			// Breakdown, and Forks are execution/observation policy, not
-			// experiment scale.
+			// Breakdown, Forks, and Dispatch are execution/observation
+			// policy, not experiment scale.
 			continue
 		}
 		if dv.Field(i).Kind() != reflect.Int {

@@ -52,6 +52,14 @@ type Options struct {
 	// default single-phase figures (the checkpoint boundary re-
 	// synchronizes processors), so nil keeps the classic execution.
 	Forks *WarmForkCache
+	// Dispatch, when non-nil, executes a sweep's decomposed points
+	// instead of the local pool — the fleet coordinator installs one to
+	// fan points across registered workers. Results return in submission
+	// order (runner.Map's contract), so rendered output is byte-identical
+	// to the local path at any worker count. Experiments that do not
+	// decompose into points (apps, ablations, contention studies) ignore
+	// it and run on the local Runner as always.
+	Dispatch PointDispatcher
 }
 
 // Defaults returns the paper's experiment parameters.
@@ -91,70 +99,64 @@ func comboName(alg fmt.Stringer, pr proto.Protocol) string {
 	return fmt.Sprintf("%v-%s", alg, pr.Short())
 }
 
-// withMetrics applies the collector's sampling interval to one run's
-// parameters, attaching a per-machine registry when collection is on.
-func (o Options) withMetrics(p workload.Params) workload.Params {
-	p.MetricsInterval = o.Metrics.Interval()
-	p.Breakdown = o.Breakdown.Enabled()
-	return p
-}
-
 // latencyPoint is one latency-sweep measurement: the full run result
 // (for the pool's sim-cycle throughput accounting) plus the figure's
-// metric.
+// metric. Sweeps now decompose into serializable Points; this form
+// remains for the custom-lock path (runCustomLock) that builds its
+// machine inline.
 type latencyPoint struct {
 	machine.Result
 	Latency float64
 }
 
-// latencySweep builds a latency figure by fanning one job per
-// (construct, protocol, machine size) simulation through the pool and
-// assembling the sweep in submission order.
+// latencySweep builds a latency figure by decomposing it into one Point
+// per (construct, protocol, machine size) simulation, executing the
+// points (local pool or installed dispatcher), and assembling the sweep
+// in submission order.
 func latencySweep[K fmt.Stringer](o Options, figure, metric string, kinds []K,
-	run func(kind K, pr proto.Protocol, procs int) latencyPoint) *LatencySweep {
+	pointOf func(kind K, pr proto.Protocol, procs int) Point) *LatencySweep {
 	s := &LatencySweep{
 		Figure:  figure,
 		Metric:  metric,
 		Procs:   o.Procs,
 		Latency: make(map[string]map[int]float64),
 	}
-	type point struct {
+	type cell struct {
 		name  string
 		procs int
 	}
-	var points []point
-	var jobs []runner.Job[latencyPoint]
+	var cells []cell
+	var pts []Point
 	for _, kind := range kinds {
 		for _, pr := range protocols {
 			name := comboName(kind, pr)
 			s.Combos = append(s.Combos, name)
 			s.Latency[name] = make(map[int]float64)
 			for _, procs := range o.Procs {
-				points = append(points, point{name, procs})
-				jobs = append(jobs, runner.Job[latencyPoint]{
-					Label: fmt.Sprintf("%s/%s/P=%d", figure, name, procs),
-					Run:   func() latencyPoint { return run(kind, pr, procs) },
-				})
+				pt := pointOf(kind, pr, procs)
+				pt.Label = fmt.Sprintf("%s/%s/P=%d", figure, name, procs)
+				cells = append(cells, cell{name, procs})
+				pts = append(pts, pt)
 			}
 		}
 	}
-	for i, res := range runner.Map(o.Runner, jobs) {
-		s.Latency[points[i].name][points[i].procs] = res.Latency
-		o.Metrics.Add(jobs[i].Label, res.Metrics)
-		o.Breakdown.Add(jobs[i].Label, res.Breakdown)
+	for i, res := range o.runPoints(pts) {
+		s.Latency[cells[i].name][cells[i].procs] = res.Latency
+		o.Metrics.Add(pts[i].Label, res.Metrics)
+		o.Breakdown.Add(pts[i].Label, res.Breakdown)
 	}
 	return s
 }
 
 // trafficSweep builds the per-combo miss and update counts of a traffic
-// breakdown, one pool job per (construct, protocol) simulation at the
+// breakdown, one Point per (construct, protocol) simulation at the
 // traffic machine size.
 func trafficSweep[K fmt.Stringer](o Options, figure string, kinds []K,
-	run func(kind K, pr proto.Protocol) machine.Result) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
+	pointOf func(kind K, pr proto.Protocol) Point) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	misses := make(map[string]classify.MissCounts)
 	updates := make(map[string]classify.UpdateCounts)
 	var allCombos, updCombos, names []string
-	var jobs []runner.Job[machine.Result]
+	var pts []Point
 	for _, kind := range kinds {
 		for _, pr := range protocols {
 			name := comboName(kind, pr)
@@ -163,17 +165,16 @@ func trafficSweep[K fmt.Stringer](o Options, figure string, kinds []K,
 				updCombos = append(updCombos, name)
 			}
 			names = append(names, name)
-			jobs = append(jobs, runner.Job[machine.Result]{
-				Label: fmt.Sprintf("%s/%s/P=%d", figure, name, o.TrafficProcs),
-				Run:   func() machine.Result { return run(kind, pr) },
-			})
+			pt := pointOf(kind, pr)
+			pt.Label = fmt.Sprintf("%s/%s/P=%d", figure, name, o.TrafficProcs)
+			pts = append(pts, pt)
 		}
 	}
-	for i, res := range runner.Map(o.Runner, jobs) {
+	for i, res := range o.runPoints(pts) {
 		misses[names[i]] = res.Misses
 		updates[names[i]] = res.Updates
-		o.Metrics.Add(jobs[i].Label, res.Metrics)
-		o.Breakdown.Add(jobs[i].Label, res.Breakdown)
+		o.Metrics.Add(pts[i].Label, res.Metrics)
+		o.Breakdown.Add(pts[i].Label, res.Breakdown)
 	}
 	return misses, updates, allCombos, updCombos
 }
@@ -271,37 +272,27 @@ func (b *UpdateBreakdown) Table() *stats.Table {
 	return t
 }
 
-// lockRun dispatches the lock workload variant.
-type lockRun func(p workload.Params, k workload.LockKind) workload.LockResult
-
-// lockSweep runs a lock latency sweep for every combo.
-func lockSweep(o Options, figure, metric string, run lockRun) *LatencySweep {
+// lockSweep runs a lock latency sweep for every combo under body
+// variant v.
+func lockSweep(o Options, figure, metric string, v workload.LockVariant) *LatencySweep {
 	return latencySweep(o, figure, metric, lockKinds,
-		func(kind workload.LockKind, pr proto.Protocol, procs int) latencyPoint {
-			p := o.withMetrics(workload.DefaultLockParams(pr, procs))
-			p.Iterations = o.LockIterations
-			r := run(p, kind)
-			return latencyPoint{r.Result, r.AvgLatency}
+		func(kind workload.LockKind, pr proto.Protocol, procs int) Point {
+			return o.lockPoint(kind, v, pr, procs)
 		})
 }
 
 // Figure8 reproduces the lock latency sweep: average acquire-release
 // latency (cycles) for each lock/protocol combination and machine size.
 func Figure8(o Options) *LatencySweep {
-	return lockSweep(o, "Figure 8", "avg acquire-release latency (cycles)",
-		func(p workload.Params, k workload.LockKind) workload.LockResult {
-			return o.Forks.LockLoop(p, k, workload.PlainLock)
-		})
+	return lockSweep(o, "Figure 8", "avg acquire-release latency (cycles)", workload.PlainLock)
 }
 
 // lockTraffic runs the traffic-size lock workload for every combo,
 // returning per-combo miss and update counts.
 func lockTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	return trafficSweep(o, "lock traffic", lockKinds,
-		func(kind workload.LockKind, pr proto.Protocol) machine.Result {
-			p := o.withMetrics(workload.DefaultLockParams(pr, o.TrafficProcs))
-			p.Iterations = o.LockIterations
-			return o.Forks.LockLoop(p, kind, workload.PlainLock).Result
+		func(kind workload.LockKind, pr proto.Protocol) Point {
+			return o.lockPoint(kind, workload.PlainLock, pr, o.TrafficProcs)
 		})
 }
 
@@ -321,21 +312,16 @@ func Figure10(o Options) *UpdateBreakdown {
 // (cycles) for each barrier/protocol combination and machine size.
 func Figure11(o Options) *LatencySweep {
 	return latencySweep(o, "Figure 11", "avg barrier episode latency (cycles)", barrierKinds,
-		func(kind workload.BarrierKind, pr proto.Protocol, procs int) latencyPoint {
-			p := o.withMetrics(workload.DefaultBarrierParams(pr, procs))
-			p.Iterations = o.BarrierEpisodes
-			r := o.Forks.BarrierLoop(p, kind)
-			return latencyPoint{r.Result, r.AvgLatency}
+		func(kind workload.BarrierKind, pr proto.Protocol, procs int) Point {
+			return o.barrierPoint(kind, pr, procs)
 		})
 }
 
 // barrierTraffic mirrors lockTraffic for barriers.
 func barrierTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	return trafficSweep(o, "barrier traffic", barrierKinds,
-		func(kind workload.BarrierKind, pr proto.Protocol) machine.Result {
-			p := o.withMetrics(workload.DefaultBarrierParams(pr, o.TrafficProcs))
-			p.Iterations = o.BarrierEpisodes
-			return o.Forks.BarrierLoop(p, kind).Result
+		func(kind workload.BarrierKind, pr proto.Protocol) Point {
+			return o.barrierPoint(kind, pr, o.TrafficProcs)
 		})
 }
 
@@ -352,16 +338,10 @@ func Figure13(o Options) *UpdateBreakdown {
 	return &UpdateBreakdown{Figure: "Figure 13", Procs: o.TrafficProcs, Combos: combos, Counts: u}
 }
 
-// reductionRun dispatches the reduction workload variant.
-type reductionRun func(p workload.Params, k workload.ReductionKind) workload.ReductionResult
-
-func reductionSweep(o Options, figure, metric string, run reductionRun) *LatencySweep {
+func reductionSweep(o Options, figure, metric string, imbalanced bool) *LatencySweep {
 	return latencySweep(o, figure, metric, reductionKinds,
-		func(kind workload.ReductionKind, pr proto.Protocol, procs int) latencyPoint {
-			p := o.withMetrics(workload.DefaultReductionParams(pr, procs))
-			p.Iterations = o.ReductionEpisodes
-			r := run(p, kind)
-			return latencyPoint{r.Result, r.AvgLatency}
+		func(kind workload.ReductionKind, pr proto.Protocol, procs int) Point {
+			return o.reductionPoint(kind, imbalanced, pr, procs)
 		})
 }
 
@@ -369,19 +349,14 @@ func reductionSweep(o Options, figure, metric string, run reductionRun) *Latency
 // latency (cycles) for each strategy/protocol combination and machine
 // size, with zero-traffic synchronization.
 func Figure14(o Options) *LatencySweep {
-	return reductionSweep(o, "Figure 14", "avg reduction latency (cycles)",
-		func(p workload.Params, k workload.ReductionKind) workload.ReductionResult {
-			return o.Forks.ReductionLoop(p, k, false)
-		})
+	return reductionSweep(o, "Figure 14", "avg reduction latency (cycles)", false)
 }
 
 // reductionTraffic mirrors lockTraffic for reductions.
 func reductionTraffic(o Options) (map[string]classify.MissCounts, map[string]classify.UpdateCounts, []string, []string) {
 	return trafficSweep(o, "reduction traffic", reductionKinds,
-		func(kind workload.ReductionKind, pr proto.Protocol) machine.Result {
-			p := o.withMetrics(workload.DefaultReductionParams(pr, o.TrafficProcs))
-			p.Iterations = o.ReductionEpisodes
-			return o.Forks.ReductionLoop(p, kind, false).Result
+		func(kind workload.ReductionKind, pr proto.Protocol) Point {
+			return o.reductionPoint(kind, false, pr, o.TrafficProcs)
 		})
 }
 
@@ -403,28 +378,19 @@ func Figure16(o Options) *UpdateBreakdown {
 // variant (bounded pseudo-random pause after each release).
 func LockVariantRandomPause(o Options) *LatencySweep {
 	return lockSweep(o, "Locks, random-pause variant",
-		"avg acquire-release latency (cycles)",
-		func(p workload.Params, k workload.LockKind) workload.LockResult {
-			return o.Forks.LockLoop(p, k, workload.RandomPause)
-		})
+		"avg acquire-release latency (cycles)", workload.RandomPause)
 }
 
 // LockVariantWorkRatio reproduces the Section 4.1 controlled-contention
 // variant (outside/inside work ratio = P ± 10%).
 func LockVariantWorkRatio(o Options) *LatencySweep {
 	return lockSweep(o, "Locks, work-ratio variant",
-		"avg acquire-release latency (cycles)",
-		func(p workload.Params, k workload.LockKind) workload.LockResult {
-			return o.Forks.LockLoop(p, k, workload.WorkRatio)
-		})
+		"avg acquire-release latency (cycles)", workload.WorkRatio)
 }
 
 // ReductionVariantImbalanced reproduces the Section 4.3 load-imbalance
 // variant.
 func ReductionVariantImbalanced(o Options) *LatencySweep {
 	return reductionSweep(o, "Reductions, load-imbalance variant",
-		"avg reduction latency (cycles)",
-		func(p workload.Params, k workload.ReductionKind) workload.ReductionResult {
-			return o.Forks.ReductionLoop(p, k, true)
-		})
+		"avg reduction latency (cycles)", true)
 }

@@ -38,9 +38,20 @@ var extendedAlgos = []namedAlgo{
 func ExtendedLockSweep(o Options) *LatencySweep {
 	return latencySweep(o, "Extended lock sweep", "avg acquire-release latency (cycles)",
 		extendedAlgos,
-		func(alg namedAlgo, pr proto.Protocol, procs int) latencyPoint {
-			return runCustomLock(pr, procs, o.LockIterations, alg.mk)
+		func(alg namedAlgo, pr proto.Protocol, procs int) Point {
+			return o.extLockPoint(extAlgoIndex(alg.name), pr, procs)
 		})
+}
+
+// extAlgoIndex maps an extended-suite algorithm name back to its stable
+// point Kind (the index in extendedAlgos).
+func extAlgoIndex(name string) int {
+	for i, a := range extendedAlgos {
+		if a.name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // runCustomLock measures the paper's lock synthetic program over an

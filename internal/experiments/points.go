@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"coherencesim/internal/classify"
+	"coherencesim/internal/machine"
+	"coherencesim/internal/metrics"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
+	"coherencesim/internal/sim"
+	"coherencesim/internal/trace"
+	"coherencesim/internal/workload"
+)
+
+// Point families: the serializable construct selector namespaces.
+const (
+	FamilyLock      = "lock"      // Kind = workload.LockKind, Variant = workload.LockVariant
+	FamilyBarrier   = "barrier"   // Kind = workload.BarrierKind
+	FamilyReduction = "reduction" // Kind = workload.ReductionKind, Variant 1 = imbalanced
+	FamilyExtLock   = "extlock"   // Kind = index into extendedAlgos
+)
+
+// Point is one independent sweep measurement in serializable form: the
+// complete input of a single simulation, with no closures. A sweep
+// decomposes into Points, each Point runs anywhere — this process's
+// pool, or a fleet worker across the network — and RunPoint rebuilds
+// exactly the simulation the in-process sweep closure would have run.
+// The simulator is deterministic, so a Point's content hash (Key)
+// fully addresses its result.
+type Point struct {
+	Family          string         `json:"family"`
+	Kind            int            `json:"kind"`
+	Variant         int            `json:"variant,omitempty"`
+	Protocol        proto.Protocol `json:"protocol"`
+	Procs           int            `json:"procs"`
+	Iterations      int            `json:"iterations"`
+	MetricsInterval sim.Time       `json:"metrics_interval,omitempty"`
+	Breakdown       bool           `json:"breakdown,omitempty"`
+	WarmFork        bool           `json:"warm_fork,omitempty"`
+	// Label is the figure's diagnostic job label. It does not shape the
+	// simulation and is excluded from Key.
+	Label string `json:"label,omitempty"`
+}
+
+// Key returns the point's content address: the hex SHA-256 of its
+// canonical JSON (Label cleared) in a versioned namespace. Two points
+// with equal keys produce byte-identical results.
+func (pt Point) Key() string {
+	pt.Label = ""
+	b, err := json.Marshal(pt)
+	if err != nil { // a Point is pure data; Marshal cannot fail
+		panic(err)
+	}
+	sum := sha256.Sum256(append([]byte("point:v1:"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// PointResult is the serializable outcome of one Point: the figure
+// metric plus everything the sweep assembly loops feed to collectors.
+// All fields are pure data and survive a JSON round trip byte-for-byte
+// on re-marshal, which is what keeps fleet-assembled documents
+// byte-identical to single-process ones.
+type PointResult struct {
+	Latency   float64                  `json:"latency"`
+	Misses    classify.MissCounts      `json:"misses"`
+	Updates   classify.UpdateCounts    `json:"updates"`
+	SimCycles uint64                   `json:"sim_cycles"`
+	Metrics   *metrics.Snapshot        `json:"metrics,omitempty"`
+	Breakdown *trace.BreakdownSnapshot `json:"breakdown,omitempty"`
+}
+
+// SimulatedCycles implements runner.CycleReporter so locally executed
+// points keep feeding the pool's throughput accounting.
+func (r PointResult) SimulatedCycles() uint64 { return r.SimCycles }
+
+// PointDispatcher executes a batch of points and returns their results
+// indexed exactly as submitted (the same contract as runner.Map). The
+// fleet coordinator installs one to fan points across workers.
+type PointDispatcher func(pts []Point) []PointResult
+
+// pointResult projects a machine result + figure metric into the
+// serializable form.
+func pointResult(res machine.Result, latency float64) PointResult {
+	return PointResult{
+		Latency:   latency,
+		Misses:    res.Misses,
+		Updates:   res.Updates,
+		SimCycles: res.SimulatedCycles(),
+		Metrics:   res.Metrics,
+		Breakdown: res.Breakdown,
+	}
+}
+
+// params applies the point's run-shaping fields over the family's
+// default parameters.
+func (pt Point) params(p workload.Params) workload.Params {
+	p.Iterations = pt.Iterations
+	p.MetricsInterval = pt.MetricsInterval
+	p.Breakdown = pt.Breakdown
+	return p
+}
+
+// RunPoint executes one point from its serialized form — the fleet
+// worker's entry. Warm-forked points build their own checkpoint (a
+// single-point cache): forked runs are deterministic, so the result is
+// byte-identical to one produced through a shared in-process cache.
+func RunPoint(ctx context.Context, pt Point) (PointResult, error) {
+	var forks *WarmForkCache
+	if pt.WarmFork {
+		forks = NewWarmForkCache()
+	}
+	return runPoint(ctx, pt, forks)
+}
+
+// runPoint executes pt, forking warm checkpoints from forks (nil =
+// plain single-phase runs). The in-process sweep path calls this with
+// the batch-shared cache; RunPoint calls it with a private one.
+func runPoint(ctx context.Context, pt Point, forks *WarmForkCache) (PointResult, error) {
+	switch pt.Family {
+	case FamilyLock:
+		kind := workload.LockKind(pt.Kind)
+		v := workload.LockVariant(pt.Variant)
+		r := forks.LockLoop(ctx, pt.params(workload.DefaultLockParams(pt.Protocol, pt.Procs)), kind, v)
+		return pointResult(r.Result, r.AvgLatency), nil
+	case FamilyBarrier:
+		kind := workload.BarrierKind(pt.Kind)
+		r := forks.BarrierLoop(ctx, pt.params(workload.DefaultBarrierParams(pt.Protocol, pt.Procs)), kind)
+		return pointResult(r.Result, r.AvgLatency), nil
+	case FamilyReduction:
+		kind := workload.ReductionKind(pt.Kind)
+		r := forks.ReductionLoop(ctx, pt.params(workload.DefaultReductionParams(pt.Protocol, pt.Procs)), kind, pt.Variant == 1)
+		return pointResult(r.Result, r.AvgLatency), nil
+	case FamilyExtLock:
+		if pt.Kind < 0 || pt.Kind >= len(extendedAlgos) {
+			return PointResult{}, fmt.Errorf("extlock kind %d out of range", pt.Kind)
+		}
+		lp := runCustomLock(pt.Protocol, pt.Procs, pt.Iterations, extendedAlgos[pt.Kind].mk)
+		return pointResult(lp.Result, lp.Latency), nil
+	default:
+		return PointResult{}, fmt.Errorf("unknown point family %q", pt.Family)
+	}
+}
+
+// runPoints executes a decomposed sweep: through the installed
+// dispatcher when one is set (the fleet path), otherwise on the local
+// pool with the batch-shared warm-fork cache. Either way results come
+// back in submission order, so assembly is identical.
+func (o Options) runPoints(pts []Point) []PointResult {
+	if o.Dispatch != nil {
+		return o.Dispatch(pts)
+	}
+	jobs := make([]runner.Job[PointResult], len(pts))
+	for i := range pts {
+		pt := pts[i]
+		jobs[i] = runner.Job[PointResult]{
+			Label: pt.Label,
+			Run: func() PointResult {
+				// Family and kind are constructed by this package, so
+				// runPoint cannot fail here.
+				res, _ := runPoint(o.Runner.Context(), pt, o.Forks)
+				return res
+			},
+		}
+	}
+	return runner.Map(o.Runner, jobs)
+}
+
+// Per-family point constructors. Sweeps build their points through
+// these, and RunPoint executes from the same Point fields, so the
+// decomposed path cannot drift from the in-process one.
+
+func (o Options) lockPoint(kind workload.LockKind, v workload.LockVariant, pr proto.Protocol, procs int) Point {
+	return Point{
+		Family: FamilyLock, Kind: int(kind), Variant: int(v),
+		Protocol: pr, Procs: procs, Iterations: o.LockIterations,
+		MetricsInterval: o.Metrics.Interval(), Breakdown: o.Breakdown.Enabled(),
+		WarmFork: o.Forks != nil,
+	}
+}
+
+func (o Options) barrierPoint(kind workload.BarrierKind, pr proto.Protocol, procs int) Point {
+	return Point{
+		Family: FamilyBarrier, Kind: int(kind),
+		Protocol: pr, Procs: procs, Iterations: o.BarrierEpisodes,
+		MetricsInterval: o.Metrics.Interval(), Breakdown: o.Breakdown.Enabled(),
+		WarmFork: o.Forks != nil,
+	}
+}
+
+func (o Options) reductionPoint(kind workload.ReductionKind, imbalanced bool, pr proto.Protocol, procs int) Point {
+	variant := 0
+	if imbalanced {
+		variant = 1
+	}
+	return Point{
+		Family: FamilyReduction, Kind: int(kind), Variant: variant,
+		Protocol: pr, Procs: procs, Iterations: o.ReductionEpisodes,
+		MetricsInterval: o.Metrics.Interval(), Breakdown: o.Breakdown.Enabled(),
+		WarmFork: o.Forks != nil,
+	}
+}
+
+// extLockPoint carries no metrics/warm-fork fields: the extended sweep
+// has always run the bare custom-lock program (no registry attached),
+// and the point form preserves that byte-for-byte.
+func (o Options) extLockPoint(algoIndex int, pr proto.Protocol, procs int) Point {
+	return Point{
+		Family: FamilyExtLock, Kind: algoIndex,
+		Protocol: pr, Procs: procs, Iterations: o.LockIterations,
+	}
+}

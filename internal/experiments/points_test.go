@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"coherencesim/internal/metrics"
+	"coherencesim/internal/proto"
+	"coherencesim/internal/runner"
+	"coherencesim/internal/trace"
+	"coherencesim/internal/workload"
+)
+
+// wireDispatcher executes each point through a full JSON round trip of
+// both the Point and the PointResult — exactly what the fleet's HTTP
+// hop does — so parity failures from lossy serialization show up here,
+// not in a cluster.
+func wireDispatcher(t *testing.T) PointDispatcher {
+	return func(pts []Point) []PointResult {
+		out := make([]PointResult, len(pts))
+		for i, pt := range pts {
+			wire, err := json.Marshal(pt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded Point
+			if err := json.Unmarshal(wire, &decoded); err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunPoint(context.Background(), decoded)
+			if err != nil {
+				t.Fatalf("RunPoint(%+v): %v", decoded, err)
+			}
+			back, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(back, &out[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+}
+
+func pointsTiny() Options {
+	return Options{
+		Procs:             []int{1, 2, 4},
+		TrafficProcs:      4,
+		LockIterations:    128,
+		BarrierEpisodes:   16,
+		ReductionEpisodes: 16,
+		Runner:            runner.New(4),
+	}
+}
+
+// TestDispatcherParity pins the fabric's core guarantee at the figure
+// level: a sweep whose points travel over the (simulated) wire renders
+// byte-identically to the in-process sweep.
+func TestDispatcherParity(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(Options) *LatencySweep
+	}{
+		{"Figure8", Figure8},
+		{"Figure11", Figure11},
+		{"Figure14", Figure14},
+		{"ExtendedLockSweep", ExtendedLockSweep},
+	}
+	for _, fig := range figures {
+		t.Run(fig.name, func(t *testing.T) {
+			local := fig.run(pointsTiny()).Table().String()
+			od := pointsTiny()
+			od.Dispatch = wireDispatcher(t)
+			dispatched := fig.run(od).Table().String()
+			if dispatched != local {
+				t.Errorf("dispatched table differs from local:\nlocal:\n%s\ndispatched:\n%s", local, dispatched)
+			}
+		})
+	}
+}
+
+// TestDispatcherParityWithCollectors: metrics and breakdown reports are
+// fed from the submission-ordered assembly loop, so they too must be
+// byte-identical when points run remotely.
+func TestDispatcherParityWithCollectors(t *testing.T) {
+	render := func(o Options) (table, metricsJSON, breakdown string) {
+		o.Metrics = metrics.NewCollector(500)
+		o.Breakdown = trace.NewBreakdownCollector()
+		table = Figure8(o).Table().String()
+		var buf bytes.Buffer
+		if err := o.Metrics.Report().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return table, buf.String(), o.Breakdown.Report().Table()
+	}
+	lt, lm, lb := render(pointsTiny())
+	od := pointsTiny()
+	od.Dispatch = wireDispatcher(t)
+	dt, dm, db := render(od)
+	if dt != lt {
+		t.Error("table differs under dispatcher with collectors attached")
+	}
+	if dm != lm {
+		t.Errorf("metrics report differs under dispatcher:\nlocal:\n%s\ndispatched:\n%s", lm, dm)
+	}
+	if db != lb {
+		t.Errorf("breakdown report differs under dispatcher:\nlocal:\n%s\ndispatched:\n%s", lb, db)
+	}
+}
+
+// TestDispatcherParityWarmFork: warm-forked points rebuild their
+// checkpoint privately on the remote side (RunPoint), which must match
+// the shared in-process cache byte-for-byte.
+func TestDispatcherParityWarmFork(t *testing.T) {
+	ol := pointsTiny()
+	ol.Forks = NewWarmForkCache()
+	local := Figure11(ol).Table().String()
+	od := pointsTiny()
+	od.Forks = NewWarmForkCache()
+	od.Dispatch = wireDispatcher(t)
+	dispatched := Figure11(od).Table().String()
+	if dispatched != local {
+		t.Errorf("warm-forked dispatched table differs from local:\nlocal:\n%s\ndispatched:\n%s", local, dispatched)
+	}
+}
+
+// TestPointKeyStable: the content address ignores the diagnostic label
+// and separates every simulation-shaping field.
+func TestPointKeyStable(t *testing.T) {
+	base := Point{Family: FamilyLock, Kind: int(workload.MCS), Protocol: proto.CU, Procs: 8, Iterations: 640}
+	labeled := base
+	labeled.Label = "fig8/MCS-c/P=8"
+	if base.Key() != labeled.Key() {
+		t.Error("Label changed the content address")
+	}
+	if len(base.Key()) != 64 || strings.ToLower(base.Key()) != base.Key() {
+		t.Errorf("key %q is not lowercase hex sha256", base.Key())
+	}
+	seen := map[string]Point{}
+	vary := []Point{
+		base,
+		{Family: FamilyBarrier, Kind: base.Kind, Protocol: base.Protocol, Procs: base.Procs, Iterations: base.Iterations},
+		{Family: FamilyLock, Kind: int(workload.Ticket), Protocol: base.Protocol, Procs: base.Procs, Iterations: base.Iterations},
+		{Family: FamilyLock, Kind: base.Kind, Protocol: proto.WI, Procs: base.Procs, Iterations: base.Iterations},
+		{Family: FamilyLock, Kind: base.Kind, Protocol: base.Protocol, Procs: 16, Iterations: base.Iterations},
+		{Family: FamilyLock, Kind: base.Kind, Protocol: base.Protocol, Procs: base.Procs, Iterations: 1280},
+		{Family: FamilyLock, Kind: base.Kind, Variant: 1, Protocol: base.Protocol, Procs: base.Procs, Iterations: base.Iterations},
+		{Family: FamilyLock, Kind: base.Kind, Protocol: base.Protocol, Procs: base.Procs, Iterations: base.Iterations, Breakdown: true},
+		{Family: FamilyLock, Kind: base.Kind, Protocol: base.Protocol, Procs: base.Procs, Iterations: base.Iterations, WarmFork: true},
+		{Family: FamilyLock, Kind: base.Kind, Protocol: base.Protocol, Procs: base.Procs, Iterations: base.Iterations, MetricsInterval: 500},
+	}
+	for _, pt := range vary {
+		k := pt.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %+v and %+v", prev, pt)
+		}
+		seen[k] = pt
+	}
+}
+
+// TestRunPointUnknownFamily: a point this binary cannot execute is a
+// typed error, not a panic — the fleet turns it into a failed shard.
+func TestRunPointUnknownFamily(t *testing.T) {
+	if _, err := RunPoint(context.Background(), Point{Family: "bogus"}); err == nil {
+		t.Error("unknown family did not error")
+	}
+	if _, err := RunPoint(context.Background(), Point{Family: FamilyExtLock, Kind: 99, Iterations: 10}); err == nil {
+		t.Error("out-of-range extlock kind did not error")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"coherencesim/internal/sim"
@@ -24,19 +25,24 @@ import (
 // golden outputs of the default path are unaffected. Runs with a Tune
 // hook bypass the cache: the hook is not comparable, so two tuned runs
 // can never be proven to share a checkpoint.
+//
+// Checkpoint builds observe the caller's context: a build is never
+// started after cancellation, and a cancelled entry is left unbuilt so
+// an unrelated later batch sharing the cache rebuilds it cleanly rather
+// than forking from a checkpoint that was never made.
 type WarmForkCache struct {
 	mu         sync.Mutex
-	locks      map[warmKey]*lockEntry
-	barriers   map[warmKey]*barrierEntry
-	reductions map[warmKey]*reductionEntry
+	locks      map[warmKey]*warmEntry[*workload.WarmLock]
+	barriers   map[warmKey]*warmEntry[*workload.WarmBarrier]
+	reductions map[warmKey]*warmEntry[*workload.WarmReduction]
 }
 
 // NewWarmForkCache returns an empty checkpoint cache.
 func NewWarmForkCache() *WarmForkCache {
 	return &WarmForkCache{
-		locks:      make(map[warmKey]*lockEntry),
-		barriers:   make(map[warmKey]*barrierEntry),
-		reductions: make(map[warmKey]*reductionEntry),
+		locks:      make(map[warmKey]*warmEntry[*workload.WarmLock]),
+		barriers:   make(map[warmKey]*warmEntry[*workload.WarmBarrier]),
+		reductions: make(map[warmKey]*warmEntry[*workload.WarmReduction]),
 	}
 }
 
@@ -62,28 +68,80 @@ func keyFor(p workload.Params, kind, variant int) warmKey {
 	}
 }
 
-// Each entry carries a sync.Once so concurrent jobs needing the same
-// checkpoint build it exactly once; the losers block on the Once and
-// then fork from the winner's snapshot.
-type lockEntry struct {
-	once sync.Once
-	w    *workload.WarmLock
+// warmEntry is one checkpoint slot: unbuilt, building, or built.
+// Concurrent jobs needing the same checkpoint elect one builder; the
+// losers wait on the in-flight build's done channel and then fork from
+// the winner's snapshot. Unlike a bare sync.Once, a build abandoned by
+// cancellation leaves the entry unbuilt: the next acquirer becomes the
+// new builder instead of forking from a zero-value checkpoint forever.
+type warmEntry[W any] struct {
+	mu    sync.Mutex
+	w     W
+	built bool
+	done  chan struct{} // non-nil while a build is in flight
 }
 
-type barrierEntry struct {
-	once sync.Once
-	w    *workload.WarmBarrier
+// acquire returns the built checkpoint, electing this caller as builder
+// when the slot is empty. ok is false only when ctx was cancelled —
+// before building, or while waiting on another goroutine's build.
+func (e *warmEntry[W]) acquire(ctx context.Context, build func() W) (w W, ok bool) {
+	for {
+		e.mu.Lock()
+		if e.built {
+			w = e.w
+			e.mu.Unlock()
+			return w, true
+		}
+		if e.done == nil {
+			done := make(chan struct{})
+			e.done = done
+			e.mu.Unlock()
+			// The expensive part starts here: refuse to begin after
+			// cancellation, but never interrupt a build mid-simulation
+			// (matching runner.MapCtx's between-jobs cancellation).
+			if ctx.Err() != nil {
+				e.mu.Lock()
+				e.done = nil
+				e.mu.Unlock()
+				close(done)
+				return w, false
+			}
+			built := build()
+			e.mu.Lock()
+			e.w, e.built, e.done = built, true, nil
+			e.mu.Unlock()
+			close(done)
+			return built, true
+		}
+		done := e.done
+		e.mu.Unlock()
+		select {
+		case <-done:
+			// Built, or the builder abandoned: loop and re-examine.
+		case <-ctx.Done():
+			return w, false
+		}
+	}
 }
 
-type reductionEntry struct {
-	once sync.Once
-	w    *workload.WarmReduction
+// entryFor returns (creating if needed) the slot for key k in m.
+func entryFor[W any](mu *sync.Mutex, m map[warmKey]*warmEntry[W], k warmKey) *warmEntry[W] {
+	mu.Lock()
+	defer mu.Unlock()
+	e := m[k]
+	if e == nil {
+		e = &warmEntry[W]{}
+		m[k] = e
+	}
+	return e
 }
 
 // LockLoop runs the lock-loop variant v, forking from a (possibly
 // freshly built) warm checkpoint. A nil cache or a Tune hook falls back
-// to the plain single-phase entry points.
-func (c *WarmForkCache) LockLoop(p workload.Params, kind workload.LockKind, v workload.LockVariant) workload.LockResult {
+// to the plain single-phase entry points. A cancelled ctx returns the
+// zero result; callers are expected to discard partial sweeps (as
+// runner.MapCtx's contract already requires).
+func (c *WarmForkCache) LockLoop(ctx context.Context, p workload.Params, kind workload.LockKind, v workload.LockVariant) workload.LockResult {
 	if c == nil || p.Tune != nil {
 		switch v {
 		case workload.RandomPause:
@@ -94,40 +152,32 @@ func (c *WarmForkCache) LockLoop(p workload.Params, kind workload.LockKind, v wo
 			return workload.LockLoop(p, kind)
 		}
 	}
-	k := keyFor(p, int(kind), int(v))
-	c.mu.Lock()
-	e := c.locks[k]
-	if e == nil {
-		e = &lockEntry{}
-		c.locks[k] = e
+	e := entryFor(&c.mu, c.locks, keyFor(p, int(kind), int(v)))
+	w, ok := e.acquire(ctx, func() *workload.WarmLock { return workload.WarmLockLoop(p, kind, v) })
+	if !ok {
+		return workload.LockResult{}
 	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.w = workload.WarmLockLoop(p, kind, v) })
-	return e.w.Run()
+	return w.Run()
 }
 
 // BarrierLoop runs the barrier loop, forking from a warm checkpoint
 // (plain path when the cache is nil or the run is tuned).
-func (c *WarmForkCache) BarrierLoop(p workload.Params, kind workload.BarrierKind) workload.BarrierResult {
+func (c *WarmForkCache) BarrierLoop(ctx context.Context, p workload.Params, kind workload.BarrierKind) workload.BarrierResult {
 	if c == nil || p.Tune != nil {
 		return workload.BarrierLoop(p, kind)
 	}
-	k := keyFor(p, int(kind), 0)
-	c.mu.Lock()
-	e := c.barriers[k]
-	if e == nil {
-		e = &barrierEntry{}
-		c.barriers[k] = e
+	e := entryFor(&c.mu, c.barriers, keyFor(p, int(kind), 0))
+	w, ok := e.acquire(ctx, func() *workload.WarmBarrier { return workload.WarmBarrierLoop(p, kind) })
+	if !ok {
+		return workload.BarrierResult{}
 	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.w = workload.WarmBarrierLoop(p, kind) })
-	return e.w.Run()
+	return w.Run()
 }
 
 // ReductionLoop runs the (im)balanced reduction loop, forking from a
 // warm checkpoint (plain path when the cache is nil or the run is
 // tuned).
-func (c *WarmForkCache) ReductionLoop(p workload.Params, kind workload.ReductionKind, imbalanced bool) workload.ReductionResult {
+func (c *WarmForkCache) ReductionLoop(ctx context.Context, p workload.Params, kind workload.ReductionKind, imbalanced bool) workload.ReductionResult {
 	if c == nil || p.Tune != nil {
 		if imbalanced {
 			return workload.ReductionLoopImbalanced(p, kind)
@@ -138,25 +188,37 @@ func (c *WarmForkCache) ReductionLoop(p workload.Params, kind workload.Reduction
 	if imbalanced {
 		variant = 1
 	}
-	k := keyFor(p, int(kind), variant)
-	c.mu.Lock()
-	e := c.reductions[k]
-	if e == nil {
-		e = &reductionEntry{}
-		c.reductions[k] = e
+	e := entryFor(&c.mu, c.reductions, keyFor(p, int(kind), variant))
+	w, ok := e.acquire(ctx, func() *workload.WarmReduction { return workload.WarmReductionLoop(p, kind, imbalanced) })
+	if !ok {
+		return workload.ReductionResult{}
 	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.w = workload.WarmReductionLoop(p, kind, imbalanced) })
-	return e.w.Run()
+	return w.Run()
 }
 
-// Checkpoints reports how many distinct warm-up prefixes the cache has
-// built (diagnostics and tests).
+// Checkpoints reports how many distinct built warm-up prefixes the
+// cache holds (diagnostics and tests). Abandoned builds do not count.
 func (c *WarmForkCache) Checkpoints() int {
 	if c == nil {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.locks) + len(c.barriers) + len(c.reductions)
+	n := 0
+	for _, e := range c.locks {
+		if e.built {
+			n++
+		}
+	}
+	for _, e := range c.barriers {
+		if e.built {
+			n++
+		}
+	}
+	for _, e := range c.reductions {
+		if e.built {
+			n++
+		}
+	}
+	return n
 }

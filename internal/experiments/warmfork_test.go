@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -67,10 +68,10 @@ func TestWarmForkSweepDeterministicAcrossWorkers(t *testing.T) {
 // a fresh machine running both phases.
 func TestWarmForkMatchesFreshTwoPhase(t *testing.T) {
 	o := warmForkOptions(0)
-	p := o.withMetrics(workload.DefaultLockParams(protocols[2], 8))
+	p := workload.DefaultLockParams(protocols[2], 8)
 	p.Iterations = o.LockIterations
 	direct := workload.WarmLockLoop(p, workload.MCS, workload.PlainLock).Run()
-	cached := o.Forks.LockLoop(p, workload.MCS, workload.PlainLock)
+	cached := o.Forks.LockLoop(context.Background(), p, workload.MCS, workload.PlainLock)
 	if !reflect.DeepEqual(direct, cached) {
 		t.Errorf("cached warm-fork run differs from direct warm-fork run\ndirect: %+v\ncached: %+v", direct, cached)
 	}
@@ -100,8 +101,87 @@ func TestWarmForkTuneBypassesCache(t *testing.T) {
 	p := workload.DefaultLockParams(protocols[0], 4)
 	p.Iterations = 320
 	p.Tune = func(cfg *machine.Config) { cfg.CUThreshold = 2 }
-	o.Forks.LockLoop(p, workload.Ticket, workload.PlainLock)
+	o.Forks.LockLoop(context.Background(), p, workload.Ticket, workload.PlainLock)
 	if got := o.Forks.Checkpoints(); got != 0 {
 		t.Errorf("tuned run built %d checkpoints, want 0", got)
+	}
+}
+
+// TestWarmForkCancelledBeforeBuild: a cancelled context never starts a
+// checkpoint build, and the abandoned slot stays rebuildable — a later
+// caller with a live context becomes the new builder.
+func TestWarmForkCancelledBeforeBuild(t *testing.T) {
+	c := NewWarmForkCache()
+	p := workload.DefaultLockParams(0, 2)
+	p.Iterations = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got := c.LockLoop(ctx, p, workload.Ticket, workload.PlainLock)
+	if !reflect.DeepEqual(got, workload.LockResult{}) {
+		t.Error("cancelled LockLoop returned a non-zero result")
+	}
+	if n := c.Checkpoints(); n != 0 {
+		t.Errorf("cancelled build left %d checkpoints, want 0", n)
+	}
+	// A later batch sharing the cache must rebuild cleanly.
+	fresh := c.LockLoop(context.Background(), p, workload.Ticket, workload.PlainLock)
+	if reflect.DeepEqual(fresh, workload.LockResult{}) {
+		t.Error("rebuild after abandoned build returned the zero result")
+	}
+	if n := c.Checkpoints(); n != 1 {
+		t.Errorf("rebuild left %d checkpoints, want 1", n)
+	}
+	// And the rebuilt checkpoint matches one built with no history.
+	want := NewWarmForkCache().LockLoop(context.Background(), p, workload.Ticket, workload.PlainLock)
+	if !reflect.DeepEqual(fresh, want) {
+		t.Error("rebuilt checkpoint result differs from a clean cache's")
+	}
+}
+
+// TestWarmForkCancelledWaiter: a goroutine waiting on another's
+// in-flight build returns early when its own context is cancelled,
+// without disturbing the builder.
+func TestWarmForkCancelledWaiter(t *testing.T) {
+	var e warmEntry[int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		e.acquire(context.Background(), func() int {
+			close(started)
+			<-release
+			return 42
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := e.acquire(ctx, func() int { t.Error("waiter became builder"); return 0 }); ok {
+		t.Error("cancelled waiter reported ok")
+	}
+	close(release)
+	// The original build completes and is visible to later acquirers.
+	if w, ok := e.acquire(context.Background(), func() int { t.Error("rebuild despite built entry"); return 0 }); !ok || w != 42 {
+		t.Errorf("acquire after build = (%d, %v), want (42, true)", w, ok)
+	}
+}
+
+// TestWarmForkCancelledBarrierAndReduction covers the cancellation path
+// of the remaining two families.
+func TestWarmForkCancelledBarrierAndReduction(t *testing.T) {
+	c := NewWarmForkCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bp := workload.DefaultBarrierParams(0, 2)
+	bp.Iterations = 8
+	if got := c.BarrierLoop(ctx, bp, workload.Central); !reflect.DeepEqual(got, workload.BarrierResult{}) {
+		t.Error("cancelled BarrierLoop returned a non-zero result")
+	}
+	rp := workload.DefaultReductionParams(0, 2)
+	rp.Iterations = 8
+	if got := c.ReductionLoop(ctx, rp, workload.Sequential, true); !reflect.DeepEqual(got, workload.ReductionResult{}) {
+		t.Error("cancelled ReductionLoop returned a non-zero result")
+	}
+	if n := c.Checkpoints(); n != 0 {
+		t.Errorf("cancelled builds left %d checkpoints, want 0", n)
 	}
 }

@@ -1,0 +1,614 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"coherencesim/internal/experiments"
+)
+
+// ShardCache is the coordinator's shard-level result cache: completed
+// point results keyed by the point's content address. *store.Store
+// satisfies it, layering shard results into the same durable store as
+// whole-job documents (both key spaces are SHA-256 hex in disjoint
+// preimage namespaces).
+type ShardCache interface {
+	Get(key string) (body []byte, status string, ok bool)
+	Put(key, status string, body []byte) error
+}
+
+// Config tunes the coordinator.
+type Config struct {
+	// HeartbeatTimeout is how long a worker may go silent before its
+	// leased shards are reassigned (default 5s).
+	HeartbeatTimeout time.Duration
+	// PollWait is how long an empty poll is held open (default 1s; must
+	// stay under HeartbeatTimeout so an idle worker's polls keep it
+	// alive).
+	PollWait time.Duration
+	// MaxAttempts bounds executions per shard before the owning job
+	// fails (default 3).
+	MaxAttempts int
+	// RetryBackoff delays a requeued shard's next lease, doubling per
+	// attempt up to 8x (default 250ms).
+	RetryBackoff time.Duration
+	// Cache, when non-nil, short-circuits shards whose results are
+	// already stored and receives every fresh result.
+	Cache ShardCache
+	Logf  func(format string, args ...any)
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = time.Second
+	}
+	if cfg.PollWait > cfg.HeartbeatTimeout/2 {
+		cfg.PollWait = cfg.HeartbeatTimeout / 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	return cfg
+}
+
+// Stats is a snapshot of the coordinator's counters for /metrics.
+type Stats struct {
+	WorkersLive int
+	Dispatched  uint64 // shard leases handed to workers
+	Completed   uint64 // shards finished (first result per shard)
+	Reassigned  uint64 // shards requeued after worker death or failure
+	Failed      uint64 // shards exhausted (failed their job)
+	CacheHits   uint64 // shards answered from the shard cache
+	LocalRuns   uint64 // shards executed by the coordinator's fallback
+}
+
+type workerState struct {
+	id       string
+	lastSeen time.Time
+}
+
+type shard struct {
+	id        string
+	job       *fleetJob
+	index     int
+	key       string
+	point     experiments.Point
+	attempts  int
+	notBefore time.Time
+	worker    string // current lease ("" while pending)
+}
+
+type fleetJob struct {
+	id        string
+	ctx       context.Context
+	results   []experiments.PointResult
+	done      []bool
+	remaining int
+	err       error
+	finished  chan struct{}
+	onDone    func(index int, r experiments.PointResult)
+}
+
+// Coordinator owns the shard queue, the worker registry, and the
+// submission-order assembly of every in-flight decomposed sweep.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	pending []*shard          // FIFO, subject to per-shard notBefore
+	leased  map[string]*shard // by shard ID
+	seq     int
+	notify  chan struct{} // closed and replaced when work arrives
+	closed  bool
+
+	stats Stats
+
+	done chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its heartbeat sweep.
+func NewCoordinator(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg.withDefaults(),
+		workers: make(map[string]*workerState),
+		leased:  make(map[string]*shard),
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.sweepLoop()
+	return c
+}
+
+// Close stops the heartbeat sweep and releases pollers.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// wake releases every long-poller to re-examine the queue. Callers hold
+// c.mu.
+func (c *Coordinator) wakeLocked() {
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// LiveWorkers counts workers heard from within the heartbeat timeout.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveWorkersLocked(time.Now())
+}
+
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.cfg.HeartbeatTimeout {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.WorkersLive = c.liveWorkersLocked(time.Now())
+	return s
+}
+
+// sweepLoop periodically reaps workers that stopped heartbeating,
+// requeueing their leased shards.
+func (c *Coordinator) sweepLoop() {
+	interval := c.cfg.HeartbeatTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case now := <-t.C:
+			c.reapDead(now)
+		}
+	}
+}
+
+func (c *Coordinator) reapDead(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.cfg.HeartbeatTimeout {
+			continue
+		}
+		delete(c.workers, id)
+		requeued := 0
+		for sid, s := range c.leased {
+			if s.worker != id {
+				continue
+			}
+			delete(c.leased, sid)
+			c.requeueLocked(s)
+			requeued++
+		}
+		c.logf("fleet: worker %s timed out, requeued %d shards", id, requeued)
+	}
+}
+
+// requeueLocked puts a shard back on the pending queue with one more
+// attempt consumed and a bounded backoff. Callers hold c.mu.
+func (c *Coordinator) requeueLocked(s *shard) {
+	s.worker = ""
+	s.attempts++
+	backoff := c.cfg.RetryBackoff << uint(s.attempts-1)
+	if max := c.cfg.RetryBackoff * 8; backoff > max {
+		backoff = max
+	}
+	s.notBefore = time.Now().Add(backoff)
+	c.pending = append(c.pending, s)
+	c.stats.Reassigned++
+	c.wakeLocked()
+}
+
+// RunPoints decomposes pts into shards and blocks until every result is
+// assembled (in submission order), the context is cancelled, or a shard
+// exhausts its attempts. onDone, when non-nil, observes completions as
+// they land (any order) for progress reporting. Cached points never
+// become shards. When no live workers exist, the calling process
+// executes pending shards itself, so a fleet of zero still terminates —
+// distribution is an acceleration, never a dependency.
+func (c *Coordinator) RunPoints(ctx context.Context, pts []experiments.Point, onDone func(index int, r experiments.PointResult)) ([]experiments.PointResult, error) {
+	job := &fleetJob{
+		ctx:      ctx,
+		results:  make([]experiments.PointResult, len(pts)),
+		done:     make([]bool, len(pts)),
+		finished: make(chan struct{}),
+		onDone:   onDone,
+	}
+
+	c.mu.Lock()
+	c.seq++
+	job.id = fmt.Sprintf("j%d", c.seq)
+	var fresh []*shard
+	for i, pt := range pts {
+		key := pt.Key()
+		if body, status, ok := c.cacheGet(key); ok && status == "done" {
+			var r experiments.PointResult
+			if json.Unmarshal(body, &r) == nil {
+				job.results[i] = r
+				job.done[i] = true
+				c.stats.CacheHits++
+				continue
+			}
+		}
+		fresh = append(fresh, &shard{
+			id:    fmt.Sprintf("%s#%d", job.id, i),
+			job:   job,
+			index: i,
+			key:   key,
+			point: pt,
+		})
+	}
+	job.remaining = len(fresh)
+	if job.remaining == 0 {
+		c.mu.Unlock()
+		return job.results, nil
+	}
+	c.pending = append(c.pending, fresh...)
+	c.wakeLocked()
+	c.mu.Unlock()
+
+	go c.localFallback(job)
+
+	select {
+	case <-job.finished:
+		c.mu.Lock()
+		err := job.err
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return job.results, nil
+	case <-ctx.Done():
+		c.abandon(job)
+		return nil, ctx.Err()
+	}
+}
+
+// cacheGet is a nil-tolerant cache read. Callers may hold c.mu (the
+// store has its own lock and never calls back).
+func (c *Coordinator) cacheGet(key string) ([]byte, string, bool) {
+	if c.cfg.Cache == nil {
+		return nil, "", false
+	}
+	return c.cfg.Cache.Get(key)
+}
+
+// abandon removes a cancelled job's shards from the queues. A late
+// Complete for one of them is ignored (the shard is no longer
+// outstanding).
+func (c *Coordinator) abandon(job *fleetJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.pending[:0]
+	for _, s := range c.pending {
+		if s.job != job {
+			kept = append(kept, s)
+		}
+	}
+	c.pending = kept
+	for sid, s := range c.leased {
+		if s.job == job {
+			delete(c.leased, sid)
+		}
+	}
+}
+
+// localFallback executes the job's pending shards on the coordinator
+// process whenever no live workers exist — at job start, or after every
+// worker died mid-sweep. It exits when the job finishes or is
+// cancelled.
+func (c *Coordinator) localFallback(job *fleetJob) {
+	for {
+		select {
+		case <-job.finished:
+			return
+		case <-job.ctx.Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+		for {
+			c.mu.Lock()
+			if c.liveWorkersLocked(time.Now()) > 0 {
+				c.mu.Unlock()
+				break
+			}
+			var s *shard
+			kept := c.pending[:0]
+			for _, p := range c.pending {
+				if s == nil && p.job == job {
+					s = p
+					continue
+				}
+				kept = append(kept, p)
+			}
+			c.pending = kept
+			if s != nil {
+				c.stats.LocalRuns++
+			}
+			c.mu.Unlock()
+			if s == nil {
+				break
+			}
+			res, err := experiments.RunPoint(job.ctx, s.point)
+			if err != nil {
+				c.finishShard(s, nil, err.Error())
+				continue
+			}
+			if job.ctx.Err() != nil {
+				return
+			}
+			c.finishShard(s, &res, "")
+		}
+	}
+}
+
+// finishShard records one shard outcome: success assembles the result
+// (first result wins; duplicates from resurrected workers are ignored),
+// failure requeues or — once attempts are exhausted — fails the job.
+func (c *Coordinator) finishShard(s *shard, res *experiments.PointResult, errStr string) {
+	job := s.job
+	c.mu.Lock()
+	if job.done[s.index] || job.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	if errStr != "" {
+		if s.attempts+1 >= c.cfg.MaxAttempts {
+			c.stats.Failed++
+			job.err = fmt.Errorf("shard %s (%s) failed after %d attempts: %s", s.id, s.point.Label, s.attempts+1, errStr)
+			close(job.finished)
+			c.mu.Unlock()
+			c.logf("fleet: %v", job.err)
+			return
+		}
+		c.requeueLocked(s)
+		c.mu.Unlock()
+		c.logf("fleet: shard %s attempt %d failed (%s), requeued", s.id, s.attempts, errStr)
+		return
+	}
+	job.results[s.index] = *res
+	job.done[s.index] = true
+	job.remaining--
+	c.stats.Completed++
+	finished := job.remaining == 0
+	onDone := job.onDone
+	c.mu.Unlock()
+
+	if c.cfg.Cache != nil {
+		if body, err := json.Marshal(res); err == nil {
+			// A failed disk write degrades future cache hits, not this
+			// job's correctness.
+			_ = c.cfg.Cache.Put(s.key, "done", body)
+		}
+	}
+	if onDone != nil {
+		onDone(s.index, *res)
+	}
+	if finished {
+		close(job.finished)
+	}
+}
+
+// register adds (or refreshes) a worker.
+func (c *Coordinator) register(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[id] = &workerState{id: id, lastSeen: time.Now()}
+	c.logf("fleet: worker %s registered", id)
+}
+
+// touch refreshes a worker's heartbeat; false means the worker is
+// unknown (timed out or never registered) and must re-register.
+func (c *Coordinator) touch(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastSeen = time.Now()
+	return true
+}
+
+// poll leases the next eligible shard to the worker, holding the
+// request up to PollWait when the queue is empty. A nil shard means an
+// empty poll.
+func (c *Coordinator) poll(workerID string) (*Shard, bool) {
+	if !c.touch(workerID) {
+		return nil, false
+	}
+	deadline := time.Now().Add(c.cfg.PollWait)
+	for {
+		now := time.Now()
+		c.mu.Lock()
+		var lease *shard
+		kept := c.pending[:0]
+		for _, s := range c.pending {
+			if lease == nil && !s.notBefore.After(now) {
+				lease = s
+				continue
+			}
+			kept = append(kept, s)
+		}
+		c.pending = kept
+		if lease != nil {
+			lease.worker = workerID
+			c.leased[lease.id] = lease
+			c.stats.Dispatched++
+			if w := c.workers[workerID]; w != nil {
+				w.lastSeen = now
+			}
+			c.mu.Unlock()
+			return &Shard{ID: lease.id, Key: lease.key, Point: lease.point}, true
+		}
+		notify := c.notify
+		c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, true
+		}
+		// Backoff'd shards become eligible without a wake; cap the wait.
+		if remain > 25*time.Millisecond {
+			remain = 25 * time.Millisecond
+		}
+		select {
+		case <-notify:
+		case <-time.After(remain):
+		case <-c.done:
+			return nil, true
+		}
+	}
+}
+
+// complete records a worker's shard outcome. Results are accepted for
+// any still-outstanding shard — even from a worker presumed dead whose
+// shard was requeued — because identical points produce identical
+// bytes; duplicates are ignored.
+func (c *Coordinator) complete(req CompleteRequest) error {
+	c.touch(req.Worker)
+	c.mu.Lock()
+	s, ok := c.leased[req.Shard]
+	if ok {
+		delete(c.leased, req.Shard)
+	} else {
+		// Maybe it was requeued after a presumed death: pull it from
+		// pending so the late result still counts.
+		kept := c.pending[:0]
+		for _, p := range c.pending {
+			if !ok && p.id == req.Shard {
+				s, ok = p, true
+				continue
+			}
+			kept = append(kept, p)
+		}
+		c.pending = kept
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil // duplicate or cancelled: nothing outstanding
+	}
+	if req.Error != "" {
+		c.finishShard(s, nil, req.Error)
+		return nil
+	}
+	if req.Result == nil {
+		return fmt.Errorf("complete for %s carries neither result nor error", req.Shard)
+	}
+	c.finishShard(s, req.Result, "")
+	return nil
+}
+
+// Mount registers the fleet's REST surface on mux.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/fleet/register", c.handleRegister)
+	mux.HandleFunc("/v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/fleet/poll", c.handlePoll)
+	mux.HandleFunc("/v1/fleet/complete", c.handleComplete)
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.ID == "" {
+		http.Error(w, "worker id required", http.StatusBadRequest)
+		return
+	}
+	c.register(req.ID)
+	writeJSON(w, RegisterResponse{
+		ID:                req.ID,
+		HeartbeatInterval: (c.cfg.HeartbeatTimeout / 3).String(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if !c.touch(req.Worker) {
+		http.Error(w, "unknown worker; re-register", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	var req PollRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	shard, known := c.poll(req.Worker)
+	if !known {
+		http.Error(w, "unknown worker; re-register", http.StatusGone)
+		return
+	}
+	writeJSON(w, PollResponse{Shard: shard})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if err := c.complete(req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

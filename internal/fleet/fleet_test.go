@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"coherencesim/internal/experiments"
+	"coherencesim/internal/proto"
+)
+
+// quickPoints builds a small but real batch of lock points (the
+// simulations are tiny: 64 total acquires each).
+func quickPoints(n int) []experiments.Point {
+	var pts []experiments.Point
+	for i := 0; i < n; i++ {
+		pts = append(pts, experiments.Point{
+			Family:     experiments.FamilyLock,
+			Kind:       i % 3, // Ticket, MCS, UpdateConsciousMCS
+			Protocol:   proto.Protocol(i % 3),
+			Procs:      1 + i%4,
+			Iterations: 64,
+			Label:      fmt.Sprintf("test/pt%d", i),
+		})
+	}
+	return pts
+}
+
+// baseline executes points directly, the way a single process would.
+func baseline(t *testing.T, pts []experiments.Point) []experiments.PointResult {
+	t.Helper()
+	out := make([]experiments.PointResult, len(pts))
+	for i, pt := range pts {
+		r, err := experiments.RunPoint(context.Background(), pt)
+		if err != nil {
+			t.Fatalf("RunPoint(%v): %v", pt, err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// memCache is an in-memory ShardCache for tests.
+type memCache struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMemCache() *memCache { return &memCache{m: make(map[string][]byte)} }
+
+func (c *memCache) Get(key string) ([]byte, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	return b, "done", ok
+}
+
+func (c *memCache) Put(key, status string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = append([]byte(nil), body...)
+	return nil
+}
+
+func testConfig(cache ShardCache) Config {
+	return Config{
+		HeartbeatTimeout: 300 * time.Millisecond,
+		PollWait:         50 * time.Millisecond,
+		RetryBackoff:     10 * time.Millisecond,
+		Cache:            cache,
+	}
+}
+
+// startWorkers attaches n workers to the coordinator over real HTTP and
+// returns a stop function per worker.
+func startWorkers(t *testing.T, coord *Coordinator, n int) (url string, stops []context.CancelFunc) {
+	t.Helper()
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		stops = append(stops, cancel)
+		t.Cleanup(cancel)
+		w := NewWorker(WorkerConfig{Coordinator: ts.URL, ID: fmt.Sprintf("w%d", i)})
+		go w.Run(ctx)
+	}
+	// Wait until every worker has registered.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.LiveWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers registered", coord.LiveWorkers(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return ts.URL, stops
+}
+
+// TestRunPointsMatchesBaselineAcrossWorkerCounts is the fabric's core
+// identity guarantee: any worker count assembles the exact results a
+// single process computes.
+func TestRunPointsMatchesBaselineAcrossWorkerCounts(t *testing.T) {
+	pts := quickPoints(8)
+	want := baseline(t, pts)
+	for _, workers := range []int{1, 2, 4} {
+		coord := NewCoordinator(testConfig(nil))
+		startWorkers(t, coord, workers)
+		got, err := coord.RunPoints(context.Background(), pts, nil)
+		coord.Close()
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%d workers: results differ from single-process baseline", workers)
+		}
+	}
+}
+
+// TestLocalFallbackWithZeroWorkers: a coordinator with no fleet still
+// completes every job by executing shards itself.
+func TestLocalFallbackWithZeroWorkers(t *testing.T) {
+	pts := quickPoints(4)
+	want := baseline(t, pts)
+	coord := NewCoordinator(testConfig(nil))
+	defer coord.Close()
+	got, err := coord.RunPoints(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("local-fallback results differ from baseline")
+	}
+	if st := coord.Stats(); st.LocalRuns == 0 {
+		t.Error("no local runs recorded despite zero workers")
+	}
+}
+
+// TestWorkerDeathMidSweepStillIdentical kills one of two workers while
+// a sweep is in flight: its leased shards must be reassigned and the
+// assembled results must still match the baseline exactly.
+func TestWorkerDeathMidSweepStillIdentical(t *testing.T) {
+	pts := quickPoints(12)
+	want := baseline(t, pts)
+	coord := NewCoordinator(testConfig(nil))
+	defer coord.Close()
+	_, stops := startWorkers(t, coord, 2)
+
+	done := make(chan struct{})
+	var got []experiments.PointResult
+	var err error
+	go func() {
+		defer close(done)
+		got, err = coord.RunPoints(context.Background(), pts, nil)
+	}()
+	// Let the sweep start, then kill worker 0 abruptly (its context
+	// dies; no deregistration — the heartbeat timeout must notice).
+	time.Sleep(30 * time.Millisecond)
+	stops[0]()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not complete after worker death")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("results after worker death differ from baseline")
+	}
+}
+
+// TestShardCacheShortCircuits: a second identical batch is answered
+// entirely from the shard cache, dispatching nothing.
+func TestShardCacheShortCircuits(t *testing.T) {
+	pts := quickPoints(4)
+	cache := newMemCache()
+	coord := NewCoordinator(testConfig(cache))
+	defer coord.Close()
+	first, err := coord.RunPoints(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completedAfterFirst := coord.Stats().Completed
+	second, err := coord.RunPoints(context.Background(), pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached results differ from computed results")
+	}
+	st := coord.Stats()
+	if st.Completed != completedAfterFirst {
+		t.Errorf("second batch computed %d shards, want 0", st.Completed-completedAfterFirst)
+	}
+	if st.CacheHits != uint64(len(pts)) {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, len(pts))
+	}
+	// The cached bytes must round-trip to the identical result struct.
+	for _, pt := range pts {
+		body, _, ok := cache.Get(pt.Key())
+		if !ok {
+			t.Fatalf("no cache entry for %s", pt.Label)
+		}
+		var r experiments.PointResult
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatal(err)
+		}
+		re, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(re) != string(body) {
+			t.Error("PointResult JSON is not round-trip stable")
+		}
+	}
+}
+
+// TestBadShardFailsJobAfterMaxAttempts: a point no executor can run
+// exhausts its attempts and fails the job instead of spinning forever.
+func TestBadShardFailsJobAfterMaxAttempts(t *testing.T) {
+	coord := NewCoordinator(testConfig(nil))
+	defer coord.Close()
+	bad := []experiments.Point{{Family: "no-such-family", Label: "bad"}}
+	_, err := coord.RunPoints(context.Background(), bad, nil)
+	if err == nil {
+		t.Fatal("bad shard did not fail the job")
+	}
+	if st := coord.Stats(); st.Failed != 1 {
+		t.Errorf("failed = %d, want 1", st.Failed)
+	}
+}
+
+// TestRunPointsCancellation: cancelling the job context returns
+// promptly with the context error.
+func TestRunPointsCancellation(t *testing.T) {
+	coord := NewCoordinator(testConfig(nil))
+	defer coord.Close()
+	// No workers and a paused local fallback window: cancel immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := coord.RunPoints(ctx, quickPoints(2), nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOnDoneObservesEveryComputedShard: progress callbacks fire once
+// per fresh shard with the final result.
+func TestOnDoneObservesEveryComputedShard(t *testing.T) {
+	pts := quickPoints(5)
+	coord := NewCoordinator(testConfig(nil))
+	defer coord.Close()
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	_, err := coord.RunPoints(context.Background(), pts, func(i int, r experiments.PointResult) {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(pts) {
+		t.Errorf("onDone saw %d shards, want %d", len(seen), len(pts))
+	}
+}

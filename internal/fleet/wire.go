@@ -1,0 +1,68 @@
+// Package fleet distributes sweep points across worker processes.
+//
+// The fabric is coordinator-centric and pull-based: workers own no
+// listener and initiate every exchange over the coordinator's existing
+// REST surface (POST /v1/fleet/*). A worker registers, then long-polls
+// for shards — one serializable experiments.Point each — executes them
+// with experiments.RunPoint, and posts the result back. The coordinator
+// leases shards, heartbeat-times-out dead workers, requeues their
+// shards with bounded backoff, and assembles results strictly in
+// submission order, so a document produced by any number of workers
+// under any failure interleaving is byte-identical to the
+// single-process one (the simulator is deterministic; assembly order is
+// the only degree of freedom, and it is pinned).
+//
+// Because a Point's content hash fully addresses its result, the
+// coordinator also consults a shard-level cache (conventionally the
+// daemon's durable content-addressed store) before dispatching: a sweep
+// re-run after a restart re-simulates only what the store no longer
+// holds.
+package fleet
+
+import "coherencesim/internal/experiments"
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	ID string `json:"id"`
+}
+
+// RegisterResponse acknowledges registration and tells the worker how
+// often to heartbeat while it is busy executing (polls count as
+// heartbeats on their own).
+type RegisterResponse struct {
+	ID                string `json:"id"`
+	HeartbeatInterval string `json:"heartbeat_interval"` // time.Duration string
+}
+
+// HeartbeatRequest keeps a busy worker alive between polls.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// PollRequest asks for one shard (long-poll: the coordinator holds the
+// request until work is available or its poll window lapses).
+type PollRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Shard is one leased unit of work.
+type Shard struct {
+	ID    string            `json:"id"`
+	Key   string            `json:"key"` // the point's content address
+	Point experiments.Point `json:"point"`
+}
+
+// PollResponse carries the leased shard, or nothing (an empty poll —
+// the worker simply polls again).
+type PollResponse struct {
+	Shard *Shard `json:"shard,omitempty"`
+}
+
+// CompleteRequest posts a shard's outcome. Exactly one of Result and
+// Error is set.
+type CompleteRequest struct {
+	Worker string                    `json:"worker"`
+	Shard  string                    `json:"shard"`
+	Result *experiments.PointResult  `json:"result,omitempty"`
+	Error  string                    `json:"error,omitempty"`
+}

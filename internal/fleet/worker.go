@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"coherencesim/internal/experiments"
+)
+
+// WorkerConfig tunes a worker process.
+type WorkerConfig struct {
+	Coordinator string // coordinator base URL, e.g. http://host:8377
+	ID          string // stable worker identity (default hostname-pid)
+	Parallel    int    // concurrent shard executions (default 1)
+	Client      *http.Client
+	Logf        func(format string, args ...any)
+}
+
+func (cfg WorkerConfig) withDefaults() WorkerConfig {
+	cfg.Coordinator = strings.TrimRight(cfg.Coordinator, "/")
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return cfg
+}
+
+// Worker pulls shards from a coordinator and executes them. It owns no
+// listener: registration, polling, completion, and heartbeats are all
+// HTTP requests it initiates, so a worker runs from anywhere that can
+// reach the coordinator.
+type Worker struct {
+	cfg       WorkerConfig
+	heartbeat time.Duration
+}
+
+// NewWorker builds a worker (Run does the work).
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg.withDefaults(), heartbeat: time.Second}
+}
+
+// ID returns the worker's identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+func (w *Worker) post(ctx context.Context, path string, req, resp any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := w.cfg.Client.Do(httpReq)
+	if err != nil {
+		return 0, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		return httpResp.StatusCode, fmt.Errorf("%s: %s: %s", path, httpResp.Status, strings.TrimSpace(string(msg)))
+	}
+	if resp != nil {
+		return httpResp.StatusCode, json.NewDecoder(httpResp.Body).Decode(resp)
+	}
+	return httpResp.StatusCode, nil
+}
+
+// register announces the worker, retrying with backoff until it
+// succeeds or ctx ends (the coordinator may simply not be up yet).
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		_, err := w.post(ctx, "/v1/fleet/register", RegisterRequest{ID: w.cfg.ID}, &resp)
+		if err == nil {
+			if d, perr := time.ParseDuration(resp.HeartbeatInterval); perr == nil && d > 0 {
+				w.heartbeat = d
+			}
+			w.logf("fleet worker %s: registered with %s (heartbeat %s)", w.cfg.ID, w.cfg.Coordinator, w.heartbeat)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("fleet worker %s: register failed (%v), retrying in %s", w.cfg.ID, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// Run registers and then polls/executes/completes until ctx ends. A
+// 410 from the coordinator (it forgot us — usually a coordinator
+// restart or a heartbeat gap) triggers transparent re-registration.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	// Heartbeat independently of the poll loops: a long-running shard
+	// must not look like a dead worker.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(w.heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if code, err := w.post(hbCtx, "/v1/fleet/heartbeat", HeartbeatRequest{Worker: w.cfg.ID}, nil); err != nil && code == http.StatusGone {
+					_ = w.register(hbCtx)
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(w.cfg.Parallel)
+	for i := 0; i < w.cfg.Parallel; i++ {
+		go func() {
+			defer wg.Done()
+			w.pollLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+func (w *Worker) pollLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		var resp PollResponse
+		code, err := w.post(ctx, "/v1/fleet/poll", PollRequest{Worker: w.cfg.ID}, &resp)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if code == http.StatusGone {
+				if w.register(ctx) != nil {
+					return
+				}
+				continue
+			}
+			w.logf("fleet worker %s: poll failed: %v", w.cfg.ID, err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		}
+		if resp.Shard == nil {
+			continue // empty poll; ask again
+		}
+		w.execute(ctx, resp.Shard)
+	}
+}
+
+func (w *Worker) execute(ctx context.Context, s *Shard) {
+	req := CompleteRequest{Worker: w.cfg.ID, Shard: s.ID}
+	res, err := experiments.RunPoint(ctx, s.Point)
+	if err != nil {
+		req.Error = err.Error()
+	} else {
+		if ctx.Err() != nil {
+			return // cancelled mid-run: the result is not trustworthy
+		}
+		req.Result = &res
+	}
+	w.logf("fleet worker %s: shard %s (%s) done", w.cfg.ID, s.ID, s.Point.Label)
+	// Deliver the result with a few retries: losing it costs a full
+	// re-simulation on another worker.
+	for attempt := 0; attempt < 3; attempt++ {
+		if _, err := w.post(ctx, "/v1/fleet/complete", req, nil); err == nil || ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
+		}
+	}
+	w.logf("fleet worker %s: failed to deliver shard %s result", w.cfg.ID, s.ID)
+}

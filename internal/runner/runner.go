@@ -104,6 +104,12 @@ func (p *Pool) boundCtx() context.Context {
 	return p.ctx
 }
 
+// Context returns the pool's bound cancellation context (Background for
+// nil or unbound pools). Experiment code uses it to make long setup
+// phases — warm-fork checkpoint builds, most notably — observe the same
+// cancellation as the Map loops themselves.
+func (p *Pool) Context() context.Context { return p.boundCtx() }
+
 // Workers returns the pool's concurrency bound (1 for nil pools).
 func (p *Pool) Workers() int {
 	if p == nil {

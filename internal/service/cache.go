@@ -5,20 +5,28 @@ import (
 	"sync"
 )
 
-// Cache is the bounded, content-addressed result store: terminal job
-// documents keyed by the canonical spec hash, evicted least recently
-// used. The stored value is the fully marshaled JobStatus document, so
-// a hit is served byte-identical to the first response without
-// re-marshaling (let alone re-simulating).
+// Cache is the bounded, content-addressed in-memory result cache:
+// terminal job documents keyed by the canonical spec hash, evicted
+// least recently used. The stored value is the fully marshaled
+// JobStatus document, so a hit is served byte-identical to the first
+// response without re-marshaling (let alone re-simulating).
+//
+// The bound is total stored body bytes, not entry count: a handful of
+// paper-scale sweep documents can outweigh thousands of quick-scale
+// ones, so counting entries would let a few big results silently evict
+// the whole working set. A single entry larger than the entire budget
+// is still kept (it is the most recent result; serving it beats
+// thrashing), so the cache always holds at least one entry.
 //
 // Failed and cancelled jobs are stored too — their status stays
 // readable after the job leaves the scheduler — but only StatusDone
 // entries count as result hits for new submissions (see Scheduler).
 type Cache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu    sync.Mutex
+	max   int64      // total body-byte budget
+	bytes int64      // current total body bytes
+	ll    *list.List // front = most recently used
+	m     map[string]*list.Element
 
 	hits, misses, evictions uint64
 }
@@ -29,12 +37,14 @@ type cacheEntry struct {
 	body   []byte
 }
 
-// NewCache builds a cache bounded to max entries (min 1).
-func NewCache(max int) *Cache {
-	if max < 1 {
-		max = 1
+// NewCache builds a cache bounded to maxBytes total stored body bytes
+// (values below one byte are clamped to 1, which degenerates to
+// "remember the most recent result").
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes < 1 {
+		maxBytes = 1
 	}
-	return &Cache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+	return &Cache{max: maxBytes, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
 // Get returns the stored document and terminal status for key,
@@ -53,22 +63,27 @@ func (c *Cache) Get(key string) (body []byte, status string, ok bool) {
 	return e.body, e.status, true
 }
 
-// Put stores (or replaces) the terminal document for key, evicting the
-// least recently used entry when over capacity.
+// Put stores (or replaces) the terminal document for key, evicting
+// least recently used entries while the total body bytes exceed the
+// budget (always keeping the newly stored entry).
 func (c *Cache) Put(key, status string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
 		e.status, e.body = status, body
-		return
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, status: status, body: body})
+		c.bytes += int64(len(body))
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, status: status, body: body})
-	for c.ll.Len() > c.max {
+	for c.bytes > c.max && c.ll.Len() > 1 {
 		last := c.ll.Back()
+		e := last.Value.(*cacheEntry)
 		c.ll.Remove(last)
-		delete(c.m, last.Value.(*cacheEntry).key)
+		delete(c.m, e.key)
+		c.bytes -= int64(len(e.body))
 		c.evictions++
 	}
 }
@@ -78,6 +93,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the total cached body bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Stats returns cumulative hit/miss/eviction counts for /metrics.

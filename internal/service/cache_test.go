@@ -1,20 +1,23 @@
 package service
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 )
 
-func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(3)
+func TestCacheByteBudgetLRUEviction(t *testing.T) {
+	// Three 10-byte bodies fit a 30-byte budget exactly.
+	c := NewCache(30)
+	body := bytes.Repeat([]byte("x"), 10)
 	for i := 0; i < 3; i++ {
-		c.Put(fmt.Sprintf("k%d", i), StatusDone, []byte{byte(i)})
+		c.Put(fmt.Sprintf("k%d", i), StatusDone, body)
 	}
 	// Touch k0 so k1 becomes the least recently used.
 	if _, _, ok := c.Get("k0"); !ok {
 		t.Fatal("k0 missing")
 	}
-	c.Put("k3", StatusDone, []byte{3})
+	c.Put("k3", StatusDone, body)
 	if c.Len() != 3 {
 		t.Fatalf("len = %d, want 3", c.Len())
 	}
@@ -30,14 +33,43 @@ func TestCacheLRUEviction(t *testing.T) {
 	if evictions != 1 {
 		t.Errorf("evictions = %d, want 1", evictions)
 	}
+	if c.Bytes() != 30 {
+		t.Errorf("bytes = %d, want 30", c.Bytes())
+	}
 }
 
-func TestCacheReplaceKeepsSize(t *testing.T) {
-	c := NewCache(2)
-	c.Put("k", StatusFailed, []byte("v1"))
+func TestCacheBigBodyEvictsManySmall(t *testing.T) {
+	// A few paper-scale results must not be counted like quick ones: one
+	// 90-byte body forces the older small entries out of a 100-byte
+	// budget.
+	c := NewCache(100)
+	small := bytes.Repeat([]byte("s"), 10)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("small%d", i), StatusDone, small)
+	}
+	c.Put("big1", StatusDone, bytes.Repeat([]byte("B"), 90))
+	// 30 + 90 = 120 > 100: the two oldest small entries go.
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (big1 + newest small)", c.Len())
+	}
+	c.Put("big2", StatusDone, bytes.Repeat([]byte("B"), 90))
+	if _, _, ok := c.Get("big2"); !ok {
+		t.Error("newest entry evicted")
+	}
+	if c.Bytes() > 100 && c.Len() > 1 {
+		t.Errorf("over budget with %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+func TestCacheReplaceAdjustsBytes(t *testing.T) {
+	c := NewCache(100)
+	c.Put("k", StatusFailed, []byte("v1-long-body"))
 	c.Put("k", StatusDone, []byte("v2"))
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if c.Bytes() != 2 {
+		t.Errorf("bytes = %d, want 2 after replacement", c.Bytes())
 	}
 	body, status, ok := c.Get("k")
 	if !ok || status != StatusDone || string(body) != "v2" {
@@ -45,11 +77,26 @@ func TestCacheReplaceKeepsSize(t *testing.T) {
 	}
 }
 
-func TestCacheMinimumCapacity(t *testing.T) {
-	c := NewCache(0) // clamped to 1
-	c.Put("a", StatusDone, nil)
-	c.Put("b", StatusDone, nil)
+func TestCacheKeepsOversizeNewestEntry(t *testing.T) {
+	c := NewCache(0) // clamped to a 1-byte budget
+	c.Put("a", StatusDone, []byte("aaaa"))
+	c.Put("b", StatusDone, []byte("bbbb"))
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if _, _, ok := c.Get("b"); !ok {
+		t.Error("newest oversize entry evicted, want kept")
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put("k", StatusDone, []byte("v"))
+	c.Get("k")
+	c.Get("k")
+	c.Get("absent")
+	hits, misses, evictions := c.Stats()
+	if hits != 2 || misses != 1 || evictions != 0 {
+		t.Errorf("stats = %d/%d/%d, want 2/1/0", hits, misses, evictions)
 	}
 }

@@ -27,6 +27,14 @@ type ExecFunc func(ctx context.Context, spec JobSpec, simWorkers int, progress f
 // simulations — a spec's individual simulation is never interrupted
 // mid-event — and a cancelled job returns ctx.Err() with no result.
 func Execute(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot)) (*JobResult, error) {
+	return executeSpec(ctx, spec, simWorkers, progress, nil)
+}
+
+// executeSpec is Execute with an optional point dispatcher: when
+// non-nil, decomposable sweeps hand their points to it (the fleet path)
+// instead of the local pool. Everything else — rendering, assembly
+// order, collectors — is shared, so the two paths cannot drift.
+func executeSpec(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot), dispatch experiments.PointDispatcher) (*JobResult, error) {
 	if spec.Kind == "run" {
 		return executeRun(ctx, spec)
 	}
@@ -42,6 +50,7 @@ func Execute(ctx context.Context, spec JobSpec, simWorkers int, progress func(ru
 	if progress != nil {
 		o.Runner.SetProgress(progress)
 	}
+	o.Dispatch = dispatch
 	o.Metrics = metrics.NewCollector(sim.Time(spec.MetricsInterval))
 	if spec.Breakdown {
 		o.Breakdown = trace.NewBreakdownCollector()

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"coherencesim/internal/experiments"
+	"coherencesim/internal/fleet"
+	"coherencesim/internal/runner"
+)
+
+// NewFleetExec layers fleet distribution over a base executor. Jobs run
+// through base — the normal local path — unless live workers are
+// registered when the job starts, in which case the sweep executes with
+// a dispatcher that fans its points across the fleet. The dispatcher
+// returns results in submission order (the coordinator's contract), so
+// the rendered document is byte-identical to base's at any worker count
+// and under any failure interleaving.
+func NewFleetExec(base ExecFunc, coord *fleet.Coordinator) ExecFunc {
+	if coord == nil {
+		return base
+	}
+	return func(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot)) (*JobResult, error) {
+		if spec.Kind == "run" || coord.LiveWorkers() == 0 {
+			return base(ctx, spec, simWorkers, progress)
+		}
+		session := &fleetSession{ctx: ctx, coord: coord, progress: progress, start: time.Now()}
+		res, err := executeSpec(ctx, spec, simWorkers, progress, session.dispatch)
+		if err != nil {
+			return nil, err
+		}
+		if serr := session.err(); serr != nil {
+			return nil, serr
+		}
+		return res, nil
+	}
+}
+
+// fleetSession adapts one job's sweep batches onto the coordinator and
+// synthesizes runner-style progress snapshots from shard completions.
+type fleetSession struct {
+	ctx      context.Context
+	coord    *fleet.Coordinator
+	progress func(runner.Snapshot)
+	start    time.Time
+
+	mu        sync.Mutex
+	jobsDone  int
+	jobsTotal int
+	simCycles uint64
+	firstErr  error
+}
+
+// dispatch is the experiments.PointDispatcher: it blocks until the
+// batch is fully assembled. On failure it records the error and returns
+// the zero-filled slice; executeSpec's caller discards the document via
+// err(). (The PointDispatcher contract has no error channel because the
+// local pool cannot fail; the session carries it out of band.)
+func (s *fleetSession) dispatch(pts []experiments.Point) []experiments.PointResult {
+	s.mu.Lock()
+	s.jobsTotal += len(pts)
+	s.mu.Unlock()
+	results, err := s.coord.RunPoints(s.ctx, pts, s.onDone)
+	if err != nil {
+		s.mu.Lock()
+		if s.firstErr == nil {
+			s.firstErr = fmt.Errorf("fleet dispatch: %w", err)
+		}
+		s.mu.Unlock()
+		return make([]experiments.PointResult, len(pts))
+	}
+	// Cached points never reach onDone; account them here so progress
+	// still converges on jobsTotal.
+	s.mu.Lock()
+	if missed := s.jobsTotal - s.jobsDone; missed > 0 {
+		s.jobsDone = s.jobsTotal
+	}
+	s.mu.Unlock()
+	return results
+}
+
+// onDone observes one shard completion (any order) and emits a
+// cumulative progress snapshot, mirroring the local pool's reporting.
+func (s *fleetSession) onDone(index int, r experiments.PointResult) {
+	if s.progress == nil {
+		s.mu.Lock()
+		s.jobsDone++
+		s.simCycles += r.SimCycles
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.jobsDone++
+	s.simCycles += r.SimCycles
+	snap := runner.Snapshot{
+		JobsDone:  s.jobsDone,
+		JobsTotal: s.jobsTotal,
+		SimCycles: s.simCycles,
+		Elapsed:   time.Since(s.start),
+	}
+	s.mu.Unlock()
+	s.progress(snap)
+}
+
+func (s *fleetSession) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coherencesim/internal/fleet"
+	"coherencesim/internal/runner"
+)
+
+// startService builds a service the test can shut down and rebuild
+// mid-test (restart scenarios), unlike newTestServer's end-of-test
+// cleanup.
+func startService(t *testing.T, cfg Config, exec ExecFunc) (*httptest.Server, *Service, func()) {
+	t.Helper()
+	svc, err := newService(cfg, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Lifecycle().to(StateReady)
+	ts := httptest.NewServer(svc.Handler())
+	var once atomic.Bool
+	stop := func() {
+		if !once.CompareAndSwap(false, true) {
+			return
+		}
+		ts.Close()
+		svc.Scheduler().Close()
+		svc.Coordinator().Close()
+	}
+	t.Cleanup(stop)
+	return ts, svc, stop
+}
+
+func postJobTenant(t *testing.T, ts *httptest.Server, spec, tenant string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestDurableStoreSurvivesRestart is the store's reason to exist: a
+// result computed before a crash is replayed byte-identically by the
+// next process, without re-simulating.
+func TestDurableStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int32
+	ts1, _, stop1 := startService(t, Config{DataDir: dir}, stubExec(&execs, nil))
+
+	resp, doc := postJob(t, ts1, `{"experiment":"fig8","scale":"quick"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit HTTP %d", resp.StatusCode)
+	}
+	first := pollDone(t, ts1, doc.ID)
+	stop1() // "crash": the in-memory cache dies with the process
+
+	ts2, svc2, _ := startService(t, Config{DataDir: dir}, stubExec(&execs, nil))
+	resp2, err := http.Post(ts2.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"scale":"quick","experiment":"fig8"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("post-restart resubmit = HTTP %d X-Cache %q, want 200/hit", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(first, buf.Bytes()) {
+		t.Error("post-restart document differs from pre-restart bytes")
+	}
+	if execs.Load() != 1 {
+		t.Errorf("simulation ran %d times across restart, want once", execs.Load())
+	}
+	if hits := svc2.Scheduler().Counters().StoreHits; hits != 1 {
+		t.Errorf("store hits = %d, want 1", hits)
+	}
+}
+
+// TestFailedJobsAreNotPersisted: a failure describes one submission,
+// not the spec — after restart the same spec must execute again.
+func TestFailedJobsAreNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int32
+	failing := func(ctx context.Context, spec JobSpec, simWorkers int, progress func(runner.Snapshot)) (*JobResult, error) {
+		execs.Add(1)
+		return nil, errors.New("transient backend failure")
+	}
+	pollTerminal := func(ts *httptest.Server, id string) string {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			_, body := getBody(t, ts.URL+"/v1/jobs/"+id)
+			var st JobStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatal(err)
+			}
+			if isTerminal(st.Status) {
+				return st.Status
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	ts1, _, stop1 := startService(t, Config{DataDir: dir}, failing)
+	resp, doc := postJob(t, ts1, `{"experiment":"fig8"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit HTTP %d", resp.StatusCode)
+	}
+	if st := pollTerminal(ts1, doc.ID); st != StatusFailed {
+		t.Fatalf("job finished %s, want failed", st)
+	}
+	stop1()
+
+	ts2, _, _ := startService(t, Config{DataDir: dir}, failing)
+	resp2, doc2 := postJob(t, ts2, `{"experiment":"fig8"}`)
+	if resp2.StatusCode != http.StatusAccepted || resp2.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("post-restart resubmit = HTTP %d X-Cache %q, want 202/miss", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	pollTerminal(ts2, doc2.ID)
+	if execs.Load() != 2 {
+		t.Errorf("failing spec executed %d times across restart, want 2", execs.Load())
+	}
+}
+
+// TestTenantAdmissionQuota: one tenant saturating its in-flight quota
+// is throttled with 429 + Retry-After while other tenants keep
+// submitting.
+func TestTenantAdmissionQuota(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts, svc, _ := startService(t, Config{Jobs: 1, QueueDepth: 8, TenantQuota: 1}, stubExec(nil, block))
+
+	if resp := postJobTenant(t, ts, `{"experiment":"fig8"}`, "alice"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first alice submit HTTP %d", resp.StatusCode)
+	}
+	resp := postJobTenant(t, ts, `{"experiment":"fig11"}`, "alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota alice submit HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("quota 429 missing Retry-After")
+	}
+	if resp := postJobTenant(t, ts, `{"experiment":"fig11"}`, "bob"); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("bob submit HTTP %d; another tenant's quota throttled him", resp.StatusCode)
+	}
+	// Re-submitting alice's own in-flight spec is dedup, not admission.
+	if resp := postJobTenant(t, ts, `{"experiment":"fig8"}`, "alice"); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("dedup resubmit HTTP %d, want 202", resp.StatusCode)
+	}
+	if q := svc.Scheduler().Counters().QuotaHits; q != 1 {
+		t.Errorf("quota rejections = %d, want 1", q)
+	}
+}
+
+// TestPerTenantQuotaOverride: the per-tenant map beats the global
+// default.
+func TestPerTenantQuotaOverride(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts, _, _ := startService(t, Config{
+		Jobs: 1, QueueDepth: 8,
+		TenantQuota:  1,
+		TenantQuotas: map[string]int{"batch": 2},
+	}, stubExec(nil, block))
+
+	if resp := postJobTenant(t, ts, `{"experiment":"fig8"}`, "batch"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch #1 HTTP %d", resp.StatusCode)
+	}
+	if resp := postJobTenant(t, ts, `{"experiment":"fig11"}`, "batch"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch #2 HTTP %d; override not applied", resp.StatusCode)
+	}
+	if resp := postJobTenant(t, ts, `{"experiment":"fig14"}`, "batch"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("batch #3 HTTP %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestQuotaReleasedOnCompletion: finished jobs free admission slots.
+func TestQuotaReleasedOnCompletion(t *testing.T) {
+	ts, _, _ := startService(t, Config{Jobs: 1, TenantQuota: 1}, stubExec(nil, nil))
+	_, doc := postJob(t, ts, `{"experiment":"fig8"}`) // default tenant ""
+	pollDone(t, ts, doc.ID)
+	if resp := postJobTenant(t, ts, `{"experiment":"fig11"}`, ""); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("submit after completion HTTP %d; quota slot not released", resp.StatusCode)
+	}
+}
+
+// TestFleetExecutionByteIdentity runs a real sweep twice — once purely
+// in-process, once fanned across two fleet workers joined over HTTP —
+// and requires the terminal job documents to be byte-identical.
+func TestFleetExecutionByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sweep in -short mode")
+	}
+	spec := `{"experiment":"fig14","scale":"quick"}`
+
+	tsA, _, stopA := startService(t, Config{SimWorkers: 4}, Execute)
+	_, docA := postJob(t, tsA, spec)
+	baseline := pollDone(t, tsA, docA.ID)
+	stopA()
+
+	tsB, svcB, _ := startService(t, Config{SimWorkers: 4, HeartbeatTimeout: time.Second}, Execute)
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		t.Cleanup(cancel)
+		w := fleet.NewWorker(fleet.WorkerConfig{Coordinator: tsB.URL, ID: "itest-" + string(rune('a'+i))})
+		go w.Run(ctx)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svcB.Coordinator().LiveWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet workers never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	_, docB := postJob(t, tsB, spec)
+	fanned := pollDone(t, tsB, docB.ID)
+	if !bytes.Equal(baseline, fanned) {
+		t.Error("fleet-executed document differs from in-process document")
+	}
+	if st := svcB.Coordinator().Stats(); st.Completed == 0 {
+		t.Error("coordinator reports no completed shards; sweep did not use the fleet")
+	}
+}

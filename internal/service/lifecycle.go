@@ -2,12 +2,16 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"sync/atomic"
 	"time"
+
+	"coherencesim/internal/fleet"
+	"coherencesim/internal/store"
 )
 
 // State is the service lifecycle position: starting → ready → draining
@@ -52,12 +56,29 @@ func (l *Lifecycle) to(s State) { l.state.Store(int32(s)) }
 
 // Config assembles a Service.
 type Config struct {
-	Addr         string        // listen address (default :8377)
-	QueueDepth   int           // scheduler admission bound per priority class
-	Jobs         int           // concurrently executing jobs
-	SimWorkers   int           // per-job simulation pool width (0 = GOMAXPROCS)
-	CacheEntries int           // result cache size
-	Grace        time.Duration // drain grace period (default 30s)
+	Addr       string        // listen address (default :8377)
+	QueueDepth int           // scheduler admission bound per priority class
+	Jobs       int           // concurrently executing jobs
+	SimWorkers int           // per-job simulation pool width (0 = GOMAXPROCS)
+	CacheBytes int64         // in-memory result cache body-byte budget (default 256 MiB)
+	Grace      time.Duration // drain grace period (default 30s)
+	// DataDir, when non-empty, layers a durable content-addressed result
+	// store under the in-memory cache: finished documents are written
+	// one file per canonical spec hash, and identical specs replay
+	// byte-identical across daemon restarts. Empty keeps results purely
+	// in memory.
+	DataDir    string
+	StoreBytes int64 // durable store byte budget (default 1 GiB, used with DataDir)
+	// TenantQuota bounds in-flight admitted jobs per tenant (X-Tenant
+	// header); TenantQuotas overrides the bound for specific tenants.
+	// Zero means unlimited. Cache and store hits never count against a
+	// quota — only work that actually occupies the scheduler.
+	TenantQuota  int
+	TenantQuotas map[string]int
+	// HeartbeatTimeout is how long the fleet coordinator waits without a
+	// worker heartbeat before declaring it dead and reassigning its
+	// shards (default 5s).
+	HeartbeatTimeout time.Duration
 	// PprofAddr, when non-empty, serves the net/http/pprof profiling
 	// endpoints on a separate listener at this address (conventionally
 	// localhost-only), keeping the debug surface off the public API
@@ -66,33 +87,57 @@ type Config struct {
 	Logf      func(format string, args ...any)
 }
 
-// Service is the assembled daemon: scheduler + API server + lifecycle.
+// Service is the assembled daemon: scheduler + API server + lifecycle
+// + fleet coordinator.
 type Service struct {
 	cfg   Config
 	sched *Scheduler
 	life  *Lifecycle
+	coord *fleet.Coordinator
 	srv   *Server
 }
 
-// New builds a service executing jobs on the real simulator.
-func New(cfg Config) *Service { return newService(cfg, Execute) }
+// New builds a service executing jobs on the real simulator. When
+// cfg.DataDir is set, the durable store is opened (and repaired) before
+// serving; when a fleet coordinator is wired in, sweep jobs are
+// decomposed across registered workers.
+func New(cfg Config) (*Service, error) { return newService(cfg, Execute) }
 
 // newService is the test seam: any ExecFunc.
-func newService(cfg Config, exec ExecFunc) *Service {
+func newService(cfg Config, exec ExecFunc) (*Service, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8377"
 	}
 	if cfg.Grace <= 0 {
 		cfg.Grace = 30 * time.Second
 	}
+	var st *store.Store
+	if cfg.DataDir != "" {
+		budget := cfg.StoreBytes
+		if budget <= 0 {
+			budget = 1 << 30
+		}
+		var err error
+		if st, err = store.Open(cfg.DataDir, budget); err != nil {
+			return nil, fmt.Errorf("open result store: %w", err)
+		}
+	}
+	coord := fleet.NewCoordinator(fleet.Config{
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Cache:            st,
+		Logf:             cfg.Logf,
+	})
 	life := NewLifecycle()
 	sched := NewScheduler(SchedulerConfig{
 		QueueDepth:   cfg.QueueDepth,
 		Jobs:         cfg.Jobs,
 		SimWorkers:   cfg.SimWorkers,
-		CacheEntries: cfg.CacheEntries,
-	}, exec)
-	return &Service{cfg: cfg, sched: sched, life: life, srv: NewServer(sched, life)}
+		CacheBytes:   cfg.CacheBytes,
+		Store:        st,
+		TenantQuota:  cfg.TenantQuota,
+		TenantQuotas: cfg.TenantQuotas,
+	}, NewFleetExec(exec, coord))
+	return &Service{cfg: cfg, sched: sched, life: life, coord: coord, srv: NewServer(sched, life, coord)}, nil
 }
 
 // Handler returns the API handler (httptest servers mount this).
@@ -100,6 +145,9 @@ func (s *Service) Handler() http.Handler { return s.srv.Handler() }
 
 // Scheduler exposes the scheduler (tests, diagnostics).
 func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// Coordinator exposes the fleet coordinator (tests, diagnostics).
+func (s *Service) Coordinator() *fleet.Coordinator { return s.coord }
 
 // Lifecycle exposes the lifecycle tracker.
 func (s *Service) Lifecycle() *Lifecycle { return s.life }
@@ -164,6 +212,7 @@ func (s *Service) Run(stop <-chan os.Signal) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return err
 	}
+	s.coord.Close()
 	s.life.to(StateStopped)
 	s.logf("coherenced: stopped")
 	return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"coherencesim/internal/runner"
+	"coherencesim/internal/store"
 	"coherencesim/internal/trace"
 )
 
@@ -28,16 +29,32 @@ const (
 
 // Admission errors surfaced to the API layer.
 var (
-	ErrQueueFull = errors.New("job queue full")
-	ErrDraining  = errors.New("service is draining")
+	ErrQueueFull     = errors.New("job queue full")
+	ErrDraining      = errors.New("service is draining")
+	ErrQuotaExceeded = errors.New("tenant admission quota exceeded")
 )
 
 // SchedulerConfig bounds the scheduler.
 type SchedulerConfig struct {
-	QueueDepth   int // admission bound per priority class (default 64)
-	Jobs         int // concurrently executing jobs (default 2)
-	SimWorkers   int // per-job simulation pool width (default GOMAXPROCS)
-	CacheEntries int // result cache size (default 256)
+	QueueDepth int   // admission bound per priority class (default 64)
+	Jobs       int   // concurrently executing jobs (default 2)
+	SimWorkers int   // per-job simulation pool width (default GOMAXPROCS)
+	CacheBytes int64 // in-memory result cache budget in body bytes (default 256 MiB)
+	// Store, when non-nil, is the durable content-addressed result store
+	// layered under the in-memory cache: completed (StatusDone) job
+	// documents are written through to it, and submissions that miss the
+	// in-memory cache are served from disk — byte-identical across
+	// daemon restarts.
+	Store *store.Store
+	// TenantQuota bounds the number of in-flight (queued or running)
+	// jobs any single tenant may hold; 0 disables the quota. Tenants are
+	// identified by the X-Tenant request header ("" is the anonymous
+	// tenant, subject to the same bound). Cache hits and deduplicated
+	// submissions never count against the quota: it bounds admitted
+	// work, not reads.
+	TenantQuota int
+	// TenantQuotas overrides TenantQuota per tenant name.
+	TenantQuotas map[string]int
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -47,16 +64,25 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	if c.Jobs <= 0 {
 		c.Jobs = 2
 	}
-	if c.CacheEntries <= 0 {
-		c.CacheEntries = 256
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
 	}
 	return c
+}
+
+// quotaFor returns the tenant's in-flight bound (0 = unlimited).
+func (c SchedulerConfig) quotaFor(tenant string) int {
+	if q, ok := c.TenantQuotas[tenant]; ok {
+		return q
+	}
+	return c.TenantQuota
 }
 
 // task is one submitted job's lifetime state.
 type task struct {
 	id        string
 	spec      JobSpec
+	tenant    string
 	submitted time.Time
 	events    *broadcaster
 	done      chan struct{} // closed at terminal state
@@ -107,8 +133,10 @@ func (t *task) terminalBody() []byte {
 type Counters struct {
 	Submitted uint64 // jobs admitted to a queue
 	Deduped   uint64 // submissions folded onto an identical in-flight job
-	CacheHits uint64 // submissions served from the result cache
+	CacheHits uint64 // submissions served from the result cache (memory or disk)
+	StoreHits uint64 // the subset of CacheHits served from the durable store
 	Rejected  uint64 // submissions refused with queue-full
+	QuotaHits uint64 // submissions refused by a tenant admission quota
 	Completed uint64
 	Failed    uint64
 	Canceled  uint64
@@ -135,13 +163,16 @@ type Scheduler struct {
 	workerWG sync.WaitGroup // worker goroutines
 	jobWG    sync.WaitGroup // admitted, not-yet-terminal jobs
 
-	mu       sync.Mutex
-	inflight map[string]*task // id -> queued or running job
-	draining bool
+	store *store.Store // durable layer under the in-memory cache (nil = off)
 
-	submitted, deduped, cacheHits, rejected atomic.Uint64
-	completed, failed, canceled, simCycles  atomic.Uint64
-	running                                 atomic.Int64
+	mu        sync.Mutex
+	inflight  map[string]*task // id -> queued or running job
+	perTenant map[string]int   // tenant -> in-flight job count
+	draining  bool
+
+	submitted, deduped, cacheHits, storeHits, rejected, quotaHits atomic.Uint64
+	completed, failed, canceled, simCycles                        atomic.Uint64
+	running                                                       atomic.Int64
 
 	// Cumulative transaction-latency histogram folded from completed
 	// breakdown jobs, rendered by /metrics. Cache hits do not refold:
@@ -158,14 +189,16 @@ func NewScheduler(cfg SchedulerConfig, exec ExecFunc) *Scheduler {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	s := &Scheduler{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries),
-		exec:     exec,
-		root:     root,
-		stop:     stop,
-		quick:    make(chan *task, cfg.QueueDepth),
-		paper:    make(chan *task, cfg.QueueDepth),
-		inflight: make(map[string]*task),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		exec:      exec,
+		root:      root,
+		stop:      stop,
+		store:     cfg.Store,
+		quick:     make(chan *task, cfg.QueueDepth),
+		paper:     make(chan *task, cfg.QueueDepth),
+		inflight:  make(map[string]*task),
+		perTenant: make(map[string]int),
 	}
 	s.workerWG.Add(cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
@@ -174,9 +207,26 @@ func NewScheduler(cfg SchedulerConfig, exec ExecFunc) *Scheduler {
 	return s
 }
 
-// Cache exposes the result cache (the server reads terminal documents
-// from it).
+// Cache exposes the in-memory result cache (the server reads terminal
+// documents from it).
 func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Store exposes the durable result store (nil when disabled).
+func (s *Scheduler) Store() *store.Store { return s.store }
+
+// Lookup finds the terminal document for id across the cache layers:
+// in-memory first, then the durable store. A disk hit re-warms the
+// in-memory cache so subsequent reads stay off the disk.
+func (s *Scheduler) Lookup(id string) (body []byte, status string, ok bool) {
+	if body, status, ok = s.cache.Get(id); ok {
+		return body, status, true
+	}
+	if body, status, ok = s.store.Get(id); ok {
+		s.cache.Put(id, status, body)
+		return body, status, true
+	}
+	return nil, "", false
+}
 
 // queueFor picks the priority class: everything except paper-scale
 // experiment sweeps goes on the quick queue.
@@ -187,10 +237,13 @@ func (s *Scheduler) queueFor(spec JobSpec) chan *task {
 	return s.quick
 }
 
-// Submit admits one canonical spec (callers must Canonicalize first).
-// Exactly one of the returns is meaningful per admission class: the
-// live task for Admitted/Deduped, the stored document for CacheHit.
-func (s *Scheduler) Submit(spec JobSpec) (*task, []byte, Admission, error) {
+// Submit admits one canonical spec (callers must Canonicalize first)
+// on behalf of tenant. Exactly one of the returns is meaningful per
+// admission class: the live task for Admitted/Deduped, the stored
+// document for CacheHit. A cache hit is served from memory when
+// possible and from the durable store otherwise, so identical specs
+// replay byte-identical across daemon restarts.
+func (s *Scheduler) Submit(spec JobSpec, tenant string) (*task, []byte, Admission, error) {
 	id := Hash(spec)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,7 +258,18 @@ func (s *Scheduler) Submit(spec JobSpec) (*task, []byte, Admission, error) {
 		s.cacheHits.Add(1)
 		return nil, body, CacheHit, nil
 	}
+	if body, status, ok := s.store.Get(id); ok && status == StatusDone {
+		s.cache.Put(id, status, body)
+		s.cacheHits.Add(1)
+		s.storeHits.Add(1)
+		return nil, body, CacheHit, nil
+	}
+	if q := s.cfg.quotaFor(tenant); q > 0 && s.perTenant[tenant] >= q {
+		s.quotaHits.Add(1)
+		return nil, nil, 0, ErrQuotaExceeded
+	}
 	t := newTask(id, spec)
+	t.tenant = tenant
 	select {
 	case s.queueFor(spec) <- t:
 	default:
@@ -213,6 +277,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*task, []byte, Admission, error) {
 		return nil, nil, 0, ErrQueueFull
 	}
 	s.inflight[id] = t
+	s.perTenant[tenant]++
 	s.jobWG.Add(1)
 	s.submitted.Add(1)
 	return t, nil, Admitted, nil
@@ -266,7 +331,9 @@ func (s *Scheduler) Counters() Counters {
 		Submitted: s.submitted.Load(),
 		Deduped:   s.deduped.Load(),
 		CacheHits: s.cacheHits.Load(),
+		StoreHits: s.storeHits.Load(),
 		Rejected:  s.rejected.Load(),
+		QuotaHits: s.quotaHits.Load(),
 		Completed: s.completed.Load(),
 		Failed:    s.failed.Load(),
 		Canceled:  s.canceled.Load(),
@@ -389,8 +456,22 @@ func (s *Scheduler) finalize(t *task, res *JobResult, err error) {
 		s.canceled.Add(1)
 	}
 	s.cache.Put(t.id, status, body)
+	// Only completed results are written through to the durable store: a
+	// deadline or cancellation describes this submission, not the spec,
+	// and must not shadow a future successful run across restarts.
+	if status == StatusDone {
+		// A failed disk write degrades durability, not correctness: the
+		// in-memory cache still serves the result for this process's
+		// lifetime.
+		_ = s.store.Put(t.id, status, body)
+	}
 	s.mu.Lock()
 	delete(s.inflight, t.id)
+	if s.perTenant[t.tenant] > 1 {
+		s.perTenant[t.tenant]--
+	} else {
+		delete(s.perTenant, t.tenant)
+	}
 	s.mu.Unlock()
 	t.events.close()
 	close(t.done)

@@ -71,7 +71,7 @@ func TestDedupRunsSimulationExactlyOnce(t *testing.T) {
 	for i := 0; i < submitters; i++ {
 		go func(i int) {
 			defer wg.Done()
-			tk, _, adm, err := s.Submit(spec)
+			tk, _, adm, err := s.Submit(spec, "")
 			if err != nil {
 				t.Errorf("submitter %d: %v", i, err)
 				return
@@ -110,7 +110,7 @@ func TestDedupRunsSimulationExactlyOnce(t *testing.T) {
 
 	// After completion the spec is a cache hit carrying the stored
 	// terminal document.
-	_, body, adm, err := s.Submit(spec)
+	_, body, adm, err := s.Submit(spec, "")
 	if err != nil || adm != CacheHit {
 		t.Fatalf("resubmit = %v admission %v, want cache hit", err, adm)
 	}
@@ -132,16 +132,16 @@ func TestQueueFullRejection(t *testing.T) {
 	defer func() { close(block); s.Close() }()
 
 	// First job occupies the single worker...
-	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"})); err != nil {
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}), ""); err != nil {
 		t.Fatal(err)
 	}
 	waitRunning(t, s, 1)
 	// ...second fills the queue...
-	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"})); err != nil {
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}), ""); err != nil {
 		t.Fatal(err)
 	}
 	// ...third must be refused.
-	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig14"})); err != ErrQueueFull {
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig14"}), ""); err != ErrQueueFull {
 		t.Fatalf("err = %v, want ErrQueueFull", err)
 	}
 	if s.Counters().Rejected != 1 {
@@ -158,12 +158,12 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Jobs: 1, QueueDepth: 4}, stubExec(nil, block))
 	defer s.Close()
 
-	running, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}))
+	running, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitRunning(t, s, 1)
-	queued, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}))
+	queued, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 		t.Errorf("running job status = %s, want canceled", st)
 	}
 	// A cancelled result must never satisfy later identical requests.
-	_, _, adm, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}))
+	_, _, adm, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}), "")
 	if err != nil || adm == CacheHit {
 		t.Errorf("resubmit after cancel = admission %v err %v, want fresh admission", adm, err)
 	}
@@ -198,7 +198,7 @@ func TestJobDeadline(t *testing.T) {
 	defer close(block)
 	s := NewScheduler(SchedulerConfig{Jobs: 1}, stubExec(nil, block))
 	defer s.Close()
-	tk, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8", TimeoutSec: 1}))
+	tk, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8", TimeoutSec: 1}), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestJobDeadline(t *testing.T) {
 func TestDrainFinishesInFlightJobs(t *testing.T) {
 	// Fast executor: drain should complete cleanly within grace.
 	s := NewScheduler(SchedulerConfig{Jobs: 2}, stubExec(nil, nil))
-	tk, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}))
+	tk, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestDrainFinishesInFlightJobs(t *testing.T) {
 		t.Errorf("job status after clean drain = %s, want done", st)
 	}
 	// Draining scheduler refuses new work.
-	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"})); err != ErrDraining {
+	if _, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}), ""); err != ErrDraining {
 		t.Errorf("submit while draining = %v, want ErrDraining", err)
 	}
 }
@@ -244,12 +244,12 @@ func TestDrainCancelsStragglers(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
 	s := NewScheduler(SchedulerConfig{Jobs: 1, QueueDepth: 4}, stubExec(nil, block))
-	running, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}))
+	running, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig8"}), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitRunning(t, s, 1)
-	queued, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}))
+	queued, _, _, err := s.Submit(canonical(t, JobSpec{Experiment: "fig11"}), "")
 	if err != nil {
 		t.Fatal(err)
 	}

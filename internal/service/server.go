@@ -12,6 +12,7 @@ import (
 
 	"coherencesim/internal/buildinfo"
 	"coherencesim/internal/experiments"
+	"coherencesim/internal/fleet"
 	"coherencesim/internal/trace"
 )
 
@@ -19,12 +20,17 @@ import (
 type Server struct {
 	sched *Scheduler
 	life  *Lifecycle
+	coord *fleet.Coordinator
 	mux   *http.ServeMux
 }
 
-// NewServer wires the API routes.
-func NewServer(sched *Scheduler, life *Lifecycle) *Server {
-	s := &Server{sched: sched, life: life, mux: http.NewServeMux()}
+// NewServer wires the API routes. A non-nil coordinator mounts the
+// fleet's worker-facing endpoints (/v1/fleet/*) on the same listener.
+func NewServer(sched *Scheduler, life *Lifecycle, coord *fleet.Coordinator) *Server {
+	s := &Server{sched: sched, life: life, coord: coord, mux: http.NewServeMux()}
+	if coord != nil {
+		coord.Mount(s.mux)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -78,11 +84,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	t, cached, adm, err := s.sched.Submit(spec)
+	t, cached, adm, err := s.sched.Submit(spec, r.Header.Get("X-Tenant"))
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
 		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		return
+	case errors.Is(err, ErrQuotaExceeded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests, "tenant admission quota exceeded, retry later")
 		return
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "10")
@@ -123,7 +133,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, t.Status())
 		return
 	}
-	if body, _, ok := s.sched.Cache().Get(id); ok {
+	if body, _, ok := s.sched.Lookup(id); ok {
 		writeRaw(w, http.StatusOK, body)
 		return
 	}
@@ -138,7 +148,7 @@ func (s *Server) doneResult(w http.ResponseWriter, id string) (json.RawMessage, 
 	var body []byte
 	if t, ok := s.sched.Get(id); ok {
 		body = t.terminalBody()
-	} else if b, _, ok := s.sched.Cache().Get(id); ok {
+	} else if b, _, ok := s.sched.Lookup(id); ok {
 		body = b
 	} else {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
@@ -258,7 +268,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, t.Status())
 		return
 	}
-	if _, _, ok := s.sched.Cache().Get(id); ok {
+	if _, _, ok := s.sched.Lookup(id); ok {
 		writeError(w, http.StatusConflict, "job %q already finished", id)
 		return
 	}
@@ -277,7 +287,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	t, live := s.sched.Get(id)
 	if !live {
-		body, _, ok := s.sched.Cache().Get(id)
+		body, _, ok := s.sched.Lookup(id)
 		if !ok {
 			writeError(w, http.StatusNotFound, "unknown job %q", id)
 			return
@@ -407,9 +417,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("coherenced_jobs_queued", "Jobs currently waiting in the queues.", "gauge", uint64(c.Queued))
 	write("coherenced_jobs_running", "Jobs currently executing.", "gauge", uint64(c.Running))
 	write("coherenced_result_cache_entries", "Entries in the result cache.", "gauge", uint64(s.sched.Cache().Len()))
+	write("coherenced_result_cache_bytes", "Body bytes held by the in-memory result cache.", "gauge", uint64(s.sched.Cache().Bytes()))
 	write("coherenced_result_cache_lookup_hits_total", "Result-cache lookup hits.", "counter", hits)
 	write("coherenced_result_cache_lookup_misses_total", "Result-cache lookup misses.", "counter", misses)
 	write("coherenced_result_cache_evictions_total", "Result-cache evictions.", "counter", evictions)
+	write("coherenced_quota_rejected_total", "Submissions rejected by tenant admission quotas.", "counter", c.QuotaHits)
+	write("coherenced_store_hits_total", "Submissions served from the durable result store.", "counter", c.StoreHits)
+
+	if st := s.sched.Store(); st != nil {
+		ss := st.Stats()
+		write("coherenced_store_entries", "Entries in the durable result store.", "gauge", uint64(ss.Entries))
+		write("coherenced_store_bytes", "Body bytes held by the durable result store.", "gauge", uint64(ss.Bytes))
+		write("coherenced_store_lookup_hits_total", "Durable-store lookup hits.", "counter", ss.Hits)
+		write("coherenced_store_lookup_misses_total", "Durable-store lookup misses.", "counter", ss.Misses)
+		write("coherenced_store_writes_total", "Documents written to the durable store.", "counter", ss.Writes)
+		write("coherenced_store_evictions_total", "Durable-store byte-budget evictions.", "counter", ss.Evictions)
+		write("coherenced_store_corrupt_repaired_total", "Corrupt or half-written store entries quarantined.", "counter", ss.Repairs)
+	}
+
+	if s.coord != nil {
+		fs := s.coord.Stats()
+		write("coherenced_fleet_workers_live", "Fleet workers heard from within the heartbeat timeout.", "gauge", uint64(fs.WorkersLive))
+		write("coherenced_fleet_shards_dispatched_total", "Shard leases handed to fleet workers.", "counter", fs.Dispatched)
+		write("coherenced_fleet_shards_completed_total", "Shards completed across the fleet.", "counter", fs.Completed)
+		write("coherenced_fleet_shards_reassigned_total", "Shards requeued after worker death or failure.", "counter", fs.Reassigned)
+		write("coherenced_fleet_shards_failed_total", "Shards that exhausted their attempts.", "counter", fs.Failed)
+		write("coherenced_fleet_shard_cache_hits_total", "Shards answered from the shard-level result cache.", "counter", fs.CacheHits)
+		write("coherenced_fleet_local_runs_total", "Shards executed by the coordinator's local fallback.", "counter", fs.LocalRuns)
+	}
 
 	bkt, sum, count := s.sched.TxnLatency()
 	fmt.Fprintf(w, "# HELP coherenced_txn_latency_cycles Coherence-transaction latency (simulated cycles) from completed breakdown jobs.\n")

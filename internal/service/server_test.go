@@ -20,12 +20,16 @@ import (
 // HTTP listener (SSE needs genuine flushing).
 func newTestServer(t *testing.T, cfg Config, exec ExecFunc) (*httptest.Server, *Service) {
 	t.Helper()
-	svc := newService(cfg, exec)
+	svc, err := newService(cfg, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	svc.Lifecycle().to(StateReady)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Scheduler().Close()
+		svc.Coordinator().Close()
 	})
 	return ts, svc
 }
