@@ -433,6 +433,13 @@ var allocCaps = map[string]int64{
 	"MachineResetReuse":      8,
 	"MachineSnapshotFork":    16,
 	"SingleLockRun":          2048,
+	// The traced twins are capped too: span retention shares one target
+	// arena, per-block heat is a value map, and the fixed-cap buffers
+	// allocate once, so the counts are small and stable (≈260 and ≈1790
+	// as of the pooling change — the caps leave headroom for map-growth
+	// jitter, not for a slide back to per-span copying at ~2400/6000).
+	"MachineEventThroughputTraced": 512,
+	"SingleLockRunTraced":          2048,
 }
 
 // probeDefaultPathHandoffs runs a default-path machine workload once

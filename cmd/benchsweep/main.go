@@ -1,0 +1,333 @@
+// Command benchsweep is the fleet's macro-benchmark: it measures
+// end-to-end sweep wall-clock through the real dispatch stack —
+// coordinator, HTTP wire, worker batch loop — and writes the results
+// as machine-readable JSON (BENCH_sweep.json), the committed baseline
+// the CI sweep gate compares against.
+//
+//	benchsweep                           # run, write BENCH_sweep.json
+//	benchsweep -rounds 4 -workers 0,2    # quick smoke run (CI)
+//	benchsweep -compare BENCH_sweep.json -gate
+//	benchsweep -min-speedup 2            # fail unless batched >= 2x per-point
+//
+// The workload is a fig11-class barrier sweep stream: the full
+// kind x protocol x machine-size grid, repeated for -rounds rounds the
+// way a parameter-refinement session re-runs its warm classes. Every
+// point opts into warm forking, so the stream is exactly the shape the
+// batched scheduler exploits: same-checkpoint shards batch to one
+// worker, which builds the warm snapshot once and forks it for the
+// rest of the stream.
+//
+// Each worker count in -workers runs the stream twice:
+//
+//	perpoint  coordinator batch 1, stealing off, private per-point warm
+//	          caches — the original one-shard-per-poll dispatch, kept
+//	          runnable as the comparison anchor;
+//	batched   default tuning — shard batching, tail stealing, and the
+//	          worker-lifetime warm-fork cache.
+//
+// Every configuration's assembled results must be byte-identical to the
+// local single-process reference; any divergence fails the run outright
+// (determinism is a correctness property, not a statistic). With
+// -compare, wall-clock regressions beyond the slack against the
+// committed baseline fail the -gate (BENCH_GATE=off overrides, as with
+// benchcore).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"coherencesim/internal/experiments"
+	"coherencesim/internal/fleet"
+	"coherencesim/internal/proto"
+)
+
+// Result is one (mode, workers) configuration's measurement.
+type Result struct {
+	Mode         string  `json:"mode"` // "local", "perpoint", "batched"
+	Workers      int     `json:"workers"`
+	WallMs       float64 `json:"wall_ms"`
+	Points       int     `json:"points"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Batches      uint64  `json:"batches,omitempty"`
+	Stolen       uint64  `json:"stolen,omitempty"`
+}
+
+// File is the BENCH_sweep.json document.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Rounds    int      `json:"rounds"`
+	Results   []Result `json:"results"`
+	// Speedups maps "Nw" to wall(perpoint)/wall(batched) at N workers —
+	// what the batching + warm-reuse rebuild buys end to end.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+// stream builds the benchmark workload: rounds repetitions of the
+// fig11-class barrier grid (3 kinds x 3 protocols x 3 machine sizes),
+// all warm-forked. Round r's copy of a point is a distinct shard with
+// the same content key, so warm-checkpoint reuse — not result caching —
+// is what collapses the repeats (the coordinator runs cacheless here).
+func stream(rounds int) []experiments.Point {
+	var pts []experiments.Point
+	for r := 0; r < rounds; r++ {
+		for kind := 0; kind < 3; kind++ {
+			for pr := 0; pr < 3; pr++ {
+				for _, procs := range []int{1, 2, 4} {
+					pts = append(pts, experiments.Point{
+						Family: experiments.FamilyBarrier, Kind: kind,
+						Protocol: proto.Protocol(pr), Procs: procs,
+						Iterations: 60, WarmFork: true,
+						Label: fmt.Sprintf("fig11/r%d-k%d-p%d-n%d", r, kind, pr, procs),
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// modeConfig returns the coordinator and worker tuning for a mode.
+func modeConfig(mode string) (fleet.Config, fleet.WorkerConfig) {
+	switch mode {
+	case "local": // zero workers: tuning is irrelevant, the fallback runs
+		return fleet.Config{}, fleet.WorkerConfig{}
+	case "perpoint":
+		return fleet.Config{Batch: 1, StealThreshold: -1},
+			fleet.WorkerConfig{Batch: 1, PrivateWarmForks: true}
+	case "batched":
+		return fleet.Config{}, fleet.WorkerConfig{}
+	}
+	panic("unknown mode " + mode)
+}
+
+// run executes the stream once through a fresh coordinator with the
+// given worker fleet and returns the measurement plus the assembled
+// results for the identity check.
+func run(mode string, workers int, pts []experiments.Point) (Result, []experiments.PointResult, error) {
+	ccfg, wcfg := modeConfig(mode)
+	coord := fleet.NewCoordinator(ccfg)
+	defer coord.Close()
+
+	var ts *httptest.Server
+	if workers > 0 {
+		mux := http.NewServeMux()
+		coord.Mount(mux)
+		ts = httptest.NewServer(mux)
+		defer ts.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < workers; i++ {
+			cfg := wcfg
+			cfg.Coordinator = ts.URL
+			cfg.ID = fmt.Sprintf("bench-w%d", i)
+			go fleet.NewWorker(cfg).Run(ctx)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for coord.LiveWorkers() < workers {
+			if time.Now().After(deadline) {
+				return Result{}, nil, fmt.Errorf("only %d/%d workers registered", coord.LiveWorkers(), workers)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	start := time.Now()
+	results, err := coord.RunPoints(context.Background(), pts, nil)
+	wall := time.Since(start)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	var events uint64
+	for _, r := range results {
+		events += r.SimEvents
+	}
+	st := coord.Stats()
+	res := Result{
+		Mode: mode, Workers: workers,
+		WallMs: float64(wall.Nanoseconds()) / 1e6,
+		Points: len(pts),
+		Batches: st.Batches, Stolen: st.Stolen,
+	}
+	if wall > 0 {
+		res.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	return res, results, nil
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// gateWallSlack is the allowed wall-clock regression against the
+// committed baseline before -gate fails. End-to-end wall time on shared
+// runners is far noisier than a microbenchmark, so the slack is wide;
+// the point of the gate is catching "batching stopped working"-sized
+// cliffs (2x and up), not single-digit drift.
+const gateWallSlack = 1.5
+
+// compare prints an old-vs-new wall-clock table and returns gate
+// violations.
+func compare(oldPath string, cur File) ([]string, error) {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	var old File
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	key := func(r Result) string { return fmt.Sprintf("%s/%dw", r.Mode, r.Workers) }
+	prev := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		prev[key(r)] = r
+	}
+	var violations []string
+	fmt.Printf("\n%-16s %12s %12s %8s\n", "config", "old wall ms", "new wall ms", "delta")
+	for _, r := range cur.Results {
+		o, ok := prev[key(r)]
+		if !ok {
+			fmt.Printf("%-16s %12s %12.0f %8s\n", key(r), "-", r.WallMs, "new")
+			continue
+		}
+		// Wall scales with the stream; compare per-point when rounds differ.
+		oldPer, newPer := o.WallMs/float64(o.Points), r.WallMs/float64(r.Points)
+		delta := fmt.Sprintf("%+.1f%%", (newPer-oldPer)/oldPer*100)
+		fmt.Printf("%-16s %12.0f %12.0f %8s\n", key(r), o.WallMs, r.WallMs, delta)
+		if newPer > oldPer*gateWallSlack {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.2f ms/point vs baseline %.2f (>%.0f%% regression)",
+				key(r), newPer, oldPer, (gateWallSlack-1)*100))
+		}
+	}
+	return violations, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sweep.json", "output path for the JSON results")
+	rounds := flag.Int("rounds", 8, "repetitions of the fig11-class grid in the stream")
+	workersFlag := flag.String("workers", "0,1,2,4", "comma-separated fleet sizes to measure")
+	comparePath := flag.String("compare", "", "existing BENCH_sweep.json to compare against")
+	gate := flag.Bool("gate", false, "with -compare: exit 1 on a wall-clock regression beyond the slack (BENCH_GATE=off overrides)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless batched/perpoint wall speedup at the largest fleet reaches this (0 disables)")
+	flag.Parse()
+
+	workerCounts, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(2)
+	}
+	pts := stream(*rounds)
+	f := File{
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Rounds: *rounds, Speedups: map[string]float64{},
+	}
+
+	// The local single-process run is both a measurement (the zero-worker
+	// fallback path) and the byte-identity reference for every fleet run.
+	fmt.Printf("stream: %d points (%d rounds x %d grid)\n", len(pts), *rounds, len(pts)/ *rounds)
+	ref, refResults, err := run("local", 0, pts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep: local reference:", err)
+		os.Exit(1)
+	}
+	refJSON, _ := json.Marshal(refResults)
+	fmt.Printf("%-10s %2d workers %10.0f ms %12.0f events/s\n", ref.Mode, ref.Workers, ref.WallMs, ref.EventsPerSec)
+	f.Results = append(f.Results, ref)
+
+	walls := map[string]float64{}
+	for _, w := range workerCounts {
+		if w == 0 {
+			continue // the local reference above is the zero-worker row
+		}
+		for _, mode := range []string{"perpoint", "batched"} {
+			r, results, err := run(mode, w, pts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: %s/%dw: %v\n", mode, w, err)
+				os.Exit(1)
+			}
+			got, _ := json.Marshal(results)
+			if string(got) != string(refJSON) {
+				fmt.Fprintf(os.Stderr, "benchsweep: %s/%dw results diverge from the single-process reference\n", mode, w)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %2d workers %10.0f ms %12.0f events/s  (batches %d, stolen %d)\n",
+				r.Mode, r.Workers, r.WallMs, r.EventsPerSec, r.Batches, r.Stolen)
+			f.Results = append(f.Results, r)
+			walls[fmt.Sprintf("%s/%d", mode, w)] = r.WallMs
+		}
+		if pp, b := walls[fmt.Sprintf("perpoint/%d", w)], walls[fmt.Sprintf("batched/%d", w)]; pp > 0 && b > 0 {
+			f.Speedups[fmt.Sprintf("%dw", w)] = pp / b
+			fmt.Printf("  speedup at %d workers (batched vs perpoint): %.2fx\n", w, pp/b)
+		}
+	}
+
+	if *minSpeedup > 0 {
+		maxW := 0
+		for _, w := range workerCounts {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		got := f.Speedups[fmt.Sprintf("%dw", maxW)]
+		if got < *minSpeedup {
+			if os.Getenv("BENCH_GATE") == "off" {
+				fmt.Fprintf(os.Stderr, "benchsweep: speedup floor overridden (BENCH_GATE=off); %.2fx at %d workers below %.2fx\n", got, maxW, *minSpeedup)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchsweep: speedup %.2fx at %d workers below required %.2fx\n", got, maxW, *minSpeedup)
+				os.Exit(1)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *comparePath != "" {
+		violations, err := compare(*comparePath, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: compare:", err)
+			os.Exit(1)
+		}
+		if *gate && len(violations) > 0 {
+			if os.Getenv("BENCH_GATE") == "off" {
+				fmt.Fprintf(os.Stderr, "benchsweep: gate overridden (BENCH_GATE=off); %d violation(s) ignored\n", len(violations))
+				return
+			}
+			fmt.Fprintln(os.Stderr, "benchsweep: sweep performance gate failed:")
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			fmt.Fprintln(os.Stderr, "benchsweep: refresh BENCH_sweep.json if intentional, or set BENCH_GATE=off / apply the bench-baseline-bump label to override")
+			os.Exit(1)
+		}
+	}
+}

@@ -60,6 +60,20 @@ func (pt Point) Key() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// WarmGroup identifies the point's warm-fork checkpoint. The warm key
+// (see warmKey) covers every simulation-shaping field, so two points
+// share a checkpoint exactly when they are the same point and the group
+// collapses to the content address; the fleet coordinator batches
+// same-group shards to one worker so each checkpoint is built once per
+// batch stream. Points that did not opt into warm forking have no
+// group.
+func (pt Point) WarmGroup() string {
+	if !pt.WarmFork {
+		return ""
+	}
+	return pt.Key()
+}
+
 // PointResult is the serializable outcome of one Point: the figure
 // metric plus everything the sweep assembly loops feed to collectors.
 // All fields are pure data and survive a JSON round trip byte-for-byte
@@ -70,6 +84,7 @@ type PointResult struct {
 	Misses    classify.MissCounts      `json:"misses"`
 	Updates   classify.UpdateCounts    `json:"updates"`
 	SimCycles uint64                   `json:"sim_cycles"`
+	SimEvents uint64                   `json:"sim_events,omitempty"`
 	Metrics   *metrics.Snapshot        `json:"metrics,omitempty"`
 	Breakdown *trace.BreakdownSnapshot `json:"breakdown,omitempty"`
 }
@@ -91,6 +106,7 @@ func pointResult(res machine.Result, latency float64) PointResult {
 		Misses:    res.Misses,
 		Updates:   res.Updates,
 		SimCycles: res.SimulatedCycles(),
+		SimEvents: res.SimEvents,
 		Metrics:   res.Metrics,
 		Breakdown: res.Breakdown,
 	}
@@ -105,13 +121,27 @@ func (pt Point) params(p workload.Params) workload.Params {
 	return p
 }
 
-// RunPoint executes one point from its serialized form — the fleet
-// worker's entry. Warm-forked points build their own checkpoint (a
-// single-point cache): forked runs are deterministic, so the result is
-// byte-identical to one produced through a shared in-process cache.
+// RunPoint executes one point from its serialized form. Warm-forked
+// points build their own checkpoint (a single-point cache): forked runs
+// are deterministic, so the result is byte-identical to one produced
+// through a shared in-process cache.
 func RunPoint(ctx context.Context, pt Point) (PointResult, error) {
-	var forks *WarmForkCache
-	if pt.WarmFork {
+	return RunPointForked(ctx, pt, nil)
+}
+
+// RunPointForked executes one point, forking its warm-up prefix from
+// forks when the point opts in — the fleet worker's entry. Two points
+// share a warm checkpoint only when every simulation-shaping field
+// matches, i.e. when they are the same point (see Point.WarmGroup), so
+// a worker-lifetime cache turns repeated points in a batch stream into
+// measurement-phase-only runs. A nil cache reproduces RunPoint: each
+// warm-forked point builds a private checkpoint. Results are
+// byte-identical either way — sharing a checkpoint saves the warm-up
+// simulation, never changes its output.
+func RunPointForked(ctx context.Context, pt Point, forks *WarmForkCache) (PointResult, error) {
+	if !pt.WarmFork {
+		forks = nil
+	} else if forks == nil {
 		forks = NewWarmForkCache()
 	}
 	return runPoint(ctx, pt, forks)

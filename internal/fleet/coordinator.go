@@ -36,6 +36,14 @@ type Config struct {
 	// RetryBackoff delays a requeued shard's next lease, doubling per
 	// attempt up to 8x (default 250ms).
 	RetryBackoff time.Duration
+	// Batch caps how many shards one poll round-trip may lease
+	// (default 16; 1 forces per-point dispatch). Hot-reloadable via
+	// SetTuning.
+	Batch int
+	// StealThreshold is the minimum queue a busy worker must hold
+	// before an idle poller may steal the tail half of it (default 2;
+	// negative disables stealing). Hot-reloadable via SetTuning.
+	StealThreshold int
 	// Cache, when non-nil, short-circuits shards whose results are
 	// already stored and receives every fresh result.
 	Cache ShardCache
@@ -58,23 +66,35 @@ func (cfg Config) withDefaults() Config {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 250 * time.Millisecond
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.StealThreshold == 0 {
+		cfg.StealThreshold = 2
+	}
 	return cfg
 }
 
 // Stats is a snapshot of the coordinator's counters for /metrics.
 type Stats struct {
-	WorkersLive int
-	Dispatched  uint64 // shard leases handed to workers
-	Completed   uint64 // shards finished (first result per shard)
-	Reassigned  uint64 // shards requeued after worker death or failure
-	Failed      uint64 // shards exhausted (failed their job)
-	CacheHits   uint64 // shards answered from the shard cache
-	LocalRuns   uint64 // shards executed by the coordinator's fallback
+	WorkersLive  int
+	Dispatched   uint64 // shard leases handed to workers
+	Batches      uint64 // non-empty poll responses (round-trips saved vs Dispatched)
+	Completed    uint64 // shards finished (first result per shard)
+	Reassigned   uint64 // shards requeued after worker death or failure
+	Stolen       uint64 // shards stolen from a busy worker's tail by an idle poller
+	DupCompletes uint64 // completions for shards no longer outstanding (no-ops)
+	Failed       uint64 // shards exhausted (failed their job)
+	CacheHits    uint64 // shards answered from the shard cache
+	LocalRuns    uint64 // shards executed by the coordinator's fallback
 }
 
 type workerState struct {
 	id       string
 	lastSeen time.Time
+	queue    []*shard // leased to this worker, lease order (head is executing)
+	reported int      // unstarted depth from the worker's last heartbeat/complete
+	revoked  []string // stolen/elsewhere-completed shard IDs to deliver on next contact
 }
 
 type shard struct {
@@ -82,6 +102,7 @@ type shard struct {
 	job       *fleetJob
 	index     int
 	key       string
+	group     string // warm-fork checkpoint group (== key when the point forks)
 	point     experiments.Point
 	attempts  int
 	notBefore time.Time
@@ -105,6 +126,8 @@ type Coordinator struct {
 	cfg Config
 
 	mu      sync.Mutex
+	batch   int // hot-reloadable copies of Config.Batch / StealThreshold
+	steal   int
 	workers map[string]*workerState
 	pending []*shard          // FIFO, subject to per-shard notBefore
 	leased  map[string]*shard // by shard ID
@@ -119,8 +142,11 @@ type Coordinator struct {
 
 // NewCoordinator builds a coordinator and starts its heartbeat sweep.
 func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
+		batch:   cfg.Batch,
+		steal:   cfg.StealThreshold,
 		workers: make(map[string]*workerState),
 		leased:  make(map[string]*shard),
 		notify:  make(chan struct{}),
@@ -128,6 +154,29 @@ func NewCoordinator(cfg Config) *Coordinator {
 	}
 	go c.sweepLoop()
 	return c
+}
+
+// SetTuning hot-reloads the batch cap and steal threshold. Zero values
+// restore defaults, a negative threshold disables stealing; in-flight
+// leases are untouched — only future polls see the new values.
+func (c *Coordinator) SetTuning(batch, stealThreshold int) {
+	if batch <= 0 {
+		batch = 16
+	}
+	if stealThreshold == 0 {
+		stealThreshold = 2
+	}
+	c.mu.Lock()
+	c.batch = batch
+	c.steal = stealThreshold
+	c.mu.Unlock()
+}
+
+// Tuning reports the live batch cap and steal threshold.
+func (c *Coordinator) Tuning() (batch, stealThreshold int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batch, c.steal
 }
 
 // Close stops the heartbeat sweep and releases pollers.
@@ -222,7 +271,8 @@ func (c *Coordinator) reapDead(now time.Time) {
 }
 
 // requeueLocked puts a shard back on the pending queue with one more
-// attempt consumed and a bounded backoff. Callers hold c.mu.
+// attempt consumed and a bounded backoff. Callers hold c.mu and have
+// already removed the shard from any worker queue.
 func (c *Coordinator) requeueLocked(s *shard) {
 	s.worker = ""
 	s.attempts++
@@ -267,11 +317,16 @@ func (c *Coordinator) RunPoints(ctx context.Context, pts []experiments.Point, on
 				continue
 			}
 		}
+		group := ""
+		if pt.WarmFork {
+			group = key // == pt.WarmGroup(): the warm key covers every key field
+		}
 		fresh = append(fresh, &shard{
 			id:    fmt.Sprintf("%s#%d", job.id, i),
 			job:   job,
 			index: i,
 			key:   key,
+			group: group,
 			point: pt,
 		})
 	}
@@ -327,6 +382,15 @@ func (c *Coordinator) abandon(job *fleetJob) {
 		if s.job == job {
 			delete(c.leased, sid)
 		}
+	}
+	for _, w := range c.workers {
+		kq := w.queue[:0]
+		for _, s := range w.queue {
+			if s.job != job {
+				kq = append(kq, s)
+			}
+		}
+		w.queue = kq
 	}
 }
 
@@ -430,7 +494,11 @@ func (c *Coordinator) finishShard(s *shard, res *experiments.PointResult, errStr
 func (c *Coordinator) register(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.workers[id] = &workerState{id: id, lastSeen: time.Now()}
+	if w := c.workers[id]; w != nil {
+		w.lastSeen = time.Now()
+	} else {
+		c.workers[id] = &workerState{id: id, lastSeen: time.Now()}
+	}
 	c.logf("fleet: worker %s registered", id)
 }
 
@@ -447,42 +515,189 @@ func (c *Coordinator) touch(id string) bool {
 	return true
 }
 
-// poll leases the next eligible shard to the worker, holding the
-// request up to PollWait when the queue is empty. A nil shard means an
-// empty poll.
-func (c *Coordinator) poll(workerID string) (*Shard, bool) {
-	if !c.touch(workerID) {
+// heartbeat refreshes a worker, records its self-reported unstarted
+// backlog, and drains its pending revocations.
+func (c *Coordinator) heartbeat(req HeartbeatRequest) (revoked []string, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.Worker]
+	if !ok {
 		return nil, false
+	}
+	w.lastSeen = time.Now()
+	w.reported = req.Queued
+	revoked = w.revoked
+	w.revoked = nil
+	return revoked, true
+}
+
+// takePendingLocked leases up to max eligible pending shards to
+// workerID. The first eligible shard anchors the batch and the rest of
+// the batch prefers shards sharing its warm-fork group, so one worker
+// builds one warm checkpoint for the whole batch. Callers hold c.mu.
+func (c *Coordinator) takePendingLocked(workerID string, max int, now time.Time) []*shard {
+	var anchor *shard
+	for _, s := range c.pending {
+		if !s.notBefore.After(now) {
+			anchor = s
+			break
+		}
+	}
+	if anchor == nil {
+		return nil
+	}
+	take := map[*shard]bool{anchor: true}
+	n := 1
+	if anchor.group != "" {
+		for _, s := range c.pending {
+			if n >= max {
+				break
+			}
+			if !take[s] && s.group == anchor.group && !s.notBefore.After(now) {
+				take[s] = true
+				n++
+			}
+		}
+	}
+	for _, s := range c.pending {
+		if n >= max {
+			break
+		}
+		if !take[s] && !s.notBefore.After(now) {
+			take[s] = true
+			n++
+		}
+	}
+	batch := make([]*shard, 0, n)
+	kept := c.pending[:0]
+	for _, s := range c.pending {
+		if take[s] {
+			batch = append(batch, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	c.pending = kept
+	w := c.workers[workerID]
+	for _, s := range batch {
+		s.worker = workerID
+		c.leased[s.id] = s
+		if w != nil {
+			w.queue = append(w.queue, s)
+		}
+		c.stats.Dispatched++
+	}
+	return batch
+}
+
+// stealLocked reassigns the tail half of the longest live queue to an
+// idle poller. The head of the victim's queue is what it is executing
+// right now, so the tail is the part it has provably not reached; the
+// victim's self-reported unstarted depth further clamps the cut. The
+// victim learns via the revocation list on its next heartbeat or poll;
+// if it raced ahead anyway, the duplicate completion is a no-op.
+// Callers hold c.mu.
+func (c *Coordinator) stealLocked(thief string, max int, now time.Time) []*shard {
+	if c.steal < 0 {
+		return nil
+	}
+	var victim *workerState
+	for _, w := range c.workers {
+		if w.id == thief || now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			continue
+		}
+		if len(w.queue) < c.steal || len(w.queue) < 2 {
+			continue
+		}
+		if victim == nil || len(w.queue) > len(victim.queue) {
+			victim = w
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	n := len(victim.queue) / 2
+	if victim.reported > 0 && n > victim.reported {
+		n = victim.reported
+	}
+	if n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil
+	}
+	cut := len(victim.queue) - n
+	stolen := append([]*shard(nil), victim.queue[cut:]...)
+	victim.queue = victim.queue[:cut]
+	if victim.reported >= n {
+		victim.reported -= n
+	} else {
+		victim.reported = 0
+	}
+	thiefW := c.workers[thief]
+	for _, s := range stolen {
+		s.worker = thief
+		victim.revoked = append(victim.revoked, s.id)
+		if thiefW != nil {
+			thiefW.queue = append(thiefW.queue, s)
+		}
+		c.stats.Stolen++
+	}
+	c.logf("fleet: %s stole %d shards from %s (queue was %d)", thief, n, victim.id, cut+n)
+	return stolen
+}
+
+// poll leases up to max shards to the worker, holding the request up to
+// PollWait when the queue is empty. With nothing pending, an idle
+// poller steals from the longest live queue instead of waiting. An
+// empty shard list means an empty poll.
+func (c *Coordinator) poll(workerID string, max int) ([]Shard, []string, bool) {
+	if !c.touch(workerID) {
+		return nil, nil, false
 	}
 	deadline := time.Now().Add(c.cfg.PollWait)
 	for {
 		now := time.Now()
 		c.mu.Lock()
-		var lease *shard
-		kept := c.pending[:0]
-		for _, s := range c.pending {
-			if lease == nil && !s.notBefore.After(now) {
-				lease = s
-				continue
-			}
-			kept = append(kept, s)
+		limit := max
+		if limit <= 0 {
+			limit = 1
 		}
-		c.pending = kept
-		if lease != nil {
-			lease.worker = workerID
-			c.leased[lease.id] = lease
-			c.stats.Dispatched++
-			if w := c.workers[workerID]; w != nil {
-				w.lastSeen = now
+		if limit > c.batch {
+			limit = c.batch
+		}
+		batch := c.takePendingLocked(workerID, limit, now)
+		if len(batch) == 0 {
+			batch = c.stealLocked(workerID, limit, now)
+		}
+		var revoked []string
+		if w := c.workers[workerID]; w != nil {
+			w.lastSeen = now
+			revoked = w.revoked
+			w.revoked = nil
+			if len(batch) > 0 {
+				// A worker polls when its local queue is drained; the
+				// new batch is its whole unstarted backlog.
+				w.reported = len(batch)
+			}
+		}
+		if len(batch) > 0 {
+			c.stats.Batches++
+			out := make([]Shard, len(batch))
+			for i, s := range batch {
+				out[i] = Shard{ID: s.id, Key: s.key, Point: s.point}
 			}
 			c.mu.Unlock()
-			return &Shard{ID: lease.id, Key: lease.key, Point: lease.point}, true
+			return out, revoked, true
 		}
 		notify := c.notify
 		c.mu.Unlock()
+		if len(revoked) > 0 {
+			return nil, revoked, true // deliver revocations promptly
+		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return nil, true
+			return nil, nil, true
 		}
 		// Backoff'd shards become eligible without a wake; cap the wait.
 		if remain > 25*time.Millisecond {
@@ -492,46 +707,85 @@ func (c *Coordinator) poll(workerID string) (*Shard, bool) {
 		case <-notify:
 		case <-time.After(remain):
 		case <-c.done:
-			return nil, true
+			return nil, nil, true
 		}
 	}
 }
 
-// complete records a worker's shard outcome. Results are accepted for
-// any still-outstanding shard — even from a worker presumed dead whose
-// shard was requeued — because identical points produce identical
-// bytes; duplicates are ignored.
-func (c *Coordinator) complete(req CompleteRequest) error {
-	c.touch(req.Worker)
-	c.mu.Lock()
-	s, ok := c.leased[req.Shard]
-	if ok {
-		delete(c.leased, req.Shard)
-	} else {
-		// Maybe it was requeued after a presumed death: pull it from
-		// pending so the late result still counts.
-		kept := c.pending[:0]
-		for _, p := range c.pending {
-			if !ok && p.id == req.Shard {
-				s, ok = p, true
-				continue
-			}
-			kept = append(kept, p)
+// dropFromOwnerLocked removes a completed/cancelled shard from its
+// current lease holder's queue and, when someone other than the holder
+// delivered the result, queues a revocation so the holder skips it.
+// Callers hold c.mu.
+func (c *Coordinator) dropFromOwnerLocked(s *shard, completedBy string) {
+	w := c.workers[s.worker]
+	if w == nil {
+		return
+	}
+	for i, q := range w.queue {
+		if q == s {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			break
 		}
-		c.pending = kept
+	}
+	if s.worker != completedBy {
+		// A stolen shard finished by its original owner (or the thief
+		// finished before the victim noticed the revocation): the
+		// current holder need not run it.
+		w.revoked = append(w.revoked, s.id)
+	}
+}
+
+// complete records a batch of shard outcomes. Results are accepted for
+// any still-outstanding shard — even from a worker presumed dead whose
+// shard was requeued or stolen — because identical points produce
+// identical bytes. A completion for a shard that is no longer
+// outstanding (already completed by the other party to a steal, or
+// cancelled) is a counted no-op: it must not touch merge order, the
+// shard cache, or the completion counters a second time.
+func (c *Coordinator) complete(req CompleteRequest) error {
+	type outcome struct {
+		s      *shard
+		res    *experiments.PointResult
+		errStr string
+	}
+	var outs []outcome
+	c.mu.Lock()
+	if w := c.workers[req.Worker]; w != nil {
+		w.lastSeen = time.Now()
+		w.reported = req.Queued
+	}
+	for _, sr := range req.Results {
+		s, ok := c.leased[sr.Shard]
+		if ok {
+			delete(c.leased, sr.Shard)
+			c.dropFromOwnerLocked(s, req.Worker)
+		} else {
+			// Maybe it was requeued after a presumed death: pull it from
+			// pending so the late result still counts.
+			kept := c.pending[:0]
+			for _, p := range c.pending {
+				if !ok && p.id == sr.Shard {
+					s, ok = p, true
+					continue
+				}
+				kept = append(kept, p)
+			}
+			c.pending = kept
+		}
+		if !ok {
+			c.stats.DupCompletes++
+			continue
+		}
+		if sr.Error == "" && sr.Result == nil {
+			c.mu.Unlock()
+			return fmt.Errorf("complete for %s carries neither result nor error", sr.Shard)
+		}
+		outs = append(outs, outcome{s, sr.Result, sr.Error})
 	}
 	c.mu.Unlock()
-	if !ok {
-		return nil // duplicate or cancelled: nothing outstanding
+	for _, o := range outs {
+		c.finishShard(o.s, o.res, o.errStr)
 	}
-	if req.Error != "" {
-		c.finishShard(s, nil, req.Error)
-		return nil
-	}
-	if req.Result == nil {
-		return fmt.Errorf("complete for %s carries neither result nor error", req.Shard)
-	}
-	c.finishShard(s, req.Result, "")
 	return nil
 }
 
@@ -581,11 +835,12 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decodeInto(w, r, &req) {
 		return
 	}
-	if !c.touch(req.Worker) {
+	revoked, known := c.heartbeat(req)
+	if !known {
 		http.Error(w, "unknown worker; re-register", http.StatusGone)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	writeJSON(w, HeartbeatResponse{Revoked: revoked})
 }
 
 func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -593,12 +848,12 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 	if !decodeInto(w, r, &req) {
 		return
 	}
-	shard, known := c.poll(req.Worker)
+	shards, revoked, known := c.poll(req.Worker, req.Max)
 	if !known {
 		http.Error(w, "unknown worker; re-register", http.StatusGone)
 		return
 	}
-	writeJSON(w, PollResponse{Shard: shard})
+	writeJSON(w, PollResponse{Shards: shards, Revoked: revoked})
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {

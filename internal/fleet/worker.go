@@ -19,9 +19,22 @@ import (
 type WorkerConfig struct {
 	Coordinator string // coordinator base URL, e.g. http://host:8377
 	ID          string // stable worker identity (default hostname-pid)
-	Parallel    int    // concurrent shard executions (default 1)
-	Client      *http.Client
-	Logf        func(format string, args ...any)
+	Parallel    int    // concurrent shard executions within a batch (default 1)
+	// Batch is how many shards each poll requests (default 8; the
+	// coordinator clamps to its own cap). 1 reproduces PR 9's
+	// per-point dispatch.
+	Batch int
+	// PrivateWarmForks builds a fresh warm checkpoint per shard
+	// instead of sharing a worker-lifetime cache across the batch
+	// stream — the pre-batching behavior, kept for benchmarking the
+	// reuse win (results are byte-identical either way).
+	PrivateWarmForks bool
+	// ShardDelay injects an artificial pause before every shard
+	// execution: fault injection for steal tests and a stand-in for a
+	// heterogeneous (slow) fleet member in benchmarks.
+	ShardDelay time.Duration
+	Client     *http.Client
+	Logf       func(format string, args ...any)
 }
 
 func (cfg WorkerConfig) withDefaults() WorkerConfig {
@@ -36,24 +49,39 @@ func (cfg WorkerConfig) withDefaults() WorkerConfig {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = 1
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
 	return cfg
 }
 
-// Worker pulls shards from a coordinator and executes them. It owns no
-// listener: registration, polling, completion, and heartbeats are all
-// HTTP requests it initiates, so a worker runs from anywhere that can
-// reach the coordinator.
+// Worker pulls shard batches from a coordinator and executes them. It
+// owns no listener: registration, polling, completion, and heartbeats
+// are all HTTP requests it initiates, so a worker runs from anywhere
+// that can reach the coordinator. One warm-checkpoint cache lives as
+// long as the worker, so a batch stream repeating a point pays its
+// warm-up simulation once, not once per shard.
 type Worker struct {
 	cfg       WorkerConfig
 	heartbeat time.Duration
+	forks     *experiments.WarmForkCache // nil when PrivateWarmForks
+
+	mu      sync.Mutex
+	queued  int             // unstarted shards in the current batch
+	revoked map[string]bool // coordinator-revoked shard IDs, dropped before execution
 }
 
 // NewWorker builds a worker (Run does the work).
 func NewWorker(cfg WorkerConfig) *Worker {
-	return &Worker{cfg: cfg.withDefaults(), heartbeat: time.Second}
+	cfg = cfg.withDefaults()
+	w := &Worker{cfg: cfg, heartbeat: time.Second, revoked: make(map[string]bool)}
+	if !cfg.PrivateWarmForks {
+		w.forks = experiments.NewWarmForkCache()
+	}
+	return w
 }
 
 // ID returns the worker's identity.
@@ -63,6 +91,52 @@ func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
 		w.cfg.Logf(format, args...)
 	}
+}
+
+func (w *Worker) queuedDepth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.queued
+}
+
+func (w *Worker) setQueued(n int) {
+	w.mu.Lock()
+	w.queued = n
+	w.mu.Unlock()
+}
+
+func (w *Worker) decQueued() {
+	w.mu.Lock()
+	if w.queued > 0 {
+		w.queued--
+	}
+	w.mu.Unlock()
+}
+
+// markRevoked records coordinator revocations for shards this worker
+// still holds; they are skipped when their turn comes.
+func (w *Worker) markRevoked(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	w.mu.Lock()
+	for _, id := range ids {
+		w.revoked[id] = true
+	}
+	w.mu.Unlock()
+	w.logf("fleet worker %s: %d shards revoked", w.cfg.ID, len(ids))
+}
+
+// takeRevoked consumes a revocation for id, reporting whether the shard
+// should be skipped.
+func (w *Worker) takeRevoked(id string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.revoked[id] {
+		delete(w.revoked, id)
+		return true
+	}
+	return false
 }
 
 func (w *Worker) post(ctx context.Context, path string, req, resp any) (int, error) {
@@ -119,15 +193,17 @@ func (w *Worker) register(ctx context.Context) error {
 	}
 }
 
-// Run registers and then polls/executes/completes until ctx ends. A
-// 410 from the coordinator (it forgot us — usually a coordinator
-// restart or a heartbeat gap) triggers transparent re-registration.
+// Run registers and then polls/executes/completes batches until ctx
+// ends. A 410 from the coordinator (it forgot us — usually a
+// coordinator restart or a heartbeat gap) triggers transparent
+// re-registration. Heartbeat responses deliver mid-batch revocations,
+// so a straggling worker learns promptly that its tail was stolen.
 func (w *Worker) Run(ctx context.Context) error {
 	if err := w.register(ctx); err != nil {
 		return err
 	}
 
-	// Heartbeat independently of the poll loops: a long-running shard
+	// Heartbeat independently of the batch loop: a long-running shard
 	// must not look like a dead worker.
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
@@ -139,29 +215,27 @@ func (w *Worker) Run(ctx context.Context) error {
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				if code, err := w.post(hbCtx, "/v1/fleet/heartbeat", HeartbeatRequest{Worker: w.cfg.ID}, nil); err != nil && code == http.StatusGone {
+				var resp HeartbeatResponse
+				code, err := w.post(hbCtx, "/v1/fleet/heartbeat", HeartbeatRequest{Worker: w.cfg.ID, Queued: w.queuedDepth()}, &resp)
+				if err != nil && code == http.StatusGone {
 					_ = w.register(hbCtx)
+					continue
+				}
+				if err == nil {
+					w.markRevoked(resp.Revoked)
 				}
 			}
 		}
 	}()
 
-	var wg sync.WaitGroup
-	wg.Add(w.cfg.Parallel)
-	for i := 0; i < w.cfg.Parallel; i++ {
-		go func() {
-			defer wg.Done()
-			w.pollLoop(ctx)
-		}()
-	}
-	wg.Wait()
+	w.batchLoop(ctx)
 	return ctx.Err()
 }
 
-func (w *Worker) pollLoop(ctx context.Context) {
+func (w *Worker) batchLoop(ctx context.Context) {
 	for ctx.Err() == nil {
 		var resp PollResponse
-		code, err := w.post(ctx, "/v1/fleet/poll", PollRequest{Worker: w.cfg.ID}, &resp)
+		code, err := w.post(ctx, "/v1/fleet/poll", PollRequest{Worker: w.cfg.ID, Max: w.cfg.Batch}, &resp)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -180,27 +254,71 @@ func (w *Worker) pollLoop(ctx context.Context) {
 			}
 			continue
 		}
-		if resp.Shard == nil {
+		w.markRevoked(resp.Revoked)
+		if len(resp.Shards) == 0 {
 			continue // empty poll; ask again
 		}
-		w.execute(ctx, resp.Shard)
+		w.runBatch(ctx, resp.Shards)
+		// Bound the worker-lifetime checkpoint cache: a long stream of
+		// distinct points would otherwise pin every warm snapshot ever
+		// built. Dropping the whole cache is safe — the next repeat
+		// rebuilds its checkpoint and forked runs are deterministic, so
+		// results are unchanged.
+		if w.forks != nil && w.forks.Checkpoints() > maxWarmCheckpoints {
+			w.forks = experiments.NewWarmForkCache()
+		}
 	}
 }
 
-func (w *Worker) execute(ctx context.Context, s *Shard) {
-	req := CompleteRequest{Worker: w.cfg.ID, Shard: s.ID}
-	res, err := experiments.RunPoint(ctx, s.Point)
-	if err != nil {
-		req.Error = err.Error()
-	} else {
-		if ctx.Err() != nil {
-			return // cancelled mid-run: the result is not trustworthy
+// maxWarmCheckpoints bounds the worker's warm-fork cache between
+// batches (each checkpoint pins a full machine snapshot).
+const maxWarmCheckpoints = 256
+
+// runBatch executes one leased batch (up to Parallel shards at a time)
+// and posts a single completion for everything it actually ran. Shards
+// revoked before their turn — stolen by an idle worker — are dropped;
+// the thief reports them.
+func (w *Worker) runBatch(ctx context.Context, shards []Shard) {
+	w.setQueued(len(shards))
+	defer w.setQueued(0)
+
+	results := make([]*ShardResult, len(shards))
+	sem := make(chan struct{}, w.cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := range shards {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break
 		}
-		req.Result = &res
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w.decQueued()
+			if w.takeRevoked(s.ID) {
+				w.logf("fleet worker %s: shard %s dropped (revoked)", w.cfg.ID, s.ID)
+				return
+			}
+			results[i] = w.executeShard(ctx, s)
+		}(i, shards[i])
 	}
-	w.logf("fleet worker %s: shard %s (%s) done", w.cfg.ID, s.ID, s.Point.Label)
-	// Deliver the result with a few retries: losing it costs a full
-	// re-simulation on another worker.
+	wg.Wait()
+
+	req := CompleteRequest{Worker: w.cfg.ID}
+	for _, r := range results {
+		if r != nil {
+			req.Results = append(req.Results, *r)
+		}
+	}
+	if len(req.Results) == 0 || ctx.Err() != nil {
+		return
+	}
+	// Deliver the batch with a few retries: losing it costs a full
+	// re-simulation of every shard on another worker.
 	for attempt := 0; attempt < 3; attempt++ {
 		if _, err := w.post(ctx, "/v1/fleet/complete", req, nil); err == nil || ctx.Err() != nil {
 			return
@@ -211,5 +329,27 @@ func (w *Worker) execute(ctx context.Context, s *Shard) {
 		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
 		}
 	}
-	w.logf("fleet worker %s: failed to deliver shard %s result", w.cfg.ID, s.ID)
+	w.logf("fleet worker %s: failed to deliver %d shard results", w.cfg.ID, len(req.Results))
+}
+
+func (w *Worker) executeShard(ctx context.Context, s Shard) *ShardResult {
+	if w.cfg.ShardDelay > 0 {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(w.cfg.ShardDelay):
+		}
+	}
+	sr := &ShardResult{Shard: s.ID}
+	res, err := experiments.RunPointForked(ctx, s.Point, w.forks)
+	if err != nil {
+		sr.Error = err.Error()
+	} else {
+		if ctx.Err() != nil {
+			return nil // cancelled mid-run: the result is not trustworthy
+		}
+		sr.Result = &res
+	}
+	w.logf("fleet worker %s: shard %s (%s) done", w.cfg.ID, s.ID, s.Point.Label)
+	return sr
 }

@@ -1,13 +1,16 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"coherencesim/internal/fleet"
@@ -79,6 +82,18 @@ type Config struct {
 	// worker heartbeat before declaring it dead and reassigning its
 	// shards (default 5s).
 	HeartbeatTimeout time.Duration
+	// FleetBatch caps how many shards one fleet poll round-trip may
+	// lease (default 16; 1 forces per-point dispatch). FleetSteal is
+	// the minimum queue a busy worker must hold before an idle worker
+	// may steal its tail half (default 2; negative disables stealing).
+	// Both are hot-reloadable.
+	FleetBatch int
+	FleetSteal int
+	// ConfigPath, when non-empty, names a JSON file holding the
+	// hot-reloadable subset of this configuration (see ReloadConfig).
+	// It is applied at startup and re-read — without dropping leases,
+	// jobs, or workers — on SIGHUP or POST /v1/admin/reload.
+	ConfigPath string
 	// PprofAddr, when non-empty, serves the net/http/pprof profiling
 	// endpoints on a separate listener at this address (conventionally
 	// localhost-only), keeping the debug surface off the public API
@@ -90,11 +105,12 @@ type Config struct {
 // Service is the assembled daemon: scheduler + API server + lifecycle
 // + fleet coordinator.
 type Service struct {
-	cfg   Config
-	sched *Scheduler
-	life  *Lifecycle
-	coord *fleet.Coordinator
-	srv   *Server
+	cfg     Config
+	sched   *Scheduler
+	life    *Lifecycle
+	coord   *fleet.Coordinator
+	srv     *Server
+	reloads atomic.Uint64
 }
 
 // New builds a service executing jobs on the real simulator. When
@@ -124,6 +140,8 @@ func newService(cfg Config, exec ExecFunc) (*Service, error) {
 	}
 	coord := fleet.NewCoordinator(fleet.Config{
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Batch:            cfg.FleetBatch,
+		StealThreshold:   cfg.FleetSteal,
 		Cache:            st,
 		Logf:             cfg.Logf,
 	})
@@ -137,8 +155,91 @@ func newService(cfg Config, exec ExecFunc) (*Service, error) {
 		TenantQuota:  cfg.TenantQuota,
 		TenantQuotas: cfg.TenantQuotas,
 	}, NewFleetExec(exec, coord))
-	return &Service{cfg: cfg, sched: sched, life: life, coord: coord, srv: NewServer(sched, life, coord)}, nil
+	svc := &Service{cfg: cfg, sched: sched, life: life, coord: coord}
+	svc.srv = NewServer(sched, life, coord, svc)
+	if cfg.ConfigPath != "" {
+		// Apply (and validate) the reloadable file before serving: a
+		// config the daemon cannot start with is not one it should
+		// accept a SIGHUP for either.
+		if _, err := svc.Reload(nil); err != nil {
+			coord.Close()
+			return nil, fmt.Errorf("load %s: %w", cfg.ConfigPath, err)
+		}
+	}
+	return svc, nil
 }
+
+// ReloadConfig is the hot-reloadable subset of Config, as carried by
+// the -config JSON file and the POST /v1/admin/reload body. Absent
+// fields keep their current values, so a reload is always a delta.
+type ReloadConfig struct {
+	TenantQuota    *int           `json:"tenant_quota,omitempty"`
+	TenantQuotas   map[string]int `json:"tenant_quotas,omitempty"`
+	FleetBatch     *int           `json:"fleet_batch,omitempty"`
+	StealThreshold *int           `json:"steal_threshold,omitempty"`
+}
+
+// ReloadStatus reports the effective configuration after a reload.
+type ReloadStatus struct {
+	Source         string         `json:"source"` // "request" or the config file path
+	TenantQuota    int            `json:"tenant_quota"`
+	TenantQuotas   map[string]int `json:"tenant_quotas,omitempty"`
+	FleetBatch     int            `json:"fleet_batch"`
+	StealThreshold int            `json:"steal_threshold"`
+}
+
+// Reload applies a configuration delta without restarting: tenant
+// quotas swap on the scheduler and batch/steal tuning on the fleet
+// coordinator, while leases, queued jobs, and registered workers are
+// untouched. A nil delta re-reads cfg.ConfigPath (the SIGHUP path); a
+// non-nil one applies directly (the admin-endpoint path).
+func (s *Service) Reload(rc *ReloadConfig) (ReloadStatus, error) {
+	source := "request"
+	if rc == nil {
+		if s.cfg.ConfigPath == "" {
+			return ReloadStatus{}, fmt.Errorf("no -config file to reload")
+		}
+		source = s.cfg.ConfigPath
+		b, err := os.ReadFile(s.cfg.ConfigPath)
+		if err != nil {
+			return ReloadStatus{}, err
+		}
+		rc = &ReloadConfig{}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(rc); err != nil {
+			return ReloadStatus{}, fmt.Errorf("parse %s: %w", s.cfg.ConfigPath, err)
+		}
+	}
+	quota, quotas := s.sched.Quotas()
+	if rc.TenantQuota != nil {
+		quota = *rc.TenantQuota
+	}
+	if rc.TenantQuotas != nil {
+		quotas = rc.TenantQuotas
+	}
+	s.sched.SetQuotas(quota, quotas)
+	batch, steal := s.coord.Tuning()
+	if rc.FleetBatch != nil {
+		batch = *rc.FleetBatch
+	}
+	if rc.StealThreshold != nil {
+		steal = *rc.StealThreshold
+	}
+	s.coord.SetTuning(batch, steal)
+	batch, steal = s.coord.Tuning()
+	quota, quotas = s.sched.Quotas()
+	s.reloads.Add(1)
+	s.logf("coherenced: config reloaded from %s (tenant quota %d, %d overrides, batch %d, steal %d)",
+		source, quota, len(quotas), batch, steal)
+	return ReloadStatus{
+		Source: source, TenantQuota: quota, TenantQuotas: quotas,
+		FleetBatch: batch, StealThreshold: steal,
+	}, nil
+}
+
+// Reloads counts successful configuration reloads (for /metrics).
+func (s *Service) Reloads() uint64 { return s.reloads.Load() }
 
 // Handler returns the API handler (httptest servers mount this).
 func (s *Service) Handler() http.Handler { return s.srv.Handler() }
@@ -193,12 +294,26 @@ func (s *Service) Run(stop <-chan os.Signal) error {
 	s.life.to(StateReady)
 	s.logf("coherenced: serving on %s", ln.Addr())
 
-	select {
-	case sig := <-stop:
-		s.logf("coherenced: received %v, draining (grace %s)", sig, s.cfg.Grace)
-	case err := <-serveErr:
-		s.life.to(StateStopped)
-		return err
+serving:
+	for {
+		select {
+		case sig := <-stop:
+			if sig == syscall.SIGHUP {
+				// Hot reload, not shutdown: re-read the config file and
+				// keep serving. Leases and jobs are untouched.
+				if st, err := s.Reload(nil); err != nil {
+					s.logf("coherenced: SIGHUP reload failed: %v", err)
+				} else {
+					s.logf("coherenced: SIGHUP applied %s", st.Source)
+				}
+				continue
+			}
+			s.logf("coherenced: received %v, draining (grace %s)", sig, s.cfg.Grace)
+			break serving
+		case err := <-serveErr:
+			s.life.to(StateStopped)
+			return err
+		}
 	}
 
 	s.life.to(StateDraining)

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAdminReloadDelta: POST /v1/admin/reload applies a partial config
+// without restarting — a tenant over quota is admitted immediately
+// after the quota is raised, and fleet tuning swaps live.
+func TestAdminReloadDelta(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	ts, svc, _ := startService(t, Config{TenantQuota: 1}, stubExec(nil, block))
+
+	if resp := postJobTenant(t, ts, `{"experiment":"fig8","scale":"quick"}`, "alice"); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit HTTP %d", resp.StatusCode)
+	}
+	if resp := postJobTenant(t, ts, `{"experiment":"fig11","scale":"quick"}`, "alice"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit HTTP %d, want 429", resp.StatusCode)
+	}
+
+	body := `{"tenant_quota":2,"fleet_batch":4,"steal_threshold":-1}`
+	resp, err := http.Post(ts.URL+"/v1/admin/reload", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ReloadStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload HTTP %d", resp.StatusCode)
+	}
+	if st.TenantQuota != 2 || st.FleetBatch != 4 || st.StealThreshold != -1 || st.Source != "request" {
+		t.Fatalf("reload status = %+v", st)
+	}
+	if quota, _ := svc.Scheduler().Quotas(); quota != 2 {
+		t.Errorf("scheduler quota = %d after reload, want 2", quota)
+	}
+	if batch, steal := svc.Coordinator().Tuning(); batch != 4 || steal != -1 {
+		t.Errorf("coordinator tuning = (%d, %d) after reload, want (4, -1)", batch, steal)
+	}
+
+	// The raised quota takes effect for the very next submission.
+	if resp := postJobTenant(t, ts, `{"experiment":"fig11","scale":"quick"}`, "alice"); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("post-reload submit HTTP %d, want 202", resp.StatusCode)
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("coherenced_config_reloads_total 1")) {
+		t.Errorf("metrics missing reload counter:\n%s", metrics)
+	}
+
+	// Unknown fields are a client error, not a silent partial apply.
+	resp2, err := http.Post(ts.URL+"/v1/admin/reload", "application/json", strings.NewReader(`{"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus reload HTTP %d, want 400", resp2.StatusCode)
+	}
+	if quota, _ := svc.Scheduler().Quotas(); quota != 2 {
+		t.Errorf("quota changed by rejected reload: %d", quota)
+	}
+}
+
+// TestReloadFromConfigFile covers the SIGHUP path: the -config file is
+// applied at startup and re-read on Reload(nil); a malformed rewrite is
+// rejected without disturbing the running configuration.
+func TestReloadFromConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coherenced.json")
+	if err := os.WriteFile(path, []byte(`{"tenant_quota":3,"fleet_batch":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int32
+	_, svc, _ := startService(t, Config{TenantQuota: 1, ConfigPath: path}, stubExec(&execs, nil))
+
+	if quota, _ := svc.Scheduler().Quotas(); quota != 3 {
+		t.Fatalf("startup quota = %d, want 3 from config file", quota)
+	}
+	if batch, _ := svc.Coordinator().Tuning(); batch != 2 {
+		t.Fatalf("startup batch = %d, want 2 from config file", batch)
+	}
+	if n := svc.Reloads(); n != 1 {
+		t.Fatalf("startup reloads = %d, want 1", n)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"tenant_quota":5,"steal_threshold":7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Reload(nil) // what the SIGHUP handler calls
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Source != path || st.TenantQuota != 5 || st.StealThreshold != 7 || st.FleetBatch != 2 {
+		t.Fatalf("reload status = %+v", st)
+	}
+
+	// A bad file fails the reload and leaves the last good config live.
+	if err := os.WriteFile(path, []byte(`{"tenant_quota":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Reload(nil); err == nil {
+		t.Fatal("reload of truncated config succeeded")
+	}
+	if quota, _ := svc.Scheduler().Quotas(); quota != 5 {
+		t.Errorf("quota after failed reload = %d, want 5", quota)
+	}
+	if n := svc.Reloads(); n != 2 {
+		t.Errorf("reloads = %d, want 2 (failed reload must not count)", n)
+	}
+}
+
+// TestStartupRejectsBadConfigFile: a daemon that cannot parse its
+// -config file must refuse to start rather than serve with defaults.
+func TestStartupRejectsBadConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"no_such_field":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newService(Config{ConfigPath: path}, stubExec(nil, nil)); err == nil {
+		t.Fatal("newService accepted a config file with unknown fields")
+	} else if !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("error %v does not name the config file", err)
+	}
+}

@@ -283,6 +283,32 @@ func (s *Scheduler) Submit(spec JobSpec, tenant string) (*task, []byte, Admissio
 	return t, nil, Admitted, nil
 }
 
+// SetQuotas hot-swaps the tenant admission quotas (0 = unlimited; the
+// map overrides the default per tenant). New bounds apply to future
+// submissions only — jobs already admitted are never evicted, so a
+// reload never drops work.
+func (s *Scheduler) SetQuotas(quota int, quotas map[string]int) {
+	m := make(map[string]int, len(quotas))
+	for k, v := range quotas {
+		m[k] = v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.TenantQuota = quota
+	s.cfg.TenantQuotas = m
+}
+
+// Quotas reports the live tenant admission quotas (copy).
+func (s *Scheduler) Quotas() (int, map[string]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]int, len(s.cfg.TenantQuotas))
+	for k, v := range s.cfg.TenantQuotas {
+		m[k] = v
+	}
+	return s.cfg.TenantQuota, m
+}
+
 // Get returns the queued or running job with this id. Terminal jobs
 // are found in the cache instead.
 func (s *Scheduler) Get(id string) (*task, bool) {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,21 +17,31 @@ import (
 	"coherencesim/internal/trace"
 )
 
+// Reloader applies hot configuration deltas (Service implements it;
+// the server exposes it as POST /v1/admin/reload).
+type Reloader interface {
+	Reload(*ReloadConfig) (ReloadStatus, error)
+	Reloads() uint64
+}
+
 // Server routes the versioned REST/SSE API onto the scheduler.
 type Server struct {
-	sched *Scheduler
-	life  *Lifecycle
-	coord *fleet.Coordinator
-	mux   *http.ServeMux
+	sched    *Scheduler
+	life     *Lifecycle
+	coord    *fleet.Coordinator
+	reloader Reloader
+	mux      *http.ServeMux
 }
 
 // NewServer wires the API routes. A non-nil coordinator mounts the
-// fleet's worker-facing endpoints (/v1/fleet/*) on the same listener.
-func NewServer(sched *Scheduler, life *Lifecycle, coord *fleet.Coordinator) *Server {
-	s := &Server{sched: sched, life: life, coord: coord, mux: http.NewServeMux()}
+// fleet's worker-facing endpoints (/v1/fleet/*) on the same listener;
+// a non-nil reloader mounts POST /v1/admin/reload.
+func NewServer(sched *Scheduler, life *Lifecycle, coord *fleet.Coordinator, reloader Reloader) *Server {
+	s := &Server{sched: sched, life: life, coord: coord, reloader: reloader, mux: http.NewServeMux()}
 	if coord != nil {
 		coord.Mount(s.mux)
 	}
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -376,6 +387,37 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness and build identity.
+// handleReload is POST /v1/admin/reload: apply a hot configuration
+// delta. An empty body re-reads the daemon's -config file (the HTTP
+// twin of SIGHUP); a JSON body applies the carried fields directly.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.reloader == nil {
+		writeError(w, http.StatusNotImplemented, "hot reload unavailable")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var rc *ReloadConfig
+	if len(bytes.TrimSpace(body)) > 0 {
+		rc = &ReloadConfig{}
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(rc); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding reload config: %v", err)
+			return
+		}
+	}
+	st, err := s.reloader.Reload(rc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reload: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{
 		"status":   "ok",
@@ -439,11 +481,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fs := s.coord.Stats()
 		write("coherenced_fleet_workers_live", "Fleet workers heard from within the heartbeat timeout.", "gauge", uint64(fs.WorkersLive))
 		write("coherenced_fleet_shards_dispatched_total", "Shard leases handed to fleet workers.", "counter", fs.Dispatched)
+		write("coherenced_fleet_batches_total", "Non-empty poll responses (shard batches leased).", "counter", fs.Batches)
 		write("coherenced_fleet_shards_completed_total", "Shards completed across the fleet.", "counter", fs.Completed)
 		write("coherenced_fleet_shards_reassigned_total", "Shards requeued after worker death or failure.", "counter", fs.Reassigned)
+		write("coherenced_fleet_shards_stolen_total", "Shards reassigned from a busy worker's tail to an idle worker.", "counter", fs.Stolen)
+		write("coherenced_fleet_shards_duplicate_total", "Duplicate shard completions ignored (steal or reassignment races).", "counter", fs.DupCompletes)
 		write("coherenced_fleet_shards_failed_total", "Shards that exhausted their attempts.", "counter", fs.Failed)
 		write("coherenced_fleet_shard_cache_hits_total", "Shards answered from the shard-level result cache.", "counter", fs.CacheHits)
 		write("coherenced_fleet_local_runs_total", "Shards executed by the coordinator's local fallback.", "counter", fs.LocalRuns)
+	}
+
+	if s.reloader != nil {
+		write("coherenced_config_reloads_total", "Successful hot configuration reloads (SIGHUP or admin endpoint).", "counter", s.reloader.Reloads())
 	}
 
 	bkt, sum, count := s.sched.TxnLatency()

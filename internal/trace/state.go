@@ -60,7 +60,7 @@ func (t *Tracer) SnapshotState() *TracerState {
 		st.spans[i] = s
 	}
 	for b, a := range t.blocks {
-		st.blocks[b] = *a
+		st.blocks[b] = a
 	}
 	return st
 }
@@ -107,8 +107,7 @@ func (t *Tracer) RestoreState(st *TracerState) {
 	t.latBkt = st.latBkt
 	clear(t.blocks)
 	for b, a := range st.blocks {
-		ba := a
-		t.blocks[b] = &ba
+		t.blocks[b] = a
 	}
 	t.hops = st.hops
 	t.flits = st.flits

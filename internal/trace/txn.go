@@ -178,6 +178,12 @@ type Tracer struct {
 	stalls   []StallRec
 	stallCap int
 
+	// targetArena backs every retained span's Targets slice: one shared
+	// append-only buffer instead of one fresh copy per span. Retained
+	// slices are taken with a full slice expression, so later arena
+	// growth can never overwrite them.
+	targetArena []TargetSpan
+
 	droppedSpans  uint64
 	droppedStalls uint64
 
@@ -191,7 +197,7 @@ type Tracer struct {
 	latSum   uint64
 	latBkt   [latencyBuckets]uint64
 
-	blocks map[uint32]*blockAgg
+	blocks map[uint32]blockAgg
 
 	hops     uint64
 	flits    uint64
@@ -221,7 +227,7 @@ func NewTracer(procs, limit int) *Tracer {
 		stallCap: 4 * limit,
 		agg:      make([][numCategories]uint64, procs),
 		lastRel:  make([]ReleaseInfo, procs),
-		blocks:   make(map[uint32]*blockAgg, 64),
+		blocks:   make(map[uint32]blockAgg, 64),
 	}
 }
 
@@ -239,6 +245,14 @@ func (t *Tracer) Begin(proc int, kind TxnKind, block uint32, now sim.Time) TxnID
 		t.free = t.free[:n-1]
 	} else {
 		r = &txnRec{}
+		// Size the fan-out buffer for the worst case (every other
+		// processor acks) up front: one allocation per record lifetime
+		// instead of log2(procs) doublings under TargetAck.
+		fanCap := len(t.lastRel) - 1
+		if fanCap < 4 {
+			fanCap = 4
+		}
+		r.span.Targets = make([]TargetSpan, 0, fanCap)
 	}
 	targets := r.span.Targets[:0]
 	r.span = TxnSpan{ID: id, Proc: proc, Kind: kind, Block: block, Issue: now, Targets: targets}
@@ -320,12 +334,9 @@ func (t *Tracer) fold(r *txnRec, end sim.Time) {
 	}
 	t.latBkt[b]++
 	ba := t.blocks[r.span.Block]
-	if ba == nil {
-		ba = &blockAgg{}
-		t.blocks[r.span.Block] = ba
-	}
 	ba.txns++
 	ba.cycles += lat
+	t.blocks[r.span.Block] = ba
 }
 
 // release marks the transaction as the most recent releaser for proc.
@@ -342,8 +353,18 @@ func (t *Tracer) release(proc int, r *txnRec) {
 func (t *Tracer) retain(id TxnID, r *txnRec) {
 	delete(t.live, id)
 	if len(t.spans) < t.spanCap {
+		if t.spans == nil {
+			// The cap is fixed, so pay the whole buffer once instead of
+			// log2(cap) doubling reallocations on the hot path.
+			t.spans = make([]TxnSpan, 0, t.spanCap)
+		}
 		s := r.span
-		s.Targets = append([]TargetSpan(nil), r.span.Targets...)
+		s.Targets = nil
+		if n := len(r.span.Targets); n > 0 {
+			start := len(t.targetArena)
+			t.targetArena = append(t.targetArena, r.span.Targets...)
+			s.Targets = t.targetArena[start:len(t.targetArena):len(t.targetArena)]
+		}
 		t.spans = append(t.spans, s)
 	} else {
 		t.droppedSpans++
@@ -433,6 +454,9 @@ func (t *Tracer) AddStall(proc int, cat Category, from, to sim.Time, by TxnID) {
 		t.agg[proc][cat] += uint64(to - from)
 	}
 	if len(t.stalls) < t.stallCap {
+		if t.stalls == nil {
+			t.stalls = make([]StallRec, 0, t.stallCap)
+		}
 		t.stalls = append(t.stalls, StallRec{Proc: proc, Cat: cat, Start: from, End: to, By: by})
 	} else {
 		t.droppedStalls++
@@ -494,8 +518,9 @@ func (t *Tracer) Snapshot(cycles sim.Time) *BreakdownSnapshot {
 		AckDrain:   t.ackDrain,
 		Dropped:    DroppedCounts{Spans: t.droppedSpans, Stalls: t.droppedStalls},
 	}
+	rows := make([]uint64, procs*int(numCategories)) // one backing array for every per-proc row
 	for p := 0; p < procs; p++ {
-		row := make([]uint64, numCategories)
+		row := rows[p*int(numCategories) : (p+1)*int(numCategories) : (p+1)*int(numCategories)]
 		var sum uint64
 		for c := Category(0); c < CatIdle; c++ {
 			row[c] = t.agg[p][c]
